@@ -1,0 +1,48 @@
+"""Ablation: tuner search strategies.
+
+Random search (shipping), Hyperband and the surrogate search (both "future
+work" in Sec. 4.7) on the same reduced KWS problem with a matched budget of
+configuration evaluations.
+"""
+
+from conftest import save_result
+
+from repro.automl import hyperband_search, surrogate_search
+from repro.experiments import table3
+
+
+def _fresh_tuner():
+    return table3.build_tuner(
+        samples_per_class=12, sample_rate=8000, n_keywords=3, train_epochs=4, seed=0
+    )
+
+
+def test_ablation_search_strategies(benchmark):
+    def run_all():
+        results = {}
+
+        random_tuner = _fresh_tuner()
+        random_tuner.run(n_trials=5, seed=0)
+        results["random"] = random_tuner.best_trial()
+
+        hb_tuner = _fresh_tuner()
+        hyperband_search(hb_tuner, max_epochs=4, eta=2, seed=0)
+        results["hyperband"] = hb_tuner.best_trial()
+
+        sur_tuner = _fresh_tuner()
+        surrogate_search(sur_tuner, n_trials=5, n_init=2, seed=0)
+        results["surrogate"] = sur_tuner.best_trial()
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = ["Ablation — tuner search strategies (matched small budget)"]
+    for name, best in results.items():
+        assert best is not None, f"{name} found no feasible config"
+        lines.append(
+            f"  {name:<10} best acc={best.accuracy:.2f} "
+            f"({best.dsp_name} + {best.model_name}, "
+            f"{best.total_ms:.0f}ms, {best.flash_kb:.0f}kB)"
+        )
+    text = "\n".join(lines)
+    save_result("ablation_search", text)
+    print("\n" + text)

@@ -1,0 +1,16 @@
+"""Regenerates Figure 1: the end-to-end workflow, stage by stage."""
+
+from conftest import save_result
+
+from repro.experiments import figure1
+
+
+def test_fig1_workflow(benchmark):
+    stages = benchmark.pedantic(figure1.run, rounds=1, iterations=1)
+    names = [s["stage"] for s in stages]
+    assert names == ["collect", "analyze", "dsp", "train", "evaluate", "deploy", "device"]
+    # The on-device stage must produce a successful AT inference reply.
+    assert "OK top=" in stages[-1]["detail"]
+    text = figure1.render(stages)
+    save_result("figure1", text)
+    print("\n" + text)

@@ -1,0 +1,15 @@
+"""Regenerates Figure 2: the Studio dataflow for the KWS example."""
+
+from conftest import save_result
+
+from repro.experiments import figure2
+
+
+def test_fig2_dataflow(benchmark):
+    result = benchmark(figure2.run)
+    assert "Time series data" in result["dataflow"]
+    assert "mfcc" in result["dataflow"]
+    assert result["feature_shape"][1] == 13  # MFCC coefficients
+    text = figure2.render(result)
+    save_result("figure2", text)
+    print("\n" + text)

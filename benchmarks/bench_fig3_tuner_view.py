@@ -1,0 +1,13 @@
+"""Regenerates Figure 3: the EON Tuner result view with resource bars."""
+
+from conftest import save_result
+
+from repro.experiments import figure3
+
+
+def test_fig3_tuner_view(benchmark, tuner_run):
+    text = benchmark(lambda: figure3.render(tuner_run))
+    assert "EON Tuner — target: Arduino Nano 33 BLE Sense" in text
+    assert "latency [" in text  # the stacked DSP/NN bar
+    save_result("figure3", text)
+    print("\n" + text)

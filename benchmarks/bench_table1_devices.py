@@ -1,0 +1,18 @@
+"""Regenerates Table 1: the evaluation device profiles."""
+
+from conftest import save_result
+
+from repro.experiments import table1
+
+
+def test_table1_devices(benchmark):
+    rows = benchmark(table1.run)
+    assert len(rows) == 3
+    # The paper's headline specs.
+    by_name = {r["platform"]: r for r in rows}
+    assert by_name["Arduino Nano 33 BLE Sense"]["clock_mhz"] == 64
+    assert by_name["ESP-EYE (ESP32)"]["flash_mb"] == 4
+    assert by_name["Raspberry Pi Pico (RP2040)"]["ram_kb"] == 264
+    text = table1.render(rows)
+    save_result("table1", text)
+    print("\n" + text)

@@ -1,0 +1,35 @@
+"""Regenerates Table 2: cross-hardware DSP + inference latency.
+
+Asserts the qualitative shape the paper reports in Sec. 5.2: quantization
+helps everywhere, the software-float Pico gains most, KWS preprocessing
+rivals optimised inference, and the paper's '-' (did not fit) cells appear
+in the same places.
+"""
+
+from conftest import save_result
+
+from repro.experiments import table2
+
+
+def test_table2_latency(benchmark):
+    results = benchmark(table2.run)
+    checks = table2.shape_checks(results)
+    assert all(checks.values()), f"failed shape checks: {checks}"
+
+    # Where the paper reports numbers, ours should be the same order of
+    # magnitude (the cycle model is calibrated on the KWS row only).
+    for task, devices in table2.PAPER_TABLE2.items():
+        for device, precisions in devices.items():
+            for precision, (paper_dsp, paper_inf) in precisions.items():
+                ours = results[task][device][precision]
+                if paper_inf is None:
+                    assert ours is None, f"{task}/{device}/{precision} should not fit"
+                else:
+                    ratio = ours["inference_ms"] / paper_inf
+                    assert 0.1 < ratio < 10.0, (
+                        f"{task}/{device}/{precision}: {ours['inference_ms']:.0f}ms "
+                        f"vs paper {paper_inf}ms"
+                    )
+    text = table2.render(results)
+    save_result("table2", text)
+    print("\n" + text)

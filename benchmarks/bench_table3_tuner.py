@@ -1,0 +1,31 @@
+"""Regenerates Table 3: the EON Tuner's DSP x NN exploration for KWS."""
+
+from conftest import save_result
+
+from repro.experiments import table3
+
+
+def test_table3_tuner(benchmark, tuner_run):
+    # The sweep itself runs once (session fixture); the benchmark times the
+    # pure-estimation pricing pass over one configuration.
+    dsp_spec, model_spec = tuner_run.space.sample(123)
+
+    def price_one():
+        block, _ = tuner_run._features(dsp_spec)
+        model, in_shape = tuner_run._build_model(
+            model_spec, tuple(tuner_run._feature_cache[list(tuner_run._feature_cache)[0]].shape[1:]),
+            int(tuner_run.labels.max()) + 1, 0,
+        )
+        return tuner_run._price(block, model, in_shape)
+
+    priced = benchmark(price_one)
+    assert priced["nn_ms"] > 0 and priced["flash_kb"] > 0
+
+    checks = table3.shape_checks(tuner_run)
+    assert all(checks.values()), f"failed shape checks: {checks}"
+    trained = [t for t in tuner_run.trials if t.trained]
+    assert any((t.accuracy or 0) > 0.6 for t in trained), "tuner found no usable config"
+
+    text = table3.render(tuner_run)
+    save_result("table3", text)
+    print("\n" + text)

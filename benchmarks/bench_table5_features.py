@@ -1,0 +1,19 @@
+"""Regenerates Table 5: the MLOps feature-support matrix.
+
+Our own row is produced by importing and exercising each subsystem, so the
+assertion that we match the paper's Edge Impulse row is a real capability
+check of this codebase.
+"""
+
+from conftest import save_result
+
+from repro.experiments import table5
+
+
+def test_table5_features(benchmark):
+    matrix = benchmark(table5.run)
+    checks = table5.shape_checks(matrix)
+    assert all(checks.values()), f"failed checks: {checks}"
+    text = table5.render(matrix)
+    save_result("table5", text)
+    print("\n" + text)

@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark suite.
+
+Heavy artifacts (trained tasks, tuner runs) are built once per session in
+fixtures; the ``benchmark`` fixture then times the table/figure
+*regeneration*, which is the deterministic, repeatable part.  Every bench
+writes its rendered table to ``results/`` so EXPERIMENTS.md can cite the
+measured output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def kws_trained():
+    from repro.experiments.tasks import trained_task
+
+    return trained_task("kws", seed=0)
+
+
+@pytest.fixture(scope="session")
+def vww_trained():
+    from repro.experiments.tasks import trained_task
+
+    return trained_task("vww", seed=0)
+
+
+@pytest.fixture(scope="session")
+def ic_trained():
+    from repro.experiments.tasks import trained_task
+
+    return trained_task("ic", seed=0)
+
+
+@pytest.fixture(scope="session")
+def tuner_run():
+    """One shared EON Tuner sweep reused by Table 3 and Figure 3."""
+    from repro.experiments import table3
+
+    tuner = table3.build_tuner(seed=0, train_epochs=12, samples_per_class=20)
+    tuner.run(n_trials=8, seed=0)
+    return tuner

@@ -1,0 +1,74 @@
+"""Quickstart: train and deploy a keyword spotter end to end.
+
+Mirrors the Figure 1/2 workflow: collect data, wire an impulse
+(time-series input -> MFCC -> NN classifier), train, evaluate, profile for
+a Cortex-M4 target, and export an EON-compiled C++ library.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import ClassificationBlock, Impulse, Platform, TimeSeriesInput
+from repro.data.synthetic import keyword_dataset
+from repro.dsp import MFCCBlock
+from repro.nn import TrainingConfig
+
+
+def main() -> None:
+    platform = Platform()
+    platform.register_user("quickstart")
+    project = platform.create_project("hello-kws", owner="quickstart")
+
+    # 1. Data: synthetic spoken keywords (Speech Commands substitute).
+    print("== collecting data ==")
+    for sample in keyword_dataset(
+        keywords=["yes", "no", "go"], samples_per_class=25,
+        sample_rate=8000, include_noise=True, include_unknown=False, seed=0,
+    ):
+        project.dataset.add(sample, category=sample.category)
+    print(project.dataset.summary())
+
+    # 2. Impulse: 1 s windows -> MFCC -> small conv1d classifier.
+    impulse = Impulse(
+        TimeSeriesInput(window_size_ms=1000, window_increase_ms=1000,
+                        frequency_hz=8000),
+        [MFCCBlock(sample_rate=8000, frame_length=0.02, frame_stride=0.02,
+                   n_filters=32, n_coefficients=13)],
+        ClassificationBlock(
+            architecture="conv1d_stack",
+            arch_kwargs=dict(n_layers=2, first_filters=16, last_filters=32),
+            training=TrainingConfig(epochs=20, batch_size=16,
+                                    learning_rate=3e-3, seed=0),
+        ),
+    )
+    project.set_impulse(impulse)
+    print("\n== impulse ==")
+    print(impulse.render())
+
+    # 3. Train (runs as a queued job, like the hosted platform).
+    print("\n== training ==")
+    job = project.train(seed=0)
+    print(f"job {job.job_id} finished: {job.result}")
+
+    # 4. Evaluate float32 and int8 on the holdout split.
+    print("\n== model testing ==")
+    print(project.test().render())
+    print(f"\nint8 holdout accuracy: {project.test(precision='int8').accuracy:.3f}")
+
+    # 5. Profile for the Arduino Nano 33 BLE Sense.
+    print("\n== on-device estimates (Nano 33 BLE Sense, int8 + EON) ==")
+    profile = project.profile("nano33ble", precision="int8", engine="eon")
+    print(
+        f"dsp {profile['dsp_ms']:.1f} ms + nn {profile['inference_ms']:.1f} ms "
+        f"= {profile['total_ms']:.1f} ms | ram {profile['ram_kb']:.1f} kB | "
+        f"flash {profile['flash_kb']:.1f} kB | fits: {profile['fits']}"
+    )
+
+    # 6. Deploy: EON-compiled C++ library.
+    artifact = project.deploy(target="cpp", engine="eon", precision="int8")
+    print("\n== deployment artifact ==")
+    for name, size in artifact.manifest()["files"].items():
+        print(f"  {name} ({size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

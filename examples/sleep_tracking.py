@@ -1,0 +1,72 @@
+"""Oura-Ring-style sleep staging (paper Sec. 8.1).
+
+Multi-sensor epochs (heart rate, motion, skin temperature) classified into
+sleep stages, with the data-explorer projection used to inspect stage
+clusters — the data-centric workflow the case study describes.
+
+Run:  python examples/sleep_tracking.py
+"""
+
+import numpy as np
+
+from repro.active import embed_with_model, pca_2d
+from repro.core import ClassificationBlock, Impulse, Platform, TimeSeriesInput
+from repro.data.synthetic import SLEEP_STAGES, sleep_dataset
+from repro.dsp import SpectralAnalysisBlock
+from repro.nn import TrainingConfig
+
+
+def main() -> None:
+    platform = Platform()
+    platform.register_user("oura")
+    # Organizations: the sleep-study team collaborates on one project.
+    platform.create_organization("sleep-lab", owner="oura")
+    platform.register_user("scientist")
+    platform.join_organization("sleep-lab", "scientist")
+    project = platform.create_project("sleep-stages", owner="oura",
+                                      organization="sleep-lab")
+    assert "scientist" in project.collaborators
+
+    for sample in sleep_dataset(epochs_per_stage=45, seed=0):
+        project.dataset.add(sample, category=sample.category)
+    print(project.dataset.summary())
+
+    # scale_axes brings the heart-rate channel (~50-70 bpm) into the same
+    # numeric range as motion/temperature — the same "Scale axes" knob the
+    # production Spectral Analysis block exposes.
+    impulse = Impulse(
+        TimeSeriesInput(window_size_ms=30_000, window_increase_ms=30_000,
+                        frequency_hz=1.0, axes=3),
+        [SpectralAnalysisBlock(sample_rate=1, fft_length=16, n_peaks=2,
+                               scale_axes=0.05)],
+        ClassificationBlock(
+            architecture="mlp",
+            arch_kwargs=dict(hidden=(32, 16)),
+            training=TrainingConfig(epochs=60, batch_size=16,
+                                    learning_rate=3e-3, seed=0),
+        ),
+    )
+    project.set_impulse(impulse)
+    project.train(seed=0)
+
+    report = project.test()
+    print("\nholdout evaluation:")
+    print(report.render())
+
+    # The paper quotes 79% correlation vs polysomnography; our synthetic
+    # stage structure should be comfortably separable.
+    assert report.accuracy > 0.7, "sleep stages should be separable"
+
+    # Data-explorer view of the stage clusters.
+    x, y, _ = impulse.features_for_dataset(project.dataset)
+    embeddings = embed_with_model(impulse.learn_block.model, x)
+    xy = pca_2d(embeddings)
+    print("\nstage cluster centroids in the 2-D explorer projection:")
+    for stage, idx in ((s, np.where(y == i)[0]) for i, s in enumerate(sorted(SLEEP_STAGES))):
+        if len(idx):
+            cx, cy = xy[idx].mean(axis=0)
+            print(f"  {stage:<6} ({cx:6.2f}, {cy:6.2f})  n={len(idx)}")
+
+
+if __name__ == "__main__":
+    main()

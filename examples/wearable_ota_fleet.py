@@ -1,0 +1,83 @@
+"""SlateSafety-style fleet update (paper Sec. 8.2).
+
+A fleet of wearables in the field runs an old activity model on existing
+hardware.  We train an improved model, export firmware, and push it
+over-the-air with a staged rollout — including a corrupted transfer that
+must be detected and rolled back.
+
+Run:  python examples/wearable_ota_fleet.py
+"""
+
+from repro.core import ClassificationBlock, Impulse, Platform, TimeSeriesInput
+from repro.data.synthetic import vibration_dataset
+from repro.device import AccelerometerSimulator, DeviceFleet, VirtualDevice
+from repro.dsp import SpectralAnalysisBlock
+from repro.nn import TrainingConfig
+
+
+def train_firmware(platform, epochs: int, version: str):
+    """Train a wearable activity model and export a firmware image."""
+    project = platform.create_project(f"band-{version}", owner="slate")
+    for sample in vibration_dataset(samples_per_class=30, seed=0):
+        project.dataset.add(sample, category=sample.category)
+    project.set_impulse(
+        Impulse(
+            TimeSeriesInput(window_size_ms=2000, window_increase_ms=2000,
+                            frequency_hz=100, axes=3),
+            [SpectralAnalysisBlock(sample_rate=100, fft_length=64)],
+            ClassificationBlock(
+                architecture="mlp",
+                arch_kwargs=dict(hidden=(32, 16)),
+                training=TrainingConfig(epochs=epochs, batch_size=16,
+                                        learning_rate=3e-3, seed=0),
+            ),
+        )
+    )
+    project.train(seed=0)
+    accuracy = project.test().accuracy
+    artifact = project.deploy(target="firmware", engine="eon", precision="int8")
+    image = artifact.metadata["image"]
+    image.version = version
+    return image, accuracy
+
+
+def main() -> None:
+    platform = Platform()
+    platform.register_user("slate")
+
+    # Existing hardware in the field: 8 wearables with the v1 model.
+    fleet = DeviceFleet()
+    for i in range(8):
+        fleet.register(
+            VirtualDevice(
+                f"band-{i:02d}", "nano33ble",
+                sensors=[AccelerometerSimulator(mode="normal", seed=i)],
+            )
+        )
+    v1, acc1 = train_firmware(platform, epochs=3, version="1.0.0")
+    fleet.ota_update(v1)
+    print(f"fleet on v1 (accuracy {acc1:.2f}): {fleet.versions()}\n")
+
+    # The improved model, deployed OTA — no new hardware (Sec. 8.2.2).
+    v2, acc2 = train_firmware(platform, epochs=25, version="2.0.0")
+    print(f"v2 trained: accuracy {acc1:.2f} -> {acc2:.2f}")
+
+    # One device suffers a corrupted transfer; verification must catch it.
+    report = fleet.ota_update(v2, inject_failures={"band-05"})
+    print(f"\nrollout of {report.image_version}:")
+    print(f"  updated    : {report.updated}")
+    print(f"  failed     : {report.failed}")
+    print(f"  rolled back: {report.rolled_back}")
+    print(f"\nfleet versions after rollout: {fleet.versions()}")
+
+    # Field devices classify locally (no reliable wireless, Sec. 8.2).
+    device = fleet.devices["band-00"]
+    device.serial.host_write("AT+SAMPLESTART=accelerometer,2000")
+    device.serial.host_write("AT+RUNIMPULSE")
+    device.poll()
+    for line in device.serial.host_read_all():
+        print(f"band-00> {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Active learning / data explorer (paper Sec. 4.8, Moreau 2022).
+
+The four-step loop the paper describes: (1) train on a small labelled
+subset, (2) embed all data with an intermediate layer, (3) project
+embeddings to 2-D (t-SNE or a spectral UMAP-style embedding, PCA for
+speed), (4) auto-label or flag samples by proximity to labelled clusters.
+"""
+
+from repro.active.embeddings import embed_with_model
+from repro.active.projection import pca_2d, spectral_2d, tsne_2d
+from repro.active.labeler import LabelSuggestion, flag_outliers, suggest_labels
+from repro.active.explorer import DataExplorer, ExplorerView
+
+__all__ = [
+    "embed_with_model",
+    "pca_2d",
+    "tsne_2d",
+    "spectral_2d",
+    "suggest_labels",
+    "flag_outliers",
+    "LabelSuggestion",
+    "DataExplorer",
+    "ExplorerView",
+]

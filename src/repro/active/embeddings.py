@@ -1,0 +1,35 @@
+"""Semantic embeddings from an intermediate model layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Dense
+from repro.nn.model import Sequential
+
+
+def embed_with_model(
+    model: Sequential, x: np.ndarray, batch_size: int = 64
+) -> np.ndarray:
+    """Penultimate-layer activations as embeddings.
+
+    Runs the model up to (but excluding) the final Dense classifier — the
+    "intermediate layer of the trained model" of Sec. 4.8 — and flattens.
+    """
+    cut = None
+    for i, layer in enumerate(model.layers):
+        if isinstance(layer, Dense):
+            cut = i
+    if cut is None:
+        cut = len(model.layers)
+
+    x = np.asarray(x, dtype=np.float32)
+    outs = []
+    for start in range(0, len(x), batch_size):
+        h = x[start : start + batch_size]
+        for layer in model.layers[:cut]:
+            h = layer.forward(h, training=False)
+        outs.append(h.reshape(len(h), -1))
+    if not outs:
+        return np.zeros((0, 1), dtype=np.float32)
+    return np.concatenate(outs, axis=0)

@@ -1,0 +1,115 @@
+"""The Data Explorer facade (paper Sec. 4.8 / Moreau 2022).
+
+One object bundling the four-step active-learning loop the Studio screen
+drives: embed (trained model or raw features), project to 2-D, suggest
+labels for the unlabelled pool, and flag cleaning candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.active.embeddings import embed_with_model
+from repro.active.labeler import LabelSuggestion, flag_outliers, suggest_labels
+from repro.active.projection import pca_2d, spectral_2d, tsne_2d
+
+_PROJECTIONS = {"pca": pca_2d, "tsne": tsne_2d, "umap": spectral_2d}
+
+
+@dataclass
+class ExplorerView:
+    """Everything the explorer screen shows for one refresh."""
+
+    coordinates: np.ndarray  # (n, 2)
+    labels: list[str | None]  # None = unlabelled
+    suggestions: list[LabelSuggestion] = field(default_factory=list)
+    outliers: list[int] = field(default_factory=list)
+
+    def summary(self) -> str:
+        n_labeled = sum(1 for l in self.labels if l is not None)
+        return (
+            f"{len(self.labels)} samples ({n_labeled} labelled), "
+            f"{len(self.suggestions)} auto-label suggestions, "
+            f"{len(self.outliers)} cleaning candidates"
+        )
+
+
+class DataExplorer:
+    """Drives the embed -> project -> label -> clean loop."""
+
+    def __init__(self, model=None, projection: str = "pca", seed: int = 0):
+        if projection not in _PROJECTIONS:
+            raise ValueError(
+                f"unknown projection {projection!r}; options {sorted(_PROJECTIONS)}"
+            )
+        self.model = model
+        self.projection = projection
+        self.seed = seed
+
+    def embed(self, features: np.ndarray) -> np.ndarray:
+        if self.model is not None:
+            return embed_with_model(self.model, features)
+        return np.asarray(features, dtype=np.float32).reshape(len(features), -1)
+
+    def view(
+        self,
+        features: np.ndarray,
+        labels: list[str | None],
+        k: int = 5,
+        min_confidence: float = 0.6,
+    ) -> ExplorerView:
+        """Produce one explorer refresh from features + partial labels."""
+        if len(features) != len(labels):
+            raise ValueError("features and labels must align")
+        embeddings = self.embed(features)
+        project = _PROJECTIONS[self.projection]
+        coords = (
+            project(embeddings, seed=self.seed)
+            if self.projection != "pca"
+            else project(embeddings)
+        )
+
+        labeled_idx = [i for i, l in enumerate(labels) if l is not None]
+        unlabeled_idx = [i for i, l in enumerate(labels) if l is None]
+        suggestions: list[LabelSuggestion] = []
+        if labeled_idx and unlabeled_idx:
+            raw = suggest_labels(
+                embeddings[labeled_idx],
+                [labels[i] for i in labeled_idx],
+                embeddings[unlabeled_idx],
+                k=k,
+                min_confidence=min_confidence,
+            )
+            # Re-index suggestions into the full sample array.
+            suggestions = [
+                LabelSuggestion(
+                    index=unlabeled_idx[s.index], label=s.label,
+                    confidence=s.confidence,
+                )
+                for s in raw
+            ]
+        outliers = (
+            flag_outliers(
+                embeddings[labeled_idx], [labels[i] for i in labeled_idx]
+            )
+            if len(labeled_idx) >= 8
+            else []
+        )
+        outliers = [labeled_idx[i] for i in outliers]
+        return ExplorerView(
+            coordinates=coords,
+            labels=list(labels),
+            suggestions=suggestions,
+            outliers=outliers,
+        )
+
+    def apply_suggestions(
+        self, labels: list[str | None], view: ExplorerView
+    ) -> list[str | None]:
+        """Accept every suggestion — one loop iteration of auto-labelling."""
+        updated = list(labels)
+        for s in view.suggestions:
+            updated[s.index] = s.label
+        return updated

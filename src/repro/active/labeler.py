@@ -1,0 +1,71 @@
+"""Proximity-based label suggestion and data cleaning."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LabelSuggestion:
+    """A proposed label for an unlabelled sample."""
+
+    index: int  # index into the unlabelled embedding array
+    label: str
+    confidence: float  # neighbour-vote fraction in [0, 1]
+
+
+def suggest_labels(
+    labeled_embeddings: np.ndarray,
+    labels: list[str],
+    unlabeled_embeddings: np.ndarray,
+    k: int = 5,
+    min_confidence: float = 0.6,
+) -> list[LabelSuggestion]:
+    """k-NN vote in embedding space (step 4 of the active-learning loop).
+
+    Only suggestions with at least ``min_confidence`` neighbour agreement
+    are returned — the rest stay for manual review.
+    """
+    if len(labeled_embeddings) == 0 or len(unlabeled_embeddings) == 0:
+        return []
+    k = min(k, len(labeled_embeddings))
+    lab = np.asarray(labeled_embeddings, dtype=np.float64)
+    unl = np.asarray(unlabeled_embeddings, dtype=np.float64)
+    d2 = ((unl[:, None, :] - lab[None, :, :]) ** 2).sum(-1)
+    nearest = np.argsort(d2, axis=1)[:, :k]
+
+    suggestions: list[LabelSuggestion] = []
+    for i, neighbor_ids in enumerate(nearest):
+        votes: dict[str, int] = {}
+        for j in neighbor_ids:
+            votes[labels[j]] = votes.get(labels[j], 0) + 1
+        best_label, best_count = max(votes.items(), key=lambda kv: kv[1])
+        confidence = best_count / k
+        if confidence >= min_confidence:
+            suggestions.append(
+                LabelSuggestion(index=i, label=best_label, confidence=confidence)
+            )
+    return suggestions
+
+
+def flag_outliers(
+    embeddings: np.ndarray, labels: list[str], z_threshold: float = 2.5
+) -> list[int]:
+    """Indices of samples far from their own class centroid — label-noise
+    candidates for the data-cleaning pass."""
+    emb = np.asarray(embeddings, dtype=np.float64)
+    flagged: list[int] = []
+    for label in sorted(set(labels)):
+        idx = np.array([i for i, l in enumerate(labels) if l == label])
+        if len(idx) < 4:
+            continue
+        cluster = emb[idx]
+        centroid = cluster.mean(axis=0)
+        dist = np.sqrt(((cluster - centroid) ** 2).sum(axis=1))
+        mu, sd = dist.mean(), dist.std() or 1e-9
+        for local, d in zip(idx, dist):
+            if (d - mu) / sd > z_threshold:
+                flagged.append(int(local))
+    return sorted(flagged)

@@ -1,0 +1,10 @@
+"""Unsupervised anomaly detection (paper Sec. 4.3).
+
+K-means scoring is the shipping feature; Gaussian mixture models are the
+paper's "near future" item — implemented here as well.
+"""
+
+from repro.anomaly.kmeans import KMeans, KMeansScorer
+from repro.anomaly.gmm import GaussianMixture, GaussianMixtureScorer
+
+__all__ = ["KMeans", "KMeansScorer", "GaussianMixture", "GaussianMixtureScorer"]

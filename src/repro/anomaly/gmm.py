@@ -1,0 +1,107 @@
+"""Gaussian mixture model via EM (diagonal covariance).
+
+The paper lists GMM support as "in the near future" (Sec. 4.3); this is
+that feature.  Diagonal covariances keep scoring cheap enough for on-device
+use, matching how the production feature eventually shipped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+class GaussianMixture:
+    """Diagonal-covariance GMM fit by expectation-maximisation."""
+
+    def __init__(
+        self,
+        n_components: int = 4,
+        max_iter: int = 100,
+        tol: float = 1e-5,
+        reg_covar: float = 1e-6,
+        seed: int | np.random.Generator | None = 0,
+    ):
+        self.n_components = n_components
+        self.max_iter = max_iter
+        self.tol = tol
+        self.reg_covar = reg_covar
+        self.rng = ensure_rng(seed)
+        self.weights: np.ndarray | None = None
+        self.means: np.ndarray | None = None
+        self.variances: np.ndarray | None = None
+
+    def _log_prob(self, x: np.ndarray) -> np.ndarray:
+        """Per-component log density, shape (n, k)."""
+        diff = x[:, None, :] - self.means[None, :, :]
+        inv_var = 1.0 / self.variances
+        quad = (diff**2 * inv_var[None]).sum(-1)
+        log_det = np.log(self.variances).sum(-1)
+        d = x.shape[1]
+        return -0.5 * (quad + log_det + d * np.log(2 * np.pi))
+
+    def fit(self, x: np.ndarray) -> "GaussianMixture":
+        x = np.asarray(x, dtype=np.float64)
+        n, d = x.shape
+        if n < self.n_components:
+            raise ValueError("need at least n_components samples")
+        # Init from random distinct points + global variance.
+        idx = self.rng.choice(n, size=self.n_components, replace=False)
+        self.means = x[idx].copy()
+        self.variances = np.tile(x.var(axis=0) + self.reg_covar, (self.n_components, 1))
+        self.weights = np.full(self.n_components, 1.0 / self.n_components)
+
+        prev_ll = -np.inf
+        for _ in range(self.max_iter):
+            # E step.
+            log_p = self._log_prob(x) + np.log(self.weights)[None]
+            log_norm = np.logaddexp.reduce(log_p, axis=1, keepdims=True)
+            resp = np.exp(log_p - log_norm)
+            ll = float(log_norm.sum())
+            # M step.
+            nk = resp.sum(axis=0) + 1e-12
+            self.weights = nk / n
+            self.means = (resp.T @ x) / nk[:, None]
+            diff2 = (x[:, None, :] - self.means[None]) ** 2
+            self.variances = (
+                (resp[:, :, None] * diff2).sum(axis=0) / nk[:, None] + self.reg_covar
+            )
+            if abs(ll - prev_ll) < self.tol * max(abs(prev_ll), 1.0):
+                break
+            prev_ll = ll
+        return self
+
+    def score_samples(self, x: np.ndarray) -> np.ndarray:
+        """Log likelihood per sample."""
+        x = np.asarray(x, dtype=np.float64)
+        log_p = self._log_prob(x) + np.log(self.weights)[None]
+        return np.logaddexp.reduce(log_p, axis=1)
+
+
+class GaussianMixtureScorer:
+    """Anomaly scorer: negative log-likelihood, normalised to the training
+    distribution so scores are comparable with the K-means scorer."""
+
+    def __init__(self, n_components: int = 4, seed: int = 0):
+        self.gmm = GaussianMixture(n_components=n_components, seed=seed)
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+        self._offset = 0.0
+        self._scale = 1.0
+
+    def fit(self, x: np.ndarray) -> "GaussianMixtureScorer":
+        x = np.asarray(x, dtype=np.float64)
+        self._mean = x.mean(axis=0)
+        self._std = x.std(axis=0) + 1e-9
+        z = (x - self._mean) / self._std
+        self.gmm.fit(z)
+        nll = -self.gmm.score_samples(z)
+        self._offset = float(np.median(nll))
+        self._scale = float(np.std(nll)) or 1.0
+        return self
+
+    def score(self, x: np.ndarray) -> np.ndarray:
+        z = (np.asarray(x, np.float64) - self._mean) / self._std
+        nll = -self.gmm.score_samples(z)
+        return np.maximum((nll - self._offset) / self._scale, 0.0)

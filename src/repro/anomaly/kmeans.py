@@ -1,0 +1,100 @@
+"""K-means clustering and distance-based anomaly scoring."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialisation."""
+
+    def __init__(self, n_clusters: int = 8, max_iter: int = 100, tol: float = 1e-6,
+                 seed: int | np.random.Generator | None = 0):
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.rng = ensure_rng(seed)
+        self.centroids: np.ndarray | None = None
+        self.inertia_: float = np.inf
+
+    def _init_centroids(self, x: np.ndarray) -> np.ndarray:
+        """k-means++ seeding."""
+        n = len(x)
+        centroids = [x[int(self.rng.integers(n))]]
+        for _ in range(1, self.n_clusters):
+            d2 = np.min(
+                ((x[:, None, :] - np.asarray(centroids)[None, :, :]) ** 2).sum(-1),
+                axis=1,
+            )
+            total = d2.sum()
+            if total <= 0:
+                centroids.append(x[int(self.rng.integers(n))])
+                continue
+            probs = d2 / total
+            centroids.append(x[int(self.rng.choice(n, p=probs))])
+        return np.asarray(centroids, dtype=np.float64)
+
+    def fit(self, x: np.ndarray) -> "KMeans":
+        x = np.asarray(x, dtype=np.float64)
+        if len(x) < self.n_clusters:
+            raise ValueError(
+                f"need at least n_clusters={self.n_clusters} samples, got {len(x)}"
+            )
+        centroids = self._init_centroids(x)
+        for _ in range(self.max_iter):
+            d2 = ((x[:, None, :] - centroids[None, :, :]) ** 2).sum(-1)
+            assign = d2.argmin(axis=1)
+            new_centroids = centroids.copy()
+            for k in range(self.n_clusters):
+                members = x[assign == k]
+                if len(members):
+                    new_centroids[k] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the farthest point.
+                    new_centroids[k] = x[d2.min(axis=1).argmax()]
+            shift = np.abs(new_centroids - centroids).max()
+            centroids = new_centroids
+            if shift < self.tol:
+                break
+        self.centroids = centroids
+        d2 = ((x[:, None, :] - centroids[None, :, :]) ** 2).sum(-1)
+        self.inertia_ = float(d2.min(axis=1).sum())
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        d2 = ((np.asarray(x, np.float64)[:, None, :] - self.centroids[None]) ** 2).sum(-1)
+        return d2.argmin(axis=1)
+
+    def distances(self, x: np.ndarray) -> np.ndarray:
+        """Euclidean distance to the nearest centroid."""
+        d2 = ((np.asarray(x, np.float64)[:, None, :] - self.centroids[None]) ** 2).sum(-1)
+        return np.sqrt(d2.min(axis=1))
+
+
+class KMeansScorer:
+    """Anomaly scorer: fit on normal data, score = distance to nearest
+    centroid normalised by the training distance scale."""
+
+    def __init__(self, n_components: int = 8, seed: int = 0):
+        self.kmeans = KMeans(n_clusters=n_components, seed=seed)
+        self._scale = 1.0
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "KMeansScorer":
+        x = np.asarray(x, dtype=np.float64)
+        self._mean = x.mean(axis=0)
+        self._std = x.std(axis=0) + 1e-9
+        z = (x - self._mean) / self._std
+        self.kmeans.fit(z)
+        train_d = self.kmeans.distances(z)
+        self._scale = float(np.mean(train_d)) or 1.0
+        return self
+
+    def score(self, x: np.ndarray) -> np.ndarray:
+        z = (np.asarray(x, np.float64) - self._mean) / self._std
+        return self.kmeans.distances(z) / self._scale

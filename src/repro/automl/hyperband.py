@@ -1,0 +1,78 @@
+"""Hyperband / successive-halving search (Li et al., 2017).
+
+The paper lists Hyperband as future work for the EON Tuner; this module
+implements it over the same :class:`EonTuner` evaluation primitive: many
+configurations get a short training budget, and only the top ``1/eta``
+survive to each longer rung.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.automl.tuner import EonTuner, TunerTrial
+from repro.utils.rng import ensure_rng
+
+
+def hyperband_search(
+    tuner: EonTuner,
+    max_epochs: int = 16,
+    eta: int = 3,
+    seed: int = 0,
+) -> list[TunerTrial]:
+    """One Hyperband bracket (the most exploratory one).
+
+    Returns every trial evaluated; the tuner accumulates them so
+    ``tuner.best_trial()`` reflects the search.
+    """
+    rng = ensure_rng(seed)
+    s_max = int(math.log(max_epochs, eta))
+    n_configs = int(math.ceil((s_max + 1) * eta**s_max / (s_max + 1)))
+    r0 = max(1, int(max_epochs * eta**-s_max))
+
+    # Draw the initial population (deduplicated).
+    population: list[tuple[dict, dict]] = []
+    seen: set[str] = set()
+    import json
+
+    attempts = 0
+    while len(population) < n_configs and attempts < n_configs * 20:
+        attempts += 1
+        pair = tuner.space.sample(rng)
+        key = json.dumps(pair, sort_keys=True)
+        if key not in seen:
+            seen.add(key)
+            population.append(pair)
+
+    survivors = population
+    epochs = r0
+    all_trials: list[TunerTrial] = []
+    rung = 0
+    while survivors:
+        rung_trials: list[TunerTrial] = []
+        for dsp_spec, model_spec in survivors:
+            trial = tuner.evaluate_config(
+                dsp_spec, model_spec, seed=seed + rung, epochs=epochs
+            )
+            trial.extra["hyperband_rung"] = rung
+            trial.extra["hyperband_epochs"] = epochs
+            rung_trials.append(trial)
+        all_trials.extend(rung_trials)
+        trained = [t for t in rung_trials if t.trained]
+        keep = max(1, len(trained) // eta)
+        trained.sort(key=lambda t: -(t.accuracy or 0.0))
+        next_pop = [(t.dsp_spec, t.model_spec) for t in trained[:keep]]
+        epochs = min(epochs * eta, max_epochs)
+        rung += 1
+        if rung > s_max or epochs >= max_epochs and len(next_pop) <= 1:
+            # Final rung at full budget for the last survivors.
+            if next_pop and epochs >= max_epochs and rung <= s_max + 1:
+                for dsp_spec, model_spec in next_pop:
+                    trial = tuner.evaluate_config(
+                        dsp_spec, model_spec, seed=seed + rung, epochs=max_epochs
+                    )
+                    trial.extra["hyperband_rung"] = rung
+                    all_trials.append(trial)
+            break
+        survivors = next_pop
+    return all_trials

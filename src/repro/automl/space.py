@@ -1,0 +1,93 @@
+"""Search-space definition for the EON Tuner.
+
+A space is a list of DSP templates and model templates; each template is a
+dict whose list-valued entries are swept.  ``sample`` draws one concrete
+(dsp_spec, model_spec) pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def _expand(template: dict) -> list[dict]:
+    """All concrete configs from one template (grid over list values)."""
+    keys = list(template)
+    pools = [v if isinstance(v, list) else [v] for v in (template[k] for k in keys)]
+    return [dict(zip(keys, combo)) for combo in product(*pools)]
+
+
+@dataclass
+class SearchSpace:
+    """Joint DSP x model space."""
+
+    dsp_templates: list[dict] = field(default_factory=list)
+    model_templates: list[dict] = field(default_factory=list)
+
+    def all_dsp(self) -> list[dict]:
+        out = []
+        for template in self.dsp_templates:
+            out.extend(_expand(template))
+        return out
+
+    def all_models(self) -> list[dict]:
+        out = []
+        for template in self.model_templates:
+            out.extend(_expand(template))
+        return out
+
+    def size(self) -> int:
+        return len(self.all_dsp()) * len(self.all_models())
+
+    def sample(self, rng: np.random.Generator | int | None = None) -> tuple[dict, dict]:
+        """Random-search draw (Bergstra et al., 2011)."""
+        rng = ensure_rng(rng)
+        dsp_all, model_all = self.all_dsp(), self.all_models()
+        return (
+            dict(dsp_all[int(rng.integers(len(dsp_all)))]),
+            dict(model_all[int(rng.integers(len(model_all)))]),
+        )
+
+    def enumerate(self) -> list[tuple[dict, dict]]:
+        return [(d, m) for d in self.all_dsp() for m in self.all_models()]
+
+
+def kws_search_space(sample_rate: int = 16000) -> SearchSpace:
+    """The keyword-spotting space of Table 3: MFE/MFCC front-ends crossed
+    with conv1d stacks and a MobileNetV2 option."""
+    return SearchSpace(
+        dsp_templates=[
+            {
+                "type": "mfe",
+                "sample_rate": sample_rate,
+                "frame_length": [0.02, 0.032, 0.05],
+                "frame_stride": [0.01, 0.016, 0.02, 0.025],
+                "n_filters": [32, 40],
+            },
+            {
+                "type": "mfcc",
+                "sample_rate": sample_rate,
+                "frame_length": [0.02, 0.05],
+                "frame_stride": [0.01, 0.025],
+                "n_filters": [32, 40],
+                "n_coefficients": [13],
+            },
+        ],
+        model_templates=[
+            {
+                "architecture": "conv1d_stack",
+                "n_layers": [2, 3, 4],
+                "first_filters": [16, 32],
+                "last_filters": [32, 64, 128, 256],
+            },
+            {
+                "architecture": "mobilenet_v2",
+                "alpha": [0.35],
+            },
+        ],
+    )

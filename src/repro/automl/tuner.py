@@ -1,0 +1,298 @@
+"""The EON Tuner: constraint-aware random search over DSP x model configs.
+
+For each candidate the tuner (1) prices resources with the profiler — the
+"heuristic to quickly estimate the performance of the configurations" the
+paper describes — before any training happens, (2) skips training for
+configurations that cannot fit the target, and (3) trains survivors briefly
+to measure accuracy.  Results render as the Table 3 / Figure 3 view.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dsp.base import DSPBlock, get_dsp_block
+from repro.graph import sequential_to_graph
+from repro.nn import Trainer, TrainingConfig
+from repro.nn.architectures import ARCHITECTURES, describe
+from repro.profile import LatencyEstimator, MemoryEstimator, get_device
+from repro.quantize import quantize_graph
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class TunerConstraints:
+    """Target-device budget the search must respect (Fig. 3, purple box)."""
+
+    device_key: str = "nano33ble"
+    max_ram_kb: float | None = None  # default: device RAM minus firmware
+    max_flash_kb: float | None = None
+    max_latency_ms: float | None = None
+
+    def resolved(self) -> "TunerConstraints":
+        device = get_device(self.device_key)
+        return TunerConstraints(
+            device_key=self.device_key,
+            max_ram_kb=self.max_ram_kb
+            if self.max_ram_kb is not None
+            else (device.ram_bytes - 40_000) / 1024.0,
+            max_flash_kb=self.max_flash_kb
+            if self.max_flash_kb is not None
+            else (device.flash_bytes - 180_000) / 1024.0,
+            max_latency_ms=self.max_latency_ms,
+        )
+
+
+@dataclass
+class TunerTrial:
+    """One explored configuration — a row of Table 3."""
+
+    dsp_spec: dict
+    model_spec: dict
+    dsp_name: str
+    model_name: str
+    accuracy: float | None = None
+    dsp_ms: float = 0.0
+    nn_ms: float = 0.0
+    dsp_ram_kb: float = 0.0
+    nn_ram_kb: float = 0.0
+    flash_kb: float = 0.0
+    trained: bool = False
+    meets_constraints: bool = True
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_ms(self) -> float:
+        return self.dsp_ms + self.nn_ms
+
+    @property
+    def ram_kb(self) -> float:
+        return self.dsp_ram_kb + self.nn_ram_kb
+
+
+class EonTuner:
+    """Joint DSP/NN search for one project's data."""
+
+    def __init__(
+        self,
+        raw_windows: np.ndarray,
+        labels: np.ndarray,
+        space,
+        constraints: TunerConstraints | None = None,
+        precision: str = "float32",
+        engine: str = "tflm",
+        train_epochs: int = 12,
+        batch_size: int = 16,
+        val_fraction: float = 0.25,
+    ):
+        self.raw = np.asarray(raw_windows, dtype=np.float32)
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self.space = space
+        self.constraints = (constraints or TunerConstraints()).resolved()
+        self.precision = precision
+        self.engine = engine
+        self.train_epochs = train_epochs
+        self.batch_size = batch_size
+        self.val_fraction = val_fraction
+        self.trials: list[TunerTrial] = []
+        self._feature_cache: dict[str, np.ndarray] = {}
+
+    # -- internals ----------------------------------------------------------
+
+    def _features(self, dsp_spec: dict) -> tuple[DSPBlock, np.ndarray]:
+        key = json.dumps(dsp_spec, sort_keys=True)
+        block = get_dsp_block({"type": dsp_spec["type"],
+                               "config": {k: v for k, v in dsp_spec.items() if k != "type"}})
+        if key not in self._feature_cache:
+            self._feature_cache[key] = block.transform_batch(self.raw)
+        return block, self._feature_cache[key]
+
+    def _build_model(self, model_spec: dict, input_shape, n_classes, seed):
+        spec = dict(model_spec)
+        arch = spec.pop("architecture")
+        factory = ARCHITECTURES[arch]
+        if arch in ("mobilenet_v1", "mobilenet_v2", "cifar_cnn") and len(input_shape) == 2:
+            input_shape = input_shape + (1,)
+        return factory(input_shape, n_classes, seed=seed, **spec), input_shape
+
+    def _price(self, block: DSPBlock, model, feature_shape) -> dict:
+        """Resource heuristic: latency + memory from the profiler, before
+        (and independent of) training."""
+        graph = sequential_to_graph(model)
+        if self.precision == "int8":
+            rng = ensure_rng(0)
+            calib = rng.standard_normal((8,) + tuple(feature_shape)).astype(np.float32)
+            graph = quantize_graph(graph, calib)
+        device = get_device(self.constraints.device_key)
+        lat = LatencyEstimator(device)
+        mem = MemoryEstimator(engine=self.engine)
+        raw_shape = tuple(self.raw.shape[1:])
+        est = mem.estimate(graph)
+        return {
+            "dsp_ms": lat.dsp_ms(block, raw_shape),
+            "nn_ms": lat.inference_ms(graph),
+            "dsp_ram_kb": block.buffer_bytes(raw_shape) / 1024.0,
+            "nn_ram_kb": est.ram_kb,
+            "flash_kb": est.flash_kb,
+        }
+
+    def _check(self, trial: TunerTrial) -> bool:
+        c = self.constraints
+        ok = True
+        if c.max_ram_kb is not None and trial.ram_kb > c.max_ram_kb:
+            ok = False
+        if c.max_flash_kb is not None and trial.flash_kb > c.max_flash_kb:
+            ok = False
+        if c.max_latency_ms is not None and trial.total_ms > c.max_latency_ms:
+            ok = False
+        return ok
+
+    def evaluate_config(
+        self,
+        dsp_spec: dict,
+        model_spec: dict,
+        seed: int = 0,
+        epochs: int | None = None,
+        skip_if_infeasible: bool = True,
+    ) -> TunerTrial:
+        """Price + (maybe) train one configuration."""
+        block, features = self._features(dsp_spec)
+        n_classes = int(self.labels.max()) + 1
+        model, in_shape = self._build_model(
+            model_spec, tuple(features.shape[1:]), n_classes, seed
+        )
+        feats = features.reshape((len(features),) + in_shape)
+
+        trial = TunerTrial(
+            dsp_spec=dict(dsp_spec),
+            model_spec=dict(model_spec),
+            dsp_name=repr(block) if hasattr(block, "__repr__") else block.describe(),
+            model_name=describe(model),
+            **self._price(block, model, in_shape),
+        )
+        trial.meets_constraints = self._check(trial)
+        if trial.meets_constraints or not skip_if_infeasible:
+            rng = ensure_rng(seed)
+            order = rng.permutation(len(feats))
+            n_val = max(1, int(len(feats) * self.val_fraction))
+            val_idx, train_idx = order[:n_val], order[n_val:]
+            cfg = TrainingConfig(
+                epochs=epochs or self.train_epochs,
+                batch_size=self.batch_size,
+                learning_rate=3e-3,
+                validation_split=0.0,
+                seed=seed,
+            )
+            Trainer(model).fit(
+                feats[train_idx], self.labels[train_idx], cfg,
+                x_val=feats[val_idx], y_val=self.labels[val_idx],
+            )
+            preds = model.predict_classes(feats[val_idx])
+            trial.accuracy = float((preds == self.labels[val_idx]).mean())
+            trial.trained = True
+        self.trials.append(trial)
+        return trial
+
+    # -- search strategies ----------------------------------------------------
+
+    def run(self, n_trials: int = 12, seed: int = 0) -> list[TunerTrial]:
+        """Random search (the shipping EON Tuner algorithm)."""
+        rng = ensure_rng(seed)
+        seen: set[str] = set()
+        attempts = 0
+        while len([t for t in self.trials if True]) < n_trials and attempts < n_trials * 10:
+            attempts += 1
+            dsp_spec, model_spec = self.space.sample(rng)
+            key = json.dumps([dsp_spec, model_spec], sort_keys=True)
+            if key in seen:
+                continue
+            seen.add(key)
+            self.evaluate_config(dsp_spec, model_spec, seed=int(rng.integers(1 << 31)))
+        return self.trials
+
+    def best_trial(self) -> TunerTrial | None:
+        trained = [t for t in self.trials if t.trained and t.meets_constraints]
+        if not trained:
+            return None
+        return max(trained, key=lambda t: t.accuracy)
+
+    def apply_to_project(self, project, trial: TunerTrial | None = None) -> None:
+        """Update a project's impulse to a tuner result — the "update the
+        associated project to this configuration" flow of Sec. 4.7."""
+        from repro.core.impulse import Impulse
+        from repro.core.learn_blocks import ClassificationBlock
+        from repro.dsp.base import get_dsp_block
+
+        trial = trial or self.best_trial()
+        if trial is None:
+            raise RuntimeError("no feasible trained configuration to apply")
+        if project.impulse is None:
+            raise RuntimeError("project has no impulse to update")
+        dsp = get_dsp_block(
+            {"type": trial.dsp_spec["type"],
+             "config": {k: v for k, v in trial.dsp_spec.items() if k != "type"}}
+        )
+        model_spec = dict(trial.model_spec)
+        arch = model_spec.pop("architecture")
+        learn = ClassificationBlock(architecture=arch, arch_kwargs=model_spec)
+        project.set_impulse(
+            Impulse(project.impulse.input_block, [dsp], learn)
+        )
+
+    # -- presentation -------------------------------------------------------------
+
+    def results_table(self) -> str:
+        """The Table 3 rendering: one row per trained configuration."""
+        header = (
+            f"{'Preprocessing':<26} {'Model':<26} {'Acc.':>5} "
+            f"{'DSP ms':>8} {'NN ms':>8} {'Total':>8} "
+            f"{'RAM kB':>8} {'Flash kB':>9}"
+        )
+        lines = [header, "-" * len(header)]
+        rows = sorted(
+            (t for t in self.trials if t.trained),
+            key=lambda t: -(t.accuracy or 0),
+        )
+        for t in rows:
+            lines.append(
+                f"{t.dsp_name:<26} {t.model_name:<26} "
+                f"{(t.accuracy or 0) * 100:>4.0f}% "
+                f"{t.dsp_ms:>8.0f} {t.nn_ms:>8.0f} {t.total_ms:>8.0f} "
+                f"{t.ram_kb:>8.0f} {t.flash_kb:>9.0f}"
+            )
+        skipped = sum(1 for t in self.trials if not t.trained)
+        if skipped:
+            lines.append(f"({skipped} configurations skipped by the resource screen)")
+        return "\n".join(lines)
+
+    def render_figure3(self) -> str:
+        """Figure-3-style view: constraints plus stacked DSP/NN bars."""
+        c = self.constraints
+        device = get_device(c.device_key)
+        lines = [
+            f"EON Tuner — target: {device.name} "
+            f"(RAM<={c.max_ram_kb:.0f}kB, flash<={c.max_flash_kb:.0f}kB"
+            + (f", latency<={c.max_latency_ms:.0f}ms" if c.max_latency_ms else "")
+            + ")",
+            "",
+        ]
+        trained = sorted(
+            (t for t in self.trials if t.trained), key=lambda t: -(t.accuracy or 0)
+        )
+        max_ms = max((t.total_ms for t in trained), default=1.0)
+        for i, t in enumerate(trained):
+            dsp_bar = "#" * max(1, int(30 * t.dsp_ms / max_ms))
+            nn_bar = "=" * max(1, int(30 * t.nn_ms / max_ms))
+            flag = "" if t.meets_constraints else "  [exceeds target]"
+            lines.append(
+                f"#{i + 1} acc={t.accuracy:.2f} {t.dsp_name} + {t.model_name}{flag}"
+            )
+            lines.append(
+                f"    latency [{dsp_bar}{nn_bar}] {t.total_ms:.0f}ms "
+                f"(dsp {t.dsp_ms:.0f} / nn {t.nn_ms:.0f})  "
+                f"ram {t.ram_kb:.0f}kB  flash {t.flash_kb:.0f}kB"
+            )
+        return "\n".join(lines)

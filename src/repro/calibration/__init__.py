@@ -1,0 +1,27 @@
+"""Performance calibration (paper Sec. 4.4, Situnayake 2022).
+
+For event-detection projects the raw classifier stream must be
+post-processed (smoothing, thresholds, suppression) before it becomes
+usable detections.  This package implements the production tool: run the
+model over (real or synthetic) streaming data, then use a multi-objective
+genetic algorithm to propose post-processing configurations trading off
+false acceptance rate (FAR) against false rejection rate (FRR).
+"""
+
+from repro.calibration.postprocess import PostProcessConfig, StreamingPostProcessor
+from repro.calibration.streaming import (
+    DetectionOutcome,
+    continuous_probabilities,
+    evaluate_detections,
+)
+from repro.calibration.genetic import CalibrationResult, calibrate
+
+__all__ = [
+    "PostProcessConfig",
+    "StreamingPostProcessor",
+    "continuous_probabilities",
+    "evaluate_detections",
+    "DetectionOutcome",
+    "calibrate",
+    "CalibrationResult",
+]

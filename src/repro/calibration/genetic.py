@@ -1,0 +1,168 @@
+"""Multi-objective genetic search over post-processing configs.
+
+NSGA-II-style: non-dominated sorting + crowding-distance selection over the
+two objectives (FAR/hour, FRR).  The output is the Pareto front of
+"suggested configurations" the performance-calibration screen shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.calibration.postprocess import PostProcessConfig, StreamingPostProcessor
+from repro.calibration.streaming import DetectionOutcome, evaluate_detections
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class CalibrationResult:
+    """One evaluated configuration with its objectives."""
+
+    config: PostProcessConfig
+    outcome: DetectionOutcome
+
+    @property
+    def objectives(self) -> tuple[float, float]:
+        return (self.outcome.far_per_hour, self.outcome.frr)
+
+
+def _dominates(a: tuple[float, float], b: tuple[float, float]) -> bool:
+    return a[0] <= b[0] and a[1] <= b[1] and (a[0] < b[0] or a[1] < b[1])
+
+
+def _non_dominated_sort(results: list[CalibrationResult]) -> list[list[int]]:
+    n = len(results)
+    dominated_by: list[set[int]] = [set() for _ in range(n)]
+    dominates_count = [0] * n
+    fronts: list[list[int]] = [[]]
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            if _dominates(results[i].objectives, results[j].objectives):
+                dominated_by[i].add(j)
+            elif _dominates(results[j].objectives, results[i].objectives):
+                dominates_count[i] += 1
+        if dominates_count[i] == 0:
+            fronts[0].append(i)
+    k = 0
+    while fronts[k]:
+        nxt: list[int] = []
+        for i in fronts[k]:
+            for j in dominated_by[i]:
+                dominates_count[j] -= 1
+                if dominates_count[j] == 0:
+                    nxt.append(j)
+        fronts.append(nxt)
+        k += 1
+    return [f for f in fronts if f]
+
+
+def _crowding(results: list[CalibrationResult], front: list[int]) -> dict[int, float]:
+    if len(front) <= 2:
+        return {i: np.inf for i in front}
+    dist = {i: 0.0 for i in front}
+    for axis in range(2):
+        ordered = sorted(front, key=lambda i: results[i].objectives[axis])
+        lo = results[ordered[0]].objectives[axis]
+        hi = results[ordered[-1]].objectives[axis]
+        span = (hi - lo) or 1.0
+        dist[ordered[0]] = dist[ordered[-1]] = np.inf
+        for a, b, c in zip(ordered, ordered[1:], ordered[2:]):
+            dist[b] += (results[c].objectives[axis] - results[a].objectives[axis]) / span
+    return dist
+
+
+def _mutate(cfg: PostProcessConfig, rng: np.random.Generator) -> PostProcessConfig:
+    return PostProcessConfig(
+        threshold=cfg.threshold + rng.normal(0, 0.08),
+        smoothing_windows=cfg.smoothing_windows + int(rng.integers(-1, 2)),
+        suppression_s=cfg.suppression_s + rng.normal(0, 0.3),
+        min_consecutive=cfg.min_consecutive + int(rng.integers(-1, 2)),
+    ).clamped()
+
+
+def _crossover(
+    a: PostProcessConfig, b: PostProcessConfig, rng: np.random.Generator
+) -> PostProcessConfig:
+    pick = lambda x, y: x if rng.random() < 0.5 else y  # noqa: E731
+    return PostProcessConfig(
+        threshold=pick(a.threshold, b.threshold),
+        smoothing_windows=pick(a.smoothing_windows, b.smoothing_windows),
+        suppression_s=pick(a.suppression_s, b.suppression_s),
+        min_consecutive=pick(a.min_consecutive, b.min_consecutive),
+    ).clamped()
+
+
+def calibrate(
+    probabilities: np.ndarray,
+    timestamps: np.ndarray,
+    events: list[tuple[float, float]],
+    target_index: int,
+    stream_duration_s: float,
+    population: int = 24,
+    generations: int = 10,
+    seed: int = 0,
+) -> list[CalibrationResult]:
+    """Run the GA; returns the final Pareto front sorted by FAR.
+
+    ``probabilities``/``timestamps`` come from
+    :func:`repro.calibration.streaming.continuous_probabilities` — the model
+    is only run once; the GA re-scores cheap post-processing variants.
+    """
+    rng = ensure_rng(seed)
+
+    def evaluate(cfg: PostProcessConfig) -> CalibrationResult:
+        detections = StreamingPostProcessor(cfg, target_index).detect(
+            probabilities, timestamps
+        )
+        outcome = evaluate_detections(detections, events, stream_duration_s)
+        return CalibrationResult(config=cfg, outcome=outcome)
+
+    # Initial population: spread thresholds + random structure.
+    pop = [
+        PostProcessConfig(
+            threshold=float(rng.uniform(0.2, 0.95)),
+            smoothing_windows=int(rng.integers(1, 8)),
+            suppression_s=float(rng.uniform(0.0, 2.0)),
+            min_consecutive=int(rng.integers(1, 4)),
+        ).clamped()
+        for _ in range(population)
+    ]
+    results = [evaluate(c) for c in pop]
+
+    for _ in range(generations):
+        fronts = _non_dominated_sort(results)
+        # Parent selection: fill from best fronts, break ties by crowding.
+        parents: list[CalibrationResult] = []
+        for front in fronts:
+            if len(parents) + len(front) <= population // 2:
+                parents.extend(results[i] for i in front)
+            else:
+                crowd = _crowding(results, front)
+                ranked = sorted(front, key=lambda i: -crowd[i])
+                parents.extend(
+                    results[i] for i in ranked[: population // 2 - len(parents)]
+                )
+                break
+        children: list[CalibrationResult] = []
+        while len(children) < population - len(parents):
+            a, b = rng.choice(len(parents), size=2, replace=True)
+            child_cfg = _mutate(
+                _crossover(parents[int(a)].config, parents[int(b)].config, rng), rng
+            )
+            children.append(evaluate(child_cfg))
+        results = parents + children
+
+    final_front = _non_dominated_sort(results)[0]
+    # Deduplicate identical objective points for a clean suggestion list.
+    seen: set[tuple[float, float]] = set()
+    pareto: list[CalibrationResult] = []
+    for i in sorted(final_front, key=lambda i: results[i].objectives):
+        key = results[i].objectives
+        if key not in seen:
+            seen.add(key)
+            pareto.append(results[i])
+    return pareto

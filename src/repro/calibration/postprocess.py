@@ -1,0 +1,73 @@
+"""Streaming post-processing: smoothing + threshold + suppression."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PostProcessConfig:
+    """One post-processing configuration (a GA genome).
+
+    - ``threshold``: probability the smoothed target-class score must reach;
+    - ``smoothing_windows``: moving-average length over consecutive
+      classifier outputs;
+    - ``suppression_s``: dead time after a detection fires;
+    - ``min_consecutive``: windows that must agree before firing.
+    """
+
+    threshold: float = 0.8
+    smoothing_windows: int = 3
+    suppression_s: float = 1.0
+    min_consecutive: int = 1
+
+    def clamped(self) -> "PostProcessConfig":
+        return PostProcessConfig(
+            threshold=float(np.clip(self.threshold, 0.05, 0.99)),
+            smoothing_windows=int(np.clip(self.smoothing_windows, 1, 12)),
+            suppression_s=float(np.clip(self.suppression_s, 0.0, 5.0)),
+            min_consecutive=int(np.clip(self.min_consecutive, 1, 6)),
+        )
+
+
+class StreamingPostProcessor:
+    """Applies a :class:`PostProcessConfig` to a probability timeline."""
+
+    def __init__(self, config: PostProcessConfig, target_index: int):
+        self.config = config.clamped()
+        self.target_index = target_index
+
+    def detect(
+        self, probabilities: np.ndarray, timestamps: np.ndarray
+    ) -> list[float]:
+        """Return detection times (seconds) for the target class.
+
+        ``probabilities`` is (windows, classes) classifier output at
+        ``timestamps`` (window end times, seconds).
+        """
+        cfg = self.config
+        target = probabilities[:, self.target_index]
+        if cfg.smoothing_windows > 1:
+            kernel = np.ones(cfg.smoothing_windows) / cfg.smoothing_windows
+            smoothed = np.convolve(target, kernel, mode="same")
+        else:
+            smoothed = target
+
+        detections: list[float] = []
+        consecutive = 0
+        suppressed_until = -np.inf
+        for t, p in zip(timestamps, smoothed):
+            if t < suppressed_until:
+                consecutive = 0
+                continue
+            if p >= cfg.threshold:
+                consecutive += 1
+                if consecutive >= cfg.min_consecutive:
+                    detections.append(float(t))
+                    suppressed_until = t + cfg.suppression_s
+                    consecutive = 0
+            else:
+                consecutive = 0
+        return detections

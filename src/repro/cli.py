@@ -1,0 +1,169 @@
+"""Command-line tooling over directory-persisted projects.
+
+The paper's CLI (``edge-impulse-cli``) drives data ingestion, training and
+deployment against the hosted API; this offline equivalent operates on a
+project directory (see :mod:`repro.core.storage`).
+
+Usage::
+
+    python -m repro.cli create  --dir proj --name kws
+    python -m repro.cli ingest  --dir proj --label yes clip1.wav clip2.wav
+    python -m repro.cli set-impulse --dir proj --spec impulse.json
+    python -m repro.cli train   --dir proj --seed 0
+    python -m repro.cli test    --dir proj --precision int8
+    python -m repro.cli profile --dir proj --device nano33ble
+    python -m repro.cli deploy  --dir proj --target cpp --out build/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.core.impulse import Impulse
+from repro.core.project import Project
+from repro.core.storage import load_project, save_project
+
+
+def _cmd_create(args) -> int:
+    project = Project(name=args.name, owner=args.owner)
+    save_project(project, args.dir)
+    print(f"created project {args.name!r} in {args.dir}")
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    project = load_project(args.dir)
+    count = 0
+    for filename in args.files:
+        payload = pathlib.Path(filename).read_bytes()
+        sample_id = project.ingestion.ingest(
+            payload, label=args.label, fmt=args.format, category=args.category
+        )
+        count += 1
+        print(f"  {filename} -> sample {sample_id}")
+    save_project(project, args.dir)
+    print(f"ingested {count} file(s) as {args.label!r}")
+    return 0
+
+
+def _cmd_set_impulse(args) -> int:
+    project = load_project(args.dir)
+    spec = json.loads(pathlib.Path(args.spec).read_text())
+    project.set_impulse(Impulse.from_dict(spec))
+    save_project(project, args.dir)
+    print(f"impulse set: {project.impulse.render()}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    project = load_project(args.dir)
+    job = project.train(seed=args.seed)
+    save_project(project, args.dir)
+    print(f"job {job.job_id} {job.status}: {job.result}")
+    return 0 if job.status == "finished" else 1
+
+
+def _cmd_test(args) -> int:
+    project = load_project(args.dir)
+    report = project.test(precision=args.precision)
+    print(report.render())
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    project = load_project(args.dir)
+    result = project.profile(args.device, precision=args.precision,
+                             engine=args.engine)
+    for key, value in result.items():
+        print(f"  {key}: {value:.2f}" if isinstance(value, float) else f"  {key}: {value}")
+    return 0
+
+
+def _cmd_deploy(args) -> int:
+    project = load_project(args.dir)
+    artifact = project.deploy(target=args.target, engine=args.engine,
+                              precision=args.precision)
+    out = pathlib.Path(args.out)
+    for name, data in artifact.files.items():
+        target = out / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(data)
+        print(f"  wrote {target} ({len(data)} bytes)")
+    print(f"deployed {artifact.target}: {artifact.total_bytes()} bytes total")
+    return 0
+
+
+def _cmd_summary(args) -> int:
+    project = load_project(args.dir)
+    print(project.dataset.summary())
+    if project.impulse is not None:
+        print(project.impulse.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro-cli",
+                                     description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("create", help="create a project directory")
+    p.add_argument("--dir", required=True)
+    p.add_argument("--name", required=True)
+    p.add_argument("--owner", default="cli")
+    p.set_defaults(fn=_cmd_create)
+
+    p = sub.add_parser("ingest", help="upload data files")
+    p.add_argument("--dir", required=True)
+    p.add_argument("--label", required=True)
+    p.add_argument("--format", default=None)
+    p.add_argument("--category", default=None, choices=(None, "train", "test"))
+    p.add_argument("files", nargs="+")
+    p.set_defaults(fn=_cmd_ingest)
+
+    p = sub.add_parser("set-impulse", help="configure the impulse from JSON")
+    p.add_argument("--dir", required=True)
+    p.add_argument("--spec", required=True)
+    p.set_defaults(fn=_cmd_set_impulse)
+
+    p = sub.add_parser("train", help="run a training job")
+    p.add_argument("--dir", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_train)
+
+    p = sub.add_parser("test", help="evaluate on the holdout split")
+    p.add_argument("--dir", required=True)
+    p.add_argument("--precision", default="float32", choices=("float32", "int8"))
+    p.set_defaults(fn=_cmd_test)
+
+    p = sub.add_parser("profile", help="estimate on-device resources")
+    p.add_argument("--dir", required=True)
+    p.add_argument("--device", default="nano33ble")
+    p.add_argument("--precision", default="int8")
+    p.add_argument("--engine", default="eon", choices=("eon", "tflm"))
+    p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser("deploy", help="export a deployment artifact")
+    p.add_argument("--dir", required=True)
+    p.add_argument("--target", default="cpp",
+                   choices=("cpp", "arduino", "eim", "firmware", "wasm"))
+    p.add_argument("--engine", default="eon", choices=("eon", "tflm"))
+    p.add_argument("--precision", default="int8", choices=("float32", "int8"))
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=_cmd_deploy)
+
+    p = sub.add_parser("summary", help="show dataset + impulse state")
+    p.add_argument("--dir", required=True)
+    p.set_defaults(fn=_cmd_summary)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,195 @@
+"""REST-like API surface (paper Sec. 4.9).
+
+Every platform capability is reachable programmatically; this module maps
+``(method, path)`` routes onto the in-process :class:`Platform`, accepting
+and returning JSON-compatible dicts, so custom MLOps pipelines can automate
+data collection, training and deployment exactly as the hosted REST API
+allows.
+"""
+
+from __future__ import annotations
+
+import base64
+import re
+from typing import Any
+
+from repro.core.impulse import Impulse
+from repro.core.registry import Platform
+
+
+class ApiError(Exception):
+    """Raised for client errors; carries an HTTP-like status code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class RestAPI:
+    """Route table over a :class:`Platform` instance."""
+
+    def __init__(self, platform: Platform):
+        self.platform = platform
+        self._routes = [
+            ("POST", r"^/api/users$", self._create_user),
+            ("POST", r"^/api/projects$", self._create_project),
+            ("GET", r"^/api/projects$", self._list_projects),
+            ("GET", r"^/api/projects/(\d+)$", self._get_project),
+            ("POST", r"^/api/projects/(\d+)/data$", self._upload_data),
+            ("GET", r"^/api/projects/(\d+)/data/summary$", self._data_summary),
+            ("POST", r"^/api/projects/(\d+)/impulse$", self._set_impulse),
+            ("GET", r"^/api/projects/(\d+)/impulse$", self._get_impulse),
+            ("POST", r"^/api/projects/(\d+)/jobs/train$", self._train),
+            ("GET", r"^/api/projects/(\d+)/jobs/(\d+)$", self._job_status),
+            ("POST", r"^/api/projects/(\d+)/test$", self._test),
+            ("POST", r"^/api/projects/(\d+)/profile$", self._profile),
+            ("POST", r"^/api/projects/(\d+)/deploy$", self._deploy),
+            ("POST", r"^/api/projects/(\d+)/versions$", self._commit_version),
+            ("POST", r"^/api/projects/(\d+)/public$", self._make_public),
+        ]
+
+    def handle(
+        self, method: str, path: str, body: dict | None = None, user: str = "api"
+    ) -> dict:
+        """Dispatch one request; returns ``{"status": int, ...payload}``."""
+        body = body or {}
+        for verb, pattern, handler in self._routes:
+            if verb != method:
+                continue
+            match = re.match(pattern, path)
+            if match:
+                try:
+                    payload = handler(body, user, *match.groups())
+                except ApiError as exc:
+                    return {"status": exc.status, "error": str(exc)}
+                except (KeyError, PermissionError) as exc:
+                    status = 403 if isinstance(exc, PermissionError) else 404
+                    return {"status": status, "error": str(exc)}
+                return {"status": 200, **(payload or {})}
+        return {"status": 404, "error": f"no route {method} {path}"}
+
+    # -- handlers --------------------------------------------------------------
+
+    def _create_user(self, body, user) -> dict:
+        username = body.get("username")
+        if not username:
+            raise ApiError(400, "username required")
+        self.platform.register_user(username)
+        return {"username": username}
+
+    def _create_project(self, body, user) -> dict:
+        name = body.get("name")
+        if not name:
+            raise ApiError(400, "project name required")
+        if user not in self.platform.users:
+            self.platform.register_user(user)
+        project = self.platform.create_project(
+            name, owner=user, hmac_key=body.get("hmac_key")
+        )
+        return {"project_id": project.project_id, "name": project.name}
+
+    def _list_projects(self, body, user) -> dict:
+        found = self.platform.public_projects(
+            query=body.get("query", ""), tag=body.get("tag")
+        )
+        return {
+            "projects": [
+                {"project_id": p.project_id, "name": p.name, "samples": len(p.dataset)}
+                for p in found
+            ]
+        }
+
+    def _get_project(self, body, user, pid) -> dict:
+        p = self.platform.get_project(int(pid), username=user)
+        return {
+            "project_id": p.project_id,
+            "name": p.name,
+            "owner": p.owner,
+            "public": p.public,
+            "samples": len(p.dataset),
+            "labels": p.dataset.labels,
+        }
+
+    def _upload_data(self, body, user, pid) -> dict:
+        p = self.platform.get_project(int(pid))
+        p.require_member(user)
+        payload = base64.b64decode(body["payload_b64"])
+        sample_id = p.ingestion.ingest(
+            payload,
+            label=body.get("label", "unlabeled"),
+            fmt=body.get("format"),
+            category=body.get("category"),
+        )
+        return {"sample_id": sample_id}
+
+    def _data_summary(self, body, user, pid) -> dict:
+        p = self.platform.get_project(int(pid), username=user)
+        return {
+            "distribution": p.dataset.class_distribution(),
+            "split_ratio": p.dataset.split_ratio(),
+        }
+
+    def _set_impulse(self, body, user, pid) -> dict:
+        p = self.platform.get_project(int(pid))
+        p.require_member(user)
+        p.set_impulse(Impulse.from_dict(body["impulse"]))
+        return {"feature_shape": list(p.impulse.feature_shape())}
+
+    def _get_impulse(self, body, user, pid) -> dict:
+        p = self.platform.get_project(int(pid), username=user)
+        if p.impulse is None:
+            raise ApiError(404, "no impulse configured")
+        return {"impulse": p.impulse.to_dict(), "dataflow": p.impulse.render()}
+
+    def _train(self, body, user, pid) -> dict:
+        p = self.platform.get_project(int(pid))
+        p.require_member(user)
+        job = p.train(seed=int(body.get("seed", 0)))
+        return {"job_id": job.job_id, "job_status": job.status, "metrics": job.result}
+
+    def _job_status(self, body, user, pid, jid) -> dict:
+        p = self.platform.get_project(int(pid), username=user)
+        job = p.jobs.jobs.get(int(jid))
+        if job is None:
+            raise ApiError(404, f"no job {jid}")
+        return {"job_id": job.job_id, "job_status": job.status, "logs": job.logs}
+
+    def _test(self, body, user, pid) -> dict:
+        p = self.platform.get_project(int(pid), username=user)
+        report = p.test(precision=body.get("precision", "float32"))
+        return {
+            "accuracy": report.accuracy,
+            "f1": report.f1.tolist(),
+            "labels": report.labels,
+            "confusion_matrix": report.matrix.tolist(),
+        }
+
+    def _profile(self, body, user, pid) -> dict:
+        p = self.platform.get_project(int(pid), username=user)
+        return p.profile(
+            device_key=body.get("device", "nano33ble"),
+            precision=body.get("precision", "int8"),
+            engine=body.get("engine", "eon"),
+        )
+
+    def _deploy(self, body, user, pid) -> dict:
+        p = self.platform.get_project(int(pid))
+        p.require_member(user)
+        artifact = p.deploy(
+            target=body.get("target", "cpp"),
+            engine=body.get("engine", "eon"),
+            precision=body.get("precision", "int8"),
+        )
+        return {"artifact": artifact.manifest()}
+
+    def _commit_version(self, body, user, pid) -> dict:
+        p = self.platform.get_project(int(pid))
+        p.require_member(user)
+        version = p.commit_version(message=body.get("message", ""))
+        return {"version_id": version.version_id, "dataset_version": version.dataset_version}
+
+    def _make_public(self, body, user, pid) -> dict:
+        p = self.platform.get_project(int(pid))
+        p.require_member(user)
+        p.make_public(tags=body.get("tags"))
+        return {"public": True}

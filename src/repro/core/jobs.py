@@ -1,0 +1,107 @@
+"""Job queue with an autoscaling worker-pool simulation (paper Sec. 4.10).
+
+The hosted platform runs every training / tuning / export job in a
+container on an autoscaled Kubernetes cluster.  We reproduce the control
+plane: jobs are queued, a simulated worker pool scales between
+``min_workers`` and ``max_workers`` based on queue depth, and each job
+records logs and status transitions.  Execution itself is synchronous (the
+functions run in-process when the queue is drained), keeping everything
+deterministic.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class Job:
+    job_id: int
+    name: str
+    fn: Callable[["Job"], object] = field(repr=False, default=None)
+    status: str = "queued"  # queued | running | finished | failed
+    logs: list[str] = field(default_factory=list)
+    result: object = None
+    error: str | None = None
+
+    def log(self, message: str) -> None:
+        self.logs.append(message)
+
+
+@dataclass
+class ScalingEvent:
+    tick: int
+    queue_depth: int
+    workers: int
+
+
+class JobQueue:
+    """FIFO job queue + autoscaler simulation."""
+
+    def __init__(
+        self,
+        min_workers: int = 1,
+        max_workers: int = 8,
+        jobs_per_worker: int = 2,
+    ):
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.jobs_per_worker = jobs_per_worker
+        self.jobs: dict[int, Job] = {}
+        self._pending: list[int] = []
+        self._next_id = 1
+        self._tick = 0
+        self.workers = min_workers
+        self.scaling_events: list[ScalingEvent] = []
+
+    def submit(self, name: str, fn: Callable[[Job], object]) -> Job:
+        job = Job(job_id=self._next_id, name=name, fn=fn)
+        self._next_id += 1
+        self.jobs[job.job_id] = job
+        self._pending.append(job.job_id)
+        self._autoscale()
+        return job
+
+    def _autoscale(self) -> None:
+        """Scale the (simulated) pool to ceil(depth / jobs_per_worker)."""
+        self._tick += 1
+        depth = len(self._pending)
+        desired = max(
+            self.min_workers,
+            min(self.max_workers, -(-depth // self.jobs_per_worker)),
+        )
+        if desired != self.workers:
+            self.workers = desired
+            self.scaling_events.append(
+                ScalingEvent(tick=self._tick, queue_depth=depth, workers=desired)
+            )
+
+    def run_next(self) -> Job | None:
+        """Execute one queued job to completion."""
+        if not self._pending:
+            return None
+        job = self.jobs[self._pending.pop(0)]
+        job.status = "running"
+        job.log(f"job {job.job_id} ({job.name}) started on worker pool of {self.workers}")
+        try:
+            job.result = job.fn(job)
+            job.status = "finished"
+            job.log("job finished")
+        except Exception as exc:  # noqa: BLE001 - job isolation
+            job.status = "failed"
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.log("job failed:\n" + traceback.format_exc(limit=3))
+        self._autoscale()
+        return job
+
+    def drain(self) -> list[Job]:
+        """Run everything in the queue; returns completed jobs in order."""
+        done = []
+        while self._pending:
+            done.append(self.run_next())
+        return done
+
+    def status(self, job_id: int) -> str:
+        return self.jobs[job_id].status

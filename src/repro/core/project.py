@@ -1,0 +1,283 @@
+"""A Project: dataset + impulse + training artifacts + deployment.
+
+Mirrors the Studio project lifecycle (Fig. 1/2): ingest data, wire an
+impulse, train (as a queued job), evaluate on the holdout split, profile
+against device targets, and export deployment artifacts.  Projects support
+versioning, collaborators and public sharing (Sec. 6.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.impulse import Impulse
+from repro.core.jobs import Job, JobQueue
+from repro.core.learn_blocks import AnomalyBlock, ClassificationBlock
+from repro.data.dataset import Dataset
+from repro.data.ingestion import IngestionService
+from repro.data.versioning import DatasetVersionStore
+from repro.evaluate import ClassificationReport, evaluate_classifier
+from repro.graph import Graph, sequential_to_graph
+from repro.profile import LatencyEstimator, MemoryEstimator, get_device
+from repro.quantize import quantize_graph
+
+_PROJECT_IDS = itertools.count(1)
+
+
+@dataclass
+class ProjectVersion:
+    """A named snapshot: dataset version + impulse config."""
+
+    version_id: int
+    message: str
+    dataset_version: str
+    impulse_spec: dict | None
+    public: bool = False
+
+
+class Project:
+    """One Edge Impulse project."""
+
+    def __init__(self, name: str, owner: str = "owner", hmac_key: str | None = None):
+        self.project_id = next(_PROJECT_IDS)
+        self.name = name
+        self.owner = owner
+        self.collaborators: set[str] = {owner}
+        self.public = False
+        self.tags: list[str] = []
+
+        self.dataset = Dataset(name=f"{name}-data")
+        self.ingestion = IngestionService(self.dataset, hmac_key=hmac_key)
+        self.dataset_versions = DatasetVersionStore()
+        self.project_versions: list[ProjectVersion] = []
+        self.jobs = JobQueue()
+
+        self.impulse: Impulse | None = None
+        self.label_map: dict[str, int] = {}
+        self.float_graph: Graph | None = None
+        self.int8_graph: Graph | None = None
+        self.last_training_metrics: dict = {}
+
+    # -- collaboration ------------------------------------------------------
+
+    def add_collaborator(self, username: str) -> None:
+        self.collaborators.add(username)
+
+    def require_member(self, username: str) -> None:
+        if username not in self.collaborators:
+            raise PermissionError(f"{username} is not a member of project {self.name}")
+
+    def make_public(self, tags: list[str] | None = None) -> None:
+        self.public = True
+        if tags:
+            self.tags = list(tags)
+
+    # -- impulse design -------------------------------------------------------
+
+    def set_impulse(self, impulse: Impulse) -> None:
+        self.impulse = impulse
+        # Changing the impulse invalidates trained artifacts.
+        self.float_graph = None
+        self.int8_graph = None
+
+    # -- training -----------------------------------------------------------------
+
+    def train(self, seed: int = 0, quantize: bool = True) -> Job:
+        """Queue and run a training job; returns the finished Job."""
+        if self.impulse is None:
+            raise RuntimeError("set an impulse before training")
+
+        def _run(job: Job) -> dict:
+            impulse = self.impulse
+            job.log("extracting features")
+            x, y, label_map = impulse.features_for_dataset(self.dataset, category="train")
+            if len(x) == 0:
+                raise RuntimeError("no training data")
+            self.label_map = label_map
+            job.log(f"training on {len(x)} windows, {len(label_map)} classes")
+            metrics = impulse.learn_block.fit(x, y, seed=seed)
+            job.log(f"training metrics: {metrics}")
+
+            if isinstance(impulse.learn_block, ClassificationBlock):
+                model = impulse.learn_block.model
+                self.float_graph = sequential_to_graph(model, name=self.name)
+                if quantize:
+                    calib = x[: min(len(x), 128)]
+                    self.int8_graph = quantize_graph(self.float_graph, calib)
+                    job.log("int8 quantization complete")
+            self.last_training_metrics = metrics
+            return metrics
+
+        job = self.jobs.submit("train", _run)
+        self.jobs.drain()
+        if job.status == "failed":
+            raise RuntimeError(f"training job failed: {job.error}")
+        return job
+
+    # -- evaluation ------------------------------------------------------------------
+
+    def test(self, precision: str = "float32") -> ClassificationReport:
+        """Evaluate on the holdout split ("Model testing" in the Studio)."""
+        if self.impulse is None:
+            raise RuntimeError("no impulse")
+        if not self.label_map:
+            raise RuntimeError("project is not trained; run train() first")
+        x, y, _ = self.impulse.features_for_dataset(
+            self.dataset, category="test", label_map=self.label_map
+        )
+        if len(x) == 0:
+            raise RuntimeError("no test data")
+        labels = [l for l, _ in sorted(self.label_map.items(), key=lambda kv: kv[1])]
+        if precision == "int8":
+            if self.int8_graph is None:
+                raise RuntimeError("no quantized model; train with quantize=True")
+            from repro.runtime import TFLMInterpreter
+
+            preds = TFLMInterpreter(self.int8_graph).classify(x)
+        else:
+            learn = self.impulse.learn_block
+            if getattr(learn, "model", None) is not None:
+                preds = learn.predict(x).argmax(axis=1)
+            elif self.float_graph is not None:
+                # Reloaded projects carry graphs, not live training state.
+                from repro.runtime import run_graph
+
+                preds = run_graph(self.float_graph, x).argmax(axis=1)
+            else:
+                raise RuntimeError("project is not trained")
+        return evaluate_classifier(y, preds, labels)
+
+    def classify_sample(self, data: np.ndarray) -> list[tuple[str, float]]:
+        """Live classification of one raw recording (mean over windows)."""
+        if self.impulse is None:
+            raise RuntimeError("no impulse")
+        from repro.data.dataset import Sample
+
+        feats = self.impulse.features_for_sample(Sample(data=data, label="?"))
+        probs = self.impulse.learn_block.predict(feats).mean(axis=0)
+        labels = [l for l, _ in sorted(self.label_map.items(), key=lambda kv: kv[1])]
+        return sorted(zip(labels, probs.tolist()), key=lambda kv: -kv[1])
+
+    # -- profiling --------------------------------------------------------------------
+
+    def profile(self, device_key: str, precision: str = "int8", engine: str = "eon") -> dict:
+        """Latency + memory estimates for a device target (Sec. 4.4)."""
+        graph = self.int8_graph if precision == "int8" else self.float_graph
+        if graph is None:
+            raise RuntimeError(f"no trained {precision} model")
+        device = get_device(device_key)
+        lat = LatencyEstimator(device)
+        mem = MemoryEstimator(engine=engine)
+        dsp_block = self.impulse.dsp_blocks[0]
+        raw_shape = self.impulse.input_block.raw_shape()
+        breakdown = lat.end_to_end(graph, dsp_block, raw_shape)
+        memory = mem.estimate(graph, dsp_block, raw_shape)
+        return {
+            "device": device.name,
+            "precision": precision,
+            "engine": engine,
+            "dsp_ms": breakdown.dsp_ms,
+            "inference_ms": breakdown.inference_ms,
+            "total_ms": breakdown.total_ms,
+            "ram_kb": memory.ram_kb,
+            "flash_kb": memory.flash_kb,
+            "fits": mem.fits(graph, device, dsp_block, raw_shape),
+        }
+
+    # -- deployment ---------------------------------------------------------------------
+
+    def deploy(self, target: str = "cpp", engine: str = "eon", precision: str = "int8"):
+        """Export a deployment artifact (Sec. 4.6)."""
+        from repro.deploy import build_artifact
+
+        graph = self.int8_graph if precision == "int8" else self.float_graph
+        if graph is None or self.impulse is None:
+            raise RuntimeError("train before deploying")
+        return build_artifact(
+            target=target,
+            graph=graph,
+            impulse=self.impulse,
+            label_map=self.label_map,
+            engine=engine,
+            project_name=self.name,
+        )
+
+    # -- performance calibration ------------------------------------------------------
+
+    def calibrate(
+        self,
+        stream: np.ndarray,
+        events: list[tuple[float, float]],
+        target_label: str,
+        sample_rate: float,
+        window_s: float = 1.0,
+        stride_s: float = 0.25,
+        population: int = 16,
+        generations: int = 6,
+        seed: int = 0,
+    ) -> list:
+        """Performance calibration (Sec. 4.4): run the trained impulse over
+        a stream with known events and return the FAR/FRR Pareto front of
+        post-processing configurations."""
+        if self.impulse is None or not self.label_map:
+            raise RuntimeError("train before calibrating")
+        if target_label not in self.label_map:
+            raise KeyError(f"unknown label {target_label!r}")
+        from repro.calibration import calibrate as ga_calibrate
+        from repro.calibration import continuous_probabilities
+
+        learn = self.impulse.learn_block
+
+        def classify(window: np.ndarray) -> np.ndarray:
+            feats = self.impulse.features_for_window(window)
+            return learn.predict(feats[None, ...])[0]
+
+        probs, times = continuous_probabilities(
+            classify, np.asarray(stream, np.float32), sample_rate,
+            window_s=window_s, stride_s=stride_s,
+        )
+        return ga_calibrate(
+            probs, times, events, self.label_map[target_label],
+            stream_duration_s=len(stream) / sample_rate,
+            population=population, generations=generations, seed=seed,
+        )
+
+    # -- versioning ----------------------------------------------------------------------
+
+    def commit_version(self, message: str = "") -> ProjectVersion:
+        data_version = self.dataset_versions.commit(self.dataset, message=message)
+        version = ProjectVersion(
+            version_id=len(self.project_versions) + 1,
+            message=message,
+            dataset_version=data_version,
+            impulse_spec=self.impulse.to_dict() if self.impulse else None,
+            public=self.public,
+        )
+        self.project_versions.append(version)
+        return version
+
+    def restore_version(self, version_id: int) -> None:
+        version = self.project_versions[version_id - 1]
+        self.dataset = self.dataset_versions.checkout(
+            version.dataset_version, name=f"{self.name}-data"
+        )
+        self.ingestion = IngestionService(self.dataset, hmac_key=self.ingestion.hmac_key)
+        if version.impulse_spec:
+            self.set_impulse(Impulse.from_dict(version.impulse_spec))
+
+    def clone(self, new_owner: str) -> "Project":
+        """Clone a public project (the community workflow of Sec. 6.3)."""
+        if not self.public:
+            raise PermissionError("only public projects can be cloned")
+        twin = Project(name=f"{self.name}-clone", owner=new_owner)
+        for sample in self.dataset:
+            import copy
+
+            dup = copy.deepcopy(sample)
+            twin.dataset.add(dup, category=dup.category)
+        if self.impulse is not None:
+            twin.set_impulse(Impulse.from_dict(self.impulse.to_dict()))
+        return twin

@@ -1,0 +1,111 @@
+"""Users, organizations and the public-project index (paper Sec. 6.3).
+
+Organizations let multiple developers share projects; public projects are
+aggregated into a searchable index with sort/filter — the community
+mechanics the paper credits for knowledge sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.project import Project
+
+
+@dataclass
+class User:
+    username: str
+    organizations: set[str] = field(default_factory=set)
+
+
+@dataclass
+class Organization:
+    name: str
+    members: set[str] = field(default_factory=set)
+    project_ids: list[int] = field(default_factory=list)
+
+
+class Platform:
+    """Top-level registry: the in-process stand-in for the hosted service."""
+
+    def __init__(self):
+        self.users: dict[str, User] = {}
+        self.organizations: dict[str, Organization] = {}
+        self.projects: dict[int, Project] = {}
+
+    # -- identities -------------------------------------------------------
+
+    def register_user(self, username: str) -> User:
+        if username in self.users:
+            raise ValueError(f"user {username!r} already exists")
+        user = User(username=username)
+        self.users[username] = user
+        return user
+
+    def create_organization(self, name: str, owner: str) -> Organization:
+        if owner not in self.users:
+            raise KeyError(f"unknown user {owner!r}")
+        org = Organization(name=name, members={owner})
+        self.organizations[name] = org
+        self.users[owner].organizations.add(name)
+        return org
+
+    def join_organization(self, org_name: str, username: str) -> None:
+        self.organizations[org_name].members.add(username)
+        self.users[username].organizations.add(org_name)
+
+    # -- projects ----------------------------------------------------------
+
+    def create_project(
+        self, name: str, owner: str, organization: str | None = None,
+        hmac_key: str | None = None,
+    ) -> Project:
+        if owner not in self.users:
+            raise KeyError(f"unknown user {owner!r}")
+        project = Project(name=name, owner=owner, hmac_key=hmac_key)
+        self.projects[project.project_id] = project
+        if organization is not None:
+            org = self.organizations[organization]
+            org.project_ids.append(project.project_id)
+            # Every org member becomes a collaborator.
+            for member in org.members:
+                project.add_collaborator(member)
+        return project
+
+    def get_project(self, project_id: int, username: str | None = None) -> Project:
+        project = self.projects[project_id]
+        if username is not None and not project.public:
+            project.require_member(username)
+        return project
+
+    # -- public index -----------------------------------------------------------
+
+    def public_projects(
+        self, query: str = "", tag: str | None = None, sort: str = "name"
+    ) -> list[Project]:
+        """The searchable Projects page (ei2, 2022c)."""
+        found = [p for p in self.projects.values() if p.public]
+        if query:
+            q = query.lower()
+            found = [p for p in found if q in p.name.lower()]
+        if tag is not None:
+            found = [p for p in found if tag in p.tags]
+        if sort == "name":
+            found.sort(key=lambda p: p.name)
+        elif sort == "size":
+            found.sort(key=lambda p: -len(p.dataset))
+        return found
+
+    def clone_project(self, project_id: int, username: str) -> Project:
+        clone = self.projects[project_id].clone(new_owner=username)
+        self.projects[clone.project_id] = clone
+        return clone
+
+    def stats(self) -> dict:
+        """The headline numbers the paper quotes (users, projects, public)."""
+        return {
+            "users": len(self.users),
+            "projects": len(self.projects),
+            "public_projects": sum(1 for p in self.projects.values() if p.public),
+            "organizations": len(self.organizations),
+        }

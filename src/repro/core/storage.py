@@ -1,0 +1,113 @@
+"""Project persistence: save/load a project as a directory tree.
+
+The hosted platform stores projects server-side; the CLI-driven offline
+equivalent is a directory containing the project manifest, the impulse
+spec, the dataset (one ``.npz`` of arrays + a JSON metadata sidecar) and
+the trained graphs — everything needed to resume work or hand a project to
+a collaborator.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.core.impulse import Impulse
+from repro.core.project import Project
+from repro.data.dataset import Sample
+from repro.graph.serialize import graph_from_bytes, graph_to_bytes
+
+
+def save_project(project: Project, path: str | pathlib.Path) -> None:
+    """Write the full project state under ``path``."""
+    root = pathlib.Path(path)
+    (root / "dataset").mkdir(parents=True, exist_ok=True)
+    (root / "models").mkdir(exist_ok=True)
+
+    manifest = {
+        "name": project.name,
+        "owner": project.owner,
+        "collaborators": sorted(project.collaborators),
+        "public": project.public,
+        "tags": project.tags,
+        "label_map": project.label_map,
+        "hmac_key": project.ingestion.hmac_key,
+    }
+    (root / "project.json").write_text(json.dumps(manifest, indent=2))
+
+    if project.impulse is not None:
+        (root / "impulse.json").write_text(
+            json.dumps(project.impulse.to_dict(), indent=2)
+        )
+
+    arrays: dict[str, np.ndarray] = {}
+    metadata = []
+    for i, sample in enumerate(project.dataset):
+        arrays[f"s{i}"] = sample.data
+        metadata.append(
+            {
+                "key": f"s{i}",
+                "sample_id": sample.sample_id,
+                "label": sample.label,
+                "category": sample.category,
+                "sensor": sample.sensor,
+                "interval_ms": sample.interval_ms,
+                "metadata": sample.metadata,
+            }
+        )
+    np.savez_compressed(root / "dataset" / "samples.npz", **arrays)
+    (root / "dataset" / "samples.json").write_text(json.dumps(metadata, indent=2))
+
+    for name, graph in (("float", project.float_graph), ("int8", project.int8_graph)):
+        target = root / "models" / f"{name}.eir"
+        if graph is not None:
+            target.write_bytes(graph_to_bytes(graph))
+        elif target.exists():
+            target.unlink()
+
+
+def load_project(path: str | pathlib.Path) -> Project:
+    """Reconstruct a project saved with :func:`save_project`."""
+    root = pathlib.Path(path)
+    manifest = json.loads((root / "project.json").read_text())
+    project = Project(
+        name=manifest["name"],
+        owner=manifest["owner"],
+        hmac_key=manifest.get("hmac_key"),
+    )
+    for user in manifest.get("collaborators", []):
+        project.add_collaborator(user)
+    project.public = manifest.get("public", False)
+    project.tags = list(manifest.get("tags", []))
+    project.label_map = dict(manifest.get("label_map", {}))
+
+    samples_json = root / "dataset" / "samples.json"
+    if samples_json.exists():
+        metadata = json.loads(samples_json.read_text())
+        arrays = np.load(root / "dataset" / "samples.npz")
+        for entry in metadata:
+            sample = Sample(
+                data=arrays[entry["key"]],
+                label=entry["label"],
+                sample_id=entry["sample_id"],
+                sensor=entry["sensor"],
+                interval_ms=entry["interval_ms"],
+                metadata=entry["metadata"],
+            )
+            project.dataset.add(sample, category=entry["category"])
+
+    impulse_json = root / "impulse.json"
+    if impulse_json.exists():
+        project.set_impulse(Impulse.from_dict(json.loads(impulse_json.read_text())))
+
+    for name in ("float", "int8"):
+        target = root / "models" / f"{name}.eir"
+        if target.exists():
+            graph = graph_from_bytes(target.read_bytes())
+            if name == "float":
+                project.float_graph = graph
+            else:
+                project.int8_graph = graph
+    return project

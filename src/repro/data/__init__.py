@@ -1,0 +1,18 @@
+"""Data collection, management and versioning (paper Sec. 4.1, 2.4).
+
+- :mod:`repro.data.dataset` — samples, labelled datasets, deterministic
+  train/test splits, class-balance reporting.
+- :mod:`repro.data.ingestion` — the multi-format upload path with HMAC
+  verification and content-hash deduplication.
+- :mod:`repro.data.versioning` — dataset version control (commit / checkout
+  / diff), the paper's answer to the ML reproducibility crisis.
+- :mod:`repro.data.synthetic` — offline substitutes for Speech Commands,
+  Visual Wake Words and CIFAR-10, plus accelerometer and streaming-scene
+  generators (see DESIGN.md substitution table).
+"""
+
+from repro.data.dataset import Dataset, Sample
+from repro.data.ingestion import IngestionService
+from repro.data.versioning import DatasetVersionStore
+
+__all__ = ["Sample", "Dataset", "IngestionService", "DatasetVersionStore"]

@@ -1,0 +1,149 @@
+"""Samples and datasets.
+
+A :class:`Dataset` is the project-local data store: labelled sensor windows
+with metadata, split into train/test by a deterministic content hash so the
+split survives re-ingestion and collaboration (paper Sec. 2.4's data
+consistency challenge).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Sample:
+    """One labelled sensor recording."""
+
+    data: np.ndarray
+    label: str
+    sample_id: str = ""
+    category: str = "train"  # train | test
+    sensor: str = "unknown"
+    interval_ms: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.data = np.asarray(self.data, dtype=np.float32)
+        if not self.sample_id:
+            self.sample_id = self.content_hash()[:16]
+
+    def content_hash(self) -> str:
+        h = hashlib.sha256()
+        h.update(self.label.encode("utf-8"))
+        h.update(str(self.data.shape).encode())
+        h.update(np.ascontiguousarray(self.data).tobytes())
+        return h.hexdigest()
+
+    @property
+    def duration_ms(self) -> float:
+        return float(self.data.shape[0] * self.interval_ms)
+
+
+class Dataset:
+    """An ordered, deduplicated collection of samples."""
+
+    def __init__(self, name: str = "dataset"):
+        self.name = name
+        self._samples: dict[str, Sample] = {}
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, sample: Sample, category: str | None = None) -> str:
+        """Add a sample; duplicate content is rejected (returns existing id).
+
+        When ``category`` is None the sample is assigned train/test by
+        content hash at the conventional 80/20 ratio — deterministic across
+        runs and machines.
+        """
+        content = sample.content_hash()
+        for existing in self._samples.values():
+            if existing.content_hash() == content:
+                return existing.sample_id
+        if category is not None:
+            sample.category = category
+        else:
+            sample.category = "test" if int(content[:8], 16) % 5 == 0 else "train"
+        if sample.sample_id in self._samples:
+            sample.sample_id = content[:16]
+        self._samples[sample.sample_id] = sample
+        return sample.sample_id
+
+    def remove(self, sample_id: str) -> None:
+        if sample_id not in self._samples:
+            raise KeyError(f"no sample {sample_id!r}")
+        del self._samples[sample_id]
+
+    def relabel(self, sample_id: str, label: str) -> None:
+        self._samples[sample_id].label = label
+
+    def move_to_category(self, sample_id: str, category: str) -> None:
+        if category not in ("train", "test"):
+            raise ValueError("category must be 'train' or 'test'")
+        self._samples[sample_id].category = category
+
+    # -- access -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self):
+        return iter(self._samples.values())
+
+    def get(self, sample_id: str) -> Sample:
+        return self._samples[sample_id]
+
+    @property
+    def labels(self) -> list[str]:
+        return sorted({s.label for s in self._samples.values()})
+
+    def samples(self, category: str | None = None, label: str | None = None) -> list[Sample]:
+        out = []
+        for s in self._samples.values():
+            if category is not None and s.category != category:
+                continue
+            if label is not None and s.label != label:
+                continue
+            out.append(s)
+        return out
+
+    def arrays(
+        self, category: str | None = None, label_map: dict[str, int] | None = None
+    ) -> tuple[np.ndarray, np.ndarray, dict[str, int]]:
+        """Stack samples into ``(X, y_int, label_map)`` for training."""
+        if label_map is None:
+            label_map = {lbl: i for i, lbl in enumerate(self.labels)}
+        chosen = self.samples(category=category)
+        if not chosen:
+            return np.zeros((0,)), np.zeros((0,), dtype=np.int64), label_map
+        x = np.stack([s.data for s in chosen]).astype(np.float32)
+        y = np.array([label_map[s.label] for s in chosen], dtype=np.int64)
+        return x, y, label_map
+
+    # -- reporting ------------------------------------------------------------
+
+    def class_distribution(self) -> dict[str, dict[str, int]]:
+        """Per-label train/test counts — the GUI's split/balance view."""
+        dist: dict[str, dict[str, int]] = {}
+        for s in self._samples.values():
+            bucket = dist.setdefault(s.label, {"train": 0, "test": 0})
+            bucket[s.category] += 1
+        return dist
+
+    def split_ratio(self) -> float:
+        """Fraction of samples in the training split."""
+        if not self._samples:
+            return 0.0
+        n_train = sum(1 for s in self._samples.values() if s.category == "train")
+        return n_train / len(self._samples)
+
+    def summary(self) -> str:
+        dist = self.class_distribution()
+        lines = [f"dataset {self.name}: {len(self)} samples, {len(dist)} classes"]
+        for label in sorted(dist):
+            d = dist[label]
+            lines.append(f"  {label:<16} train={d['train']:<5} test={d['test']}")
+        return "\n".join(lines)

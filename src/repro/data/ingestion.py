@@ -1,0 +1,130 @@
+"""The ingestion service: multi-format uploads into a Dataset.
+
+Accepts the formats of paper Sec. 4.1 (CSV, CBOR, JSON, WAV, images),
+validates HMAC signatures on acquisition envelopes, and deduplicates by
+content hash — the same guarantees the hosted ingestion API provides to
+CLI/device uploads.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from repro.data.dataset import Dataset, Sample
+from repro.formats.acquisition import decode_acquisition
+from repro.formats.csvio import read_sensor_csv
+from repro.formats.image import read_image
+from repro.formats.wav import read_wav
+
+
+class IngestionService:
+    """Stateful front door for a project's dataset."""
+
+    def __init__(self, dataset: Dataset, hmac_key: str | None = None):
+        self.dataset = dataset
+        self.hmac_key = hmac_key
+        self.rejected: list[str] = []  # audit log of rejected uploads
+
+    # -- format-specific entry points ------------------------------------------
+
+    def ingest_wav(
+        self, payload: bytes, label: str, category: str | None = None
+    ) -> str:
+        samples, info = read_wav(io.BytesIO(payload))
+        sample = Sample(
+            data=samples,
+            label=label,
+            sensor="microphone",
+            interval_ms=1000.0 / info.sample_rate,
+            metadata={"sample_rate": info.sample_rate, "channels": info.channels},
+        )
+        return self.dataset.add(sample, category=category)
+
+    def ingest_csv(
+        self, payload: bytes, label: str, category: str | None = None
+    ) -> str:
+        values, axes, interval_ms = read_sensor_csv(io.StringIO(payload.decode("utf-8")))
+        sample = Sample(
+            data=values,
+            label=label,
+            sensor="+".join(axes) or "csv",
+            interval_ms=interval_ms or 0.0,
+            metadata={"axes": axes},
+        )
+        return self.dataset.add(sample, category=category)
+
+    def ingest_image(
+        self, payload: bytes, label: str, category: str | None = None
+    ) -> str:
+        pixels = read_image(io.BytesIO(payload))
+        sample = Sample(
+            data=pixels.astype(np.float32) / 255.0,
+            label=label,
+            sensor="camera",
+            metadata={"height": pixels.shape[0], "width": pixels.shape[1]},
+        )
+        return self.dataset.add(sample, category=category)
+
+    def ingest_acquisition(
+        self, payload: bytes, label: str, category: str | None = None
+    ) -> str:
+        """JSON/CBOR acquisition envelope (device + CLI upload path).
+
+        Signature verification failures are recorded and re-raised — signed
+        projects must not silently accept tampered data.
+        """
+        try:
+            acq = decode_acquisition(payload, hmac_key=self.hmac_key)
+        except Exception as exc:
+            self.rejected.append(f"{label}: {exc}")
+            raise
+        sample = Sample(
+            data=acq.values,
+            label=label,
+            sensor="+".join(acq.axis_names) or acq.device_type,
+            interval_ms=acq.interval_ms,
+            metadata={"device_name": acq.device_name, "device_type": acq.device_type,
+                      **acq.metadata},
+        )
+        return self.dataset.add(sample, category=category)
+
+    # -- generic entry point -------------------------------------------------------
+
+    def ingest(
+        self,
+        payload: bytes,
+        label: str,
+        fmt: str | None = None,
+        category: str | None = None,
+    ) -> str:
+        """Dispatch on explicit format or sniffed magic bytes."""
+        fmt = fmt or self._sniff(payload)
+        handlers = {
+            "wav": self.ingest_wav,
+            "csv": self.ingest_csv,
+            "image": self.ingest_image,
+            "json": self.ingest_acquisition,
+            "cbor": self.ingest_acquisition,
+        }
+        if fmt not in handlers:
+            raise ValueError(f"unsupported ingestion format {fmt!r}")
+        return handlers[fmt](payload, label, category=category)
+
+    @staticmethod
+    def _sniff(payload: bytes) -> str:
+        if payload[:4] == b"RIFF":
+            return "wav"
+        if payload[:2] in (b"P5", b"P6"):
+            return "image"
+        stripped = payload.lstrip()
+        if stripped[:1] == b"{":
+            return "json"
+        if payload[:1] and payload[0] >> 5 == 5:  # CBOR map major type
+            return "cbor"
+        try:
+            payload[:256].decode("utf-8")
+            return "csv"
+        except UnicodeDecodeError:
+            raise ValueError("cannot determine upload format")

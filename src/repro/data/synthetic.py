@@ -1,0 +1,415 @@
+"""Synthetic sensor-data generators (dataset substitutes; see DESIGN.md).
+
+The paper evaluates on Google Speech Commands (KWS), Visual Wake Words
+(person / no-person) and CIFAR-10 — none downloadable offline.  Each
+generator below produces data with the same tensor shapes, class structure
+and a controllable difficulty knob, so every downstream pipeline (DSP,
+training, quantization, tuner, calibration) exercises the identical code
+path:
+
+- :func:`keyword_dataset` — formant-synthesised spoken keywords + noise and
+  unknown classes (Speech Commands substitute).
+- :func:`person_dataset` — person-like figure vs clutter images (VWW
+  substitute).
+- :func:`texture_dataset` — 10 parametric texture classes (CIFAR-10
+  substitute).
+- :func:`vibration_dataset` — rotating-machine accelerometer data with
+  fault modes (predictive-maintenance / anomaly workloads).
+- :func:`streaming_scene` — a long audio stream with embedded keyword
+  events, for performance calibration (Sec. 4.4).
+- :func:`sleep_dataset` — multi-sensor sleep-stage epochs (the Oura Ring
+  case study of Sec. 8.1).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.data.dataset import Dataset, Sample
+from repro.utils.rng import ensure_rng
+
+KEYWORDS = ["yes", "no", "up", "down", "left", "right", "on", "off", "stop", "go"]
+
+
+def _formant_plan(word: str) -> np.ndarray:
+    """Deterministic per-word formant trajectory: 3 segments x (f1, f2) Hz.
+
+    Derived from a hash of the word so every run (and every machine) agrees
+    on what each keyword "sounds" like.
+    """
+    digest = hashlib.sha256(word.encode()).digest()
+    vals = np.frombuffer(digest[:12], dtype=np.uint8).astype(np.float64)
+    f1 = 220.0 + (vals[:3] / 255.0) * 500.0  # 220-720 Hz
+    f2 = 900.0 + (vals[3:6] / 255.0) * 1600.0  # 900-2500 Hz
+    return np.stack([f1, f2], axis=1)  # (3 segments, 2 formants)
+
+
+def synthesize_keyword(
+    word: str,
+    rng: np.random.Generator,
+    sample_rate: int = 16000,
+    duration: float = 1.0,
+    snr_db: float = 12.0,
+) -> np.ndarray:
+    """Render one utterance: formant tones with vibrato, an amplitude
+    envelope, speaker variation and additive noise."""
+    n = int(sample_rate * duration)
+    t = np.arange(n) / sample_rate
+    plan = _formant_plan(word)
+    # Speaker variation: +-6% pitch, +-10% timing.
+    pitch_jitter = 1.0 + rng.normal(0, 0.02, size=plan.shape)
+    word_start = rng.uniform(0.05, 0.25) * duration
+    word_len = rng.uniform(0.45, 0.65) * duration
+    seg_len = word_len / len(plan)
+
+    signal = np.zeros(n)
+    for i, (f1, f2) in enumerate(plan * pitch_jitter):
+        s0 = word_start + i * seg_len
+        seg = (t >= s0) & (t < s0 + seg_len)
+        vib = 1.0 + 0.01 * np.sin(2 * np.pi * 6.0 * t[seg])
+        local = np.sin(2 * np.pi * f1 * vib * t[seg]) + 0.6 * np.sin(
+            2 * np.pi * f2 * vib * t[seg]
+        )
+        # Per-segment attack/decay envelope.
+        m = seg.sum()
+        if m:
+            env = np.hanning(max(m, 3))[:m]
+            signal[seg] += local * env
+
+    noise = rng.standard_normal(n)
+    sig_power = np.mean(signal**2) + 1e-12
+    noise_power = sig_power / (10.0 ** (snr_db / 10.0))
+    out = signal + noise * np.sqrt(noise_power)
+    peak = np.abs(out).max() or 1.0
+    return (out / peak * 0.9).astype(np.float32)
+
+
+def keyword_dataset(
+    keywords: list[str] | None = None,
+    samples_per_class: int = 40,
+    sample_rate: int = 16000,
+    duration: float = 1.0,
+    snr_db: float = 12.0,
+    include_noise: bool = True,
+    include_unknown: bool = True,
+    seed: int = 0,
+) -> Dataset:
+    """Speech-Commands-style keyword dataset."""
+    rng = ensure_rng(seed)
+    keywords = keywords if keywords is not None else KEYWORDS
+    ds = Dataset(name="keywords")
+    classes = list(keywords)
+    if include_noise:
+        classes.append("_noise")
+    if include_unknown:
+        classes.append("_unknown")
+    distractors = ["maybe", "hello", "seven", "later", "table"]
+    for label in classes:
+        for _ in range(samples_per_class):
+            if label == "_noise":
+                audio = (rng.standard_normal(int(sample_rate * duration)) * 0.3).astype(
+                    np.float32
+                )
+            elif label == "_unknown":
+                word = distractors[int(rng.integers(len(distractors)))]
+                audio = synthesize_keyword(word, rng, sample_rate, duration, snr_db)
+            else:
+                audio = synthesize_keyword(label, rng, sample_rate, duration, snr_db)
+            ds.add(
+                Sample(
+                    data=audio,
+                    label=label,
+                    sensor="microphone",
+                    interval_ms=1000.0 / sample_rate,
+                    metadata={"sample_rate": sample_rate},
+                )
+            )
+    return ds
+
+
+# --------------------------------------------------------------------------
+# images
+# --------------------------------------------------------------------------
+
+
+def _draw_ellipse(img, cy, cx, ry, rx, value):
+    h, w = img.shape
+    yy, xx = np.mgrid[0:h, 0:w]
+    mask = ((yy - cy) / max(ry, 1)) ** 2 + ((xx - cx) / max(rx, 1)) ** 2 <= 1.0
+    img[mask] = value
+
+
+def _draw_rect(img, y0, x0, hh, ww, value):
+    h, w = img.shape
+    img[max(y0, 0) : min(y0 + hh, h), max(x0, 0) : min(x0 + ww, w)] = value
+
+
+def render_person_image(
+    rng: np.random.Generator, size: int = 96, person: bool = True
+) -> np.ndarray:
+    """One grayscale VWW-substitute image in [0, 1]."""
+    img = rng.uniform(0.1, 0.4) + 0.05 * rng.standard_normal((size, size))
+    # Background clutter in both classes.
+    for _ in range(int(rng.integers(2, 6))):
+        val = rng.uniform(0.2, 0.8)
+        if rng.random() < 0.5:
+            _draw_rect(
+                img,
+                int(rng.integers(0, size)),
+                int(rng.integers(0, size)),
+                int(rng.integers(size // 10, size // 3)),
+                int(rng.integers(size // 10, size // 3)),
+                val,
+            )
+        else:
+            _draw_ellipse(
+                img,
+                int(rng.integers(0, size)),
+                int(rng.integers(0, size)),
+                int(rng.integers(size // 12, size // 5)),
+                int(rng.integers(size // 12, size // 5)),
+                val,
+            )
+    if person:
+        # Head-above-torso structure is the discriminative cue.
+        scale = rng.uniform(0.5, 1.0)
+        cx = int(rng.integers(size // 4, 3 * size // 4))
+        torso_cy = int(rng.integers(size // 2, 3 * size // 4))
+        torso_ry = int(size * 0.22 * scale)
+        torso_rx = int(size * 0.12 * scale)
+        head_r = int(size * 0.09 * scale)
+        tone = rng.uniform(0.7, 0.95)
+        _draw_ellipse(img, torso_cy, cx, torso_ry, torso_rx, tone)
+        _draw_ellipse(img, torso_cy - torso_ry - head_r, cx, head_r, head_r, tone)
+        # Arms.
+        arm_w = max(int(size * 0.04 * scale), 2)
+        _draw_rect(img, torso_cy - torso_ry // 2, cx - torso_rx - arm_w * 3,
+                   arm_w, arm_w * 3, tone)
+        _draw_rect(img, torso_cy - torso_ry // 2, cx + torso_rx, arm_w, arm_w * 3, tone)
+    return np.clip(img, 0.0, 1.0).astype(np.float32)[..., None]
+
+
+def person_dataset(
+    n_per_class: int = 150, size: int = 96, seed: int = 0
+) -> Dataset:
+    """Visual-wake-words-substitute dataset ('person' / 'no_person')."""
+    rng = ensure_rng(seed)
+    ds = Dataset(name="person")
+    for label, is_person in (("person", True), ("no_person", False)):
+        for _ in range(n_per_class):
+            img = render_person_image(rng, size=size, person=is_person)
+            ds.add(Sample(data=img, label=label, sensor="camera"))
+    return ds
+
+
+_TEXTURES = [
+    "stripes_h", "stripes_v", "stripes_diag", "checker", "dots",
+    "rings", "gradient", "blobs", "crosshatch", "waves",
+]
+
+
+def render_texture(rng: np.random.Generator, class_idx: int, size: int = 32) -> np.ndarray:
+    """One RGB texture image in [0, 1] for class ``class_idx`` (0-9)."""
+    yy, xx = np.mgrid[0:size, 0:size] / size
+    freq = rng.uniform(3.0, 7.0)
+    phase = rng.uniform(0, 2 * np.pi)
+    name = _TEXTURES[class_idx]
+    if name == "stripes_h":
+        base = np.sin(2 * np.pi * freq * yy + phase)
+    elif name == "stripes_v":
+        base = np.sin(2 * np.pi * freq * xx + phase)
+    elif name == "stripes_diag":
+        base = np.sin(2 * np.pi * freq * (xx + yy) + phase)
+    elif name == "checker":
+        base = np.sign(np.sin(2 * np.pi * freq * xx + phase)) * np.sign(
+            np.sin(2 * np.pi * freq * yy + phase)
+        )
+    elif name == "dots":
+        base = np.cos(2 * np.pi * freq * xx + phase) * np.cos(2 * np.pi * freq * yy)
+        base = (base > 0.5).astype(float) * 2 - 1
+    elif name == "rings":
+        cy, cx = rng.uniform(0.3, 0.7, size=2)
+        r = np.sqrt((yy - cy) ** 2 + (xx - cx) ** 2)
+        base = np.sin(2 * np.pi * freq * 2 * r + phase)
+    elif name == "gradient":
+        angle = rng.uniform(0, 2 * np.pi)
+        base = 2 * (np.cos(angle) * xx + np.sin(angle) * yy) - 1
+    elif name == "blobs":
+        base = np.zeros((size, size))
+        for _ in range(6):
+            cy, cx = rng.uniform(0, 1, size=2)
+            s = rng.uniform(0.05, 0.15)
+            base += np.exp(-((yy - cy) ** 2 + (xx - cx) ** 2) / (2 * s**2))
+        base = base / (base.max() or 1.0) * 2 - 1
+    elif name == "crosshatch":
+        base = 0.5 * np.sin(2 * np.pi * freq * xx + phase) + 0.5 * np.sin(
+            2 * np.pi * freq * yy + phase
+        )
+    else:  # waves
+        base = np.sin(2 * np.pi * freq * xx + 3 * np.sin(2 * np.pi * yy) + phase)
+
+    color = rng.uniform(0.3, 1.0, size=3)
+    img = (base[..., None] * 0.5 + 0.5) * color
+    img += 0.05 * rng.standard_normal((size, size, 3))
+    return np.clip(img, 0.0, 1.0).astype(np.float32)
+
+
+def texture_dataset(n_per_class: int = 60, size: int = 32, seed: int = 0) -> Dataset:
+    """CIFAR-10-substitute: 10 parametric texture classes."""
+    rng = ensure_rng(seed)
+    ds = Dataset(name="textures")
+    for idx, label in enumerate(_TEXTURES):
+        for _ in range(n_per_class):
+            ds.add(Sample(data=render_texture(rng, idx, size), label=label, sensor="camera"))
+    return ds
+
+
+# --------------------------------------------------------------------------
+# inertial / vibration
+# --------------------------------------------------------------------------
+
+FAULT_MODES = ["normal", "imbalance", "bearing"]
+
+
+def synthesize_vibration(
+    mode: str,
+    rng: np.random.Generator,
+    sample_rate: int = 100,
+    duration: float = 2.0,
+    rotation_hz: float = 13.0,
+) -> np.ndarray:
+    """3-axis accelerometer trace of a rotating machine.
+
+    ``normal``: 1x rotation tone + weak harmonics; ``imbalance``: strong 1x
+    with axis asymmetry; ``bearing``: high-frequency resonance bursts.
+    """
+    n = int(sample_rate * duration)
+    t = np.arange(n) / sample_rate
+    f0 = rotation_hz * rng.uniform(0.95, 1.05)
+    base = np.sin(2 * np.pi * f0 * t) + 0.25 * np.sin(2 * np.pi * 2 * f0 * t)
+    axes = []
+    for axis in range(3):
+        phase = rng.uniform(0, 2 * np.pi)
+        sig = np.sin(2 * np.pi * f0 * t + phase) + 0.2 * np.sin(
+            2 * np.pi * 2 * f0 * t + phase
+        )
+        if mode == "imbalance":
+            gain = 3.0 if axis < 2 else 1.2
+            sig = gain * np.sin(2 * np.pi * f0 * t + phase) + 0.3 * base
+        elif mode == "bearing":
+            burst_rate = 4.7 * f0  # characteristic defect frequency
+            envelope = (np.sin(2 * np.pi * burst_rate * t) > 0.95).astype(float)
+            resonance = np.sin(2 * np.pi * 0.4 * sample_rate * t)
+            sig = sig + 2.5 * envelope * resonance
+        sig += 0.15 * rng.standard_normal(n)
+        axes.append(sig)
+    return np.stack(axes, axis=1).astype(np.float32)
+
+
+def vibration_dataset(
+    modes: list[str] | None = None,
+    samples_per_class: int = 40,
+    sample_rate: int = 100,
+    duration: float = 2.0,
+    seed: int = 0,
+) -> Dataset:
+    rng = ensure_rng(seed)
+    ds = Dataset(name="vibration")
+    for mode in modes or FAULT_MODES:
+        for _ in range(samples_per_class):
+            ds.add(
+                Sample(
+                    data=synthesize_vibration(mode, rng, sample_rate, duration),
+                    label=mode,
+                    sensor="accX+accY+accZ",
+                    interval_ms=1000.0 / sample_rate,
+                )
+            )
+    return ds
+
+
+# --------------------------------------------------------------------------
+# streaming scenes (performance calibration)
+# --------------------------------------------------------------------------
+
+
+def streaming_scene(
+    keyword: str,
+    n_events: int = 8,
+    duration: float = 30.0,
+    sample_rate: int = 16000,
+    snr_db: float = 12.0,
+    distractor_rate: float = 0.15,
+    seed: int = 0,
+) -> tuple[np.ndarray, list[tuple[float, float]]]:
+    """A long audio stream with ``n_events`` keyword occurrences.
+
+    Returns ``(audio, events)`` where each event is ``(start_s, end_s)``.
+    Distractor words are mixed in so false accepts are possible.
+    """
+    rng = ensure_rng(seed)
+    n = int(duration * sample_rate)
+    audio = (rng.standard_normal(n) * 0.12).astype(np.float32)
+    events: list[tuple[float, float]] = []
+    slot = duration / n_events
+    for i in range(n_events):
+        start_s = i * slot + rng.uniform(0.1, max(slot - 1.2, 0.2))
+        clip = synthesize_keyword(keyword, rng, sample_rate, 1.0, snr_db)
+        s0 = int(start_s * sample_rate)
+        s1 = min(s0 + len(clip), n)
+        audio[s0:s1] += clip[: s1 - s0]
+        events.append((start_s, start_s + 1.0))
+    n_distractors = int(duration * distractor_rate)
+    for _ in range(n_distractors):
+        word = ["maybe", "hello", "table"][int(rng.integers(3))]
+        clip = synthesize_keyword(word, rng, sample_rate, 1.0, snr_db)
+        s0 = int(rng.uniform(0, duration - 1.0) * sample_rate)
+        audio[s0 : s0 + len(clip)] += clip[: n - s0]
+    peak = np.abs(audio).max() or 1.0
+    return (audio / peak * 0.9).astype(np.float32), events
+
+
+# --------------------------------------------------------------------------
+# sleep study (Oura case study, Sec. 8.1)
+# --------------------------------------------------------------------------
+
+SLEEP_STAGES = ["wake", "light", "deep", "rem"]
+
+_STAGE_PARAMS = {
+    # (heart-rate mean bpm, hr variability, motion level, temp offset degC)
+    "wake": (72.0, 6.0, 0.8, 0.0),
+    "light": (60.0, 4.0, 0.2, -0.2),
+    "deep": (52.0, 1.5, 0.05, -0.4),
+    "rem": (64.0, 8.0, 0.1, -0.1),
+}
+
+
+def sleep_dataset(
+    epochs_per_stage: int = 60,
+    epoch_seconds: int = 30,
+    hz: float = 1.0,
+    seed: int = 0,
+) -> Dataset:
+    """30-second sleep epochs of (heart rate, motion, skin temperature)."""
+    rng = ensure_rng(seed)
+    ds = Dataset(name="sleep")
+    n = int(epoch_seconds * hz)
+    t = np.arange(n) / hz
+    for stage in SLEEP_STAGES:
+        hr_mu, hr_var, motion, temp_off = _STAGE_PARAMS[stage]
+        for _ in range(epochs_per_stage):
+            hr = hr_mu + hr_var * np.sin(2 * np.pi * t / rng.uniform(20, 60)) \
+                 + rng.normal(0, hr_var * 0.3, n)
+            mot = np.abs(rng.normal(0, motion, n)) * (rng.random(n) < 0.3)
+            temp = 36.5 + temp_off + 0.05 * rng.standard_normal(n)
+            ds.add(
+                Sample(
+                    data=np.stack([hr, mot, temp], axis=1).astype(np.float32),
+                    label=stage,
+                    sensor="hr+motion+temp",
+                    interval_ms=1000.0 / hz,
+                )
+            )
+    return ds

@@ -1,0 +1,81 @@
+"""Dataset version control.
+
+The paper (Sec. 2.4) argues that resolving the ML reproducibility crisis
+requires versioning data alongside preprocessing and models.  This store
+provides content-addressed commits over a Dataset: a commit id is the hash
+of the sorted sample-content hashes, so identical data always hashes to the
+same version regardless of ingestion order.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.data.dataset import Dataset, Sample
+
+
+@dataclass
+class DatasetCommit:
+    version: str
+    message: str
+    parent: str | None
+    sample_ids: list[str]
+    snapshot: dict[str, Sample] = field(repr=False, default_factory=dict)
+
+
+class DatasetVersionStore:
+    """Commit / checkout / diff / log over a project dataset."""
+
+    def __init__(self):
+        self._commits: dict[str, DatasetCommit] = {}
+        self._order: list[str] = []
+
+    @property
+    def head(self) -> str | None:
+        return self._order[-1] if self._order else None
+
+    @staticmethod
+    def _version_of(dataset: Dataset) -> str:
+        h = hashlib.sha256()
+        for chash in sorted(s.content_hash() for s in dataset):
+            h.update(chash.encode())
+        return h.hexdigest()[:16]
+
+    def commit(self, dataset: Dataset, message: str = "") -> str:
+        """Snapshot the dataset; committing identical content is a no-op
+        that returns the existing version id."""
+        version = self._version_of(dataset)
+        if version in self._commits:
+            return version
+        snapshot = {s.sample_id: copy.deepcopy(s) for s in dataset}
+        self._commits[version] = DatasetCommit(
+            version=version,
+            message=message,
+            parent=self.head,
+            sample_ids=sorted(snapshot),
+            snapshot=snapshot,
+        )
+        self._order.append(version)
+        return version
+
+    def checkout(self, version: str, name: str | None = None) -> Dataset:
+        """Materialise a past version as a new Dataset."""
+        if version not in self._commits:
+            raise KeyError(f"unknown dataset version {version!r}")
+        commit = self._commits[version]
+        restored = Dataset(name=name or f"dataset@{version}")
+        for sample in commit.snapshot.values():
+            clone = copy.deepcopy(sample)
+            restored.add(clone, category=clone.category)
+        return restored
+
+    def diff(self, old: str, new: str) -> dict[str, list[str]]:
+        """Sample ids added / removed between two versions."""
+        a = set(self._commits[old].sample_ids)
+        b = set(self._commits[new].sample_ids)
+        return {"added": sorted(b - a), "removed": sorted(a - b)}
+
+    def log(self) -> list[tuple[str, str]]:
+        return [(v, self._commits[v].message) for v in self._order]

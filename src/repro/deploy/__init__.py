@@ -1,0 +1,26 @@
+"""Deployment artifact generation (paper Sec. 4.6).
+
+Targets: standalone C++ library, Arduino library, EIM process-runner bundle
+for Linux, and firmware images for the virtual device fleet.  Every target
+packages the DSP configuration and the (optionally EON-compiled) model.
+"""
+
+from repro.deploy.artifact import Artifact, build_artifact
+from repro.deploy.cpp import build_cpp_library
+from repro.deploy.arduino import build_arduino_library
+from repro.deploy.eim import EIMBundle, EIMRunner, build_eim
+from repro.deploy.firmware import FirmwareImage, build_firmware
+from repro.deploy.wasm import build_wasm
+
+__all__ = [
+    "Artifact",
+    "build_artifact",
+    "build_cpp_library",
+    "build_arduino_library",
+    "EIMBundle",
+    "EIMRunner",
+    "build_eim",
+    "FirmwareImage",
+    "build_firmware",
+    "build_wasm",
+]

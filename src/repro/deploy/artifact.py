@@ -1,0 +1,61 @@
+"""Common artifact container + dispatch over deployment targets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.graph import Graph
+
+
+@dataclass
+class Artifact:
+    """A deployment export: named files plus metadata."""
+
+    target: str
+    project_name: str
+    files: dict[str, bytes] = field(default_factory=dict)
+    metadata: dict = field(default_factory=dict)
+
+    def total_bytes(self) -> int:
+        return sum(len(v) for v in self.files.values())
+
+    def manifest(self) -> dict:
+        return {
+            "target": self.target,
+            "project": self.project_name,
+            "files": {name: len(data) for name, data in sorted(self.files.items())},
+            **self.metadata,
+        }
+
+
+def build_artifact(
+    target: str,
+    graph: Graph,
+    impulse,
+    label_map: dict[str, int],
+    engine: str = "eon",
+    project_name: str = "project",
+) -> Artifact:
+    """Build the requested deployment target."""
+    from repro.deploy.arduino import build_arduino_library
+    from repro.deploy.cpp import build_cpp_library
+    from repro.deploy.eim import build_eim
+    from repro.deploy.firmware import build_firmware
+    from repro.deploy.wasm import build_wasm
+
+    builders = {
+        "cpp": build_cpp_library,
+        "arduino": build_arduino_library,
+        "eim": build_eim,
+        "firmware": build_firmware,
+        "wasm": build_wasm,
+    }
+    if target not in builders:
+        raise ValueError(f"unknown deployment target {target!r}; options: {sorted(builders)}")
+    return builders[target](
+        graph=graph,
+        impulse=impulse,
+        label_map=label_map,
+        engine=engine,
+        project_name=project_name,
+    )

@@ -1,0 +1,22 @@
+"""Virtual device fleet (paper Sec. 4.6, 8.2).
+
+Simulates the embedded side of the platform: firmware speaking the AT
+command set over a serial port, sensor simulators, the CLI daemon that
+bridges devices to the ingestion API, and an OTA fleet manager (the
+SlateSafety deployment story).
+"""
+
+from repro.device.serial import VirtualSerialPort
+from repro.device.sensors import MicrophoneSimulator, AccelerometerSimulator
+from repro.device.firmware import VirtualDevice
+from repro.device.daemon import DeviceDaemon
+from repro.device.fleet import DeviceFleet
+
+__all__ = [
+    "VirtualSerialPort",
+    "MicrophoneSimulator",
+    "AccelerometerSimulator",
+    "VirtualDevice",
+    "DeviceDaemon",
+    "DeviceFleet",
+]

@@ -1,0 +1,55 @@
+"""The CLI daemon: bridges a serial-attached device to the ingestion API.
+
+``edge-impulse-daemon`` connects dev boards to a project so samples flow
+straight from firmware into the dataset (Sec. 4.1).  This virtual daemon
+drives the device's sampling API and uploads signed acquisition envelopes
+through the project's ingestion service.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.project import Project
+from repro.device.firmware import VirtualDevice
+from repro.formats.acquisition import AcquisitionPayload, encode_acquisition
+
+
+class DeviceDaemon:
+    """One daemon session: a device paired to a project."""
+
+    def __init__(self, device: VirtualDevice, project: Project, hmac_key: str | None = None):
+        self.device = device
+        self.project = project
+        self.hmac_key = hmac_key if hmac_key is not None else project.ingestion.hmac_key
+
+    def sample_and_upload(
+        self,
+        sensor: str,
+        length_ms: float,
+        label: str,
+        category: str | None = None,
+    ) -> str:
+        """Acquire from the device, wrap in a signed envelope, ingest."""
+        data = self.device.acquire(sensor, length_ms)
+        sim = self.device.sensors[sensor]
+        payload = AcquisitionPayload(
+            device_name=self.device.device_id,
+            device_type=self.device.profile.key,
+            interval_ms=1000.0 / sim.sample_rate,
+            sensors=[{"name": a, "units": "unit"} for a in sim.axes],
+            values=np.asarray(data),
+        )
+        blob = encode_acquisition(payload, hmac_key=self.hmac_key, fmt="json")
+        return self.project.ingestion.ingest(blob, label=label, fmt="json",
+                                             category=category)
+
+    def collect_dataset(
+        self, sensor: str, length_ms: float, labels: dict[str, int]
+    ) -> list[str]:
+        """Collect ``labels[label]`` samples per label in one session."""
+        ids = []
+        for label, count in labels.items():
+            for _ in range(count):
+                ids.append(self.sample_and_upload(sensor, length_ms, label))
+        return ids

@@ -1,0 +1,113 @@
+"""Fleet management + over-the-air updates (the SlateSafety story, Sec. 8.2).
+
+The paper's case study hinges on pushing a new model to microcontrollers
+already in the field.  The fleet manager does staged OTA rollouts with
+checksum verification and automatic rollback on failed verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.deploy.firmware import FirmwareImage
+from repro.device.firmware import VirtualDevice
+
+
+@dataclass
+class RolloutReport:
+    """Outcome of one OTA rollout."""
+
+    image_version: str
+    updated: list[str] = field(default_factory=list)
+    failed: list[str] = field(default_factory=list)
+    rolled_back: list[str] = field(default_factory=list)
+
+
+class DeviceFleet:
+    """Registry of field devices with OTA orchestration."""
+
+    def __init__(self):
+        self.devices: dict[str, VirtualDevice] = {}
+        self._previous: dict[str, FirmwareImage | None] = {}
+
+    def register(self, device: VirtualDevice) -> None:
+        if device.device_id in self.devices:
+            raise ValueError(f"device {device.device_id!r} already registered")
+        self.devices[device.device_id] = device
+
+    def versions(self) -> dict[str, str]:
+        return {
+            did: (d.firmware.version if d.firmware else "unflashed")
+            for did, d in self.devices.items()
+        }
+
+    def _try_flash(self, device: VirtualDevice, image: FirmwareImage,
+                   corrupt: bool = False) -> bool:
+        """Flash with verification; returns success."""
+        expected = image.checksum()
+        blob = image.graph_blob if not corrupt else image.graph_blob[:-8]
+        candidate = FirmwareImage(
+            project_name=image.project_name,
+            version=image.version,
+            impulse_spec=image.impulse_spec,
+            labels=image.labels,
+            graph_blob=blob,
+            engine=image.engine,
+        )
+        if candidate.checksum() != expected:
+            return False
+        try:
+            device.flash(candidate)
+        except Exception:
+            return False
+        return True
+
+    def ota_update(
+        self,
+        image: FirmwareImage,
+        device_ids: list[str] | None = None,
+        canary_fraction: float = 0.25,
+        inject_failures: set[str] | None = None,
+    ) -> RolloutReport:
+        """Staged rollout: canary cohort first; aborts the fleet-wide stage
+        if any canary fails, rolling canaries back.
+
+        ``inject_failures`` marks device ids whose transfer corrupts —
+        the failure-injection hook used by tests.
+        """
+        targets = device_ids if device_ids is not None else sorted(self.devices)
+        inject_failures = inject_failures or set()
+        report = RolloutReport(image_version=image.version)
+
+        n_canary = max(1, int(len(targets) * canary_fraction)) if targets else 0
+        canary, rest = targets[:n_canary], targets[n_canary:]
+
+        def _attempt(did: str) -> bool:
+            device = self.devices[did]
+            self._previous[did] = device.firmware
+            ok = self._try_flash(device, image, corrupt=did in inject_failures)
+            if ok:
+                report.updated.append(did)
+            else:
+                report.failed.append(did)
+                # Roll back to the previous image if there was one.
+                previous = self._previous.get(did)
+                if previous is not None:
+                    device.flash(previous)
+                report.rolled_back.append(did)
+            return ok
+
+        canary_ok = all([_attempt(did) for did in canary]) if canary else True
+        if not canary_ok:
+            # Abort: roll back successful canaries too.
+            for did in list(report.updated):
+                previous = self._previous.get(did)
+                if previous is not None:
+                    self.devices[did].flash(previous)
+                report.updated.remove(did)
+                report.rolled_back.append(did)
+            return report
+
+        for did in rest:
+            _attempt(did)
+        return report

@@ -1,0 +1,60 @@
+"""Sensor simulators backing virtual devices."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+class MicrophoneSimulator:
+    """Plays a queue of audio clips; falls back to noise when empty."""
+
+    def __init__(self, sample_rate: int = 16000, seed: int = 0):
+        self.sample_rate = sample_rate
+        self.rng = ensure_rng(seed)
+        self._queue: list[np.ndarray] = []
+
+    @property
+    def name(self) -> str:
+        return "microphone"
+
+    @property
+    def axes(self) -> list[str]:
+        return ["audio"]
+
+    def queue_clip(self, audio: np.ndarray) -> None:
+        self._queue.append(np.asarray(audio, dtype=np.float32))
+
+    def sample(self, n: int) -> np.ndarray:
+        if self._queue:
+            clip = self._queue.pop(0)
+            if len(clip) >= n:
+                return clip[:n][:, None]
+            pad = np.zeros(n - len(clip), dtype=np.float32)
+            return np.concatenate([clip, pad])[:, None]
+        return (self.rng.standard_normal(n) * 0.05).astype(np.float32)[:, None]
+
+
+class AccelerometerSimulator:
+    """Generates vibration traces in a configurable machine state."""
+
+    def __init__(self, sample_rate: int = 100, mode: str = "normal", seed: int = 0):
+        self.sample_rate = sample_rate
+        self.mode = mode
+        self.rng = ensure_rng(seed)
+
+    @property
+    def name(self) -> str:
+        return "accelerometer"
+
+    @property
+    def axes(self) -> list[str]:
+        return ["accX", "accY", "accZ"]
+
+    def sample(self, n: int) -> np.ndarray:
+        from repro.data.synthetic import synthesize_vibration
+
+        duration = n / self.sample_rate
+        data = synthesize_vibration(self.mode, self.rng, self.sample_rate, duration)
+        return data[:n]

@@ -1,0 +1,34 @@
+"""In-memory duplex serial link between host and virtual device."""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class VirtualSerialPort:
+    """Two FIFO queues of lines; host and device each get an endpoint."""
+
+    def __init__(self):
+        self._to_device: deque[str] = deque()
+        self._to_host: deque[str] = deque()
+
+    # host side -----------------------------------------------------------
+
+    def host_write(self, line: str) -> None:
+        self._to_device.append(line.rstrip("\r\n"))
+
+    def host_read(self) -> str | None:
+        return self._to_host.popleft() if self._to_host else None
+
+    def host_read_all(self) -> list[str]:
+        out = list(self._to_host)
+        self._to_host.clear()
+        return out
+
+    # device side ------------------------------------------------------------
+
+    def device_write(self, line: str) -> None:
+        self._to_host.append(line)
+
+    def device_read(self) -> str | None:
+        return self._to_device.popleft() if self._to_device else None

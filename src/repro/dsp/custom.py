@@ -1,0 +1,82 @@
+"""Custom processing blocks (paper Sec. 4.9 extensibility).
+
+On the hosted platform, users package custom DSP as Docker containers that
+expose a transform endpoint.  Offline, the equivalent is a named transform
+function registered in a process-wide registry: impulses referencing a
+custom block serialize only the *name*, and deserialization resolves it
+from the registry — the same late-binding contract a container gives you.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.dsp.base import DSPBlock, OpCounts, register_dsp_block
+
+#: name -> transform(window, **params) -> features
+_TRANSFORMS: dict[str, Callable] = {}
+
+
+def register_custom_transform(name: str, fn: Callable) -> None:
+    """Register a user transform under ``name`` (overwrites silently, like
+    pushing a new container tag)."""
+    _TRANSFORMS[name] = fn
+
+
+def registered_transforms() -> list[str]:
+    return sorted(_TRANSFORMS)
+
+
+@register_dsp_block
+class CustomBlock(DSPBlock):
+    """A DSP block backed by a registered user transform.
+
+    Resource estimates can't be derived from arbitrary user code, so the
+    block takes declared costs (``flops_per_element``, ``buffer_bytes``) —
+    mirroring how custom blocks on the platform self-report requirements.
+    """
+
+    block_type = "custom"
+
+    def __init__(
+        self,
+        name: str = "",
+        params: dict | None = None,
+        flops_per_element: float = 4.0,
+        declared_buffer_bytes: int = 1024,
+    ):
+        if name not in _TRANSFORMS:
+            raise KeyError(
+                f"no custom transform {name!r} registered; "
+                f"available: {registered_transforms()}"
+            )
+        self.name = name
+        self.params = dict(params or {})
+        self.flops_per_element = float(flops_per_element)
+        self.declared_buffer_bytes = int(declared_buffer_bytes)
+        self._fn = _TRANSFORMS[name]
+
+    def transform(self, window: np.ndarray) -> np.ndarray:
+        out = self._fn(np.asarray(window, dtype=np.float32), **self.params)
+        return np.asarray(out, dtype=np.float32)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        probe = np.zeros(input_shape, dtype=np.float32)
+        return tuple(self.transform(probe).shape)
+
+    def op_counts(self, input_shape: tuple[int, ...]) -> OpCounts:
+        n = float(np.prod(input_shape))
+        return OpCounts(flops=n * self.flops_per_element, copies=n)
+
+    def buffer_bytes(self, input_shape: tuple[int, ...]) -> int:
+        return self.declared_buffer_bytes
+
+    def config(self) -> dict:
+        return {
+            "name": self.name,
+            "params": self.params,
+            "flops_per_element": self.flops_per_element,
+            "declared_buffer_bytes": self.declared_buffer_bytes,
+        }

@@ -1,0 +1,53 @@
+"""Mel-scale filterbank construction (HTK-style)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hz_to_mel(hz):
+    """Convert Hz to mel (HTK formula)."""
+    return 2595.0 * np.log10(1.0 + np.asarray(hz, dtype=np.float64) / 700.0)
+
+
+def mel_to_hz(mel):
+    """Convert mel to Hz (HTK formula)."""
+    return 700.0 * (10.0 ** (np.asarray(mel, dtype=np.float64) / 2595.0) - 1.0)
+
+
+def mel_filterbank(
+    n_filters: int,
+    n_fft: int,
+    sample_rate: float,
+    low_hz: float = 0.0,
+    high_hz: float | None = None,
+) -> np.ndarray:
+    """Build a triangular mel filterbank ``(n_filters, n_fft // 2 + 1)``.
+
+    Filters are unit-peak triangles with centres equally spaced on the mel
+    scale, the standard construction used by speech front-ends.
+    """
+    if high_hz is None:
+        high_hz = sample_rate / 2.0
+    if not 0 <= low_hz < high_hz <= sample_rate / 2.0 + 1e-9:
+        raise ValueError(f"invalid band edges [{low_hz}, {high_hz}]")
+    if n_filters < 1:
+        raise ValueError("need at least one filter")
+
+    mel_points = np.linspace(hz_to_mel(low_hz), hz_to_mel(high_hz), n_filters + 2)
+    hz_points = mel_to_hz(mel_points)
+    bins = np.floor((n_fft + 1) * hz_points / sample_rate).astype(int)
+    bins = np.clip(bins, 0, n_fft // 2)
+
+    bank = np.zeros((n_filters, n_fft // 2 + 1), dtype=np.float32)
+    for i in range(n_filters):
+        left, centre, right = bins[i], bins[i + 1], bins[i + 2]
+        if centre == left:
+            centre = min(left + 1, n_fft // 2)
+        if right <= centre:
+            right = min(centre + 1, n_fft // 2 + 1)
+        for k in range(left, centre):
+            bank[i, k] = (k - left) / max(centre - left, 1)
+        for k in range(centre, right):
+            bank[i, k] = (right - k) / max(right - centre, 1)
+    return bank

@@ -1,0 +1,90 @@
+"""Image preprocessing block: resize, colour conversion, normalisation.
+
+Feeds the VWW and image-classification tasks of Sec. 5.1.  Implements
+area-average resize (the cheap on-device choice) with NumPy only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.base import DSPBlock, OpCounts, register_dsp_block
+
+
+def _resize_area(img: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Area-average resize of an HxWxC float image (nearest for upscale)."""
+    in_h, in_w = img.shape[:2]
+    if (in_h, in_w) == (out_h, out_w):
+        return img
+    row_idx = (np.arange(out_h + 1) * in_h / out_h).astype(np.float64)
+    col_idx = (np.arange(out_w + 1) * in_w / out_w).astype(np.float64)
+    # Integral image enables O(1) box sums per output pixel.
+    integral = np.zeros((in_h + 1, in_w + 1, img.shape[2]), dtype=np.float64)
+    integral[1:, 1:] = np.cumsum(np.cumsum(img, axis=0), axis=1)
+
+    r0 = np.clip(np.floor(row_idx[:-1]).astype(int), 0, in_h - 1)
+    r1 = np.clip(np.ceil(row_idx[1:]).astype(int), 1, in_h)
+    c0 = np.clip(np.floor(col_idx[:-1]).astype(int), 0, in_w - 1)
+    c1 = np.clip(np.ceil(col_idx[1:]).astype(int), 1, in_w)
+
+    out = np.empty((out_h, out_w, img.shape[2]), dtype=np.float64)
+    for i in range(out_h):
+        top, bottom = r0[i], r1[i]
+        box = (
+            integral[bottom][c1]
+            - integral[bottom][c0]
+            - integral[top][c1]
+            + integral[top][c0]
+        )
+        areas = ((bottom - top) * (c1 - c0))[:, None]
+        out[i] = box / areas
+    return out
+
+
+@register_dsp_block
+class ImageBlock(DSPBlock):
+    """Resize + (optional) grayscale + [0,1] normalisation."""
+
+    block_type = "image"
+
+    def __init__(self, width: int = 96, height: int = 96, channels: int = 1):
+        if channels not in (1, 3):
+            raise ValueError("channels must be 1 (grayscale) or 3 (RGB)")
+        self.width = int(width)
+        self.height = int(height)
+        self.channels = int(channels)
+
+    def transform(self, window: np.ndarray) -> np.ndarray:
+        img = np.asarray(window, dtype=np.float64)
+        if img.ndim == 2:
+            img = img[:, :, None]
+        if img.max() > 1.5:  # uint8-range input
+            img = img / 255.0
+        if self.channels == 1 and img.shape[2] == 3:
+            img = (
+                0.299 * img[:, :, :1] + 0.587 * img[:, :, 1:2] + 0.114 * img[:, :, 2:3]
+            )
+        elif self.channels == 3 and img.shape[2] == 1:
+            img = np.repeat(img, 3, axis=2)
+        img = _resize_area(img, self.height, self.width)
+        return img.astype(np.float32)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (self.height, self.width, self.channels)
+
+    def op_counts(self, input_shape: tuple[int, ...]) -> OpCounts:
+        in_px = float(input_shape[0] * input_shape[1])
+        in_c = input_shape[2] if len(input_shape) > 2 else 1
+        out_px = float(self.height * self.width * self.channels)
+        gray = in_px * 3 if (self.channels == 1 and in_c == 3) else 0.0
+        # Resize ≈ one accumulate per source pixel + one divide per output px.
+        return OpCounts(flops=in_px * in_c + out_px + gray, copies=out_px)
+
+    def buffer_bytes(self, input_shape: tuple[int, ...]) -> int:
+        # One output row in float plus the uint8 input row being converted.
+        return 4 * self.width * self.channels + input_shape[1] * (
+            input_shape[2] if len(input_shape) > 2 else 1
+        )
+
+    def config(self) -> dict:
+        return {"width": self.width, "height": self.height, "channels": self.channels}

@@ -1,0 +1,127 @@
+"""Mel-filterbank energy (MFE) block.
+
+One of the two audio front-ends swept by the EON Tuner in Table 3
+(``MFE (frame_length, frame_stride, n_filters)``).  Produces a log
+mel-spectrogram.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.base import DSPBlock, OpCounts, register_dsp_block
+from repro.dsp.filterbank import mel_filterbank
+from repro.dsp.window import frame_signal, num_frames, window_function
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p *= 2
+    return p
+
+
+@register_dsp_block
+class MFEBlock(DSPBlock):
+    """Log mel-filterbank energies over a framed audio window."""
+
+    block_type = "mfe"
+
+    def __init__(
+        self,
+        sample_rate: int = 16000,
+        frame_length: float = 0.02,
+        frame_stride: float = 0.01,
+        n_filters: int = 40,
+        fft_length: int | None = None,
+        noise_floor_db: float = -52.0,
+        window: str = "hann",
+        low_hz: float = 0.0,
+        high_hz: float | None = None,
+    ):
+        self.sample_rate = int(sample_rate)
+        self.frame_length = float(frame_length)
+        self.frame_stride = float(frame_stride)
+        self.n_filters = int(n_filters)
+        self.frame_samples = max(1, int(round(frame_length * sample_rate)))
+        self.stride_samples = max(1, int(round(frame_stride * sample_rate)))
+        self.fft_length = int(fft_length) if fft_length else _next_pow2(self.frame_samples)
+        if self.fft_length < self.frame_samples:
+            raise ValueError("fft_length must be >= frame length in samples")
+        self.noise_floor_db = float(noise_floor_db)
+        self.window_name = window
+        self.low_hz = float(low_hz)
+        self.high_hz = high_hz if high_hz is None else float(high_hz)
+        self._window = window_function(window, self.frame_samples)
+        self._bank = mel_filterbank(
+            self.n_filters, self.fft_length, self.sample_rate, self.low_hz, self.high_hz
+        )
+
+    # -- transform ----------------------------------------------------------
+
+    def _power_spectrogram(self, window: np.ndarray) -> np.ndarray:
+        frames = frame_signal(window, self.frame_samples, self.stride_samples)
+        if frames.shape[0] == 0:
+            return np.zeros((0, self.fft_length // 2 + 1), dtype=np.float32)
+        tapered = frames * self._window
+        spectrum = np.fft.rfft(tapered, n=self.fft_length, axis=1)
+        return (np.abs(spectrum) ** 2).astype(np.float32) / self.fft_length
+
+    def transform(self, window: np.ndarray) -> np.ndarray:
+        window = np.asarray(window, dtype=np.float32).reshape(-1)
+        power = self._power_spectrogram(window)
+        energies = power @ self._bank.T
+        # Log-compress with the configured noise floor, then scale to [0, 1]
+        # exactly as the production MFE block does.
+        log_e = 10.0 * np.log10(np.maximum(energies, 1e-30))
+        clipped = np.clip(
+            (log_e - self.noise_floor_db) / (-self.noise_floor_db), 0.0, 1.0
+        )
+        return clipped.astype(np.float32)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        n = num_frames(int(np.prod(input_shape)), self.frame_samples, self.stride_samples)
+        return (n, self.n_filters)
+
+    # -- resource model -----------------------------------------------------
+
+    def op_counts(self, input_shape: tuple[int, ...]) -> OpCounts:
+        n_samples = int(np.prod(input_shape))
+        frames = num_frames(n_samples, self.frame_samples, self.stride_samples)
+        n_fft = self.fft_length
+        # Real FFT: ~2.5 * N log2 N flops; windowing: N; magnitude: N;
+        # filterbank: ~nnz of the (sparse triangular) bank ≈ 2 bins/filter-row.
+        fft_flops = 2.5 * n_fft * np.log2(n_fft)
+        bank_macs = 2.0 * float(np.count_nonzero(self._bank))
+        per_frame = self.frame_samples + fft_flops + n_fft + bank_macs
+        return OpCounts(
+            flops=frames * per_frame,
+            slow_ops=frames * self.n_filters,  # one log per mel bin
+            copies=frames * self.frame_samples,
+        )
+
+    def buffer_bytes(self, input_shape: tuple[int, ...]) -> int:
+        # On-device implementation keeps one frame, one FFT buffer, and the
+        # output row in SRAM; the filterbank lives in flash.
+        frame = 4 * self.frame_samples
+        fft = 4 * (self.fft_length + 2)
+        out_row = 4 * self.n_filters
+        return frame + fft + out_row
+
+    def config(self) -> dict:
+        return {
+            "sample_rate": self.sample_rate,
+            "frame_length": self.frame_length,
+            "frame_stride": self.frame_stride,
+            "n_filters": self.n_filters,
+            "fft_length": self.fft_length,
+            "noise_floor_db": self.noise_floor_db,
+            "window": self.window_name,
+            "low_hz": self.low_hz,
+            "high_hz": self.high_hz,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MFE ({self.frame_length:g}, {self.frame_stride:g}, {self.n_filters})"
+        )

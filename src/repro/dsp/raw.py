@@ -1,0 +1,40 @@
+"""Raw passthrough block — optional scaling only.
+
+Used when the learn block consumes the raw window directly (e.g. feeding a
+1-D CNN with time-domain samples).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.base import DSPBlock, OpCounts, register_dsp_block
+
+
+@register_dsp_block
+class RawBlock(DSPBlock):
+    """Identity feature block with optional per-element scaling."""
+
+    block_type = "raw"
+
+    def __init__(self, scale: float = 1.0):
+        self.scale = float(scale)
+
+    def transform(self, window: np.ndarray) -> np.ndarray:
+        out = np.asarray(window, dtype=np.float32)
+        if self.scale != 1.0:
+            out = out * self.scale
+        return out.astype(np.float32)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return tuple(input_shape)
+
+    def op_counts(self, input_shape: tuple[int, ...]) -> OpCounts:
+        n = float(np.prod(input_shape))
+        return OpCounts(flops=n if self.scale != 1.0 else 0.0, copies=n)
+
+    def buffer_bytes(self, input_shape: tuple[int, ...]) -> int:
+        return 0  # operates in place on the sampling buffer
+
+    def config(self) -> dict:
+        return {"scale": self.scale}

@@ -1,0 +1,118 @@
+"""Spectral-analysis block for inertial / vibration data.
+
+The workhorse preprocessing for accelerometer use cases (predictive
+maintenance, gesture recognition, the SlateSafety wearable of Sec. 8.2).
+Per axis it emits RMS, skew/kurtosis-style statistics and the top of the
+power spectrum, mirroring the production "Spectral Analysis" block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.base import DSPBlock, OpCounts, register_dsp_block
+
+
+@register_dsp_block
+class SpectralAnalysisBlock(DSPBlock):
+    """Statistical + spectral features per sensor axis."""
+
+    block_type = "spectral-analysis"
+
+    def __init__(
+        self,
+        sample_rate: int = 100,
+        fft_length: int = 64,
+        n_peaks: int = 3,
+        filter_type: str = "none",  # none | low | high
+        filter_cutoff_hz: float = 0.0,
+        scale_axes: float = 1.0,
+    ):
+        if fft_length < 4 or fft_length & (fft_length - 1):
+            raise ValueError("fft_length must be a power of two >= 4")
+        if filter_type not in ("none", "low", "high"):
+            raise ValueError(f"unknown filter type {filter_type!r}")
+        self.sample_rate = int(sample_rate)
+        self.fft_length = int(fft_length)
+        self.n_peaks = int(n_peaks)
+        self.filter_type = filter_type
+        self.filter_cutoff_hz = float(filter_cutoff_hz)
+        self.scale_axes = float(scale_axes)
+
+    #: features per axis: rms, mean, std, skew-proxy, kurtosis-proxy,
+    #: then (freq, height) per spectral peak.
+    @property
+    def features_per_axis(self) -> int:
+        return 5 + 2 * self.n_peaks
+
+    def _filter(self, axis: np.ndarray) -> np.ndarray:
+        if self.filter_type == "none" or self.filter_cutoff_hz <= 0:
+            return axis
+        # Single-pole IIR, the cheap on-device option.
+        dt = 1.0 / self.sample_rate
+        rc = 1.0 / (2.0 * np.pi * self.filter_cutoff_hz)
+        alpha = dt / (rc + dt)
+        low = np.empty_like(axis)
+        acc = axis[0]
+        for i, x in enumerate(axis):
+            acc = acc + alpha * (x - acc)
+            low[i] = acc
+        return low if self.filter_type == "low" else axis - low
+
+    def transform(self, window: np.ndarray) -> np.ndarray:
+        data = np.atleast_2d(np.asarray(window, dtype=np.float32))
+        if data.shape[0] < data.shape[1] and data.shape[0] <= 4:
+            data = data.T  # accept (axes, n) as well as (n, axes)
+        data = data * self.scale_axes
+        features = []
+        for col in range(data.shape[1]):
+            axis = self._filter(data[:, col].astype(np.float64))
+            mean = float(np.mean(axis))
+            centred = axis - mean
+            std = float(np.std(centred)) or 1e-9
+            rms = float(np.sqrt(np.mean(axis**2)))
+            skew = float(np.mean(centred**3) / std**3)
+            kurt = float(np.mean(centred**4) / std**4)
+            spec = np.abs(np.fft.rfft(centred, n=self.fft_length)) ** 2
+            spec[0] = 0.0
+            order = np.argsort(spec)[::-1][: self.n_peaks]
+            # Peak frequencies are normalised by Nyquist so every feature is
+            # O(1)-scaled — a stateless normalisation that survives
+            # deployment (no training-set statistics needed on-device).
+            freqs = order * self.sample_rate / self.fft_length / (self.sample_rate / 2.0)
+            heights = np.log1p(spec[order])
+            axis_feats = [rms, mean, std, skew, kurt]
+            for f, h in zip(freqs, heights):
+                axis_feats.extend([float(f), float(h)])
+            features.extend(axis_feats)
+        return np.asarray(features, dtype=np.float32)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        axes = input_shape[1] if len(input_shape) > 1 else 1
+        return (axes * self.features_per_axis,)
+
+    def op_counts(self, input_shape: tuple[int, ...]) -> OpCounts:
+        n = input_shape[0]
+        axes = input_shape[1] if len(input_shape) > 1 else 1
+        fft_flops = 2.5 * self.fft_length * np.log2(self.fft_length)
+        stats_flops = 8.0 * n
+        filt_flops = 3.0 * n if self.filter_type != "none" else 0.0
+        return OpCounts(
+            flops=axes * (fft_flops + stats_flops + filt_flops),
+            slow_ops=axes * (self.n_peaks + 3),
+            copies=axes * n,
+        )
+
+    def buffer_bytes(self, input_shape: tuple[int, ...]) -> int:
+        n = input_shape[0]
+        return 4 * (n + self.fft_length + 2 + self.features_per_axis)
+
+    def config(self) -> dict:
+        return {
+            "sample_rate": self.sample_rate,
+            "fft_length": self.fft_length,
+            "n_peaks": self.n_peaks,
+            "filter_type": self.filter_type,
+            "filter_cutoff_hz": self.filter_cutoff_hz,
+            "scale_axes": self.scale_axes,
+        }

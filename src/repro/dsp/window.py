@@ -1,0 +1,47 @@
+"""Signal framing and window functions shared by the audio blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def window_function(name: str, length: int) -> np.ndarray:
+    """Return a window of ``length`` samples (``hann``, ``hamming``,
+    ``rectangular``)."""
+    if length < 1:
+        raise ValueError("window length must be >= 1")
+    if name == "hann":
+        return np.hanning(length).astype(np.float32) if length > 1 else np.ones(1, np.float32)
+    if name == "hamming":
+        return np.hamming(length).astype(np.float32) if length > 1 else np.ones(1, np.float32)
+    if name == "rectangular":
+        return np.ones(length, dtype=np.float32)
+    raise ValueError(f"unknown window function {name!r}")
+
+
+def num_frames(n_samples: int, frame_length: int, frame_stride: int) -> int:
+    """Number of full frames a signal of ``n_samples`` yields."""
+    if n_samples < frame_length:
+        return 0
+    return 1 + (n_samples - frame_length) // frame_stride
+
+
+def frame_signal(
+    signal: np.ndarray, frame_length: int, frame_stride: int
+) -> np.ndarray:
+    """Slice a 1-D signal into overlapping frames ``(n_frames, frame_length)``.
+
+    Uses a strided view so no data is copied until the caller multiplies by
+    the window.
+    """
+    signal = np.ascontiguousarray(signal, dtype=np.float32)
+    n = num_frames(len(signal), frame_length, frame_stride)
+    if n == 0:
+        return np.zeros((0, frame_length), dtype=np.float32)
+    stride = signal.strides[0]
+    return np.lib.stride_tricks.as_strided(
+        signal,
+        shape=(n, frame_length),
+        strides=(stride * frame_stride, stride),
+        writeable=False,
+    )

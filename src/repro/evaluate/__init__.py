@@ -1,0 +1,18 @@
+"""Model evaluation tools (paper Sec. 4.4): confusion matrix, per-class
+accuracy/F1, and live-classification simulation."""
+
+from repro.evaluate.metrics import (
+    ClassificationReport,
+    accuracy,
+    confusion_matrix,
+    evaluate_classifier,
+    f1_scores,
+)
+
+__all__ = [
+    "confusion_matrix",
+    "accuracy",
+    "f1_scores",
+    "evaluate_classifier",
+    "ClassificationReport",
+]

@@ -1,0 +1,74 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int) -> np.ndarray:
+    """Row = true class, column = predicted class."""
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (np.asarray(y_true), np.asarray(y_pred)), 1)
+    return matrix
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true)
+    if len(y_true) == 0:
+        return 0.0
+    return float((y_true == np.asarray(y_pred)).mean())
+
+
+def f1_scores(matrix: np.ndarray) -> np.ndarray:
+    """Per-class F1 from a confusion matrix (0 where the class is empty)."""
+    tp = np.diag(matrix).astype(np.float64)
+    fp = matrix.sum(axis=0) - tp
+    fn = matrix.sum(axis=1) - tp
+    precision = np.divide(tp, tp + fp, out=np.zeros_like(tp), where=(tp + fp) > 0)
+    recall = np.divide(tp, tp + fn, out=np.zeros_like(tp), where=(tp + fn) > 0)
+    denom = precision + recall
+    return np.divide(
+        2 * precision * recall, denom, out=np.zeros_like(tp), where=denom > 0
+    )
+
+
+@dataclass
+class ClassificationReport:
+    """The holdout-set evaluation the Studio shows after model testing."""
+
+    labels: list[str]
+    matrix: np.ndarray
+    accuracy: float
+    f1: np.ndarray
+    per_class_accuracy: dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        width = max(len(l) for l in self.labels) + 2
+        header = " " * width + "".join(f"{l[:8]:>9}" for l in self.labels)
+        lines = [f"accuracy: {self.accuracy:.3f}", header]
+        for i, label in enumerate(self.labels):
+            row = "".join(f"{int(v):>9}" for v in self.matrix[i])
+            lines.append(f"{label:<{width}}{row}")
+        lines.append(
+            "F1: " + ", ".join(f"{l}={f:.2f}" for l, f in zip(self.labels, self.f1))
+        )
+        return "\n".join(lines)
+
+
+def evaluate_classifier(
+    y_true: np.ndarray, y_pred: np.ndarray, labels: list[str]
+) -> ClassificationReport:
+    matrix = confusion_matrix(y_true, y_pred, len(labels))
+    per_class = {}
+    for i, label in enumerate(labels):
+        total = matrix[i].sum()
+        per_class[label] = float(matrix[i, i] / total) if total else 0.0
+    return ClassificationReport(
+        labels=list(labels),
+        matrix=matrix,
+        accuracy=accuracy(y_true, y_pred),
+        f1=f1_scores(matrix),
+        per_class_accuracy=per_class,
+    )

@@ -1,0 +1,12 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Each module exposes ``run(...) -> (rows/str, extras)`` and a ``render``
+helper that prints the same rows the paper reports.  Benchmarks under
+``benchmarks/`` are thin wrappers around these.
+
+Scale presets: profiling tables (2, 4) use *paper-scale* graph topologies
+(DS-CNN 64f/4 blocks on 49x10 MFCC, MobileNetV1-0.25 on 96x96, CIFAR CNN)
+because resource estimation needs no training; accuracy columns come from
+models trained on the synthetic-substitute datasets at a reduced scale
+(see EXPERIMENTS.md).
+"""

@@ -1,0 +1,38 @@
+"""Figure 2: the Studio project view — block dataflow for the keyword-
+spotting example (time-series input -> MFCC -> NN classifier)."""
+
+from __future__ import annotations
+
+from repro.core import ClassificationBlock, Impulse, TimeSeriesInput
+from repro.dsp import MFCCBlock
+
+
+def build_impulse() -> Impulse:
+    """The exact dataflow the Figure 2 screenshot shows."""
+    return Impulse(
+        TimeSeriesInput(window_size_ms=1000, window_increase_ms=500,
+                        frequency_hz=16000),
+        [MFCCBlock(sample_rate=16000, frame_length=0.02, frame_stride=0.01,
+                   n_filters=40, n_coefficients=13)],
+        ClassificationBlock(architecture="ds_cnn",
+                            arch_kwargs=dict(filters=64, n_blocks=4)),
+    )
+
+
+def run() -> dict:
+    impulse = build_impulse()
+    return {
+        "dataflow": impulse.render(),
+        "impulse_spec": impulse.to_dict(),
+        "feature_shape": impulse.feature_shape(),
+    }
+
+
+def render(result: dict | None = None) -> str:
+    result = result if result is not None else run()
+    lines = [
+        "Figure 2 — project dataflow (Studio view)",
+        result["dataflow"],
+        f"feature shape into the learn block: {result['feature_shape']}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Figure 3: the EON Tuner view — per-configuration accuracy with stacked
+DSP/NN resource breakdowns against the selected target's constraints."""
+
+from __future__ import annotations
+
+from repro.automl import EonTuner
+from repro.experiments import table3
+
+
+def run(n_trials: int = 6, seed: int = 0, tuner: EonTuner | None = None) -> EonTuner:
+    if tuner is None:
+        tuner = table3.build_tuner(seed=seed, train_epochs=6)
+        tuner.run(n_trials=n_trials, seed=seed)
+    return tuner
+
+
+def render(tuner: EonTuner | None = None) -> str:
+    tuner = tuner if tuner is not None else run()
+    return "Figure 3 — EON Tuner view\n" + tuner.render_figure3()

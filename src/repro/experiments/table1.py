@@ -1,0 +1,35 @@
+"""Table 1: the embedded platforms used for evaluation."""
+
+from __future__ import annotations
+
+from repro.profile.devices import DEVICES
+
+TABLE1_KEYS = ("nano33ble", "esp_eye", "rp2040")
+
+
+def run() -> list[dict]:
+    rows = []
+    for key in TABLE1_KEYS:
+        d = DEVICES[key]
+        rows.append(
+            {
+                "platform": d.name,
+                "processor": d.core,
+                "clock_mhz": d.clock_hz / 1e6,
+                "flash_mb": d.flash_bytes / (1024 * 1024),
+                "ram_kb": d.ram_bytes / 1024,
+            }
+        )
+    return rows
+
+
+def render(rows: list[dict] | None = None) -> str:
+    rows = rows if rows is not None else run()
+    header = f"{'Platform':<28}{'Processor':<16}{'Clock':>9}{'Flash':>9}{'RAM':>10}"
+    lines = ["Table 1 — evaluation platforms", header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['platform']:<28}{r['processor']:<16}"
+            f"{r['clock_mhz']:>6.0f} MHz{r['flash_mb']:>6.0f} MB{r['ram_kb']:>7.0f} kB"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""File-format substrates for the ingestion pipeline.
+
+Edge Impulse projects accept data as CSV, CBOR, JSON, WAV, JPG or PNG
+(paper Sec. 4.1).  This subpackage implements each format from scratch:
+
+- :mod:`repro.formats.cbor` — RFC 8949 CBOR encoder/decoder.
+- :mod:`repro.formats.wav` — PCM WAV reader/writer.
+- :mod:`repro.formats.image` — PPM/PGM binary image io (JPG/PNG substitute,
+  see DESIGN.md substitution table).
+- :mod:`repro.formats.csvio` — sensor CSV io.
+- :mod:`repro.formats.acquisition` — the Edge Impulse data-acquisition
+  envelope (JSON or CBOR payload with an HMAC-SHA256 signature).
+"""
+
+from repro.formats.cbor import cbor_decode, cbor_encode
+from repro.formats.wav import read_wav, write_wav
+from repro.formats.image import read_image, write_image
+from repro.formats.csvio import read_sensor_csv, write_sensor_csv
+from repro.formats.acquisition import (
+    AcquisitionPayload,
+    decode_acquisition,
+    encode_acquisition,
+)
+
+__all__ = [
+    "cbor_encode",
+    "cbor_decode",
+    "read_wav",
+    "write_wav",
+    "read_image",
+    "write_image",
+    "read_sensor_csv",
+    "write_sensor_csv",
+    "AcquisitionPayload",
+    "encode_acquisition",
+    "decode_acquisition",
+]

@@ -1,0 +1,144 @@
+"""The Edge Impulse data-acquisition envelope.
+
+Device firmware and the CLI upload sensor data wrapped in a signed envelope
+(paper Sec. 4.1): a ``protected`` header naming the signature algorithm, the
+``signature`` itself (HMAC-SHA256 over the payload with the project's HMAC
+key), and a ``payload`` carrying device identity, the sample interval, the
+sensor axes, and the value matrix.  The envelope serialises as JSON or CBOR.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.cbor import cbor_decode, cbor_encode
+
+_EMPTY_SIGNATURE = "0" * 64
+
+
+class SignatureError(ValueError):
+    """Raised when an envelope's HMAC does not verify."""
+
+
+@dataclass
+class AcquisitionPayload:
+    """Decoded contents of a data-acquisition envelope."""
+
+    device_name: str
+    device_type: str
+    interval_ms: float
+    sensors: list[dict]  # [{"name": "accX", "units": "m/s2"}, ...]
+    values: np.ndarray  # (readings, axes)
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def axis_names(self) -> list[str]:
+        return [s["name"] for s in self.sensors]
+
+    def duration_ms(self) -> float:
+        return float(self.values.shape[0] * self.interval_ms)
+
+
+def _payload_dict(payload: AcquisitionPayload) -> dict:
+    values = np.asarray(payload.values, dtype=np.float64)
+    if values.ndim == 1:
+        values = values[:, None]
+    rows: list = []
+    for row in values:
+        if len(row) == 1:
+            rows.append(float(row[0]))
+        else:
+            rows.append([float(v) for v in row])
+    body = {
+        "device_name": payload.device_name,
+        "device_type": payload.device_type,
+        "interval_ms": float(payload.interval_ms),
+        "sensors": payload.sensors,
+        "values": rows,
+    }
+    if payload.metadata:
+        body["metadata"] = payload.metadata
+    return body
+
+
+def _canonical_bytes(envelope: dict) -> bytes:
+    """Serialise the envelope with an all-zero signature for HMAC'ing."""
+    clone = dict(envelope)
+    clone["signature"] = _EMPTY_SIGNATURE
+    return json.dumps(clone, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def encode_acquisition(
+    payload: AcquisitionPayload,
+    hmac_key: str | None = None,
+    fmt: str = "json",
+) -> bytes:
+    """Encode (and optionally sign) an acquisition envelope.
+
+    ``fmt`` is ``"json"`` or ``"cbor"``.  With no ``hmac_key`` the signature
+    field is the conventional all-zeros placeholder the real ingestion
+    service also accepts for unsigned uploads.
+    """
+    envelope = {
+        "protected": {"ver": "v1", "alg": "HS256" if hmac_key else "none"},
+        "signature": _EMPTY_SIGNATURE,
+        "payload": _payload_dict(payload),
+    }
+    if hmac_key:
+        digest = hmac.new(
+            hmac_key.encode("utf-8"), _canonical_bytes(envelope), hashlib.sha256
+        ).hexdigest()
+        envelope["signature"] = digest
+
+    if fmt == "json":
+        return json.dumps(envelope, sort_keys=True).encode("utf-8")
+    if fmt == "cbor":
+        return cbor_encode(envelope)
+    raise ValueError(f"unknown acquisition format {fmt!r}")
+
+
+def decode_acquisition(
+    data: bytes,
+    hmac_key: str | None = None,
+) -> AcquisitionPayload:
+    """Decode an envelope, verifying the HMAC when ``hmac_key`` is given."""
+    stripped = data.lstrip()
+    if stripped[:1] == b"{":
+        envelope = json.loads(data.decode("utf-8"))
+    else:
+        envelope = cbor_decode(data)
+
+    if not isinstance(envelope, dict) or "payload" not in envelope:
+        raise ValueError("not a data-acquisition envelope")
+
+    if hmac_key is not None:
+        alg = envelope.get("protected", {}).get("alg")
+        if alg != "HS256":
+            raise SignatureError(f"expected HS256 signature, envelope has {alg!r}")
+        expected = hmac.new(
+            hmac_key.encode("utf-8"), _canonical_bytes(envelope), hashlib.sha256
+        ).hexdigest()
+        if not hmac.compare_digest(expected, envelope.get("signature", "")):
+            raise SignatureError("HMAC signature mismatch")
+
+    body = envelope["payload"]
+    raw_values = body.get("values", [])
+    if raw_values and not isinstance(raw_values[0], list):
+        values = np.asarray(raw_values, dtype=np.float64)[:, None]
+    else:
+        values = np.asarray(raw_values, dtype=np.float64)
+        if values.size == 0:
+            values = values.reshape(0, max(1, len(body.get("sensors", []))))
+    return AcquisitionPayload(
+        device_name=body.get("device_name", "unknown"),
+        device_type=body.get("device_type", "unknown"),
+        interval_ms=float(body.get("interval_ms", 0.0)),
+        sensors=list(body.get("sensors", [])),
+        values=values,
+        metadata=dict(body.get("metadata", {})),
+    )

@@ -1,0 +1,260 @@
+"""A from-scratch CBOR (RFC 8949) encoder/decoder.
+
+Edge Impulse's ingestion service accepts sensor payloads as CBOR because it
+is compact enough to emit from a microcontroller (paper Sec. 4.1).  This
+module implements the subset of CBOR needed for sensor data — and then some:
+unsigned/negative integers, byte/text strings, arrays, maps, tags, floats
+(16/32/64-bit), booleans, null, and indefinite-length items on decode.
+
+The encoder always produces canonical, definite-length items with the
+shortest integer encoding, which makes round-trips byte-stable and therefore
+hashable for dataset deduplication.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Any
+
+_MT_UINT = 0
+_MT_NINT = 1
+_MT_BYTES = 2
+_MT_TEXT = 3
+_MT_ARRAY = 4
+_MT_MAP = 5
+_MT_TAG = 6
+_MT_SIMPLE = 7
+
+_BREAK = object()
+
+
+class CBORError(ValueError):
+    """Raised on malformed CBOR input or unencodable Python values."""
+
+
+def _encode_head(major: int, arg: int) -> bytes:
+    if arg < 24:
+        return bytes([(major << 5) | arg])
+    if arg < 0x100:
+        return bytes([(major << 5) | 24, arg])
+    if arg < 0x10000:
+        return bytes([(major << 5) | 25]) + struct.pack(">H", arg)
+    if arg < 0x100000000:
+        return bytes([(major << 5) | 26]) + struct.pack(">I", arg)
+    if arg < 0x10000000000000000:
+        return bytes([(major << 5) | 27]) + struct.pack(">Q", arg)
+    raise CBORError(f"integer argument too large for CBOR: {arg}")
+
+
+def _encode_item(obj: Any, out: bytearray) -> None:
+    # bool must be checked before int (bool is an int subclass).
+    if obj is False:
+        out.append(0xF4)
+    elif obj is True:
+        out.append(0xF5)
+    elif obj is None:
+        out.append(0xF6)
+    elif isinstance(obj, int):
+        if obj >= 0:
+            out += _encode_head(_MT_UINT, obj)
+        else:
+            out += _encode_head(_MT_NINT, -1 - obj)
+    elif isinstance(obj, float):
+        # Canonical: use the shortest float width that round-trips.
+        if math.isnan(obj):
+            out += b"\xf9\x7e\x00"
+            return
+        half = _try_pack_half(obj)
+        if half is not None:
+            out += b"\xf9" + half
+            return
+        try:
+            single = struct.pack(">f", obj)
+        except OverflowError:  # magnitude beyond float32 range
+            single = None
+        if single is not None and (
+            struct.unpack(">f", single)[0] == obj or math.isinf(obj)
+        ):
+            out += b"\xfa" + single
+        else:
+            out += b"\xfb" + struct.pack(">d", obj)
+    elif isinstance(obj, bytes):
+        out += _encode_head(_MT_BYTES, len(obj))
+        out += obj
+    elif isinstance(obj, bytearray):
+        out += _encode_head(_MT_BYTES, len(obj))
+        out += bytes(obj)
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        out += _encode_head(_MT_TEXT, len(raw))
+        out += raw
+    elif isinstance(obj, (list, tuple)):
+        out += _encode_head(_MT_ARRAY, len(obj))
+        for item in obj:
+            _encode_item(item, out)
+    elif isinstance(obj, dict):
+        out += _encode_head(_MT_MAP, len(obj))
+        for key, value in obj.items():
+            _encode_item(key, out)
+            _encode_item(value, out)
+    elif isinstance(obj, Tagged):
+        out += _encode_head(_MT_TAG, obj.tag)
+        _encode_item(obj.value, out)
+    else:
+        raise CBORError(f"cannot encode object of type {type(obj).__name__}")
+
+
+def _try_pack_half(value: float) -> bytes | None:
+    """Pack ``value`` as IEEE 754 half precision if it round-trips exactly."""
+    try:
+        packed = struct.pack(">e", value)
+    except (OverflowError, ValueError):
+        return None
+    if struct.unpack(">e", packed)[0] == value:
+        return packed
+    return None
+
+
+class Tagged:
+    """A CBOR tagged value (major type 6)."""
+
+    __slots__ = ("tag", "value")
+
+    def __init__(self, tag: int, value: Any):
+        self.tag = tag
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Tagged)
+            and self.tag == other.tag
+            and self.value == other.value
+        )
+
+    def __repr__(self) -> str:
+        return f"Tagged({self.tag}, {self.value!r})"
+
+
+def cbor_encode(obj: Any) -> bytes:
+    """Encode a Python object into canonical definite-length CBOR bytes."""
+    out = bytearray()
+    _encode_item(obj, out)
+    return bytes(out)
+
+
+class _Decoder:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def read(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise CBORError("truncated CBOR input")
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def decode_item(self) -> Any:
+        initial = self.read(1)[0]
+        major, info = initial >> 5, initial & 0x1F
+        if major == _MT_SIMPLE:
+            return self._decode_simple(info)
+        if info == 31:
+            return self._decode_indefinite(major)
+        arg = self._decode_arg(info)
+        if major == _MT_UINT:
+            return arg
+        if major == _MT_NINT:
+            return -1 - arg
+        if major == _MT_BYTES:
+            return self.read(arg)
+        if major == _MT_TEXT:
+            return self.read(arg).decode("utf-8")
+        if major == _MT_ARRAY:
+            return [self.decode_item() for _ in range(arg)]
+        if major == _MT_MAP:
+            result = {}
+            for _ in range(arg):
+                key = self.decode_item()
+                result[key] = self.decode_item()
+            return result
+        if major == _MT_TAG:
+            return Tagged(arg, self.decode_item())
+        raise CBORError(f"unhandled major type {major}")
+
+    def _decode_arg(self, info: int) -> int:
+        if info < 24:
+            return info
+        if info == 24:
+            return self.read(1)[0]
+        if info == 25:
+            return struct.unpack(">H", self.read(2))[0]
+        if info == 26:
+            return struct.unpack(">I", self.read(4))[0]
+        if info == 27:
+            return struct.unpack(">Q", self.read(8))[0]
+        raise CBORError(f"reserved additional-info value {info}")
+
+    def _decode_simple(self, info: int) -> Any:
+        if info == 20:
+            return False
+        if info == 21:
+            return True
+        if info == 22:
+            return None
+        if info == 23:
+            return None  # 'undefined' maps to None
+        if info == 25:
+            return struct.unpack(">e", self.read(2))[0]
+        if info == 26:
+            return struct.unpack(">f", self.read(4))[0]
+        if info == 27:
+            return struct.unpack(">d", self.read(8))[0]
+        if info == 31:
+            return _BREAK
+        if info < 24:
+            return info  # unassigned simple value
+        if info == 24:
+            return self.read(1)[0]
+        raise CBORError(f"unhandled simple value {info}")
+
+    def _decode_indefinite(self, major: int) -> Any:
+        if major == _MT_BYTES or major == _MT_TEXT:
+            chunks = []
+            while True:
+                item = self.decode_item()
+                if item is _BREAK:
+                    break
+                chunks.append(item)
+            if major == _MT_BYTES:
+                return b"".join(chunks)
+            return "".join(chunks)
+        if major == _MT_ARRAY:
+            items = []
+            while True:
+                item = self.decode_item()
+                if item is _BREAK:
+                    break
+                items.append(item)
+            return items
+        if major == _MT_MAP:
+            result = {}
+            while True:
+                key = self.decode_item()
+                if key is _BREAK:
+                    break
+                result[key] = self.decode_item()
+            return result
+        raise CBORError(f"indefinite length not allowed for major type {major}")
+
+
+def cbor_decode(data: bytes) -> Any:
+    """Decode a single CBOR item from ``data``; trailing bytes are an error."""
+    decoder = _Decoder(data)
+    value = decoder.decode_item()
+    if value is _BREAK:
+        raise CBORError("unexpected break code at top level")
+    if decoder.pos != len(data):
+        raise CBORError(f"{len(data) - decoder.pos} trailing bytes after CBOR item")
+    return value

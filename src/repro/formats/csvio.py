@@ -1,0 +1,80 @@
+"""Sensor CSV io.
+
+CSV is the lowest-friction ingestion format (paper Sec. 4.1): a header row
+naming each sensor axis, then one row per reading.  An optional leading
+``timestamp`` column carries the sample interval.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import numpy as np
+
+
+def write_sensor_csv(
+    path_or_buf,
+    values: np.ndarray,
+    axis_names: list[str],
+    interval_ms: float | None = None,
+) -> None:
+    """Write ``values`` ``(readings, axes)`` as sensor CSV."""
+    values = np.atleast_2d(np.asarray(values, dtype=np.float64))
+    if values.shape[1] != len(axis_names):
+        raise ValueError(
+            f"{values.shape[1]} columns but {len(axis_names)} axis names"
+        )
+
+    def _emit(fh) -> None:
+        writer = csv.writer(fh)
+        if interval_ms is not None:
+            writer.writerow(["timestamp"] + axis_names)
+            for i, row in enumerate(values):
+                writer.writerow([f"{i * interval_ms:g}"] + [f"{v:g}" for v in row])
+        else:
+            writer.writerow(axis_names)
+            for row in values:
+                writer.writerow([f"{v:g}" for v in row])
+
+    if hasattr(path_or_buf, "write"):
+        _emit(path_or_buf)
+    else:
+        with open(path_or_buf, "w", newline="") as fh:
+            _emit(fh)
+
+
+def read_sensor_csv(path_or_buf) -> tuple[np.ndarray, list[str], float | None]:
+    """Read a sensor CSV; returns ``(values, axis_names, interval_ms)``.
+
+    ``interval_ms`` is derived from the first two timestamps when a
+    ``timestamp`` column is present, else ``None``.
+    """
+    if hasattr(path_or_buf, "read"):
+        text = path_or_buf.read()
+        if isinstance(text, bytes):
+            text = text.decode("utf-8")
+        fh = io.StringIO(text)
+    else:
+        fh = open(path_or_buf, "r", newline="")
+    try:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if not header:
+            raise ValueError("empty CSV")
+        rows = [row for row in reader if row]
+    finally:
+        fh.close()
+
+    has_ts = header[0].strip().lower() in ("timestamp", "time", "t")
+    axis_names = [h.strip() for h in (header[1:] if has_ts else header)]
+    matrix = np.array([[float(v) for v in row] for row in rows], dtype=np.float64)
+    if matrix.size == 0:
+        return np.zeros((0, len(axis_names))), axis_names, None
+
+    interval_ms = None
+    if has_ts:
+        if matrix.shape[0] >= 2:
+            interval_ms = float(matrix[1, 0] - matrix[0, 0])
+        matrix = matrix[:, 1:]
+    return matrix, axis_names, interval_ms

@@ -1,0 +1,92 @@
+"""Binary PPM (P6) / PGM (P5) image io.
+
+The commercial platform ingests JPG/PNG; those codecs need external
+libraries, so per the substitution rule we exercise the identical code path
+(binary image file → uint8 HxWxC tensor) with the Netpbm formats, which are
+self-describing and implementable from scratch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ImageError(ValueError):
+    """Raised on malformed Netpbm input."""
+
+
+def write_image(path_or_buf, pixels: np.ndarray) -> None:
+    """Write ``pixels`` as PGM (2-D uint8) or PPM (HxWx3 uint8)."""
+    pixels = np.asarray(pixels)
+    if pixels.dtype != np.uint8:
+        if np.issubdtype(pixels.dtype, np.floating):
+            pixels = np.clip(np.round(pixels * 255.0), 0, 255).astype(np.uint8)
+        else:
+            pixels = np.clip(pixels, 0, 255).astype(np.uint8)
+
+    if pixels.ndim == 3 and pixels.shape[2] == 1:
+        pixels = pixels[:, :, 0]
+    if pixels.ndim == 2:
+        magic, (h, w) = b"P5", pixels.shape
+    elif pixels.ndim == 3 and pixels.shape[2] == 3:
+        magic, (h, w) = b"P6", pixels.shape[:2]
+    else:
+        raise ImageError(f"unsupported pixel shape {pixels.shape}")
+
+    header = magic + f"\n{w} {h}\n255\n".encode("ascii")
+    payload = header + pixels.tobytes()
+    if hasattr(path_or_buf, "write"):
+        path_or_buf.write(payload)
+    else:
+        with open(path_or_buf, "wb") as fh:
+            fh.write(payload)
+
+
+def _read_token(data: bytes, pos: int) -> tuple[bytes, int]:
+    """Read one whitespace-delimited token, skipping ``#`` comments."""
+    n = len(data)
+    while pos < n:
+        ch = data[pos : pos + 1]
+        if ch == b"#":
+            while pos < n and data[pos : pos + 1] != b"\n":
+                pos += 1
+        elif ch.isspace():
+            pos += 1
+        else:
+            break
+    start = pos
+    while pos < n and not data[pos : pos + 1].isspace():
+        pos += 1
+    if start == pos:
+        raise ImageError("truncated Netpbm header")
+    return data[start:pos], pos
+
+
+def read_image(path_or_buf) -> np.ndarray:
+    """Read a binary PGM/PPM file into a uint8 array (HxW or HxWx3)."""
+    if hasattr(path_or_buf, "read"):
+        data = path_or_buf.read()
+    else:
+        with open(path_or_buf, "rb") as fh:
+            data = fh.read()
+
+    magic, pos = _read_token(data, 0)
+    if magic not in (b"P5", b"P6"):
+        raise ImageError(f"unsupported Netpbm magic {magic!r}")
+    w_tok, pos = _read_token(data, pos)
+    h_tok, pos = _read_token(data, pos)
+    max_tok, pos = _read_token(data, pos)
+    width, height, maxval = int(w_tok), int(h_tok), int(max_tok)
+    if maxval != 255:
+        raise ImageError(f"only maxval 255 supported, got {maxval}")
+    pos += 1  # single whitespace byte after maxval
+
+    channels = 3 if magic == b"P6" else 1
+    expected = width * height * channels
+    body = data[pos : pos + expected]
+    if len(body) != expected:
+        raise ImageError("truncated Netpbm pixel data")
+    pixels = np.frombuffer(body, dtype=np.uint8)
+    if channels == 3:
+        return pixels.reshape(height, width, 3).copy()
+    return pixels.reshape(height, width).copy()

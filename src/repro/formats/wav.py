@@ -1,0 +1,158 @@
+"""PCM WAV reader/writer built on ``struct`` — no external codecs.
+
+Microphone data enters the Edge Impulse ingestion pipeline as WAV files
+(paper Sec. 4.1).  We support the classic RIFF/WAVE container with PCM
+(format 1) samples at 8/16/24/32-bit depth plus IEEE float (format 3), which
+covers everything a dev-board firmware emits.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class WavError(ValueError):
+    """Raised on malformed WAV containers."""
+
+
+@dataclass(frozen=True)
+class WavInfo:
+    """Header metadata for a decoded WAV file."""
+
+    sample_rate: int
+    channels: int
+    bit_depth: int
+
+
+def write_wav(
+    path_or_buf,
+    samples: np.ndarray,
+    sample_rate: int,
+    bit_depth: int = 16,
+) -> None:
+    """Write ``samples`` (float in [-1, 1] or integer PCM) as a PCM WAV.
+
+    ``samples`` may be 1-D (mono) or 2-D ``(frames, channels)``.
+    """
+    samples = np.asarray(samples)
+    if samples.ndim == 1:
+        samples = samples[:, None]
+    if samples.ndim != 2:
+        raise WavError("samples must be 1-D or (frames, channels)")
+    frames, channels = samples.shape
+
+    if np.issubdtype(samples.dtype, np.floating):
+        clipped = np.clip(samples, -1.0, 1.0)
+        max_int = 2 ** (bit_depth - 1) - 1
+        pcm = np.round(clipped * max_int).astype(np.int64)
+    else:
+        pcm = samples.astype(np.int64)
+
+    bytes_per_sample = bit_depth // 8
+    if bit_depth == 8:
+        raw = (pcm + 128).astype(np.uint8).tobytes()  # 8-bit WAV is unsigned
+    elif bit_depth == 16:
+        raw = pcm.astype("<i2").tobytes()
+    elif bit_depth == 24:
+        as32 = pcm.astype("<i4").tobytes()
+        # Drop the high byte of each little-endian int32 to get int24.
+        arr = np.frombuffer(as32, dtype=np.uint8).reshape(-1, 4)
+        raw = arr[:, :3].tobytes()
+    elif bit_depth == 32:
+        raw = pcm.astype("<i4").tobytes()
+    else:
+        raise WavError(f"unsupported bit depth {bit_depth}")
+
+    byte_rate = sample_rate * channels * bytes_per_sample
+    block_align = channels * bytes_per_sample
+    data_size = frames * block_align
+
+    header = b"RIFF" + struct.pack("<I", 36 + data_size) + b"WAVE"
+    fmt = b"fmt " + struct.pack(
+        "<IHHIIHH", 16, 1, channels, sample_rate, byte_rate, block_align, bit_depth
+    )
+    data_hdr = b"data" + struct.pack("<I", data_size)
+
+    payload = header + fmt + data_hdr + raw
+    if hasattr(path_or_buf, "write"):
+        path_or_buf.write(payload)
+    else:
+        with open(path_or_buf, "wb") as fh:
+            fh.write(payload)
+
+
+def read_wav(path_or_buf) -> tuple[np.ndarray, WavInfo]:
+    """Read a WAV file and return ``(float32 samples in [-1, 1], WavInfo)``.
+
+    Mono files come back 1-D; multichannel files come back
+    ``(frames, channels)``.
+    """
+    if hasattr(path_or_buf, "read"):
+        data = path_or_buf.read()
+    else:
+        with open(path_or_buf, "rb") as fh:
+            data = fh.read()
+
+    if len(data) < 12 or data[:4] != b"RIFF" or data[8:12] != b"WAVE":
+        raise WavError("not a RIFF/WAVE file")
+
+    pos = 12
+    fmt_chunk = None
+    data_chunk = None
+    while pos + 8 <= len(data):
+        chunk_id = data[pos : pos + 4]
+        (chunk_size,) = struct.unpack("<I", data[pos + 4 : pos + 8])
+        body = data[pos + 8 : pos + 8 + chunk_size]
+        if chunk_id == b"fmt ":
+            fmt_chunk = body
+        elif chunk_id == b"data":
+            data_chunk = body
+        pos += 8 + chunk_size + (chunk_size & 1)  # chunks are word-aligned
+
+    if fmt_chunk is None or data_chunk is None:
+        raise WavError("missing fmt or data chunk")
+    if len(fmt_chunk) < 16:
+        raise WavError("fmt chunk too short")
+
+    audio_format, channels, sample_rate, _, _, bit_depth = struct.unpack(
+        "<HHIIHH", fmt_chunk[:16]
+    )
+    if audio_format not in (1, 3):
+        raise WavError(f"unsupported WAV format code {audio_format}")
+
+    if audio_format == 3:
+        if bit_depth == 32:
+            samples = np.frombuffer(data_chunk, dtype="<f4").astype(np.float32)
+        elif bit_depth == 64:
+            samples = np.frombuffer(data_chunk, dtype="<f8").astype(np.float32)
+        else:
+            raise WavError(f"unsupported float bit depth {bit_depth}")
+    elif bit_depth == 8:
+        ints = np.frombuffer(data_chunk, dtype=np.uint8).astype(np.int32) - 128
+        samples = (ints / 127.0).astype(np.float32)
+    elif bit_depth == 16:
+        ints = np.frombuffer(data_chunk, dtype="<i2").astype(np.int32)
+        samples = (ints / 32767.0).astype(np.float32)
+    elif bit_depth == 24:
+        raw = np.frombuffer(data_chunk, dtype=np.uint8)
+        raw = raw[: (len(raw) // 3) * 3].reshape(-1, 3)
+        as32 = (
+            raw[:, 0].astype(np.int32)
+            | (raw[:, 1].astype(np.int32) << 8)
+            | (raw[:, 2].astype(np.int32) << 16)
+        )
+        as32 = np.where(as32 & 0x800000, as32 - 0x1000000, as32)
+        samples = (as32 / 8388607.0).astype(np.float32)
+    elif bit_depth == 32:
+        ints = np.frombuffer(data_chunk, dtype="<i4")
+        samples = (ints / 2147483647.0).astype(np.float32)
+    else:
+        raise WavError(f"unsupported bit depth {bit_depth}")
+
+    if channels > 1:
+        samples = samples[: (len(samples) // channels) * channels]
+        samples = samples.reshape(-1, channels)
+    return samples, WavInfo(sample_rate, channels, bit_depth)

@@ -1,0 +1,24 @@
+"""Model graph IR — the TFLite-flatbuffer substitute.
+
+A trained :class:`repro.nn.Sequential` converts into a :class:`Graph` of
+tensors and ops (with BatchNorm folded and activations fused, the "operator
+fusion" of Sec. 4.5).  The graph is what gets quantized, serialized,
+interpreted (TFLM path) or compiled (EON path), and profiled.
+"""
+
+from repro.graph.ops import ACTIVATIONS, OPCODES, GOp, GTensor, QuantParams
+from repro.graph.graph import Graph
+from repro.graph.convert import sequential_to_graph
+from repro.graph.serialize import graph_from_bytes, graph_to_bytes
+
+__all__ = [
+    "Graph",
+    "GOp",
+    "GTensor",
+    "QuantParams",
+    "OPCODES",
+    "ACTIVATIONS",
+    "sequential_to_graph",
+    "graph_to_bytes",
+    "graph_from_bytes",
+]

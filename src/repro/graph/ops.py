@@ -1,0 +1,127 @@
+"""Graph op and tensor definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Supported opcodes.  Mirrors the TFLM op registry subset the evaluation
+#: models need; the EON Compiler emits one kernel call per entry.
+OPCODES = (
+    "CONV_2D",
+    "DEPTHWISE_CONV_2D",
+    "CONV_1D",
+    "FULLY_CONNECTED",
+    "MAX_POOL_2D",
+    "MAX_POOL_1D",
+    "AVG_POOL_2D",
+    "GLOBAL_AVG_POOL_2D",
+    "GLOBAL_AVG_POOL_1D",
+    "RESHAPE",
+    "ADD",
+    "SOFTMAX",
+)
+
+ACTIVATIONS = ("none", "relu", "relu6")
+
+
+@dataclass
+class QuantParams:
+    """Affine quantization parameters.
+
+    ``scale`` is a scalar array for per-tensor quantization or a 1-D array
+    for per-channel (axis = last weight axis).  ``zero_point`` is always
+    per-tensor, as in TFLite (per-channel weights are symmetric, zp = 0).
+    """
+
+    scale: np.ndarray
+    zero_point: int = 0
+    per_channel: bool = False
+
+    def __post_init__(self):
+        self.scale = np.atleast_1d(np.asarray(self.scale, dtype=np.float64))
+
+    def quantize(self, values: np.ndarray, axis: int = -1) -> np.ndarray:
+        scale = self.scale
+        if self.per_channel:
+            shape = [1] * values.ndim
+            shape[axis] = -1
+            scale = scale.reshape(shape)
+        q = np.round(values / scale) + self.zero_point
+        return np.clip(q, -128, 127).astype(np.int8)
+
+    def dequantize(self, q: np.ndarray, axis: int = -1) -> np.ndarray:
+        scale = self.scale
+        if self.per_channel:
+            shape = [1] * q.ndim
+            shape[axis] = -1
+            scale = scale.reshape(shape)
+        return ((q.astype(np.float64) - self.zero_point) * scale).astype(np.float32)
+
+
+@dataclass
+class GTensor:
+    """A tensor in the graph: constant (weights) or activation."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str = "float32"  # float32 | int8 | int32
+    data: np.ndarray | None = None  # set for constants
+    quant: QuantParams | None = None
+
+    @property
+    def is_const(self) -> bool:
+        return self.data is not None
+
+    @property
+    def size_bytes(self) -> int:
+        itemsize = {"float32": 4, "int8": 1, "int32": 4}[self.dtype]
+        return int(np.prod(self.shape)) * itemsize
+
+
+@dataclass
+class GOp:
+    """One operation: opcode, tensor indices, and static attributes."""
+
+    opcode: str
+    inputs: list[int]
+    outputs: list[int]
+    attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.opcode not in OPCODES:
+            raise ValueError(f"unknown opcode {self.opcode!r}")
+
+
+def op_macs(op: GOp, tensors: list[GTensor]) -> int:
+    """Multiply-accumulate count for one op (drives the latency model)."""
+    out = tensors[op.outputs[0]]
+    out_elems = int(np.prod(out.shape))
+    if op.opcode == "CONV_2D":
+        w = tensors[op.inputs[1]]
+        kh, kw, cin, _ = w.shape
+        return out_elems * kh * kw * cin
+    if op.opcode == "DEPTHWISE_CONV_2D":
+        w = tensors[op.inputs[1]]
+        kh, kw, _, _ = w.shape
+        return out_elems * kh * kw
+    if op.opcode == "CONV_1D":
+        w = tensors[op.inputs[1]]
+        k, cin, _ = w.shape
+        return out_elems * k * cin
+    if op.opcode == "FULLY_CONNECTED":
+        w = tensors[op.inputs[1]]
+        return int(np.prod(w.shape))
+    if op.opcode in ("MAX_POOL_2D", "MAX_POOL_1D", "AVG_POOL_2D"):
+        pool = op.attrs.get("pool_size", 2)
+        dims = 2 if op.opcode.endswith("2D") else 1
+        return out_elems * pool**dims
+    if op.opcode in ("GLOBAL_AVG_POOL_2D", "GLOBAL_AVG_POOL_1D"):
+        src = tensors[op.inputs[0]]
+        return int(np.prod(src.shape))
+    if op.opcode == "ADD":
+        return out_elems
+    if op.opcode == "SOFTMAX":
+        return out_elems * 4  # exp + divide, folded into "mac-equivalents"
+    return 0

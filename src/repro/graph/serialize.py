@@ -1,0 +1,134 @@
+"""Binary graph serialisation — the flatbuffer substitute.
+
+The byte format is what counts: the serialized size is the "model" component
+of flash usage in Table 4, so constants are stored raw (int8 weights really
+take 1 byte/element) with a compact header.
+
+Layout (little-endian):
+
+``EIR1`` magic, u16 version, u32 json-header length, json header (graph
+structure, op attrs, quant params), then each constant tensor's raw bytes in
+header order.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.ops import GOp, GTensor, QuantParams
+
+_MAGIC = b"EIR1"
+_VERSION = 3
+_DTYPES = {"float32": "<f4", "int8": "<i1", "int32": "<i4"}
+
+#: Requantization attrs with per-channel lists are stored as binary blobs,
+#: not JSON text — the flash-size accounting depends on it.  Mantissas fit
+#: int32 (Q31) and shifts fit int8, as in TFLite's flatbuffer.
+_BINARY_ATTRS = {"out_mult": "<i4", "out_shift": "<i1"}
+
+
+def graph_to_bytes(graph: Graph) -> bytes:
+    blobs: list[bytes] = []
+
+    def push(arr: np.ndarray, dtype: str) -> int:
+        blobs.append(np.ascontiguousarray(arr.astype(dtype)).tobytes())
+        return len(blobs[-1])
+
+    tensor_specs = []
+    for t in graph.tensors:
+        spec = {"name": t.name, "shape": list(t.shape), "dtype": t.dtype,
+                "const": t.is_const}
+        if t.quant is not None:
+            # Scales are binary float64 (appended to the blob section) so
+            # round-trips are bit-exact.
+            push(np.asarray(t.quant.scale), "<f8")
+            spec["quant"] = {
+                "n": int(len(t.quant.scale)),
+                "zp": int(t.quant.zero_point),
+                "pc": bool(t.quant.per_channel),
+            }
+        if t.is_const:
+            push(t.data, _DTYPES[t.dtype])
+        tensor_specs.append(spec)
+
+    op_specs = []
+    for op in graph.ops:
+        attrs = {}
+        for key, value in op.attrs.items():
+            if key in _BINARY_ATTRS and isinstance(value, list):
+                push(np.asarray(value, dtype=np.int64), _BINARY_ATTRS[key])
+                attrs[f"__blob_{key}"] = len(value)
+            else:
+                attrs[key] = value
+        op_specs.append(
+            {"opcode": op.opcode, "inputs": op.inputs, "outputs": op.outputs,
+             "attrs": attrs}
+        )
+
+    header = {
+        "name": graph.name,
+        "input_id": graph.input_id,
+        "output_id": graph.output_id,
+        "tensors": tensor_specs,
+        "ops": op_specs,
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return (
+        _MAGIC
+        + struct.pack("<HI", _VERSION, len(header_bytes))
+        + header_bytes
+        + b"".join(blobs)
+    )
+
+
+def graph_from_bytes(data: bytes) -> Graph:
+    if data[:4] != _MAGIC:
+        raise ValueError("not a serialized graph (bad magic)")
+    version, header_len = struct.unpack("<HI", data[4:10])
+    if version != _VERSION:
+        raise ValueError(f"unsupported graph version {version}")
+    header = json.loads(data[10 : 10 + header_len].decode("utf-8"))
+    pos = 10 + header_len
+
+    def pull(count: int, dtype: str) -> np.ndarray:
+        nonlocal pos
+        dt = np.dtype(dtype)
+        nbytes = count * dt.itemsize
+        if pos + nbytes > len(data):
+            raise ValueError("truncated graph blob section")
+        arr = np.frombuffer(data[pos : pos + nbytes], dtype=dt).copy()
+        pos += nbytes
+        return arr
+
+    graph = Graph(name=header["name"])
+    for spec in header["tensors"]:
+        shape = tuple(spec["shape"])
+        quant = None
+        if "quant" in spec:
+            q = spec["quant"]
+            scales = pull(q["n"], "<f8")
+            quant = QuantParams(scale=scales, zero_point=q["zp"], per_channel=q["pc"])
+        data_arr = None
+        if spec["const"]:
+            count = int(np.prod(shape)) if shape else 1
+            data_arr = pull(count, _DTYPES[spec["dtype"]]).reshape(shape)
+        graph.add_tensor(
+            GTensor(spec["name"], shape, spec["dtype"], data=data_arr, quant=quant)
+        )
+    for spec in header["ops"]:
+        attrs = {}
+        for key, value in spec["attrs"].items():
+            if key.startswith("__blob_"):
+                real_key = key[len("__blob_"):]
+                attrs[real_key] = pull(value, _BINARY_ATTRS[real_key]).tolist()
+            else:
+                attrs[key] = value
+        graph.add_op(GOp(spec["opcode"], spec["inputs"], spec["outputs"], attrs))
+    graph.input_id = header["input_id"]
+    graph.output_id = header["output_id"]
+    graph.validate()
+    return graph

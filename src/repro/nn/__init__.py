@@ -1,0 +1,64 @@
+"""A from-scratch NumPy neural-network framework (TensorFlow/Keras substitute).
+
+Implements exactly what the paper's training stage needs (Sec. 4.3): the
+layer types used by the evaluation models (DS-CNN, MobileNetV1/V2-style,
+conv1d stacks), SGD/Adam, and the "subtle but important" training
+optimisations the paper lists — learning-rate finding, classifier bias
+initialisation, and best-model checkpoint restoration.
+"""
+
+from repro.nn.layers import (
+    AvgPool2D,
+    BatchNorm,
+    Conv1D,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Flatten,
+    GlobalAvgPool1D,
+    GlobalAvgPool2D,
+    Layer,
+    MaxPool1D,
+    MaxPool2D,
+    ReLU,
+    ReLU6,
+    Reshape,
+    Residual,
+    Softmax,
+)
+from repro.nn.model import Sequential
+from repro.nn.losses import CrossEntropyFromLogits, MeanSquaredError
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.training import TrainingConfig, Trainer, find_learning_rate
+from repro.nn import architectures
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv1D",
+    "Conv2D",
+    "DepthwiseConv2D",
+    "MaxPool1D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool1D",
+    "GlobalAvgPool2D",
+    "BatchNorm",
+    "Dropout",
+    "Flatten",
+    "Reshape",
+    "Residual",
+    "ReLU",
+    "ReLU6",
+    "Softmax",
+    "Sequential",
+    "CrossEntropyFromLogits",
+    "MeanSquaredError",
+    "SGD",
+    "Adam",
+    "Trainer",
+    "TrainingConfig",
+    "find_learning_rate",
+    "architectures",
+]

@@ -1,0 +1,290 @@
+"""Model zoo — the architectures used in the paper's evaluation (Sec. 5.1)
+and in the EON Tuner sweep of Table 3.
+
+- ``ds_cnn``: the depthwise-separable CNN used for keyword spotting
+  (Sørensen et al., 2020 / MLPerf Tiny KWS reference).
+- ``mobilenet_v1``: MobileNetV1 for visual wake words.
+- ``mobilenet_v2``: inverted-residual MobileNetV2 variant (Table 3, row 1).
+- ``conv1d_stack``: the "Nx conv1d (A to B)" family the tuner sweeps.
+- ``cifar_cnn``: the "simple CNN" trained on CIFAR-10-like data.
+- ``mlp``: dense head over flat DSP features (anomaly/spectral pipelines).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    AvgPool2D,
+    BatchNorm,
+    Conv1D,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Flatten,
+    GlobalAvgPool1D,
+    GlobalAvgPool2D,
+    MaxPool1D,
+    MaxPool2D,
+    ReLU,
+    ReLU6,
+    Residual,
+    Reshape,
+)
+from repro.nn.model import Sequential
+
+
+def _as_image_shape(input_shape: tuple[int, ...]) -> tuple[int, int, int]:
+    if len(input_shape) == 2:
+        return (input_shape[0], input_shape[1], 1)
+    if len(input_shape) == 3:
+        return tuple(input_shape)  # type: ignore[return-value]
+    raise ValueError(f"expected 2-D or 3-D input, got {input_shape}")
+
+
+def ds_cnn(
+    input_shape: tuple[int, ...],
+    n_classes: int,
+    filters: int = 64,
+    n_blocks: int = 4,
+    dropout: float = 0.25,
+    seed: int = 0,
+) -> Sequential:
+    """Depthwise-separable CNN for keyword spotting.
+
+    Structure follows the MLPerf Tiny KWS reference: a strided standard conv
+    stem, then ``n_blocks`` depthwise-separable blocks, average pooling, and
+    a dense classifier.  Input is a ``(frames, coefficients)`` spectrogram.
+    """
+    h, w, c = _as_image_shape(input_shape)
+    layers: list = []
+    if len(input_shape) == 2:
+        layers.append(Reshape((h, w, 1)))
+    layers += [
+        Conv2D(filters, (10, 4), stride=2, padding="same", use_bias=False),
+        BatchNorm(),
+        ReLU(),
+    ]
+    for _ in range(n_blocks):
+        layers += [
+            DepthwiseConv2D(3, stride=1, padding="same", use_bias=False),
+            BatchNorm(),
+            ReLU(),
+            Conv2D(filters, 1, stride=1, padding="same", use_bias=False),
+            BatchNorm(),
+            ReLU(),
+        ]
+    layers += [
+        Dropout(dropout, seed=seed),
+        GlobalAvgPool2D(),
+        Dense(n_classes),
+    ]
+    return Sequential(layers, input_shape=input_shape, seed=seed)
+
+
+def _dw_separable(filters: int, stride: int) -> list:
+    return [
+        DepthwiseConv2D(3, stride=stride, padding="same", use_bias=False),
+        BatchNorm(),
+        ReLU(),
+        Conv2D(filters, 1, padding="same", use_bias=False),
+        BatchNorm(),
+        ReLU(),
+    ]
+
+
+def mobilenet_v1(
+    input_shape: tuple[int, ...],
+    n_classes: int,
+    alpha: float = 0.25,
+    depth: int = 6,
+    seed: int = 0,
+) -> Sequential:
+    """MobileNetV1 scaled by width multiplier ``alpha``.
+
+    ``depth`` controls how many depthwise-separable stages follow the stem
+    (the full network uses 13; the TinyML VWW reference keeps the early
+    stages and relies on global pooling).  2-D input (e.g. a spectrogram)
+    gets a channel dim prepended via Reshape.
+    """
+
+    def width(base: int) -> int:
+        return max(8, int(round(base * alpha / 8)) * 8)
+
+    stage_specs = [
+        (width(64), 1),
+        (width(128), 2),
+        (width(128), 1),
+        (width(256), 2),
+        (width(256), 1),
+        (width(512), 2),
+        (width(512), 1),
+        (width(512), 1),
+    ][:depth]
+
+    layers: list = []
+    if len(input_shape) == 2:
+        layers.append(Reshape((input_shape[0], input_shape[1], 1)))
+    layers += [
+        Conv2D(width(32), 3, stride=2, padding="same", use_bias=False),
+        BatchNorm(),
+        ReLU(),
+    ]
+    for filters, stride in stage_specs:
+        layers += _dw_separable(filters, stride)
+    layers += [GlobalAvgPool2D(), Dense(n_classes)]
+    return Sequential(layers, input_shape=input_shape, seed=seed)
+
+
+def _inverted_residual(
+    in_c: int, out_c: int, stride: int, expand: int
+) -> list:
+    """MobileNetV2 inverted-residual block as a flat layer list (wrapped in
+    Residual when the skip connection applies)."""
+    hidden = in_c * expand
+    branch = [
+        Conv2D(hidden, 1, padding="same", use_bias=False),
+        BatchNorm(),
+        ReLU6(),
+        DepthwiseConv2D(3, stride=stride, padding="same", use_bias=False),
+        BatchNorm(),
+        ReLU6(),
+        Conv2D(out_c, 1, padding="same", use_bias=False),
+        BatchNorm(),
+    ]
+    if stride == 1 and in_c == out_c:
+        return [Residual(branch)]
+    return branch
+
+
+def mobilenet_v2(
+    input_shape: tuple[int, ...],
+    n_classes: int,
+    alpha: float = 0.35,
+    seed: int = 0,
+) -> Sequential:
+    """A compact MobileNetV2 with inverted residual bottlenecks."""
+
+    def width(base: int) -> int:
+        return max(8, int(round(base * alpha / 8)) * 8)
+
+    c_stem, c1, c2, c3 = width(32), width(16), width(24), width(32)
+    layers: list = []
+    if len(input_shape) == 2:
+        layers.append(Reshape((input_shape[0], input_shape[1], 1)))
+    layers += [
+        Conv2D(c_stem, 3, stride=2, padding="same", use_bias=False),
+        BatchNorm(),
+        ReLU6(),
+    ]
+    layers += _inverted_residual(c_stem, c1, stride=1, expand=1)
+    layers += _inverted_residual(c1, c2, stride=2, expand=4)
+    layers += _inverted_residual(c2, c2, stride=1, expand=4)
+    layers += _inverted_residual(c2, c3, stride=2, expand=4)
+    layers += _inverted_residual(c3, c3, stride=1, expand=4)
+    layers += [
+        Conv2D(width(96), 1, padding="same", use_bias=False),
+        BatchNorm(),
+        ReLU6(),
+        GlobalAvgPool2D(),
+        Dense(n_classes),
+    ]
+    return Sequential(layers, input_shape=input_shape, seed=seed)
+
+
+def conv1d_stack(
+    input_shape: tuple[int, int],
+    n_classes: int,
+    n_layers: int = 3,
+    first_filters: int = 16,
+    last_filters: int = 64,
+    kernel_size: int = 3,
+    dropout: float = 0.25,
+    seed: int = 0,
+) -> Sequential:
+    """The "Nx conv1d (first to last)" family from Table 3.
+
+    Filter counts are spaced geometrically from ``first_filters`` to
+    ``last_filters``; each stage is conv1d + ReLU + maxpool(2).
+    """
+    if n_layers == 1:
+        filter_counts = [last_filters]
+    else:
+        filter_counts = [
+            int(round(first_filters * (last_filters / first_filters) ** (i / (n_layers - 1))))
+            for i in range(n_layers)
+        ]
+    layers: list = []
+    time_steps = input_shape[0]
+    for f in filter_counts:
+        layers += [Conv1D(f, kernel_size, padding="same"), ReLU()]
+        if time_steps >= 2:
+            layers.append(MaxPool1D(2))
+            time_steps //= 2
+    layers += [Dropout(dropout, seed=seed), GlobalAvgPool1D(), Dense(n_classes)]
+    return Sequential(layers, input_shape=input_shape, seed=seed)
+
+
+def cifar_cnn(
+    input_shape: tuple[int, int, int] = (32, 32, 3),
+    n_classes: int = 10,
+    base_filters: int = 16,
+    seed: int = 0,
+) -> Sequential:
+    """The "simple convolutional neural network" used for image
+    classification in Sec. 5.1."""
+    f = base_filters
+    layers = [
+        Conv2D(f, 3, padding="same", use_bias=False),
+        BatchNorm(),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(2 * f, 3, padding="same", use_bias=False),
+        BatchNorm(),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(4 * f, 3, padding="same", use_bias=False),
+        BatchNorm(),
+        ReLU(),
+        AvgPool2D(2),
+        Flatten(),
+        Dropout(0.25, seed=seed),
+        Dense(n_classes),
+    ]
+    return Sequential(layers, input_shape=input_shape, seed=seed)
+
+
+def mlp(
+    input_shape: tuple[int, ...],
+    n_classes: int,
+    hidden: tuple[int, ...] = (40, 20),
+    seed: int = 0,
+) -> Sequential:
+    """Dense network over flat DSP features (spectral-analysis pipelines)."""
+    layers: list = []
+    if len(input_shape) > 1:
+        layers.append(Flatten())
+    for units in hidden:
+        layers += [Dense(units), ReLU()]
+    layers.append(Dense(n_classes))
+    return Sequential(layers, input_shape=input_shape, seed=seed)
+
+
+ARCHITECTURES = {
+    "ds_cnn": ds_cnn,
+    "mobilenet_v1": mobilenet_v1,
+    "mobilenet_v2": mobilenet_v2,
+    "conv1d_stack": conv1d_stack,
+    "cifar_cnn": cifar_cnn,
+    "mlp": mlp,
+}
+
+
+def describe(model: Sequential) -> str:
+    """Human-readable architecture label (used by tuner tables)."""
+    conv1d = [l for l in model.walk_layers() if isinstance(l, Conv1D)]
+    if conv1d:
+        return f"{len(conv1d)}x conv1d ({conv1d[0].filters} to {conv1d[-1].filters})"
+    n_params = model.count_params()
+    return f"cnn ({n_params} params)"

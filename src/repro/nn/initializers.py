@@ -1,0 +1,19 @@
+"""Weight initialisers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(
+    shape: tuple[int, ...], fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def he_normal(
+    shape: tuple[int, ...], fan_in: int, rng: np.random.Generator
+) -> np.ndarray:
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return (rng.standard_normal(shape) * std).astype(np.float32)

@@ -1,0 +1,34 @@
+"""Loss functions (value + gradient w.r.t. model output)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CrossEntropyFromLogits:
+    """Numerically stable softmax cross-entropy against integer labels.
+
+    The model emits logits; softmax is fused into the loss so training never
+    materialises probabilities (the deployed graph appends a SOFTMAX op).
+    """
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+        n = logits.shape[0]
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_sum = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        log_probs = shifted - log_sum
+        loss = -log_probs[np.arange(n), labels].mean()
+        probs = np.exp(log_probs)
+        grad = probs
+        grad[np.arange(n), labels] -= 1.0
+        return float(loss), (grad / n).astype(np.float32)
+
+
+class MeanSquaredError:
+    """MSE for regression heads."""
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        diff = pred - target
+        loss = float(np.mean(diff**2))
+        grad = (2.0 * diff / diff.size).astype(np.float32)
+        return loss, grad

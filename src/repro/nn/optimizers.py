@@ -1,0 +1,65 @@
+"""Optimizers: SGD with momentum and Adam."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Optimizer:
+    def __init__(self, learning_rate: float):
+        self.learning_rate = float(learning_rate)
+
+    def step(self, params_and_grads: list[tuple[np.ndarray, np.ndarray]]) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with classical momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.9):
+        super().__init__(learning_rate)
+        self.momentum = float(momentum)
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self, params_and_grads):
+        for param, grad in params_and_grads:
+            key = id(param)
+            vel = self._velocity.get(key)
+            if vel is None:
+                vel = np.zeros_like(param)
+            vel = self.momentum * vel - self.learning_rate * grad
+            self._velocity[key] = vel
+            param += vel
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-7,
+    ):
+        super().__init__(learning_rate)
+        self.beta1, self.beta2, self.eps = float(beta1), float(beta2), float(eps)
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params_and_grads):
+        self._t += 1
+        b1t = 1.0 - self.beta1**self._t
+        b2t = 1.0 - self.beta2**self._t
+        for param, grad in params_and_grads:
+            key = id(param)
+            m = self._m.get(key)
+            if m is None:
+                m = np.zeros_like(param)
+                self._v[key] = np.zeros_like(param)
+            v = self._v[key]
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad * grad
+            self._m[key], self._v[key] = m, v
+            param -= self.learning_rate * (m / b1t) / (np.sqrt(v / b2t) + self.eps)

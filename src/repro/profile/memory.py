@@ -1,0 +1,146 @@
+"""RAM / flash estimation — the model behind Table 4.
+
+RAM(engine)  = arena + engine runtime overhead + allocator slack
+Flash(engine) = serialized model + kernel code for the opcodes present
+                (+ interpreter core, resolver and flatbuffer parser for TFLM)
+
+The EON Compiler's savings come from three removals the paper describes
+(Sec. 4.5): no interpreter core in flash, no flatbuffer parsing code, and no
+runtime tensor metadata in RAM.  Allocator slack is proportional to the
+arena (TFLM's allocator keeps temp buffers and padding), which is why the
+paper's RAM delta is larger for float models than int8 ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dsp.base import DSPBlock
+from repro.graph.graph import Graph
+from repro.graph.serialize import graph_to_bytes
+from repro.profile.devices import DeviceProfile
+from repro.runtime.arena import plan_arena
+
+#: approximate compiled kernel code sizes (bytes) per opcode and precision;
+#: int8 kernels (CMSIS-NN-class) are larger than the reference float ones.
+KERNEL_CODE_BYTES = {
+    "CONV_2D": {"float32": 5200, "int8": 7800},
+    "DEPTHWISE_CONV_2D": {"float32": 4800, "int8": 7200},
+    "CONV_1D": {"float32": 3600, "int8": 5200},
+    "FULLY_CONNECTED": {"float32": 1800, "int8": 2600},
+    "MAX_POOL_2D": {"float32": 1200, "int8": 1400},
+    "MAX_POOL_1D": {"float32": 900, "int8": 1100},
+    "AVG_POOL_2D": {"float32": 1400, "int8": 1800},
+    "GLOBAL_AVG_POOL_2D": {"float32": 700, "int8": 900},
+    "GLOBAL_AVG_POOL_1D": {"float32": 600, "int8": 800},
+    "RESHAPE": {"float32": 300, "int8": 300},
+    "ADD": {"float32": 900, "int8": 1600},
+    "SOFTMAX": {"float32": 1100, "int8": 2200},
+}
+
+#: TFLM-only flash components (interpreter core, op resolver, flatbuffer
+#: schema parsing) — the code EON codegen eliminates.
+TFLM_INTERPRETER_CODE = 24_576
+TFLM_RESOLVER_CODE = 1_536
+TFLM_FLATBUFFER_PARSER = 6_144
+#: EON emits a small amount of glue per op instead.
+EON_GLUE_PER_OP = 192
+
+#: allocator slack as a fraction of the arena (temporary allocations,
+#: per-allocation padding) — TFLM's biggest RAM overhead beyond metadata.
+TFLM_ARENA_SLACK = 0.12
+EON_ARENA_SLACK = 0.02
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Estimated memory for one (graph, engine) pair."""
+
+    arena_bytes: int
+    runtime_ram_bytes: int
+    model_flash_bytes: int
+    code_flash_bytes: int
+    dsp_ram_bytes: int = 0
+
+    @property
+    def ram_bytes(self) -> int:
+        return self.arena_bytes + self.runtime_ram_bytes + self.dsp_ram_bytes
+
+    @property
+    def flash_bytes(self) -> int:
+        return self.model_flash_bytes + self.code_flash_bytes
+
+    @property
+    def ram_kb(self) -> float:
+        return self.ram_bytes / 1024.0
+
+    @property
+    def flash_kb(self) -> float:
+        return self.flash_bytes / 1024.0
+
+
+class MemoryEstimator:
+    """Prices a graph under either engine, optionally adding DSP buffers."""
+
+    def __init__(self, engine: str = "tflm", arena_strategy: str = "greedy"):
+        if engine not in ("tflm", "eon"):
+            raise ValueError("engine must be 'tflm' or 'eon'")
+        self.engine = engine
+        self.arena_strategy = arena_strategy
+
+    def estimate(
+        self,
+        graph: Graph,
+        dsp_block: DSPBlock | None = None,
+        raw_input_shape: tuple[int, ...] | None = None,
+    ) -> MemoryBreakdown:
+        arena = plan_arena(graph, strategy=self.arena_strategy).total_bytes
+        dtype = graph.dtype
+        n_tensors = len(graph.tensors)
+        n_ops = len(graph.ops)
+
+        if self.engine == "tflm":
+            runtime_ram = int(
+                1536 + 64 * n_tensors + 32 * n_ops + TFLM_ARENA_SLACK * arena
+            )
+            code = TFLM_INTERPRETER_CODE + TFLM_RESOLVER_CODE + TFLM_FLATBUFFER_PARSER
+            for opcode in graph.op_counts():
+                code += KERNEL_CODE_BYTES[opcode][dtype if dtype != "int32" else "int8"]
+        else:
+            runtime_ram = int(256 + EON_ARENA_SLACK * arena)
+            code = EON_GLUE_PER_OP * n_ops
+            for opcode in graph.op_counts():
+                code += KERNEL_CODE_BYTES[opcode][dtype if dtype != "int32" else "int8"]
+
+        dsp_ram = (
+            dsp_block.buffer_bytes(raw_input_shape)
+            if dsp_block is not None and raw_input_shape is not None
+            else 0
+        )
+        return MemoryBreakdown(
+            arena_bytes=arena,
+            runtime_ram_bytes=runtime_ram,
+            model_flash_bytes=len(graph_to_bytes(graph)),
+            code_flash_bytes=code,
+            dsp_ram_bytes=dsp_ram,
+        )
+
+    def fits(
+        self,
+        graph: Graph,
+        device: DeviceProfile,
+        dsp_block: DSPBlock | None = None,
+        raw_input_shape: tuple[int, ...] | None = None,
+        firmware_flash_bytes: int = 180_000,
+        firmware_ram_bytes: int = 40_000,
+    ) -> bool:
+        """Whether the deployment fits the device alongside base firmware.
+
+        Reproduces Table 2's '-' cells (model did not fit due to flash or
+        RAM constraints).
+        """
+        est = self.estimate(graph, dsp_block, raw_input_shape)
+        return (
+            est.flash_bytes + firmware_flash_bytes <= device.flash_bytes
+            and est.ram_bytes + firmware_ram_bytes <= device.ram_bytes
+        )

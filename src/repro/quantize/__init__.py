@@ -1,0 +1,22 @@
+"""int8 post-training quantization (paper Sec. 4.5).
+
+Implements the TFLite scheme: asymmetric per-tensor int8 activations,
+symmetric per-channel int8 conv weights (per-tensor for fully-connected),
+int32 biases at ``input_scale * weight_scale``, and integer-only
+requantization via fixed-point multipliers.
+"""
+
+from repro.quantize.fixedpoint import (
+    multiply_by_quantized_multiplier,
+    quantize_multiplier,
+)
+from repro.quantize.calibrate import ActivationStats, calibrate_activations
+from repro.quantize.ptq import quantize_graph
+
+__all__ = [
+    "quantize_multiplier",
+    "multiply_by_quantized_multiplier",
+    "ActivationStats",
+    "calibrate_activations",
+    "quantize_graph",
+]

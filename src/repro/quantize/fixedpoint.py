@@ -1,0 +1,56 @@
+"""Fixed-point multiplier arithmetic for integer-only requantization.
+
+A real-valued rescale factor ``M`` (for example ``in_scale * w_scale /
+out_scale``) is represented as a Q31 mantissa plus a power-of-two exponent,
+and applied to int32 accumulators with round-to-nearest — the same
+construction TFLM's kernels use (via gemmlowp).  Everything is vectorised
+over int64 so results are bit-deterministic across platforms.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def quantize_multiplier(real: float) -> tuple[int, int]:
+    """Decompose ``real`` into ``(mantissa_q31, exponent)``.
+
+    ``real == mantissa_q31 / 2**31 * 2**exponent`` with mantissa in
+    ``[2**30, 2**31)`` (or 0).  Raises for negative multipliers, which never
+    occur for valid scale ratios.
+    """
+    if real < 0:
+        raise ValueError("quantized multipliers must be non-negative")
+    if real == 0.0:
+        return 0, 0
+    mant, exp = math.frexp(real)  # mant in [0.5, 1)
+    q = int(round(mant * (1 << 31)))
+    if q == (1 << 31):  # rounding overflowed the mantissa
+        q //= 2
+        exp += 1
+    return q, exp
+
+
+def multiply_by_quantized_multiplier(
+    acc: np.ndarray, mantissa_q31, exponent
+) -> np.ndarray:
+    """Apply ``(mantissa, exponent)`` to int accumulators with rounding.
+
+    ``acc`` is int64 (int32-range values); mantissa/exponent may be scalars
+    or arrays broadcastable against ``acc`` (per-channel requantization).
+    Computes ``round(acc * mantissa / 2**(31 - exponent))`` with
+    round-half-away-from-zero, matching the reference kernels.
+    """
+    acc = np.asarray(acc, dtype=np.int64)
+    mant = np.asarray(mantissa_q31, dtype=np.int64)
+    exp = np.asarray(exponent, dtype=np.int64)
+    total_shift = 31 - exp
+    if np.any(total_shift < 1):
+        raise ValueError("multiplier exponent too large; accumulator would overflow")
+    prod = acc * mant
+    rounding = np.int64(1) << (total_shift - 1)
+    # Round half away from zero: add/subtract the rounding constant by sign.
+    adjusted = np.where(prod >= 0, prod + rounding, prod - rounding + 1)
+    return adjusted >> total_shift

@@ -1,0 +1,178 @@
+"""Post-training quantization: float32 Graph -> int8 Graph."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.ops import GOp, GTensor, QuantParams
+from repro.quantize.calibrate import ActivationStats, calibrate_activations
+from repro.quantize.fixedpoint import quantize_multiplier
+
+#: Softmax output is fixed at scale 1/256, zero point -128 (TFLite convention)
+#: so probabilities use the full int8 range.
+SOFTMAX_SCALE = 1.0 / 256.0
+SOFTMAX_ZP = -128
+
+
+def _activation_qparams(lo: float, hi: float) -> QuantParams:
+    scale = (hi - lo) / 255.0
+    zp = int(round(-128 - lo / scale))
+    return QuantParams(scale=np.array([scale]), zero_point=int(np.clip(zp, -128, 127)))
+
+
+def _weight_qparams(weights: np.ndarray, per_channel: bool) -> QuantParams:
+    if per_channel:
+        axes = tuple(range(weights.ndim - 1))
+        max_abs = np.maximum(np.abs(weights).max(axis=axes), 1e-9)
+        return QuantParams(scale=max_abs / 127.0, zero_point=0, per_channel=True)
+    max_abs = max(float(np.abs(weights).max()), 1e-9)
+    return QuantParams(scale=np.array([max_abs / 127.0]), zero_point=0)
+
+
+def quantize_graph(
+    graph: Graph,
+    calibration_data: np.ndarray,
+    stats: ActivationStats | None = None,
+    per_channel: bool = True,
+) -> Graph:
+    """Quantize a float graph to int8 using calibration data.
+
+    Per-op requantization multipliers are precomputed here (as Q31
+    mantissa/exponent pairs) and stored in op attrs, exactly as a converter
+    bakes them into the flatbuffer — the runtime does integer math only.
+    """
+    if stats is None:
+        stats = calibrate_activations(graph, calibration_data)
+
+    q = Graph(name=f"{graph.name}_int8")
+    act_q: dict[int, QuantParams] = {}
+
+    # Pass 1: clone tensors with quantized dtypes/params.
+    for tid, t in enumerate(graph.tensors):
+        if t.is_const:
+            # Weights are quantized in pass 2 where we know the consuming op
+            # (bias scale depends on the input's scale).  Placeholder clone.
+            q.add_tensor(GTensor(t.name, t.shape, t.dtype, data=t.data, quant=None))
+        else:
+            is_softmax_out = any(
+                op.opcode == "SOFTMAX" and tid in op.outputs for op in graph.ops
+            )
+            if is_softmax_out:
+                qp = QuantParams(scale=np.array([SOFTMAX_SCALE]), zero_point=SOFTMAX_ZP)
+            else:
+                lo, hi = stats.range_for(tid)
+                qp = _activation_qparams(lo, hi)
+            act_q[tid] = qp
+            q.add_tensor(GTensor(t.name, t.shape, "int8", quant=qp))
+
+    # Pass 1.5: pools and reshape must carry their input's qparams through
+    # unchanged — their int8 kernels operate on raw quantized values with no
+    # rescale (TFLite's "same scale" op constraint).  Walk in execution
+    # order so chains propagate.
+    _SAME_QPARAMS_OPS = (
+        "MAX_POOL_2D", "MAX_POOL_1D", "AVG_POOL_2D",
+        "GLOBAL_AVG_POOL_2D", "GLOBAL_AVG_POOL_1D", "RESHAPE",
+    )
+    for op in graph.ops:
+        if op.opcode in _SAME_QPARAMS_OPS:
+            in_q = act_q[op.inputs[0]]
+            out_id = op.outputs[0]
+            act_q[out_id] = in_q
+            q.tensors[out_id].quant = in_q
+
+    # Pass 2: clone ops, quantize weights/biases, precompute multipliers.
+    for op in graph.ops:
+        attrs = dict(op.attrs)
+        if op.opcode in ("CONV_2D", "DEPTHWISE_CONV_2D", "CONV_1D", "FULLY_CONNECTED"):
+            in_id, w_id, b_id = op.inputs
+            w_tensor = graph.tensors[w_id]
+            b_tensor = graph.tensors[b_id]
+            use_pc = per_channel and op.opcode != "FULLY_CONNECTED"
+            if use_pc and op.opcode == "DEPTHWISE_CONV_2D":
+                # Output channel for DW weights (KH,KW,C,DM) is the (C,DM)
+                # pair; scales are stored flattened to C*DM to line up with
+                # the bias / requant-multiplier vectors.
+                max_abs = np.maximum(np.abs(w_tensor.data).max(axis=(0, 1)), 1e-9)
+                per_ch_scale = max_abs / 127.0  # (C, DM)
+                w_int8 = np.clip(
+                    np.round(w_tensor.data / per_ch_scale), -128, 127
+                ).astype(np.int8)
+                wq = QuantParams(
+                    scale=per_ch_scale.reshape(-1), zero_point=0, per_channel=True
+                )
+            else:
+                wq = _weight_qparams(w_tensor.data, per_channel=use_pc)
+                w_int8 = wq.quantize(w_tensor.data, axis=-1)
+            q.tensors[w_id] = GTensor(
+                w_tensor.name, w_tensor.shape, "int8", data=w_int8, quant=wq
+            )
+
+            in_scale = float(act_q[in_id].scale[0])
+            bias_scale = in_scale * wq.scale  # per-channel array
+            b_int32 = np.round(b_tensor.data / bias_scale).astype(np.int64)
+            b_int32 = np.clip(b_int32, -(2**31), 2**31 - 1).astype(np.int32)
+            q.tensors[b_id] = GTensor(
+                b_tensor.name,
+                b_tensor.shape,
+                "int32",
+                data=b_int32,
+                quant=QuantParams(scale=bias_scale, zero_point=0, per_channel=use_pc),
+            )
+
+            out_id = op.outputs[0]
+            out_scale = float(act_q[out_id].scale[0])
+            mults = [quantize_multiplier(float(s) / out_scale) for s in bias_scale]
+            attrs["out_mult"] = [m for m, _ in mults]
+            attrs["out_shift"] = [s for _, s in mults]
+            attrs.update(_fused_clamp(attrs.get("activation", "none"), act_q[out_id]))
+
+        elif op.opcode == "ADD":
+            a_id, b_id = op.inputs
+            out_id = op.outputs[0]
+            # Zero-constant ADDs (standalone activations) keep the constant
+            # in float and quantize to the input scale.
+            if graph.tensors[b_id].is_const:
+                bt = graph.tensors[b_id]
+                qp = act_q[a_id]
+                q.tensors[b_id] = GTensor(
+                    bt.name, bt.shape, "int8", data=qp.quantize(bt.data), quant=qp
+                )
+                b_scale = float(qp.scale[0])
+            else:
+                b_scale = float(act_q[b_id].scale[0])
+            a_scale = float(act_q[a_id].scale[0])
+            out_scale = float(act_q[out_id].scale[0])
+            # TFLite ADD: rescale both inputs to twice the larger input
+            # scale at 20 fractional bits, sum, then rescale to output.
+            twice_max = 2.0 * max(a_scale, b_scale)
+            left_shift = 20
+            m1 = quantize_multiplier(a_scale / twice_max)
+            m2 = quantize_multiplier(b_scale / twice_max)
+            mo = quantize_multiplier(twice_max / ((1 << left_shift) * out_scale))
+            attrs["left_shift"] = left_shift
+            attrs["mult1"], attrs["shift1"] = m1
+            attrs["mult2"], attrs["shift2"] = m2
+            attrs["out_mult"], attrs["out_shift"] = mo
+            attrs.update(_fused_clamp(attrs.get("activation", "none"), act_q[out_id]))
+
+        q.add_op(GOp(op.opcode, list(op.inputs), list(op.outputs), attrs))
+
+    q.input_id = graph.input_id
+    q.output_id = graph.output_id
+    q.validate()
+    return q
+
+
+def _fused_clamp(activation: str, out_q: QuantParams) -> dict:
+    """Turn a fused float activation into int8 clamp bounds."""
+    zp = out_q.zero_point
+    scale = float(out_q.scale[0])
+    if activation == "relu":
+        return {"clamp_min": max(-128, zp), "clamp_max": 127}
+    if activation == "relu6":
+        return {
+            "clamp_min": max(-128, zp),
+            "clamp_max": min(127, zp + int(round(6.0 / scale))),
+        }
+    return {"clamp_min": -128, "clamp_max": 127}

@@ -1,0 +1,25 @@
+"""Inference runtimes.
+
+Two engines execute the same :class:`repro.graph.Graph` with the same
+kernels and produce bit-identical outputs; they differ in the overheads
+they carry — exactly the comparison of paper Sec. 5.3:
+
+- :class:`repro.runtime.interpreter.TFLMInterpreter`: op registry +
+  per-tensor runtime metadata, the TFLM model.
+- :class:`repro.runtime.eon.EONCompiler`: ahead-of-time static plan plus
+  generated C++ source, the EON Compiler model.
+"""
+
+from repro.runtime.arena import ArenaPlan, plan_arena
+from repro.runtime.executor import run_graph
+from repro.runtime.interpreter import TFLMInterpreter
+from repro.runtime.eon import EONCompiler, EONModel
+
+__all__ = [
+    "run_graph",
+    "plan_arena",
+    "ArenaPlan",
+    "TFLMInterpreter",
+    "EONCompiler",
+    "EONModel",
+]

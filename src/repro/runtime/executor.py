@@ -1,0 +1,138 @@
+"""Shared graph execution: one dispatch table used by calibration, the
+interpreter, and (via precompiled plans) the EON runtime."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.ops import GOp
+from repro.runtime import kernels as K
+
+
+def _kernel_call(graph: Graph, op: GOp, values: dict[int, np.ndarray]) -> np.ndarray:
+    """Execute one op against the tensor-id -> array map."""
+    t = graph.tensors
+    a = op.attrs
+    is_int8 = t[op.outputs[0]].dtype == "int8"
+    x = values[op.inputs[0]]
+
+    if op.opcode in ("CONV_2D", "DEPTHWISE_CONV_2D"):
+        w = t[op.inputs[1]].data
+        b = t[op.inputs[2]].data
+        fn_f = K.conv2d_f32 if op.opcode == "CONV_2D" else K.dwconv2d_f32
+        fn_i = K.conv2d_i8 if op.opcode == "CONV_2D" else K.dwconv2d_i8
+        if is_int8:
+            return fn_i(
+                x, w, b, a["stride"], a["pad_h"], a["pad_w"],
+                in_zp=t[op.inputs[0]].quant.zero_point,
+                out_zp=t[op.outputs[0]].quant.zero_point,
+                out_mult=a["out_mult"], out_shift=a["out_shift"],
+                clamp_min=a["clamp_min"], clamp_max=a["clamp_max"],
+            )
+        return fn_f(x, w, b, a["stride"], a["pad_h"], a["pad_w"], a.get("activation", "none"))
+
+    if op.opcode == "CONV_1D":
+        w = t[op.inputs[1]].data
+        b = t[op.inputs[2]].data
+        if is_int8:
+            return K.conv1d_i8(
+                x, w, b, a["stride"], a["pad"],
+                in_zp=t[op.inputs[0]].quant.zero_point,
+                out_zp=t[op.outputs[0]].quant.zero_point,
+                out_mult=a["out_mult"], out_shift=a["out_shift"],
+                clamp_min=a["clamp_min"], clamp_max=a["clamp_max"],
+            )
+        return K.conv1d_f32(x, w, b, a["stride"], a["pad"], a.get("activation", "none"))
+
+    if op.opcode == "FULLY_CONNECTED":
+        w = t[op.inputs[1]].data
+        b = t[op.inputs[2]].data
+        if is_int8:
+            return K.fc_i8(
+                x, w, b,
+                in_zp=t[op.inputs[0]].quant.zero_point,
+                out_zp=t[op.outputs[0]].quant.zero_point,
+                out_mult=a["out_mult"], out_shift=a["out_shift"],
+                clamp_min=a["clamp_min"], clamp_max=a["clamp_max"],
+            )
+        return K.fc_f32(x, w, b, a.get("activation", "none"))
+
+    if op.opcode == "MAX_POOL_2D":
+        return K.maxpool2d_i8(x, a["pool_size"]) if is_int8 else K.maxpool2d_f32(x, a["pool_size"])
+    if op.opcode == "MAX_POOL_1D":
+        return K.maxpool1d_i8(x, a["pool_size"]) if is_int8 else K.maxpool1d_f32(x, a["pool_size"])
+    if op.opcode == "AVG_POOL_2D":
+        return K.avgpool2d_i8(x, a["pool_size"]) if is_int8 else K.avgpool2d_f32(x, a["pool_size"])
+    if op.opcode == "GLOBAL_AVG_POOL_2D":
+        return K.gap2d_i8(x) if is_int8 else K.gap2d_f32(x)
+    if op.opcode == "GLOBAL_AVG_POOL_1D":
+        return K.gap1d_i8(x) if is_int8 else K.gap1d_f32(x)
+
+    if op.opcode == "RESHAPE":
+        return x.reshape((x.shape[0],) + tuple(t[op.outputs[0]].shape))
+
+    if op.opcode == "ADD":
+        other = (
+            t[op.inputs[1]].data
+            if t[op.inputs[1]].is_const
+            else values[op.inputs[1]]
+        )
+        if is_int8:
+            return K.add_i8(
+                x, other,
+                zp_a=t[op.inputs[0]].quant.zero_point,
+                zp_b=t[op.inputs[1]].quant.zero_point,
+                out_zp=t[op.outputs[0]].quant.zero_point,
+                left_shift=a["left_shift"],
+                mult1=a["mult1"], shift1=a["shift1"],
+                mult2=a["mult2"], shift2=a["shift2"],
+                out_mult=a["out_mult"], out_shift=a["out_shift"],
+                clamp_min=a["clamp_min"], clamp_max=a["clamp_max"],
+            )
+        return K.add_f32(x, other, a.get("activation", "none"))
+
+    if op.opcode == "SOFTMAX":
+        if is_int8:
+            qp = t[op.inputs[0]].quant
+            return K.softmax_i8(x, float(qp.scale[0]), qp.zero_point)
+        return K.softmax_f32(x)
+
+    raise NotImplementedError(f"no kernel for opcode {op.opcode}")
+
+
+def run_graph(
+    graph: Graph,
+    batch: np.ndarray,
+    record: bool = False,
+) -> np.ndarray | dict[int, np.ndarray]:
+    """Execute the graph over a batch.
+
+    Float graphs take/return float32.  int8 graphs accept float input (which
+    is quantized with the input tensor's qparams, as the SDK does on-device)
+    or pre-quantized int8, and return the raw int8 output tensor.
+
+    With ``record=True`` returns every activation tensor (used by
+    calibration and the active-learning embedding hook).
+    """
+    batch = np.asarray(batch)
+    in_t = graph.tensors[graph.input_id]
+    if in_t.dtype == "int8" and batch.dtype != np.int8:
+        batch = in_t.quant.quantize(batch.astype(np.float32))
+    elif in_t.dtype == "float32":
+        batch = batch.astype(np.float32)
+
+    values: dict[int, np.ndarray] = {graph.input_id: batch}
+    for op in graph.ops:
+        values[op.outputs[0]] = _kernel_call(graph, op, values)
+    if record:
+        return values
+    return values[graph.output_id]
+
+
+def dequantize_output(graph: Graph, output: np.ndarray) -> np.ndarray:
+    """int8 graph output -> float probabilities."""
+    out_t = graph.tensors[graph.output_id]
+    if out_t.dtype == "int8":
+        return out_t.quant.dequantize(output)
+    return output

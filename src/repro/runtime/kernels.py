@@ -1,0 +1,253 @@
+"""Reference kernels, float32 and integer-only int8.
+
+The int8 kernels mirror TFLM/CMSIS-NN arithmetic: int8 operands, int32
+biases, int64 accumulation, fixed-point requantization
+(:mod:`repro.quantize.fixedpoint`), asymmetric activation zero points and
+symmetric (zero-zp) weights.  Both engines call these same functions, which
+is what makes the TFLM-vs-EON comparison a pure overhead comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantize.fixedpoint import multiply_by_quantized_multiplier
+
+# --------------------------------------------------------------------------
+# float32 kernels
+# --------------------------------------------------------------------------
+
+
+def _apply_activation_f32(x: np.ndarray, activation: str) -> np.ndarray:
+    if activation == "relu":
+        return np.maximum(x, 0.0)
+    if activation == "relu6":
+        return np.clip(x, 0.0, 6.0)
+    return x
+
+
+def _windows_2d(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    b, h, w, c = x.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    sb, sh, sw, sc = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x,
+        shape=(b, oh, ow, kh, kw, c),
+        strides=(sb, sh * stride, sw * stride, sh, sw, sc),
+        writeable=False,
+    )
+
+
+def conv2d_f32(x, w, b, stride, pad_h, pad_w, activation="none"):
+    xp = np.pad(x, ((0, 0), tuple(pad_h), tuple(pad_w), (0, 0)))
+    view = _windows_2d(xp, w.shape[0], w.shape[1], stride)
+    out = np.tensordot(view, w, axes=([3, 4, 5], [0, 1, 2])) + b
+    return _apply_activation_f32(out.astype(np.float32), activation)
+
+
+def dwconv2d_f32(x, w, b, stride, pad_h, pad_w, activation="none"):
+    xp = np.pad(x, ((0, 0), tuple(pad_h), tuple(pad_w), (0, 0)))
+    view = _windows_2d(xp, w.shape[0], w.shape[1], stride)
+    out = np.einsum("bxyijc,ijcd->bxycd", view, w, optimize=True)
+    bsz, oh, ow, c, d = out.shape
+    out = out.reshape(bsz, oh, ow, c * d) + b
+    return _apply_activation_f32(out.astype(np.float32), activation)
+
+
+def conv1d_f32(x, w, b, stride, pad, activation="none"):
+    xp = np.pad(x, ((0, 0), tuple(pad), (0, 0)))
+    bsz, t, c = xp.shape
+    k = w.shape[0]
+    ot = (t - k) // stride + 1
+    sb, st, sc = xp.strides
+    view = np.lib.stride_tricks.as_strided(
+        xp, shape=(bsz, ot, k, c), strides=(sb, st * stride, st, sc), writeable=False
+    )
+    out = np.tensordot(view, w, axes=([2, 3], [0, 1])) + b
+    return _apply_activation_f32(out.astype(np.float32), activation)
+
+
+def fc_f32(x, w, b, activation="none"):
+    return _apply_activation_f32((x @ w + b).astype(np.float32), activation)
+
+
+def maxpool2d_f32(x, pool):
+    b, h, w, c = x.shape
+    th, tw = (h // pool) * pool, (w // pool) * pool
+    return x[:, :th, :tw, :].reshape(b, th // pool, pool, tw // pool, pool, c).max(axis=(2, 4))
+
+
+def maxpool1d_f32(x, pool):
+    b, t, c = x.shape
+    tt = (t // pool) * pool
+    return x[:, :tt, :].reshape(b, tt // pool, pool, c).max(axis=2)
+
+
+def avgpool2d_f32(x, pool):
+    b, h, w, c = x.shape
+    th, tw = (h // pool) * pool, (w // pool) * pool
+    return (
+        x[:, :th, :tw, :]
+        .reshape(b, th // pool, pool, tw // pool, pool, c)
+        .mean(axis=(2, 4))
+        .astype(np.float32)
+    )
+
+
+def gap2d_f32(x):
+    return x.mean(axis=(1, 2)).astype(np.float32)
+
+
+def gap1d_f32(x):
+    return x.mean(axis=1).astype(np.float32)
+
+
+def add_f32(a, b, activation="none"):
+    return _apply_activation_f32((a + b).astype(np.float32), activation)
+
+
+def softmax_f32(x):
+    shifted = x - x.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return (e / e.sum(axis=-1, keepdims=True)).astype(np.float32)
+
+
+# --------------------------------------------------------------------------
+# int8 kernels
+# --------------------------------------------------------------------------
+
+
+def _requant(acc, mult, shift, out_zp, clamp_min, clamp_max):
+    """int64 accumulators -> int8 output."""
+    scaled = multiply_by_quantized_multiplier(acc, mult, shift) + out_zp
+    return np.clip(scaled, clamp_min, clamp_max).astype(np.int8)
+
+
+def conv2d_i8(
+    x, w, bias, stride, pad_h, pad_w, in_zp, out_zp, out_mult, out_shift,
+    clamp_min=-128, clamp_max=127,
+):
+    xp = np.pad(x, ((0, 0), tuple(pad_h), tuple(pad_w), (0, 0)), constant_values=in_zp)
+    view = _windows_2d(xp.astype(np.int32) - in_zp, w.shape[0], w.shape[1], stride)
+    acc = np.tensordot(
+        view.astype(np.int64), w.astype(np.int64), axes=([3, 4, 5], [0, 1, 2])
+    )
+    acc += bias.astype(np.int64)
+    mult = np.asarray(out_mult, dtype=np.int64)
+    shift = np.asarray(out_shift, dtype=np.int64)
+    return _requant(acc, mult, shift, out_zp, clamp_min, clamp_max)
+
+
+def dwconv2d_i8(
+    x, w, bias, stride, pad_h, pad_w, in_zp, out_zp, out_mult, out_shift,
+    clamp_min=-128, clamp_max=127,
+):
+    xp = np.pad(x, ((0, 0), tuple(pad_h), tuple(pad_w), (0, 0)), constant_values=in_zp)
+    view = _windows_2d(xp.astype(np.int32) - in_zp, w.shape[0], w.shape[1], stride)
+    acc = np.einsum(
+        "bxyijc,ijcd->bxycd", view.astype(np.int64), w.astype(np.int64), optimize=True
+    )
+    bsz, oh, ow, c, d = acc.shape
+    acc = acc.reshape(bsz, oh, ow, c * d) + bias.astype(np.int64)
+    mult = np.asarray(out_mult, dtype=np.int64)
+    shift = np.asarray(out_shift, dtype=np.int64)
+    return _requant(acc, mult, shift, out_zp, clamp_min, clamp_max)
+
+
+def conv1d_i8(
+    x, w, bias, stride, pad, in_zp, out_zp, out_mult, out_shift,
+    clamp_min=-128, clamp_max=127,
+):
+    xp = np.pad(x, ((0, 0), tuple(pad), (0, 0)), constant_values=in_zp)
+    bsz, t, c = xp.shape
+    k = w.shape[0]
+    ot = (t - k) // stride + 1
+    centered = xp.astype(np.int32) - in_zp
+    sb, st, sc = centered.strides
+    view = np.lib.stride_tricks.as_strided(
+        centered, shape=(bsz, ot, k, c), strides=(sb, st * stride, st, sc), writeable=False
+    )
+    acc = np.tensordot(view.astype(np.int64), w.astype(np.int64), axes=([2, 3], [0, 1]))
+    acc += bias.astype(np.int64)
+    mult = np.asarray(out_mult, dtype=np.int64)
+    shift = np.asarray(out_shift, dtype=np.int64)
+    return _requant(acc, mult, shift, out_zp, clamp_min, clamp_max)
+
+
+def fc_i8(
+    x, w, bias, in_zp, out_zp, out_mult, out_shift, clamp_min=-128, clamp_max=127
+):
+    centered = x.astype(np.int64) - in_zp
+    acc = centered @ w.astype(np.int64) + bias.astype(np.int64)
+    mult = np.asarray(out_mult, dtype=np.int64)
+    shift = np.asarray(out_shift, dtype=np.int64)
+    return _requant(acc, mult, shift, out_zp, clamp_min, clamp_max)
+
+
+def maxpool2d_i8(x, pool):
+    return maxpool2d_f32(x, pool)  # max is order-preserving; qparams unchanged
+
+
+def maxpool1d_i8(x, pool):
+    return maxpool1d_f32(x, pool)
+
+
+def avgpool2d_i8(x, pool):
+    b, h, w, c = x.shape
+    th, tw = (h // pool) * pool, (w // pool) * pool
+    acc = (
+        x[:, :th, :tw, :]
+        .astype(np.int32)
+        .reshape(b, th // pool, pool, tw // pool, pool, c)
+        .sum(axis=(2, 4))
+    )
+    count = pool * pool
+    rounded = np.floor_divide(
+        acc + np.where(acc >= 0, count // 2, -(count // 2)), count
+    )
+    return np.clip(rounded, -128, 127).astype(np.int8)
+
+
+def gap2d_i8(x):
+    b, h, w, c = x.shape
+    acc = x.astype(np.int32).sum(axis=(1, 2))
+    count = h * w
+    rounded = np.floor_divide(
+        acc + np.where(acc >= 0, count // 2, -(count // 2)), count
+    )
+    return np.clip(rounded, -128, 127).astype(np.int8)
+
+
+def gap1d_i8(x):
+    b, t, c = x.shape
+    acc = x.astype(np.int32).sum(axis=1)
+    rounded = np.floor_divide(acc + np.where(acc >= 0, t // 2, -(t // 2)), t)
+    return np.clip(rounded, -128, 127).astype(np.int8)
+
+
+def add_i8(
+    a, b, zp_a, zp_b, out_zp, left_shift, mult1, shift1, mult2, shift2,
+    out_mult, out_shift, clamp_min=-128, clamp_max=127,
+):
+    """TFLite-style int8 ADD: both inputs rescaled to a shared high-precision
+    domain, summed, then requantized to the output scale."""
+    wa = (a.astype(np.int64) - zp_a) << left_shift
+    wb = (b.astype(np.int64) - zp_b) << left_shift
+    sa = multiply_by_quantized_multiplier(wa, mult1, shift1)
+    sb = multiply_by_quantized_multiplier(wb, mult2, shift2)
+    raw = sa + sb
+    out = multiply_by_quantized_multiplier(raw, out_mult, out_shift) + out_zp
+    return np.clip(out, clamp_min, clamp_max).astype(np.int8)
+
+
+def softmax_i8(x, in_scale, in_zp):
+    """Dequantize -> float softmax -> fixed (1/256, -128) requantization.
+
+    TFLM implements this with a LUT over fixed-point exponentials; the
+    result is the same int8 probability vector within 1 LSB.
+    """
+    real = (x.astype(np.float32) - in_zp) * in_scale
+    probs = softmax_f32(real)
+    q = np.round(probs / (1.0 / 256.0)) + (-128)
+    return np.clip(q, -128, 127).astype(np.int8)

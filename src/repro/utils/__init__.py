@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic RNG handling, struct packing helpers."""
+
+from repro.utils.rng import ensure_rng
+from repro.utils.units import human_bytes, human_ms
+
+__all__ = ["ensure_rng", "human_bytes", "human_ms"]

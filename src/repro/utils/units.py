@@ -1,0 +1,18 @@
+"""Human-readable formatting for resource figures (kB, ms)."""
+
+from __future__ import annotations
+
+
+def human_bytes(n: float) -> str:
+    """Format a byte count the way the paper's tables do (kB with 1 decimal)."""
+    if n < 1024:
+        return f"{n:.0f} B"
+    kb = n / 1024.0
+    if kb < 1024:
+        return f"{kb:.1f} kB"
+    return f"{kb / 1024.0:.1f} MB"
+
+
+def human_ms(ms: float) -> str:
+    """Format a millisecond latency with 2 decimals, matching Table 2."""
+    return f"{ms:.2f} ms"

@@ -1,0 +1,121 @@
+"""Active learning: embeddings, projections, label suggestion, cleaning."""
+
+import numpy as np
+import pytest
+
+from repro.active import (
+    embed_with_model,
+    flag_outliers,
+    pca_2d,
+    spectral_2d,
+    suggest_labels,
+    tsne_2d,
+)
+
+
+def _clusters(n_per=20, spread=0.3, seed=0):
+    """Three well-separated Gaussian blobs in 8-D."""
+    rng = np.random.default_rng(seed)
+    centers = np.array([[4, 0, 0, 0, 0, 0, 0, 0],
+                        [0, 4, 0, 0, 0, 0, 0, 0],
+                        [0, 0, 4, 0, 0, 0, 0, 0]], dtype=np.float64)
+    xs, ys = [], []
+    for k, c in enumerate(centers):
+        xs.append(c + spread * rng.standard_normal((n_per, 8)))
+        ys.extend([k] * n_per)
+    return np.concatenate(xs), np.array(ys)
+
+
+def test_embeddings_penultimate_layer(trained_tiny_model):
+    x = np.random.default_rng(0).standard_normal((10, 16, 8)).astype(np.float32)
+    emb = embed_with_model(trained_tiny_model, x)
+    assert emb.shape[0] == 10
+    # Penultimate layer of the tiny DS-CNN is the 16-dim GAP output.
+    assert emb.shape[1] == 16
+    assert np.isfinite(emb).all()
+
+
+def test_pca_preserves_cluster_structure():
+    x, y = _clusters()
+    xy = pca_2d(x)
+    assert xy.shape == (60, 2)
+    centroids = np.stack([xy[y == k].mean(axis=0) for k in range(3)])
+    # Pairwise centroid distances exceed intra-cluster spread.
+    for i in range(3):
+        intra = np.linalg.norm(xy[y == i] - centroids[i], axis=1).mean()
+        for j in range(i + 1, 3):
+            inter = np.linalg.norm(centroids[i] - centroids[j])
+            assert inter > 3 * intra
+
+
+def test_tsne_separates_clusters():
+    x, y = _clusters(n_per=15)
+    xy = tsne_2d(x, perplexity=10, iterations=120, seed=0)
+    assert xy.shape == (45, 2)
+    centroids = np.stack([xy[y == k].mean(axis=0) for k in range(3)])
+    for i in range(3):
+        intra = np.linalg.norm(xy[y == i] - centroids[i], axis=1).mean()
+        for j in range(i + 1, 3):
+            assert np.linalg.norm(centroids[i] - centroids[j]) > 2 * intra
+
+
+def test_tsne_tiny_input_falls_back():
+    x = np.random.default_rng(0).standard_normal((3, 4))
+    assert tsne_2d(x).shape == (3, 2)
+
+
+def test_spectral_embedding_runs():
+    x, y = _clusters(n_per=15)
+    xy = spectral_2d(x, n_neighbors=8)
+    assert xy.shape == (45, 2)
+    assert np.isfinite(xy).all()
+    # k-NN graph of separated blobs keeps clusters compact in the embedding.
+    centroids = np.stack([xy[y == k].mean(axis=0) for k in range(3)])
+    spreads = [np.linalg.norm(xy[y == k] - centroids[k], axis=1).mean() for k in range(3)]
+    assert max(spreads) < 1.0  # normalised embedding
+
+
+def test_suggest_labels_accuracy():
+    x, y = _clusters(n_per=30, seed=1)
+    labels = [f"class{int(k)}" for k in y]
+    rng = np.random.default_rng(0)
+    order = rng.permutation(len(x))
+    labeled, unlabeled = order[:30], order[30:]
+    suggestions = suggest_labels(
+        x[labeled], [labels[i] for i in labeled], x[unlabeled], k=5,
+    )
+    assert len(suggestions) > 0.8 * len(unlabeled)
+    correct = sum(
+        1 for s in suggestions if s.label == labels[unlabeled[s.index]]
+    )
+    assert correct / len(suggestions) > 0.95
+    assert all(0.6 <= s.confidence <= 1.0 for s in suggestions)
+
+
+def test_suggest_labels_low_confidence_withheld():
+    # Two overlapping points: neighbours disagree -> no suggestion.
+    labeled = np.array([[0.0], [0.1], [0.2], [0.3]])
+    labels = ["a", "b", "a", "b"]
+    suggestions = suggest_labels(labeled, labels, np.array([[0.15]]), k=4,
+                                 min_confidence=0.75)
+    assert suggestions == []
+
+
+def test_suggest_labels_empty_inputs():
+    assert suggest_labels(np.zeros((0, 2)), [], np.zeros((3, 2))) == []
+    assert suggest_labels(np.zeros((3, 2)), ["a"] * 3, np.zeros((0, 2))) == []
+
+
+def test_flag_outliers_finds_mislabeled():
+    x, y = _clusters(n_per=25, spread=0.2, seed=2)
+    labels = [f"class{int(k)}" for k in y]
+    # Plant one egregious outlier inside class0's label set.
+    x[0] = np.full(8, 30.0)
+    flagged = flag_outliers(x, labels, z_threshold=2.5)
+    assert 0 in flagged
+    assert len(flagged) <= 5  # doesn't flood
+
+
+def test_flag_outliers_small_classes_skipped():
+    x = np.random.default_rng(0).standard_normal((3, 4))
+    assert flag_outliers(x, ["a", "a", "a"]) == []

@@ -1,0 +1,96 @@
+"""Anomaly detection: K-means and GMM scorers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anomaly import GaussianMixture, GaussianMixtureScorer, KMeans, KMeansScorer
+
+
+def _ring_data(n=150, seed=0):
+    """Normal data on two blobs; anomalies far away."""
+    rng = np.random.default_rng(seed)
+    normal = np.concatenate([
+        rng.normal([0, 0], 0.4, size=(n // 2, 2)),
+        rng.normal([4, 4], 0.4, size=(n // 2, 2)),
+    ])
+    anomalies = rng.normal([10, -6], 0.5, size=(20, 2))
+    return normal, anomalies
+
+
+def test_kmeans_clusters_blobs():
+    normal, _ = _ring_data()
+    km = KMeans(n_clusters=2, seed=0).fit(normal)
+    assigns = km.predict(normal)
+    # The two blobs dominate their clusters.
+    first_half = assigns[: len(normal) // 2]
+    second_half = assigns[len(normal) // 2:]
+    assert (first_half == np.bincount(first_half).argmax()).mean() > 0.95
+    assert np.bincount(first_half).argmax() != np.bincount(second_half).argmax()
+
+
+def test_kmeans_inertia_decreases_with_k():
+    normal, _ = _ring_data()
+    inertias = [KMeans(n_clusters=k, seed=0).fit(normal).inertia_ for k in (1, 2, 4)]
+    assert inertias[0] > inertias[1] > inertias[2]
+
+
+def test_kmeans_validates_input():
+    with pytest.raises(ValueError):
+        KMeans(n_clusters=0)
+    with pytest.raises(ValueError):
+        KMeans(n_clusters=10, seed=0).fit(np.zeros((3, 2)))
+
+
+def test_kmeans_scorer_separates_anomalies():
+    normal, anomalies = _ring_data()
+    scorer = KMeansScorer(n_components=4, seed=0).fit(normal)
+    normal_scores = scorer.score(normal)
+    anomaly_scores = scorer.score(anomalies)
+    assert anomaly_scores.min() > normal_scores.max()
+
+
+def test_gmm_loglik_improves_over_iterations():
+    normal, _ = _ring_data()
+    quick = GaussianMixture(n_components=2, max_iter=1, seed=0).fit(normal)
+    full = GaussianMixture(n_components=2, max_iter=100, seed=0).fit(normal)
+    assert full.score_samples(normal).sum() >= quick.score_samples(normal).sum() - 1e-6
+
+
+def test_gmm_weights_normalised():
+    normal, _ = _ring_data()
+    gmm = GaussianMixture(n_components=3, seed=0).fit(normal)
+    assert gmm.weights.sum() == pytest.approx(1.0)
+    assert (gmm.variances > 0).all()
+
+
+def test_gmm_scorer_separates_anomalies():
+    normal, anomalies = _ring_data()
+    scorer = GaussianMixtureScorer(n_components=2, seed=0).fit(normal)
+    assert scorer.score(anomalies).min() > np.quantile(scorer.score(normal), 0.99)
+
+
+def test_gmm_validates_input():
+    with pytest.raises(ValueError):
+        GaussianMixture(n_components=5, seed=0).fit(np.zeros((2, 3)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=5), st.integers(min_value=20, max_value=60))
+def test_kmeans_invariants_property(k, n):
+    """Centroid count, assignment range, inertia == sum of min distances."""
+    rng = np.random.default_rng(k * 100 + n)
+    x = rng.standard_normal((n, 3))
+    km = KMeans(n_clusters=k, seed=0).fit(x)
+    assert km.centroids.shape == (k, 3)
+    assigns = km.predict(x)
+    assert assigns.min() >= 0 and assigns.max() < k
+    d = km.distances(x)
+    assert km.inertia_ == pytest.approx((d**2).sum(), rel=1e-6)
+    # Every cluster's centroid is the mean of its members (fixed point).
+    for c in range(k):
+        members = x[assigns == c]
+        if len(members):
+            np.testing.assert_allclose(km.centroids[c], members.mean(axis=0),
+                                       atol=1e-6)

@@ -1,0 +1,142 @@
+"""EON Tuner: search space, constraint screening, strategies."""
+
+import numpy as np
+import pytest
+
+from repro.automl import (
+    EonTuner,
+    SearchSpace,
+    TunerConstraints,
+    hyperband_search,
+    kws_search_space,
+    surrogate_search,
+)
+from repro.utils.rng import ensure_rng
+
+
+def _tiny_space():
+    return SearchSpace(
+        dsp_templates=[
+            {"type": "mfe", "sample_rate": 4000, "frame_length": [0.02, 0.04],
+             "frame_stride": [0.02], "n_filters": [16]},
+        ],
+        model_templates=[
+            {"architecture": "conv1d_stack", "n_layers": [1, 2],
+             "first_filters": [8], "last_filters": [8, 16]},
+        ],
+    )
+
+
+def _tiny_tuner(constraints=None, **kwargs):
+    from repro.data.synthetic import keyword_dataset
+
+    ds = keyword_dataset(keywords=["yes", "no"], samples_per_class=8,
+                         sample_rate=4000, include_noise=False,
+                         include_unknown=False, seed=0)
+    label_map = {l: i for i, l in enumerate(ds.labels)}
+    raw = np.stack([s.data for s in ds])
+    labels = np.array([label_map[s.label] for s in ds])
+    return EonTuner(raw, labels, _tiny_space(),
+                    constraints=constraints, train_epochs=3, **kwargs)
+
+
+def test_space_expansion_and_sampling():
+    space = _tiny_space()
+    assert len(space.all_dsp()) == 2
+    assert len(space.all_models()) == 4
+    assert space.size() == 8
+    rng = ensure_rng(0)
+    dsp, model = space.sample(rng)
+    assert dsp["type"] == "mfe"
+    assert model["architecture"] == "conv1d_stack"
+    assert len(space.enumerate()) == 8
+
+
+def test_kws_space_matches_table3():
+    space = kws_search_space()
+    types = {t["type"] for t in space.dsp_templates}
+    assert types == {"mfe", "mfcc"}
+    archs = {t["architecture"] for t in space.model_templates}
+    assert archs == {"conv1d_stack", "mobilenet_v2"}
+
+
+def test_tuner_run_and_results():
+    tuner = _tiny_tuner()
+    trials = tuner.run(n_trials=3, seed=0)
+    assert len(trials) == 3
+    trained = [t for t in trials if t.trained]
+    assert trained, "no configuration trained"
+    for t in trained:
+        assert t.accuracy is not None
+        assert t.nn_ms > 0 and t.flash_kb > 0 and t.ram_kb > 0
+    table = tuner.results_table()
+    assert "Preprocessing" in table and "conv1d" in table
+
+
+def test_constraint_screen_skips_training():
+    """Impossible budgets mean the heuristic screens everything out."""
+    constraints = TunerConstraints(device_key="nano33ble", max_ram_kb=0.001,
+                                  max_flash_kb=0.001)
+    tuner = _tiny_tuner(constraints=constraints)
+    trials = tuner.run(n_trials=3, seed=0)
+    assert all(not t.trained for t in trials)
+    assert all(not t.meets_constraints for t in trials)
+    assert tuner.best_trial() is None
+    assert "skipped" in tuner.results_table()
+
+
+def test_best_trial_is_feasible_maximum():
+    tuner = _tiny_tuner()
+    tuner.run(n_trials=4, seed=1)
+    best = tuner.best_trial()
+    assert best is not None
+    for t in tuner.trials:
+        if t.trained and t.meets_constraints:
+            assert best.accuracy >= t.accuracy
+
+
+def test_duplicate_configs_not_revisited():
+    tuner = _tiny_tuner()
+    tuner.run(n_trials=8, seed=0)  # space size is 8
+    keys = {(str(t.dsp_spec), str(t.model_spec)) for t in tuner.trials}
+    assert len(keys) == len(tuner.trials)
+
+
+def test_figure3_render():
+    tuner = _tiny_tuner()
+    tuner.run(n_trials=2, seed=0)
+    text = tuner.render_figure3()
+    assert "EON Tuner — target" in text
+    assert "ram" in text and "flash" in text
+
+
+def test_hyperband_progression():
+    tuner = _tiny_tuner()
+    trials = hyperband_search(tuner, max_epochs=4, eta=2, seed=0)
+    assert trials
+    rungs = {t.extra.get("hyperband_rung") for t in trials}
+    assert len(rungs) >= 2, "hyperband should run multiple rungs"
+    # Later rungs get more epochs.
+    by_rung = {}
+    for t in trials:
+        if "hyperband_epochs" in t.extra:
+            by_rung.setdefault(t.extra["hyperband_rung"], set()).add(
+                t.extra["hyperband_epochs"]
+            )
+    epochs = [max(v) for _, v in sorted(by_rung.items())]
+    assert epochs == sorted(epochs)
+    assert tuner.best_trial() is not None
+
+
+def test_surrogate_search_runs():
+    tuner = _tiny_tuner()
+    trials = surrogate_search(tuner, n_trials=5, n_init=2, seed=0)
+    assert 1 <= len(trials) <= 5
+    assert all(t.extra.get("strategy") == "surrogate" for t in trials)
+    assert tuner.best_trial() is not None
+
+
+def test_constraints_resolution_defaults():
+    resolved = TunerConstraints(device_key="rp2040").resolved()
+    assert resolved.max_ram_kb == pytest.approx((270_336 - 40_000) / 1024)
+    assert resolved.max_flash_kb > 10_000  # 16 MB part

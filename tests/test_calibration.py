@@ -1,0 +1,165 @@
+"""Performance calibration: post-processing, FAR/FRR scoring, GA."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration import (
+    PostProcessConfig,
+    StreamingPostProcessor,
+    calibrate,
+    continuous_probabilities,
+    evaluate_detections,
+)
+from repro.calibration.genetic import _non_dominated_sort, CalibrationResult
+from repro.calibration.streaming import DetectionOutcome
+
+
+def _pulse_probs(n=40, positions=(10, 25), width=3, peak=0.95):
+    """Synthetic probability timeline with square pulses at positions."""
+    probs = np.full((n, 2), 0.05, dtype=np.float32)
+    for p in positions:
+        probs[p : p + width, 1] = peak
+    probs[:, 0] = 1.0 - probs[:, 1]
+    times = np.arange(n) * 0.25 + 1.0
+    return probs, times
+
+
+def test_threshold_gates_detections():
+    probs, times = _pulse_probs()
+    low = StreamingPostProcessor(PostProcessConfig(threshold=0.5, smoothing_windows=1), 1)
+    high = StreamingPostProcessor(PostProcessConfig(threshold=0.99, smoothing_windows=1), 1)
+    assert len(low.detect(probs, times)) == 2
+    assert len(high.detect(probs, times)) == 0
+
+
+def test_suppression_merges_consecutive_hits():
+    probs, times = _pulse_probs(positions=(10,), width=6)
+    no_suppress = StreamingPostProcessor(
+        PostProcessConfig(threshold=0.5, smoothing_windows=1, suppression_s=0.0), 1
+    )
+    suppress = StreamingPostProcessor(
+        PostProcessConfig(threshold=0.5, smoothing_windows=1, suppression_s=2.0), 1
+    )
+    assert len(no_suppress.detect(probs, times)) > 1
+    assert len(suppress.detect(probs, times)) == 1
+
+
+def test_min_consecutive_filters_glitches():
+    probs, times = _pulse_probs(positions=(10,), width=1)  # 1-window glitch
+    strict = StreamingPostProcessor(
+        PostProcessConfig(threshold=0.5, smoothing_windows=1, min_consecutive=3), 1
+    )
+    assert strict.detect(probs, times) == []
+
+
+def test_smoothing_suppresses_single_spikes():
+    probs, times = _pulse_probs(positions=(10,), width=1)
+    smooth = StreamingPostProcessor(
+        PostProcessConfig(threshold=0.6, smoothing_windows=5), 1
+    )
+    assert smooth.detect(probs, times) == []
+
+
+def test_config_clamping():
+    wild = PostProcessConfig(threshold=7.0, smoothing_windows=-3,
+                             suppression_s=100, min_consecutive=0).clamped()
+    assert 0.05 <= wild.threshold <= 0.99
+    assert 1 <= wild.smoothing_windows <= 12
+    assert wild.suppression_s <= 5.0
+    assert wild.min_consecutive >= 1
+
+
+def test_evaluate_detections_matching():
+    events = [(1.0, 2.0), (5.0, 6.0)]
+    outcome = evaluate_detections([1.5, 5.5, 8.0], events, stream_duration_s=3600)
+    assert outcome.true_accepts == 2
+    assert outcome.false_accepts == 1
+    assert outcome.false_rejects == 0
+    assert outcome.far_per_hour == pytest.approx(1.0)
+    assert outcome.frr == 0.0
+
+
+def test_evaluate_detections_one_to_one():
+    """Two detections of one event: second is a false accept."""
+    outcome = evaluate_detections([1.2, 1.4], [(1.0, 2.0)], 3600)
+    assert outcome.true_accepts == 1
+    assert outcome.false_accepts == 1
+
+
+def test_missed_events_are_false_rejects():
+    outcome = evaluate_detections([], [(1.0, 2.0), (3.0, 4.0)], 3600)
+    assert outcome.frr == 1.0
+
+
+def test_continuous_probabilities_windowing():
+    stream = np.zeros(4000, dtype=np.float32)
+    calls = []
+
+    def fake_classifier(window):
+        calls.append(len(window))
+        return np.array([1.0, 0.0])
+
+    probs, times = continuous_probabilities(fake_classifier, stream, 1000,
+                                            window_s=1.0, stride_s=0.5)
+    assert all(c == 1000 for c in calls)
+    assert probs.shape == (7, 2)
+    assert times[0] == pytest.approx(1.0)
+    assert times[1] - times[0] == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        continuous_probabilities(fake_classifier, stream[:10], 1000)
+
+
+def test_ga_finds_good_configs_on_clean_signal():
+    probs, times = _pulse_probs(n=80, positions=(10, 30, 50), width=3)
+    events = [(times[p] - 1.0, times[p + 3]) for p in (10, 30, 50)]
+    pareto = calibrate(probs, times, events, target_index=1,
+                       stream_duration_s=float(times[-1]),
+                       population=12, generations=5, seed=0)
+    assert pareto
+    # A clean signal admits a perfect config; the GA must find one.
+    best = min(pareto, key=lambda r: (r.outcome.frr, r.outcome.far_per_hour))
+    assert best.outcome.frr == 0.0
+    assert best.outcome.false_accepts == 0
+
+
+def test_pareto_front_is_non_dominated():
+    probs, times = _pulse_probs(n=60, positions=(10, 30), width=2, peak=0.7)
+    events = [(times[10] - 1, times[13]), (times[30] - 1, times[33])]
+    pareto = calibrate(probs, times, events, 1, float(times[-1]),
+                       population=10, generations=4, seed=1)
+    objectives = [p.objectives for p in pareto]
+    for i, a in enumerate(objectives):
+        for j, b in enumerate(objectives):
+            if i != j:
+                assert not (a[0] <= b[0] and a[1] <= b[1] and a != b), (
+                    f"front member {b} dominated by {a}"
+                )
+
+
+class _Point:
+    """Minimal stand-in exposing the .objectives interface the sorter uses."""
+
+    def __init__(self, far, frr):
+        self.objectives = (far, frr)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.floats(0, 100, allow_nan=False), st.floats(0, 1, allow_nan=False)),
+    min_size=1, max_size=12,
+))
+def test_non_dominated_sort_property(points):
+    """Front 0 of the NSGA sort is exactly the non-dominated subset, and
+    the fronts partition the population."""
+    results = [_Point(far, frr) for far, frr in points]
+    fronts = _non_dominated_sort(results)
+    assert sorted(i for front in fronts for i in front) == list(range(len(points)))
+    front0 = {results[i].objectives for i in fronts[0]}
+    for a in points:
+        dominated = any(
+            b[0] <= a[0] and b[1] <= a[1] and tuple(b) != tuple(a) for b in points
+        )
+        if not dominated:
+            assert tuple(a) in front0

@@ -1,0 +1,130 @@
+"""REST-like API: routing, payloads, auth, end-to-end automation."""
+
+import base64
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import Platform, RestAPI
+from repro.formats.wav import write_wav
+
+
+@pytest.fixture()
+def api():
+    platform = Platform()
+    platform.register_user("alice")
+    return RestAPI(platform)
+
+
+def _wav_b64(freq=440.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(2000) / 2000
+    audio = np.sin(2 * np.pi * freq * t) + 0.1 * rng.standard_normal(2000)
+    buf = io.BytesIO()
+    write_wav(buf, audio.astype(np.float32) * 0.5, 2000)
+    return base64.b64encode(buf.getvalue()).decode()
+
+
+IMPULSE_SPEC = {
+    "input": {"type": "time-series", "window_size_ms": 1000,
+              "window_increase_ms": 1000, "frequency_hz": 2000, "axes": 1},
+    "dsp": [{"type": "mfe", "config": {"sample_rate": 2000, "n_filters": 16}}],
+    "learn": {"type": "classification", "architecture": "conv1d_stack",
+              "arch_kwargs": {"n_layers": 2, "first_filters": 8,
+                              "last_filters": 16},
+              "training": {"epochs": 25, "batch_size": 8,
+                           "learning_rate": 3e-3, "seed": 0}},
+}
+
+
+def test_unknown_route(api):
+    assert api.handle("GET", "/api/nonsense")["status"] == 404
+
+
+def test_create_and_get_project(api):
+    created = api.handle("POST", "/api/projects", {"name": "demo"}, user="alice")
+    assert created["status"] == 200
+    pid = created["project_id"]
+    fetched = api.handle("GET", f"/api/projects/{pid}", user="alice")
+    assert fetched["name"] == "demo"
+    assert fetched["samples"] == 0
+
+
+def test_project_requires_name(api):
+    assert api.handle("POST", "/api/projects", {})["status"] == 400
+
+
+def test_permission_denied_for_stranger(api):
+    pid = api.handle("POST", "/api/projects", {"name": "p"}, user="alice")["project_id"]
+    api.platform.register_user("eve")
+    response = api.handle("GET", f"/api/projects/{pid}", user="eve")
+    assert response["status"] == 403
+
+
+def test_full_automation_flow(api):
+    """The Sec. 4.9 promise: the whole workflow is drivable over the API."""
+    pid = api.handle("POST", "/api/projects", {"name": "auto"}, user="alice")["project_id"]
+
+    # Upload two classes of tones.
+    for label, freq in (("low", 200.0), ("high", 800.0)):
+        for i in range(14):
+            response = api.handle(
+                "POST", f"/api/projects/{pid}/data",
+                {"payload_b64": _wav_b64(freq, seed=i), "label": label,
+                 "format": "wav"},
+                user="alice",
+            )
+            assert response["status"] == 200
+
+    summary = api.handle("GET", f"/api/projects/{pid}/data/summary", user="alice")
+    assert set(summary["distribution"]) == {"low", "high"}
+
+    set_resp = api.handle("POST", f"/api/projects/{pid}/impulse",
+                          {"impulse": IMPULSE_SPEC}, user="alice")
+    assert set_resp["status"] == 200
+
+    get_resp = api.handle("GET", f"/api/projects/{pid}/impulse", user="alice")
+    assert "mfe" in get_resp["dataflow"]
+
+    train = api.handle("POST", f"/api/projects/{pid}/jobs/train", {"seed": 0},
+                       user="alice")
+    assert train["status"] == 200 and train["job_status"] == "finished"
+
+    job = api.handle("GET", f"/api/projects/{pid}/jobs/{train['job_id']}",
+                     user="alice")
+    assert job["job_status"] == "finished"
+
+    test = api.handle("POST", f"/api/projects/{pid}/test", {}, user="alice")
+    assert test["status"] == 200
+    assert test["accuracy"] > 0.7  # two tones are trivially separable
+
+    profile = api.handle("POST", f"/api/projects/{pid}/profile",
+                         {"device": "nano33ble"}, user="alice")
+    assert profile["total_ms"] > 0
+
+    deploy = api.handle("POST", f"/api/projects/{pid}/deploy",
+                        {"target": "cpp"}, user="alice")
+    assert deploy["status"] == 200
+    assert any("eon_model" in f for f in deploy["artifact"]["files"])
+
+    version = api.handle("POST", f"/api/projects/{pid}/versions",
+                         {"message": "v1"}, user="alice")
+    assert version["version_id"] == 1
+
+    public = api.handle("POST", f"/api/projects/{pid}/public",
+                        {"tags": ["audio"]}, user="alice")
+    assert public["public"]
+    listing = api.handle("GET", "/api/projects", {"tag": "audio"})
+    assert any(p["project_id"] == pid for p in listing["projects"])
+
+
+def test_job_status_missing(api):
+    pid = api.handle("POST", "/api/projects", {"name": "p"}, user="alice")["project_id"]
+    response = api.handle("GET", f"/api/projects/{pid}/jobs/99", user="alice")
+    assert response["status"] == 404
+
+
+def test_user_creation(api):
+    assert api.handle("POST", "/api/users", {"username": "new"})["status"] == 200
+    assert api.handle("POST", "/api/users", {})["status"] == 400

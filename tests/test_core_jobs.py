@@ -1,0 +1,66 @@
+"""Job queue: lifecycle, failure isolation, autoscaling simulation."""
+
+from repro.core.jobs import JobQueue
+
+
+def test_job_lifecycle():
+    q = JobQueue()
+    job = q.submit("work", lambda j: 42)
+    assert job.status == "queued"
+    q.drain()
+    assert job.status == "finished"
+    assert job.result == 42
+    assert any("started" in line for line in job.logs)
+
+
+def test_failed_job_isolated():
+    q = JobQueue()
+
+    def boom(job):
+        raise RuntimeError("exploded")
+
+    bad = q.submit("bad", boom)
+    good = q.submit("good", lambda j: "ok")
+    q.drain()
+    assert bad.status == "failed"
+    assert "RuntimeError" in bad.error
+    assert good.status == "finished"
+
+
+def test_job_logging():
+    q = JobQueue()
+
+    def chatty(job):
+        job.log("step 1")
+        job.log("step 2")
+        return None
+
+    job = q.submit("chatty", chatty)
+    q.drain()
+    assert "step 1" in job.logs and "step 2" in job.logs
+
+
+def test_autoscaling_up_and_down():
+    q = JobQueue(min_workers=1, max_workers=4, jobs_per_worker=2)
+    jobs = [q.submit(f"j{i}", lambda j: None) for i in range(8)]
+    # 8 queued jobs / 2 per worker -> 4 workers.
+    assert q.workers == 4
+    q.drain()
+    assert q.workers == 1  # scaled back down
+    assert all(j.status == "finished" for j in jobs)
+    assert len(q.scaling_events) >= 2
+    peaks = [e.workers for e in q.scaling_events]
+    assert max(peaks) == 4
+
+
+def test_worker_bounds_respected():
+    q = JobQueue(min_workers=2, max_workers=3, jobs_per_worker=1)
+    for i in range(10):
+        q.submit(f"j{i}", lambda j: None)
+    assert q.workers == 3  # capped at max
+    q.drain()
+    assert q.workers == 2  # floor at min
+
+
+def test_run_next_empty():
+    assert JobQueue().run_next() is None

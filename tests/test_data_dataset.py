@@ -1,0 +1,111 @@
+"""Dataset: dedup, deterministic splits, distribution, mutation."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset, Sample
+
+
+def _sample(value, label="a"):
+    return Sample(data=np.full(10, float(value), dtype=np.float32), label=label)
+
+
+def test_add_and_len():
+    ds = Dataset()
+    for i in range(5):
+        ds.add(_sample(i))
+    assert len(ds) == 5
+
+
+def test_content_dedup():
+    ds = Dataset()
+    first = ds.add(_sample(1))
+    second = ds.add(_sample(1))
+    assert first == second
+    assert len(ds) == 1
+
+
+def test_same_data_different_label_not_duplicate():
+    ds = Dataset()
+    ds.add(_sample(1, "a"))
+    ds.add(_sample(1, "b"))
+    assert len(ds) == 2
+
+
+def test_deterministic_split():
+    """The hash split must be identical across independent ingestions."""
+    a, b = Dataset(), Dataset()
+    for i in range(50):
+        a.add(_sample(i))
+    for i in reversed(range(50)):
+        b.add(_sample(i))
+    cat_a = {s.content_hash(): s.category for s in a}
+    cat_b = {s.content_hash(): s.category for s in b}
+    assert cat_a == cat_b
+
+
+def test_split_ratio_near_80_20():
+    ds = Dataset()
+    for i in range(300):
+        ds.add(_sample(i))
+    assert 0.7 < ds.split_ratio() < 0.9
+
+
+def test_explicit_category_respected():
+    ds = Dataset()
+    sid = ds.add(_sample(1), category="test")
+    assert ds.get(sid).category == "test"
+
+
+def test_remove_and_relabel():
+    ds = Dataset()
+    sid = ds.add(_sample(1, "old"))
+    ds.relabel(sid, "new")
+    assert ds.get(sid).label == "new"
+    ds.remove(sid)
+    assert len(ds) == 0
+    with pytest.raises(KeyError):
+        ds.remove(sid)
+
+
+def test_move_category_validation():
+    ds = Dataset()
+    sid = ds.add(_sample(1))
+    ds.move_to_category(sid, "test")
+    assert ds.get(sid).category == "test"
+    with pytest.raises(ValueError):
+        ds.move_to_category(sid, "validation")
+
+
+def test_class_distribution_and_summary():
+    ds = Dataset()
+    for i in range(6):
+        ds.add(_sample(i, "x"), category="train")
+    for i in range(6, 8):
+        ds.add(_sample(i, "y"), category="test")
+    dist = ds.class_distribution()
+    assert dist["x"]["train"] == 6
+    assert dist["y"]["test"] == 2
+    assert "x" in ds.summary()
+
+
+def test_arrays_with_label_map():
+    ds = Dataset()
+    ds.add(_sample(1, "b"), category="train")
+    ds.add(_sample(2, "a"), category="train")
+    x, y, label_map = ds.arrays(category="train")
+    assert x.shape == (2, 10)
+    assert label_map == {"a": 0, "b": 1}
+    assert set(y.tolist()) == {0, 1}
+
+
+def test_filter_by_label():
+    ds = Dataset()
+    ds.add(_sample(1, "a"))
+    ds.add(_sample(2, "b"))
+    assert len(ds.samples(label="a")) == 1
+
+
+def test_sample_duration():
+    s = Sample(data=np.zeros((100, 3)), label="x", interval_ms=10.0)
+    assert s.duration_ms == 1000.0

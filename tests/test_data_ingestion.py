@@ -1,0 +1,105 @@
+"""Ingestion service: all formats, sniffing, signatures, audit log."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.ingestion import IngestionService
+from repro.formats.acquisition import AcquisitionPayload, encode_acquisition
+from repro.formats.image import write_image
+from repro.formats.wav import write_wav
+
+
+def _wav_bytes():
+    buf = io.BytesIO()
+    write_wav(buf, np.sin(np.linspace(0, 10, 800)).astype(np.float32), 8000)
+    return buf.getvalue()
+
+
+def _image_bytes():
+    buf = io.BytesIO()
+    write_image(buf, np.random.default_rng(0).integers(0, 255, (8, 8), dtype=np.uint8).astype(np.uint8))
+    return buf.getvalue()
+
+
+def _acq_bytes(key=None, fmt="json"):
+    payload = AcquisitionPayload(
+        device_name="d", device_type="t", interval_ms=10.0,
+        sensors=[{"name": "accX", "units": "g"}],
+        values=np.arange(6, dtype=np.float64)[:, None],
+    )
+    return encode_acquisition(payload, hmac_key=key, fmt=fmt)
+
+
+def test_ingest_wav():
+    ds = Dataset()
+    service = IngestionService(ds)
+    sid = service.ingest(_wav_bytes(), label="tone")
+    sample = ds.get(sid)
+    assert sample.sensor == "microphone"
+    assert sample.metadata["sample_rate"] == 8000
+
+
+def test_ingest_csv():
+    ds = Dataset()
+    service = IngestionService(ds)
+    sid = service.ingest(b"timestamp,accX\n0,1.0\n10,2.0\n", label="move", fmt="csv")
+    sample = ds.get(sid)
+    assert sample.interval_ms == 10.0
+    assert sample.data.shape == (2, 1)
+
+
+def test_ingest_image():
+    ds = Dataset()
+    service = IngestionService(ds)
+    sid = service.ingest(_image_bytes(), label="pic")
+    assert ds.get(sid).data.max() <= 1.0
+
+
+def test_ingest_signed_json():
+    ds = Dataset()
+    service = IngestionService(ds, hmac_key="k")
+    sid = service.ingest(_acq_bytes(key="k"), label="acc")
+    assert ds.get(sid).metadata["device_name"] == "d"
+
+
+def test_ingest_cbor_sniffed():
+    ds = Dataset()
+    service = IngestionService(ds)
+    sid = service.ingest(_acq_bytes(fmt="cbor"), label="acc")
+    assert ds.get(sid).data.shape == (6, 1)
+
+
+def test_bad_signature_rejected_and_logged():
+    ds = Dataset()
+    service = IngestionService(ds, hmac_key="expected")
+    with pytest.raises(Exception):
+        service.ingest(_acq_bytes(key="wrong"), label="acc", fmt="json")
+    assert len(service.rejected) == 1
+    assert len(ds) == 0
+
+
+def test_duplicate_upload_deduplicated():
+    ds = Dataset()
+    service = IngestionService(ds)
+    a = service.ingest(_wav_bytes(), label="tone")
+    b = service.ingest(_wav_bytes(), label="tone")
+    assert a == b
+    assert len(ds) == 1
+
+
+def test_format_sniffing():
+    assert IngestionService._sniff(_wav_bytes()) == "wav"
+    assert IngestionService._sniff(_image_bytes()) == "image"
+    assert IngestionService._sniff(_acq_bytes()) == "json"
+    assert IngestionService._sniff(_acq_bytes(fmt="cbor")) == "cbor"
+    assert IngestionService._sniff(b"a,b\n1,2\n") == "csv"
+
+
+def test_unknown_format_rejected():
+    ds = Dataset()
+    service = IngestionService(ds)
+    with pytest.raises(ValueError):
+        service.ingest(b"data", label="x", fmt="parquet")

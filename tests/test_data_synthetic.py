@@ -1,0 +1,133 @@
+"""Synthetic generators: shapes, determinism, class separability."""
+
+import numpy as np
+
+from repro.data.synthetic import (
+    FAULT_MODES,
+    SLEEP_STAGES,
+    keyword_dataset,
+    person_dataset,
+    render_person_image,
+    render_texture,
+    sleep_dataset,
+    streaming_scene,
+    synthesize_keyword,
+    synthesize_vibration,
+    texture_dataset,
+    vibration_dataset,
+)
+from repro.utils.rng import ensure_rng
+
+
+def test_keyword_audio_properties():
+    rng = ensure_rng(0)
+    audio = synthesize_keyword("yes", rng, sample_rate=8000, duration=1.0)
+    assert audio.shape == (8000,)
+    assert audio.dtype == np.float32
+    assert np.abs(audio).max() <= 0.9 + 1e-6
+
+
+def test_keyword_word_determinism_across_speakers():
+    """The same word has the same formant plan for any speaker draw."""
+    from repro.data.synthetic import _formant_plan
+
+    assert np.array_equal(_formant_plan("yes"), _formant_plan("yes"))
+    assert not np.array_equal(_formant_plan("yes"), _formant_plan("no"))
+
+
+def test_keyword_dataset_classes():
+    ds = keyword_dataset(keywords=["yes", "no"], samples_per_class=4,
+                         sample_rate=4000, seed=0)
+    assert set(ds.labels) == {"yes", "no", "_noise", "_unknown"}
+    assert len(ds) == 16
+
+
+def test_keyword_dataset_seeded_reproducible():
+    a = keyword_dataset(keywords=["go"], samples_per_class=3, sample_rate=4000,
+                        include_noise=False, include_unknown=False, seed=5)
+    b = keyword_dataset(keywords=["go"], samples_per_class=3, sample_rate=4000,
+                        include_noise=False, include_unknown=False, seed=5)
+    for sa, sb in zip(a, b):
+        assert np.array_equal(sa.data, sb.data)
+
+
+def test_keywords_separable_by_spectrum():
+    """Nearest-class-mean on average spectra must beat chance by a lot."""
+    from repro.dsp import MFEBlock
+
+    ds = keyword_dataset(keywords=["yes", "no", "go"], samples_per_class=10,
+                         sample_rate=8000, include_noise=False,
+                         include_unknown=False, seed=0)
+    block = MFEBlock(sample_rate=8000)
+    label_map = {l: i for i, l in enumerate(ds.labels)}
+    x = np.stack([block.transform(s.data).mean(axis=0) for s in ds])
+    y = np.array([label_map[s.label] for s in ds])
+    means = np.stack([x[y == k].mean(axis=0) for k in range(3)])
+    preds = ((x[:, None, :] - means[None]) ** 2).sum(-1).argmin(axis=1)
+    assert (preds == y).mean() > 0.9
+
+
+def test_person_images():
+    rng = ensure_rng(0)
+    img = render_person_image(rng, size=48, person=True)
+    assert img.shape == (48, 48, 1)
+    assert 0.0 <= img.min() and img.max() <= 1.0
+    ds = person_dataset(n_per_class=5, size=32, seed=0)
+    assert set(ds.labels) == {"person", "no_person"}
+
+
+def test_person_images_brighter_blob():
+    """Person images contain a bright connected structure more often."""
+    rng = ensure_rng(1)
+    person_bright = np.mean(
+        [render_person_image(rng, 48, True).max() for _ in range(10)]
+    )
+    assert person_bright > 0.6
+
+
+def test_textures_all_classes():
+    rng = ensure_rng(0)
+    for idx in range(10):
+        img = render_texture(rng, idx, size=16)
+        assert img.shape == (16, 16, 3)
+    ds = texture_dataset(n_per_class=2, size=16, seed=0)
+    assert len(ds.labels) == 10
+
+
+def test_vibration_modes_distinct():
+    rng = ensure_rng(0)
+    normal = synthesize_vibration("normal", rng)
+    imbalance = synthesize_vibration("imbalance", rng)
+    bearing = synthesize_vibration("bearing", rng)
+    assert normal.shape[1] == 3
+    # Imbalance raises low-frequency energy; bearing raises RMS via bursts.
+    assert np.abs(imbalance).mean() > 1.5 * np.abs(normal).mean()
+    assert bearing.std() > normal.std()
+    ds = vibration_dataset(samples_per_class=2, seed=0)
+    assert set(ds.labels) == set(FAULT_MODES)
+
+
+def test_streaming_scene_events():
+    audio, events = streaming_scene("yes", n_events=4, duration=10.0,
+                                    sample_rate=4000, seed=0)
+    assert audio.shape == (40000,)
+    assert len(events) == 4
+    for start, end in events:
+        assert 0 <= start < end <= 10.0
+    # Event regions carry more energy than the quietest background region.
+    energies = [
+        np.mean(audio[int(s * 4000): int(e * 4000)] ** 2) for s, e in events
+    ]
+    background = np.mean(audio[: int(0.3 * 4000)] ** 2)
+    assert np.mean(energies) > background
+
+
+def test_sleep_dataset():
+    ds = sleep_dataset(epochs_per_stage=3, seed=0)
+    assert set(ds.labels) == set(SLEEP_STAGES)
+    sample = next(iter(ds))
+    assert sample.data.shape[1] == 3  # hr, motion, temp
+    # Deep sleep heart rate < wake heart rate on average.
+    hr = {label: np.mean([s.data[:, 0].mean() for s in ds.samples(label=label)])
+          for label in SLEEP_STAGES}
+    assert hr["deep"] < hr["wake"]

@@ -1,0 +1,90 @@
+"""Dataset version control: commit/checkout/diff/log semantics."""
+
+import numpy as np
+
+from repro.data.dataset import Dataset, Sample
+from repro.data.versioning import DatasetVersionStore
+
+
+def _sample(value, label="a"):
+    return Sample(data=np.full(6, float(value), dtype=np.float32), label=label)
+
+
+def test_commit_and_head():
+    ds = Dataset()
+    ds.add(_sample(1))
+    store = DatasetVersionStore()
+    v1 = store.commit(ds, "first")
+    assert store.head == v1
+    assert store.log() == [(v1, "first")]
+
+
+def test_identical_content_same_version():
+    a, b = Dataset(), Dataset()
+    for i in range(4):
+        a.add(_sample(i))
+    for i in reversed(range(4)):
+        b.add(_sample(i))
+    store = DatasetVersionStore()
+    assert store.commit(a) == store.commit(b)  # order-independent hash
+    assert len(store.log()) == 1
+
+
+def test_checkout_restores_content():
+    ds = Dataset()
+    for i in range(5):
+        ds.add(_sample(i))
+    store = DatasetVersionStore()
+    v1 = store.commit(ds, "before")
+    removed = next(iter(ds)).sample_id
+    ds.remove(removed)
+    ds.add(_sample(99))
+    store.commit(ds, "after")
+
+    restored = store.checkout(v1)
+    assert len(restored) == 5
+    hashes = {s.content_hash() for s in restored}
+    assert any(np.allclose(s.data, 0.0) for s in restored)
+    assert not any(np.allclose(s.data, 99.0) for s in restored)
+    assert len(hashes) == 5
+
+
+def test_checkout_preserves_categories():
+    ds = Dataset()
+    sid = ds.add(_sample(1), category="test")
+    store = DatasetVersionStore()
+    v = store.commit(ds)
+    restored = store.checkout(v)
+    assert all(s.category == "test" for s in restored)
+
+
+def test_checkout_is_snapshot_isolated():
+    """Mutating the live dataset after commit must not change the snapshot."""
+    ds = Dataset()
+    sid = ds.add(_sample(1, "orig"))
+    store = DatasetVersionStore()
+    v = store.commit(ds)
+    ds.relabel(sid, "changed")
+    restored = store.checkout(v)
+    assert [s.label for s in restored] == ["orig"]
+
+
+def test_diff():
+    ds = Dataset()
+    a = ds.add(_sample(1))
+    store = DatasetVersionStore()
+    v1 = store.commit(ds)
+    b = ds.add(_sample(2))
+    ds.remove(a)
+    v2 = store.commit(ds)
+    delta = store.diff(v1, v2)
+    assert delta["added"] == [b]
+    assert delta["removed"] == [a]
+
+
+def test_unknown_version():
+    store = DatasetVersionStore()
+    import pytest
+
+    with pytest.raises(KeyError):
+        store.checkout("deadbeef")

@@ -1,0 +1,197 @@
+"""DSP blocks: framing, filterbanks, MFE/MFCC/spectral/image transforms,
+shape contracts and resource models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp import (
+    ImageBlock,
+    MFCCBlock,
+    MFEBlock,
+    RawBlock,
+    SpectralAnalysisBlock,
+    get_dsp_block,
+)
+from repro.dsp.filterbank import hz_to_mel, mel_filterbank, mel_to_hz
+from repro.dsp.window import frame_signal, num_frames, window_function
+
+
+def test_window_functions():
+    for name in ("hann", "hamming", "rectangular"):
+        w = window_function(name, 64)
+        assert w.shape == (64,)
+        assert w.max() <= 1.0 + 1e-6
+    with pytest.raises(ValueError):
+        window_function("kaiser", 64)
+
+
+def test_frame_signal_shapes():
+    sig = np.arange(100, dtype=np.float32)
+    frames = frame_signal(sig, 20, 10)
+    assert frames.shape == (9, 20)
+    assert np.array_equal(frames[0], sig[:20])
+    assert np.array_equal(frames[1], sig[10:30])
+    assert num_frames(100, 20, 10) == 9
+    assert frame_signal(sig[:5], 20, 10).shape == (0, 20)
+
+
+def test_mel_scale_inverse():
+    hz = np.array([100.0, 1000.0, 4000.0])
+    assert np.allclose(mel_to_hz(hz_to_mel(hz)), hz, rtol=1e-9)
+
+
+def test_mel_filterbank_properties():
+    bank = mel_filterbank(20, 256, 8000)
+    assert bank.shape == (20, 129)
+    assert bank.min() >= 0.0
+    assert bank.max() <= 1.0 + 1e-6
+    # Every filter has some support.
+    assert (bank.sum(axis=1) > 0).all()
+
+
+def test_mel_filterbank_validation():
+    with pytest.raises(ValueError):
+        mel_filterbank(10, 256, 8000, low_hz=5000, high_hz=4000)
+    with pytest.raises(ValueError):
+        mel_filterbank(0, 256, 8000)
+
+
+def test_mfe_output_shape_and_range():
+    block = MFEBlock(sample_rate=8000, frame_length=0.02, frame_stride=0.01,
+                     n_filters=32)
+    audio = np.random.default_rng(0).standard_normal(8000).astype(np.float32)
+    feats = block.transform(audio)
+    assert feats.shape == block.output_shape((8000,))
+    assert feats.shape[1] == 32
+    assert feats.min() >= 0.0 and feats.max() <= 1.0
+
+
+def test_mfe_detects_tone_frequency():
+    block = MFEBlock(sample_rate=8000, frame_length=0.032, frame_stride=0.016,
+                     n_filters=32)
+    t = np.arange(8000) / 8000
+    low = block.transform(np.sin(2 * np.pi * 300 * t).astype(np.float32))
+    high = block.transform(np.sin(2 * np.pi * 3000 * t).astype(np.float32))
+    # Energy centroid (over mel bins) must move up with frequency.
+    bins = np.arange(32)
+    centroid_low = (low.mean(0) * bins).sum() / low.mean(0).sum()
+    centroid_high = (high.mean(0) * bins).sum() / high.mean(0).sum()
+    assert centroid_high > centroid_low + 3
+
+
+def test_mfcc_shape_and_determinism():
+    block = MFCCBlock(sample_rate=8000, n_filters=32, n_coefficients=13)
+    audio = np.random.default_rng(1).standard_normal(8000).astype(np.float32)
+    a = block.transform(audio)
+    b = block.transform(audio)
+    assert a.shape[1] == 13
+    assert np.array_equal(a, b)
+
+
+def test_mfcc_coefficient_bound():
+    with pytest.raises(ValueError):
+        MFCCBlock(n_filters=10, n_coefficients=20)
+
+
+def test_spectral_block_features():
+    block = SpectralAnalysisBlock(sample_rate=100, fft_length=64, n_peaks=3)
+    t = np.arange(200) / 100
+    data = np.stack(
+        [np.sin(2 * np.pi * 13 * t), np.cos(2 * np.pi * 13 * t), 0.1 * t],
+        axis=1,
+    ).astype(np.float32)
+    feats = block.transform(data)
+    assert feats.shape == block.output_shape(data.shape)
+    assert feats.shape == (3 * block.features_per_axis,)
+    # The dominant peak frequency of axis 0 should be near 13 Hz
+    # (normalised by the 50 Hz Nyquist).
+    peak_freq = feats[5] * 50.0
+    assert abs(peak_freq - 13) <= 100 / 64 + 1e-6
+
+
+def test_spectral_filter_modes():
+    for mode in ("low", "high"):
+        block = SpectralAnalysisBlock(sample_rate=100, filter_type=mode,
+                                      filter_cutoff_hz=10)
+        out = block.transform(np.random.default_rng(0).standard_normal((128, 3)))
+        assert np.isfinite(out).all()
+    with pytest.raises(ValueError):
+        SpectralAnalysisBlock(filter_type="band")
+    with pytest.raises(ValueError):
+        SpectralAnalysisBlock(fft_length=50)
+
+
+def test_raw_block():
+    block = RawBlock(scale=2.0)
+    x = np.ones((5, 3), dtype=np.float32)
+    assert np.allclose(block.transform(x), 2.0)
+    assert block.output_shape((5, 3)) == (5, 3)
+    assert block.buffer_bytes((5, 3)) == 0
+
+
+def test_image_block_resize_and_gray():
+    rng = np.random.default_rng(0)
+    img = rng.integers(0, 256, size=(48, 64, 3)).astype(np.float32)
+    block = ImageBlock(width=32, height=32, channels=1)
+    out = block.transform(img)
+    assert out.shape == (32, 32, 1)
+    assert 0.0 <= out.min() and out.max() <= 1.0
+
+
+def test_image_block_identity_resize():
+    img = np.random.default_rng(0).random((16, 16, 3)).astype(np.float32)
+    block = ImageBlock(width=16, height=16, channels=3)
+    out = block.transform(img)
+    assert np.allclose(out, img, atol=1e-6)
+
+
+def test_image_area_resize_preserves_mean():
+    img = np.random.default_rng(2).random((64, 64, 1))
+    block = ImageBlock(width=16, height=16, channels=1)
+    out = block.transform(img.astype(np.float32))
+    assert abs(out.mean() - img.mean()) < 0.01
+
+
+def test_registry_roundtrip():
+    for block in (
+        MFEBlock(sample_rate=8000),
+        MFCCBlock(sample_rate=8000),
+        SpectralAnalysisBlock(),
+        RawBlock(),
+        ImageBlock(),
+    ):
+        clone = get_dsp_block(block.to_dict())
+        assert type(clone) is type(block)
+        assert clone.config() == block.config()
+
+
+def test_registry_unknown_type():
+    with pytest.raises(KeyError):
+        get_dsp_block({"type": "wavelet"})
+
+
+def test_op_counts_positive_and_monotone():
+    small = MFEBlock(sample_rate=8000, n_filters=16)
+    big = MFEBlock(sample_rate=8000, n_filters=40)
+    ops_small = small.op_counts((8000,))
+    ops_big = big.op_counts((8000,))
+    assert ops_small.flops > 0
+    assert ops_big.slow_ops > ops_small.slow_ops
+    assert big.buffer_bytes((8000,)) > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.sampled_from([4000, 8000, 16000]),
+    st.sampled_from([0.02, 0.032, 0.05]),
+    st.sampled_from([16, 32, 40]),
+)
+def test_mfe_shape_contract_property(rate, frame_len, n_filters):
+    """output_shape() must always agree with transform()."""
+    block = MFEBlock(sample_rate=rate, frame_length=frame_len,
+                     frame_stride=frame_len / 2, n_filters=n_filters)
+    n = rate  # 1 second
+    audio = np.random.default_rng(0).standard_normal(n).astype(np.float32)
+    assert block.transform(audio).shape == block.output_shape((n,))

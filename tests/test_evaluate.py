@@ -1,0 +1,51 @@
+"""Evaluation metrics: confusion matrix, F1, report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.evaluate import (
+    accuracy,
+    confusion_matrix,
+    evaluate_classifier,
+    f1_scores,
+)
+
+
+def test_confusion_matrix_basic():
+    y_true = np.array([0, 0, 1, 1, 2])
+    y_pred = np.array([0, 1, 1, 1, 0])
+    m = confusion_matrix(y_true, y_pred, 3)
+    assert m[0, 0] == 1 and m[0, 1] == 1
+    assert m[1, 1] == 2
+    assert m[2, 0] == 1
+    assert m.sum() == 5
+
+
+def test_accuracy():
+    assert accuracy([1, 2, 3], [1, 2, 0]) == pytest.approx(2 / 3)
+    assert accuracy([], []) == 0.0
+
+
+def test_f1_perfect_and_empty():
+    m = np.diag([5, 3, 2])
+    assert np.allclose(f1_scores(m), 1.0)
+    m_empty = np.zeros((2, 2), dtype=np.int64)
+    assert np.allclose(f1_scores(m_empty), 0.0)
+
+
+def test_f1_known_value():
+    # class 0: tp=2 fp=1 fn=1 -> precision 2/3, recall 2/3, f1 = 2/3.
+    m = np.array([[2, 1], [1, 6]])
+    f1 = f1_scores(m)
+    assert f1[0] == pytest.approx(2 / 3)
+
+
+def test_report_fields_and_render():
+    y_true = np.array([0, 0, 1, 1, 1])
+    y_pred = np.array([0, 1, 1, 1, 0])
+    report = evaluate_classifier(y_true, y_pred, ["cat", "dog"])
+    assert report.accuracy == pytest.approx(0.6)
+    assert report.per_class_accuracy["cat"] == pytest.approx(0.5)
+    assert report.per_class_accuracy["dog"] == pytest.approx(2 / 3)
+    text = report.render()
+    assert "cat" in text and "accuracy: 0.600" in text

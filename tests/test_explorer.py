@@ -1,0 +1,79 @@
+"""DataExplorer facade: the full active-learning refresh loop."""
+
+import numpy as np
+import pytest
+
+from repro.active import DataExplorer
+
+
+def _blobs(n_per=20, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.eye(3) * 5
+    xs, names = [], []
+    for k in range(3):
+        xs.append(centers[k] + 0.3 * rng.standard_normal((n_per, 3)))
+        names.extend([f"c{k}"] * n_per)
+    return np.concatenate(xs).astype(np.float32), names
+
+
+def test_view_shapes_and_summary():
+    x, names = _blobs()
+    labels = list(names)
+    for i in range(0, len(labels), 2):
+        labels[i] = None  # half unlabelled
+    explorer = DataExplorer(projection="pca")
+    view = explorer.view(x, labels)
+    assert view.coordinates.shape == (len(x), 2)
+    assert "suggestions" in view.summary() or "auto-label" in view.summary()
+    assert len(view.suggestions) > 0
+
+
+def test_suggestions_indices_are_global():
+    x, names = _blobs(seed=1)
+    labels = list(names)
+    unlabeled_positions = list(range(5))
+    for i in unlabeled_positions:
+        labels[i] = None
+    view = DataExplorer(projection="pca").view(x, labels)
+    for s in view.suggestions:
+        assert labels[s.index] is None  # only unlabelled got suggestions
+        assert s.label == names[s.index]  # blob structure recovers truth
+
+
+def test_apply_suggestions_loop():
+    x, names = _blobs(seed=2)
+    labels: list = list(names)
+    rng = np.random.default_rng(0)
+    for i in rng.choice(len(labels), size=len(labels) // 2, replace=False):
+        labels[i] = None
+    explorer = DataExplorer(projection="pca")
+    before = sum(1 for l in labels if l is None)
+    view = explorer.view(x, labels)
+    updated = explorer.apply_suggestions(labels, view)
+    after = sum(1 for l in updated if l is None)
+    assert after < before
+    # Applied labels match ground truth (clean blobs).
+    correct = sum(1 for i, l in enumerate(updated)
+                  if l is not None and l == names[i])
+    assert correct / sum(1 for l in updated if l is not None) > 0.95
+
+
+def test_projection_choices():
+    x, names = _blobs(n_per=12)
+    for projection in ("pca", "tsne", "umap"):
+        view = DataExplorer(projection=projection, seed=0).view(x, list(names))
+        assert view.coordinates.shape == (len(x), 2)
+    with pytest.raises(ValueError):
+        DataExplorer(projection="som")
+
+
+def test_model_backed_embeddings(trained_tiny_model):
+    x = np.random.default_rng(0).standard_normal((12, 16, 8)).astype(np.float32)
+    explorer = DataExplorer(model=trained_tiny_model, projection="pca")
+    emb = explorer.embed(x)
+    assert emb.shape == (12, 16)
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(ValueError):
+        DataExplorer().view(np.zeros((4, 2)), ["a"] * 3)

@@ -1,0 +1,101 @@
+"""Failure injection: corruption, truncation, and misuse must produce
+clean errors (never wrong results or crashes)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import graph_from_bytes, graph_to_bytes
+from repro.runtime import TFLMInterpreter
+
+
+def test_corrupted_graph_header_rejected(tiny_graphs):
+    blob = bytearray(graph_to_bytes(tiny_graphs[1]))
+    blob[12] ^= 0xFF  # flip a byte inside the JSON header
+    with pytest.raises(Exception):
+        graph_from_bytes(bytes(blob))
+
+
+def test_truncated_graph_blob_rejected(tiny_graphs):
+    blob = graph_to_bytes(tiny_graphs[1])
+    with pytest.raises(ValueError):
+        graph_from_bytes(blob[: len(blob) - 100])
+
+
+def test_unregistered_op_refused(tiny_graphs):
+    _, int8_graph = tiny_graphs
+    interp = TFLMInterpreter(int8_graph)
+    interp._registry.discard("SOFTMAX")  # simulate a missing kernel
+    with pytest.raises(RuntimeError, match="not registered"):
+        interp.invoke(np.zeros((1, 16, 8), dtype=np.float32))
+
+
+def test_arena_overlap_detector_catches_bad_plans(tiny_graphs):
+    from repro.runtime import plan_arena
+
+    _, int8_graph = tiny_graphs
+    plan = plan_arena(int8_graph)
+    assert plan.overlaps(int8_graph.lifetimes()) == []
+    # Manufacture a collision: move every tensor to offset 0.
+    for tid in plan.offsets:
+        plan.offsets[tid] = 0
+    if len(plan.offsets) > 1:
+        assert plan.overlaps(int8_graph.lifetimes()) != []
+
+
+def test_firmware_corruption_never_flashes(tiny_graphs):
+    from repro.core import ClassificationBlock, Impulse, TimeSeriesInput
+    from repro.deploy import build_artifact
+    from repro.device import DeviceFleet, VirtualDevice
+    from repro.dsp import RawBlock
+
+    impulse = Impulse(
+        TimeSeriesInput(window_size_ms=1000, window_increase_ms=1000,
+                        frequency_hz=16, axes=8),
+        [RawBlock()],
+        ClassificationBlock(),
+    )
+    artifact = build_artifact("firmware", tiny_graphs[1], impulse,
+                              {"a": 0, "b": 1, "c": 2}, "eon", "p")
+    image = artifact.metadata["image"]
+    fleet = DeviceFleet()
+    device = VirtualDevice("lone", "nano33ble")
+    fleet.register(device)
+    report = fleet.ota_update(image, inject_failures={"lone"})
+    assert report.updated == []
+    assert device.firmware is None  # nothing half-flashed
+
+
+def test_ingestion_garbage_rejected():
+    from repro.data.dataset import Dataset
+    from repro.data.ingestion import IngestionService
+
+    service = IngestionService(Dataset())
+    with pytest.raises(ValueError):
+        service.ingest(b"\xff\xfe\x00\x01garbage", label="x")
+
+
+def test_wav_garbage_after_header():
+    import io
+
+    from repro.formats.wav import WavError, read_wav
+
+    with pytest.raises(WavError):
+        read_wav(io.BytesIO(b"RIFF\x10\x00\x00\x00WAVEjunkjunk"))
+
+
+def test_quantize_without_calibration_data(tiny_graphs):
+    """Empty calibration still produces a runnable (if useless) graph —
+    ranges default to the zero-bracketing minimum."""
+    from repro.quantize import quantize_graph
+
+    float_graph, _ = tiny_graphs
+    qg = quantize_graph(float_graph, np.zeros((1, 16, 8), dtype=np.float32))
+    out = TFLMInterpreter(qg).invoke(np.zeros((1, 16, 8), dtype=np.float32))
+    assert out.shape == (1, 3)
+
+
+def test_eim_corrupted_payload():
+    from repro.deploy import EIMBundle
+
+    with pytest.raises(Exception):
+        EIMBundle.load(b"definitely not an eim\x00file")

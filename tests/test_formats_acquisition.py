@@ -1,0 +1,87 @@
+"""Acquisition envelope: signing, verification, tamper detection."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.formats.acquisition import (
+    AcquisitionPayload,
+    SignatureError,
+    decode_acquisition,
+    encode_acquisition,
+)
+
+
+def _payload(values=None):
+    return AcquisitionPayload(
+        device_name="dev-01",
+        device_type="nano33ble",
+        interval_ms=10.0,
+        sensors=[{"name": "accX", "units": "m/s2"}, {"name": "accY", "units": "m/s2"}],
+        values=values if values is not None else np.arange(8, dtype=np.float64).reshape(4, 2),
+    )
+
+
+def test_json_roundtrip_unsigned():
+    blob = encode_acquisition(_payload(), fmt="json")
+    decoded = decode_acquisition(blob)
+    assert decoded.device_name == "dev-01"
+    assert decoded.axis_names == ["accX", "accY"]
+    assert decoded.interval_ms == 10.0
+    assert np.allclose(decoded.values, _payload().values)
+
+
+def test_cbor_roundtrip():
+    blob = encode_acquisition(_payload(), hmac_key="secret", fmt="cbor")
+    decoded = decode_acquisition(blob)
+    assert decoded.values.shape == (4, 2)
+
+
+def test_hmac_verification_passes():
+    blob = encode_acquisition(_payload(), hmac_key="secret", fmt="json")
+    decoded = decode_acquisition(blob, hmac_key="secret")
+    assert decoded.device_type == "nano33ble"
+
+
+def test_hmac_wrong_key_rejected():
+    blob = encode_acquisition(_payload(), hmac_key="secret", fmt="json")
+    with pytest.raises(SignatureError):
+        decode_acquisition(blob, hmac_key="wrong")
+
+
+def test_tampered_values_rejected():
+    blob = encode_acquisition(_payload(), hmac_key="secret", fmt="json")
+    envelope = json.loads(blob)
+    envelope["payload"]["values"][0][0] = 999.0
+    tampered = json.dumps(envelope).encode()
+    with pytest.raises(SignatureError):
+        decode_acquisition(tampered, hmac_key="secret")
+
+
+def test_unsigned_envelope_rejected_when_key_required():
+    blob = encode_acquisition(_payload(), fmt="json")
+    with pytest.raises(SignatureError):
+        decode_acquisition(blob, hmac_key="secret")
+
+
+def test_single_axis_values_flatten():
+    payload = AcquisitionPayload(
+        device_name="d", device_type="t", interval_ms=1.0,
+        sensors=[{"name": "audio", "units": "v"}],
+        values=np.arange(5, dtype=np.float64)[:, None],
+    )
+    blob = encode_acquisition(payload, fmt="json")
+    # Mono payloads serialise as a flat list (the compact device format).
+    assert isinstance(json.loads(blob)["payload"]["values"][0], float)
+    decoded = decode_acquisition(blob)
+    assert decoded.values.shape == (5, 1)
+
+
+def test_duration():
+    assert _payload().duration_ms() == 40.0
+
+
+def test_not_an_envelope_raises():
+    with pytest.raises(ValueError):
+        decode_acquisition(b'{"foo": 1}')

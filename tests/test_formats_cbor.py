@@ -1,0 +1,144 @@
+"""CBOR codec: unit vectors from RFC 8949 + property-based round-trips."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.cbor import CBORError, Tagged, cbor_decode, cbor_encode
+
+# RFC 8949 Appendix A test vectors (subset).
+RFC_VECTORS = [
+    (0, "00"),
+    (1, "01"),
+    (10, "0a"),
+    (23, "17"),
+    (24, "1818"),
+    (25, "1819"),
+    (100, "1864"),
+    (1000, "1903e8"),
+    (1000000, "1a000f4240"),
+    (1000000000000, "1b000000e8d4a51000"),
+    (-1, "20"),
+    (-10, "29"),
+    (-100, "3863"),
+    (-1000, "3903e7"),
+    (1.5, "f93e00"),
+    (False, "f4"),
+    (True, "f5"),
+    (None, "f6"),
+    (b"", "40"),
+    (b"\x01\x02\x03\x04", "4401020304"),
+    ("", "60"),
+    ("a", "6161"),
+    ("IETF", "6449455446"),
+    ([], "80"),
+    ([1, 2, 3], "83010203"),
+    ({}, "a0"),
+    ([1, [2, 3], [4, 5]], "8301820203820405"),
+]
+
+
+@pytest.mark.parametrize("value,hexstr", RFC_VECTORS)
+def test_rfc8949_encode_vectors(value, hexstr):
+    assert cbor_encode(value).hex() == hexstr
+
+
+@pytest.mark.parametrize("value,hexstr", RFC_VECTORS)
+def test_rfc8949_decode_vectors(value, hexstr):
+    assert cbor_decode(bytes.fromhex(hexstr)) == value
+
+
+def test_map_roundtrip():
+    obj = {"a": 1, "b": [2, 3], "c": {"nested": True}}
+    assert cbor_decode(cbor_encode(obj)) == obj
+
+
+def test_tagged_values():
+    tagged = Tagged(1, 1363896240)
+    assert cbor_decode(cbor_encode(tagged)) == tagged
+
+
+def test_indefinite_length_decoding():
+    # 0x9f = indefinite array, 0xff = break.
+    assert cbor_decode(bytes.fromhex("9f010203ff")) == [1, 2, 3]
+    # indefinite text string of two chunks.
+    assert cbor_decode(bytes.fromhex("7f6161 6162 ff".replace(" ", ""))) == "ab"
+    # indefinite map.
+    assert cbor_decode(bytes.fromhex("bf6161 01 ff".replace(" ", ""))) == {"a": 1}
+
+
+def test_nan_and_infinity():
+    assert math.isnan(cbor_decode(cbor_encode(float("nan"))))
+    assert cbor_decode(cbor_encode(float("inf"))) == float("inf")
+    assert cbor_decode(cbor_encode(float("-inf"))) == float("-inf")
+
+
+def test_truncated_input_raises():
+    full = cbor_encode({"key": [1, 2, 3]})
+    for cut in range(1, len(full)):
+        with pytest.raises(CBORError):
+            cbor_decode(full[:cut])
+
+
+def test_trailing_bytes_raise():
+    with pytest.raises(CBORError):
+        cbor_decode(cbor_encode(1) + b"\x00")
+
+
+def test_unencodable_type_raises():
+    with pytest.raises(CBORError):
+        cbor_encode(object())
+
+
+def test_large_integer_raises():
+    with pytest.raises(CBORError):
+        cbor_encode(1 << 64)
+
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**63), max_value=2**64 - 1)
+    | st.floats(allow_nan=False, width=64)
+    | st.text(max_size=30)
+    | st.binary(max_size=30),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=8), children, max_size=5),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(json_like)
+def test_roundtrip_property(obj):
+    assert cbor_decode(cbor_encode(obj)) == obj
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(allow_nan=False))
+def test_float_roundtrip_exact(value):
+    # Canonical float encoding must round-trip bit-exactly.
+    decoded = cbor_decode(cbor_encode(value))
+    assert struct.pack(">d", decoded) == struct.pack(">d", value)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+def test_shortest_integer_encoding(n):
+    encoded = cbor_encode(n)
+    # Shortest-form check: re-encoding the decoded value is identical and
+    # no shorter encoding exists among the allowed widths.
+    assert cbor_decode(encoded) == n
+    if n < 24:
+        assert len(encoded) == 1
+    elif n < 0x100:
+        assert len(encoded) == 2
+    elif n < 0x10000:
+        assert len(encoded) == 3
+    elif n < 0x100000000:
+        assert len(encoded) == 5
+    else:
+        assert len(encoded) == 9

@@ -1,0 +1,108 @@
+"""Netpbm image io + sensor CSV io."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.csvio import read_sensor_csv, write_sensor_csv
+from repro.formats.image import ImageError, read_image, write_image
+
+
+def test_pgm_roundtrip():
+    img = (np.arange(48).reshape(6, 8) * 5).astype(np.uint8)
+    buf = io.BytesIO()
+    write_image(buf, img)
+    buf.seek(0)
+    decoded = read_image(buf)
+    assert np.array_equal(decoded, img)
+
+
+def test_ppm_roundtrip():
+    rng = np.random.default_rng(0)
+    img = rng.integers(0, 256, size=(10, 7, 3), dtype=np.uint8)
+    buf = io.BytesIO()
+    write_image(buf, img)
+    buf.seek(0)
+    assert np.array_equal(read_image(buf), img)
+
+
+def test_float_input_scaled():
+    img = np.full((4, 4), 0.5, dtype=np.float32)
+    buf = io.BytesIO()
+    write_image(buf, img)
+    buf.seek(0)
+    decoded = read_image(buf)
+    assert abs(int(decoded[0, 0]) - 128) <= 1
+
+
+def test_comments_in_header():
+    img = np.zeros((2, 2), dtype=np.uint8)
+    payload = b"P5\n# a comment line\n2 2\n255\n" + img.tobytes()
+    assert read_image(io.BytesIO(payload)).shape == (2, 2)
+
+
+def test_rejects_bad_magic():
+    with pytest.raises(ImageError):
+        read_image(io.BytesIO(b"P7\n2 2\n255\n\x00\x00\x00\x00"))
+
+
+def test_rejects_truncated_pixels():
+    with pytest.raises(ImageError):
+        read_image(io.BytesIO(b"P5\n4 4\n255\n\x00\x00"))
+
+
+def test_rejects_bad_shape_on_write():
+    with pytest.raises(ImageError):
+        write_image(io.BytesIO(), np.zeros((2, 2, 4), dtype=np.uint8))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 24), st.integers(1, 24), st.booleans())
+def test_image_roundtrip_property(h, w, color):
+    rng = np.random.default_rng(h * 100 + w)
+    shape = (h, w, 3) if color else (h, w)
+    img = rng.integers(0, 256, size=shape, dtype=np.uint8)
+    buf = io.BytesIO()
+    write_image(buf, img)
+    buf.seek(0)
+    assert np.array_equal(read_image(buf), img)
+
+
+# -- CSV -------------------------------------------------------------------
+
+
+def test_csv_roundtrip_with_timestamps():
+    values = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+    buf = io.StringIO()
+    write_sensor_csv(buf, values, ["accX", "accY"], interval_ms=10.0)
+    buf.seek(0)
+    decoded, axes, interval = read_sensor_csv(buf)
+    assert axes == ["accX", "accY"]
+    assert interval == 10.0
+    assert np.allclose(decoded, values)
+
+
+def test_csv_without_timestamps():
+    values = np.array([[1.5], [2.5]])
+    buf = io.StringIO()
+    write_sensor_csv(buf, values, ["temp"])
+    buf.seek(0)
+    decoded, axes, interval = read_sensor_csv(buf)
+    assert axes == ["temp"]
+    assert interval is None
+    assert np.allclose(decoded, values)
+
+
+def test_csv_column_mismatch_raises():
+    with pytest.raises(ValueError):
+        write_sensor_csv(io.StringIO(), np.zeros((2, 3)), ["a", "b"])
+
+
+def test_csv_empty_rows():
+    buf = io.StringIO("a,b\n")
+    decoded, axes, interval = read_sensor_csv(buf)
+    assert decoded.shape[0] == 0
+    assert axes == ["a", "b"]

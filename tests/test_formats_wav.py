@@ -1,0 +1,100 @@
+"""WAV io: header correctness, depth support, round-trip fidelity."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.wav import WavError, read_wav, write_wav
+
+
+def _roundtrip(samples, rate=16000, depth=16):
+    buf = io.BytesIO()
+    write_wav(buf, samples, rate, bit_depth=depth)
+    buf.seek(0)
+    return read_wav(buf)
+
+
+def test_mono_roundtrip_16bit():
+    signal = np.sin(np.linspace(0, 20, 1600)).astype(np.float32) * 0.8
+    decoded, info = _roundtrip(signal)
+    assert info.sample_rate == 16000
+    assert info.channels == 1
+    assert info.bit_depth == 16
+    assert decoded.shape == signal.shape
+    assert np.abs(decoded - signal).max() < 1e-3
+
+
+@pytest.mark.parametrize("depth,tol", [(8, 2e-2), (16, 1e-3), (24, 1e-5), (32, 1e-7)])
+def test_bit_depths(depth, tol):
+    signal = np.linspace(-0.9, 0.9, 500).astype(np.float32)
+    decoded, info = _roundtrip(signal, depth=depth)
+    assert info.bit_depth == depth
+    assert np.abs(decoded - signal).max() < tol
+
+
+def test_stereo_roundtrip():
+    stereo = np.stack(
+        [np.sin(np.linspace(0, 10, 400)), np.cos(np.linspace(0, 10, 400))], axis=1
+    ).astype(np.float32) * 0.5
+    decoded, info = _roundtrip(stereo)
+    assert info.channels == 2
+    assert decoded.shape == (400, 2)
+    assert np.abs(decoded - stereo).max() < 1e-3
+
+
+def test_clipping_on_write():
+    loud = np.array([2.0, -3.0, 0.5], dtype=np.float32)
+    decoded, _ = _roundtrip(loud)
+    assert decoded.max() <= 1.0 and decoded.min() >= -1.0
+
+
+def test_float_format_reading():
+    # Hand-build an IEEE-float (format 3) WAV.
+    import struct
+
+    samples = np.array([0.1, -0.2, 0.3], dtype="<f4")
+    data = samples.tobytes()
+    fmt = struct.pack("<HHIIHH", 3, 1, 8000, 8000 * 4, 4, 32)
+    payload = (
+        b"RIFF" + struct.pack("<I", 36 + len(data)) + b"WAVE"
+        + b"fmt " + struct.pack("<I", 16) + fmt
+        + b"data" + struct.pack("<I", len(data)) + data
+    )
+    decoded, info = read_wav(io.BytesIO(payload))
+    assert info.bit_depth == 32
+    assert np.allclose(decoded, samples.astype(np.float32))
+
+
+def test_rejects_non_wav():
+    with pytest.raises(WavError):
+        read_wav(io.BytesIO(b"not a wav file at all"))
+
+
+def test_rejects_missing_data_chunk():
+    import struct
+
+    payload = b"RIFF" + struct.pack("<I", 4) + b"WAVE"
+    with pytest.raises(WavError):
+        read_wav(io.BytesIO(payload))
+
+
+def test_rejects_bad_bit_depth():
+    with pytest.raises(WavError):
+        write_wav(io.BytesIO(), np.zeros(4), 8000, bit_depth=12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=300),
+    st.sampled_from([8000, 16000, 44100]),
+)
+def test_roundtrip_property(n, rate):
+    rng = np.random.default_rng(n)
+    signal = (rng.uniform(-1, 1, n)).astype(np.float32)
+    decoded, info = _roundtrip(signal, rate=rate)
+    assert info.sample_rate == rate
+    assert decoded.shape == (n,)
+    assert np.abs(decoded - signal).max() < 1e-3

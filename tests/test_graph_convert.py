@@ -1,0 +1,119 @@
+"""Model -> Graph conversion: numerical equivalence, BN folding, fusion."""
+
+import numpy as np
+import pytest
+
+from repro.graph import sequential_to_graph
+from repro.nn.architectures import cifar_cnn, conv1d_stack, ds_cnn, mobilenet_v2
+from repro.nn.layers import BatchNorm, Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.nn.model import Sequential
+from repro.runtime import run_graph
+
+RNG = np.random.default_rng(0)
+
+
+def _equivalent(model, x, atol=1e-4):
+    graph = sequential_to_graph(model)
+    graph.validate()
+    expected = model.predict_proba(x)
+    actual = run_graph(graph, x)
+    np.testing.assert_allclose(actual, expected, atol=atol)
+    return graph
+
+
+def test_ds_cnn_equivalence():
+    model = ds_cnn((16, 8), 3, filters=8, n_blocks=2, seed=0)
+    _equivalent(model, RNG.standard_normal((5, 16, 8)).astype(np.float32))
+
+
+def test_mobilenet_v2_equivalence_with_residuals():
+    model = mobilenet_v2((16, 16, 1), 2, seed=0)
+    graph = _equivalent(model, RNG.standard_normal((4, 16, 16, 1)).astype(np.float32))
+    assert "ADD" in graph.op_counts()
+
+
+def test_conv1d_equivalence():
+    model = conv1d_stack((24, 6), 4, n_layers=2, seed=0)
+    _equivalent(model, RNG.standard_normal((4, 24, 6)).astype(np.float32))
+
+
+def test_cifar_cnn_equivalence():
+    model = cifar_cnn((16, 16, 3), 5, base_filters=8, seed=0)
+    _equivalent(model, RNG.standard_normal((3, 16, 16, 3)).astype(np.float32))
+
+
+def test_batchnorm_folding_removes_bn_ops():
+    """BN never appears in the graph — it's folded into conv weights."""
+    model = ds_cnn((16, 8), 3, filters=8, n_blocks=1, seed=0)
+    # Perturb BN stats so folding is non-trivial.
+    for layer in model.walk_layers():
+        if isinstance(layer, BatchNorm):
+            layer.running_mean += 0.3
+            layer.running_var *= 1.7
+    x = RNG.standard_normal((4, 16, 8)).astype(np.float32)
+    graph = _equivalent(model, x)
+    opcodes = set(graph.op_counts())
+    assert opcodes <= {
+        "RESHAPE", "CONV_2D", "DEPTHWISE_CONV_2D", "GLOBAL_AVG_POOL_2D",
+        "FULLY_CONNECTED", "SOFTMAX",
+    }
+
+
+def test_relu_fused_into_conv():
+    model = Sequential(
+        [Conv2D(4, 3), ReLU(), MaxPool2D(2), Flatten(), Dense(2)], (8, 8, 1), seed=0
+    )
+    graph = sequential_to_graph(model)
+    conv_ops = [op for op in graph.ops if op.opcode == "CONV_2D"]
+    assert conv_ops[0].attrs["activation"] == "relu"
+    # No standalone activation op exists.
+    assert all(op.opcode != "ADD" for op in graph.ops)
+
+
+def test_softmax_appended_once():
+    model = Sequential([Flatten(), Dense(3)], (4, 2), seed=0)
+    graph = sequential_to_graph(model)
+    assert [op.opcode for op in graph.ops].count("SOFTMAX") == 1
+    no_sm = sequential_to_graph(model, add_softmax=False)
+    assert all(op.opcode != "SOFTMAX" for op in no_sm.ops)
+
+
+def test_standalone_relu_after_pool():
+    model = Sequential(
+        [Conv2D(2, 3), MaxPool2D(2), ReLU(), Flatten(), Dense(2)], (8, 8, 1), seed=0
+    )
+    x = RNG.standard_normal((3, 8, 8, 1)).astype(np.float32)
+    _equivalent(model, x)
+
+
+def test_macs_and_weight_bytes_positive():
+    model = ds_cnn((16, 8), 3, filters=8, n_blocks=1, seed=0)
+    graph = sequential_to_graph(model)
+    assert graph.total_macs() > 0
+    assert graph.weight_bytes() == sum(t.size_bytes for t in graph.const_tensors())
+
+
+def test_validation_catches_cycles_and_bad_refs():
+    from repro.graph import GOp, Graph, GTensor
+
+    graph = Graph()
+    a = graph.add_tensor(GTensor("in", (4,)))
+    b = graph.add_tensor(GTensor("out", (4,)))
+    graph.input_id, graph.output_id = a, b
+    graph.add_op(GOp("SOFTMAX", [b], [b], {}))  # consumes before production
+    with pytest.raises(ValueError):
+        graph.validate()
+
+
+def test_lifetimes_cover_output():
+    model = conv1d_stack((16, 4), 2, n_layers=2, seed=0)
+    graph = sequential_to_graph(model)
+    lifetimes = graph.lifetimes()
+    assert lifetimes[graph.output_id][1] == len(graph.ops)
+    assert lifetimes[graph.input_id][0] == 0
+
+
+def test_render_contains_ops():
+    model = conv1d_stack((16, 4), 2, n_layers=1, seed=0)
+    text = sequential_to_graph(model).render()
+    assert "CONV_1D" in text and "SOFTMAX" in text

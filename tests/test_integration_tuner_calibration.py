@@ -1,0 +1,96 @@
+"""Platform integrations: tuner -> project application, project-level
+performance calibration, and live streaming classification."""
+
+import numpy as np
+import pytest
+
+from repro.automl import EonTuner, SearchSpace, TunerConstraints
+from repro.core import ClassificationBlock, Impulse, Platform, TimeSeriesInput
+from repro.data.synthetic import keyword_dataset, streaming_scene
+from repro.dsp import MFCCBlock
+from repro.nn import TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def kws_project():
+    platform = Platform()
+    platform.register_user("u")
+    project = platform.create_project("kws-int", owner="u")
+    for s in keyword_dataset(keywords=["yes", "no"], samples_per_class=20,
+                             sample_rate=8000, include_noise=True,
+                             include_unknown=False, seed=0):
+        project.dataset.add(s, category=s.category)
+    project.set_impulse(
+        Impulse(
+            TimeSeriesInput(window_size_ms=1000, window_increase_ms=1000,
+                            frequency_hz=8000),
+            [MFCCBlock(sample_rate=8000, frame_length=0.02, frame_stride=0.02,
+                       n_filters=32, n_coefficients=13)],
+            ClassificationBlock(
+                architecture="conv1d_stack",
+                arch_kwargs=dict(n_layers=2, first_filters=16, last_filters=32),
+                training=TrainingConfig(epochs=25, batch_size=16,
+                                        learning_rate=3e-3, seed=0),
+            ),
+        )
+    )
+    project.train(seed=0)
+    return project
+
+
+def test_project_calibration_pareto(kws_project):
+    audio, events = streaming_scene("yes", n_events=4, duration=12.0,
+                                    sample_rate=8000, seed=5)
+    pareto = kws_project.calibrate(audio, events, "yes", sample_rate=8000,
+                                   population=12, generations=4, seed=0)
+    assert pareto
+    # The front must offer a config catching at least half the events.
+    assert any(r.outcome.frr <= 0.5 for r in pareto)
+    # ... and be sorted by FAR.
+    fars = [r.outcome.far_per_hour for r in pareto]
+    assert fars == sorted(fars)
+
+
+def test_project_calibration_guards(kws_project):
+    audio, events = streaming_scene("yes", n_events=2, duration=6.0,
+                                    sample_rate=8000, seed=1)
+    with pytest.raises(KeyError):
+        kws_project.calibrate(audio, events, "banana", sample_rate=8000)
+
+
+def test_tuner_apply_to_project(kws_project):
+    space = SearchSpace(
+        dsp_templates=[{"type": "mfe", "sample_rate": 8000,
+                        "frame_length": [0.02], "frame_stride": [0.02],
+                        "n_filters": [24]}],
+        model_templates=[{"architecture": "conv1d_stack", "n_layers": [2],
+                          "first_filters": [8], "last_filters": [16]}],
+    )
+    raw = np.stack([s.data for s in kws_project.dataset.samples(category="train")])
+    label_map = kws_project.label_map
+    labels = np.array(
+        [label_map[s.label] for s in kws_project.dataset.samples(category="train")]
+    )
+    tuner = EonTuner(raw, labels, space,
+                     constraints=TunerConstraints(device_key="nano33ble"),
+                     train_epochs=4)
+    tuner.run(n_trials=1, seed=0)
+    tuner.apply_to_project(kws_project)
+    assert kws_project.impulse.dsp_blocks[0].block_type == "mfe"
+    assert kws_project.impulse.dsp_blocks[0].n_filters == 24
+    # Applying a new impulse invalidates trained artifacts.
+    assert kws_project.float_graph is None
+    # Retraining with the applied configuration works end to end.
+    kws_project.train(seed=0)
+    assert kws_project.test().accuracy > 0.5
+
+
+def test_tuner_apply_requires_feasible_trial(kws_project):
+    space = SearchSpace(
+        dsp_templates=[{"type": "mfe", "sample_rate": 8000, "n_filters": [24]}],
+        model_templates=[{"architecture": "conv1d_stack", "n_layers": [1]}],
+    )
+    tuner = EonTuner(np.zeros((4, 8000), np.float32), np.zeros(4, np.int64),
+                     space, constraints=TunerConstraints(max_ram_kb=0.001))
+    with pytest.raises(RuntimeError):
+        tuner.apply_to_project(kws_project)

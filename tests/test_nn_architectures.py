@@ -1,0 +1,86 @@
+"""Model zoo: every preset builds, runs, and has the advertised structure."""
+
+import numpy as np
+import pytest
+
+from repro.nn.architectures import (
+    ARCHITECTURES,
+    cifar_cnn,
+    conv1d_stack,
+    describe,
+    ds_cnn,
+    mlp,
+    mobilenet_v1,
+    mobilenet_v2,
+)
+from repro.nn.layers import Conv1D, DepthwiseConv2D, Residual
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.mark.parametrize(
+    "factory,shape,n_classes",
+    [
+        (ds_cnn, (20, 10), 4),
+        (conv1d_stack, (32, 13), 3),
+        (mobilenet_v1, (24, 24, 1), 2),
+        (mobilenet_v2, (24, 24, 1), 2),
+        (cifar_cnn, (32, 32, 3), 10),
+        (mlp, (17,), 5),
+    ],
+)
+def test_architecture_forward_shapes(factory, shape, n_classes):
+    model = factory(shape, n_classes, seed=0)
+    x = RNG.standard_normal((2,) + shape).astype(np.float32)
+    out = model.predict(x)
+    assert out.shape == (2, n_classes)
+    probs = model.predict_proba(x)
+    assert np.allclose(probs.sum(axis=1), 1.0, atol=1e-5)
+
+
+def test_ds_cnn_is_depthwise_separable():
+    model = ds_cnn((20, 10), 4, filters=16, n_blocks=3, seed=0)
+    dw = [l for l in model.walk_layers() if isinstance(l, DepthwiseConv2D)]
+    assert len(dw) == 3
+
+
+def test_mobilenet_v2_has_residuals():
+    model = mobilenet_v2((24, 24, 1), 2, seed=0)
+    assert any(isinstance(l, Residual) for l in model.layers)
+
+
+def test_conv1d_stack_filter_progression():
+    model = conv1d_stack((64, 8), 3, n_layers=4, first_filters=16,
+                         last_filters=128, seed=0)
+    convs = [l for l in model.walk_layers() if isinstance(l, Conv1D)]
+    filters = [c.filters for c in convs]
+    assert filters[0] == 16 and filters[-1] == 128
+    assert filters == sorted(filters)  # monotone growth
+    assert describe(model) == "4x conv1d (16 to 128)"
+
+
+def test_mobilenet_width_multiplier_scales_params():
+    small = mobilenet_v1((24, 24, 1), 2, alpha=0.25, depth=4, seed=0)
+    large = mobilenet_v1((24, 24, 1), 2, alpha=0.5, depth=4, seed=0)
+    assert large.count_params() > 1.5 * small.count_params()
+
+
+def test_architecture_registry_complete():
+    assert set(ARCHITECTURES) == {
+        "ds_cnn", "mobilenet_v1", "mobilenet_v2", "conv1d_stack", "cifar_cnn", "mlp",
+    }
+
+
+def test_spectrogram_input_accepted_by_image_models():
+    # 2-D (frames, coefficients) inputs are auto-reshaped.
+    for factory in (mobilenet_v1, mobilenet_v2):
+        model = factory((16, 12), 2, seed=0)
+        out = model.predict(RNG.standard_normal((1, 16, 12)).astype(np.float32))
+        assert out.shape == (1, 2)
+
+
+def test_summary_renders():
+    model = ds_cnn((16, 8), 3, filters=8, n_blocks=1, seed=0)
+    text = model.summary()
+    assert "Total params" in text
+    assert "Conv2D" in text

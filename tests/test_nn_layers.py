@@ -1,0 +1,193 @@
+"""Layer-level numerical gradient checks and shape contracts."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2D,
+    BatchNorm,
+    Conv1D,
+    Conv2D,
+    CrossEntropyFromLogits,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Flatten,
+    GlobalAvgPool1D,
+    GlobalAvgPool2D,
+    MaxPool1D,
+    MaxPool2D,
+    ReLU,
+    ReLU6,
+    Residual,
+    Reshape,
+    Sequential,
+    Softmax,
+)
+
+RNG = np.random.default_rng(42)
+LOSS = CrossEntropyFromLogits()
+
+
+def _grad_check(model, x, y, n_samples=4, tol=2e-2):
+    """Compare backprop grads against central differences."""
+    model.zero_grads()
+    logits = model.forward(x, training=True)
+    _, grad = LOSS(logits, y)
+    model.backward(grad)
+    failures = []
+    for layer in model.walk_layers():
+        for key, param in layer.params.items():
+            grads = layer.grads[key].reshape(-1)
+            flat = param.reshape(-1)
+            idx = RNG.choice(flat.size, size=min(n_samples, flat.size), replace=False)
+            for i in idx:
+                eps, orig = 1e-3, flat[i]
+                flat[i] = orig + eps
+                lp, _ = LOSS(model.forward(x, training=True), y)
+                flat[i] = orig - eps
+                lm, _ = LOSS(model.forward(x, training=True), y)
+                flat[i] = orig
+                numeric = (lp - lm) / (2 * eps)
+                if abs(numeric - grads[i]) > tol * max(1.0, abs(numeric)):
+                    failures.append((layer.name, key, numeric, float(grads[i])))
+    assert not failures, failures
+
+
+def test_dense_gradients():
+    x = RNG.standard_normal((6, 5)).astype(np.float32)
+    y = np.array([0, 1, 2, 0, 1, 2])
+    _grad_check(Sequential([Dense(8), ReLU(), Dense(3)], (5,), seed=0), x, y)
+
+
+def test_conv2d_gradients_with_stride_and_padding():
+    x = RNG.standard_normal((3, 7, 5, 2)).astype(np.float32)
+    y = np.array([0, 1, 1])
+    model = Sequential(
+        [Conv2D(4, 3, stride=2, padding="same"), ReLU(), Flatten(), Dense(2)],
+        (7, 5, 2), seed=0,
+    )
+    _grad_check(model, x, y)
+
+
+def test_conv2d_valid_padding_gradients():
+    x = RNG.standard_normal((3, 6, 6, 1)).astype(np.float32)
+    y = np.array([0, 1, 0])
+    model = Sequential(
+        [Conv2D(3, 3, stride=1, padding="valid"), Flatten(), Dense(2)],
+        (6, 6, 1), seed=0,
+    )
+    assert model.layers[0].output_shape == (4, 4, 3)
+    _grad_check(model, x, y)
+
+
+def test_depthwise_gradients():
+    x = RNG.standard_normal((3, 6, 6, 3)).astype(np.float32)
+    y = np.array([1, 0, 1])
+    model = Sequential(
+        [DepthwiseConv2D(3, stride=2, depth_multiplier=2), ReLU6(), Flatten(), Dense(2)],
+        (6, 6, 3), seed=0,
+    )
+    assert model.layers[0].output_shape == (3, 3, 6)
+    _grad_check(model, x, y)
+
+
+def test_conv1d_gradients():
+    x = RNG.standard_normal((4, 10, 3)).astype(np.float32)
+    y = np.array([0, 1, 2, 1])
+    model = Sequential(
+        [Conv1D(5, 3, stride=2), ReLU(), GlobalAvgPool1D(), Dense(3)],
+        (10, 3), seed=0,
+    )
+    _grad_check(model, x, y)
+
+
+def test_pool_gradients():
+    x = RNG.standard_normal((3, 8, 8, 2)).astype(np.float32)
+    y = np.array([0, 1, 0])
+    for pool in (MaxPool2D(2), AvgPool2D(2)):
+        model = Sequential(
+            [Conv2D(2, 3), ReLU(), pool, Flatten(), Dense(2)], (8, 8, 2), seed=0
+        )
+        _grad_check(model, x, y)
+
+
+def test_maxpool1d_gradients():
+    x = RNG.standard_normal((3, 8, 2)).astype(np.float32)
+    y = np.array([0, 1, 0])
+    model = Sequential(
+        [Conv1D(3, 3), MaxPool1D(2), Flatten(), Dense(2)], (8, 2), seed=0
+    )
+    _grad_check(model, x, y)
+
+
+def test_batchnorm_gradients_and_running_stats():
+    x = RNG.standard_normal((8, 4, 4, 2)).astype(np.float32) * 3 + 1
+    y = RNG.integers(0, 2, 8)
+    model = Sequential(
+        [Conv2D(3, 3, use_bias=False), BatchNorm(), ReLU(), GlobalAvgPool2D(), Dense(2)],
+        (4, 4, 2), seed=0,
+    )
+    bn = model.layers[1]
+    before = bn.running_mean.copy()
+    _grad_check(model, x, y)
+    assert not np.allclose(bn.running_mean, before)  # stats updated in training
+    # Inference mode must use running stats (deterministic, batch-independent).
+    single = model.forward(x[:1])
+    batch = model.forward(x)[:1]
+    assert np.allclose(single, batch, atol=1e-5)
+
+
+def test_residual_gradients():
+    branch = [Conv2D(2, 3, use_bias=False), BatchNorm(), ReLU()]
+    model = Sequential(
+        [Conv2D(2, 3), Residual(branch), Flatten(), Dense(2)], (5, 5, 1), seed=0
+    )
+    x = RNG.standard_normal((3, 5, 5, 1)).astype(np.float32)
+    y = np.array([0, 1, 1])
+    _grad_check(model, x, y)
+
+
+def test_residual_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        Sequential([Residual([Conv2D(5, 3)])], (4, 4, 2), seed=0)
+
+
+def test_softmax_layer_forward_backward():
+    sm = Softmax()
+    x = RNG.standard_normal((4, 6)).astype(np.float32)
+    out = sm.forward(x, training=True)
+    assert np.allclose(out.sum(axis=1), 1.0, atol=1e-6)
+    grad_in = sm.backward(np.ones_like(out))
+    # Jacobian rows of softmax sum to 0 against constant upstream grad.
+    assert np.allclose(grad_in.sum(axis=1), 0.0, atol=1e-5)
+
+
+def test_dropout_scaling_and_inference_identity():
+    drop = Dropout(0.5, seed=0)
+    x = np.ones((400, 10), dtype=np.float32)
+    out = drop.forward(x, training=True)
+    assert abs(out.mean() - 1.0) < 0.1  # inverted dropout preserves mean
+    assert np.array_equal(drop.forward(x, training=False), x)
+    with pytest.raises(ValueError):
+        Dropout(1.5)
+
+
+def test_reshape_and_flatten():
+    model = Sequential([Reshape((4, 2)), Flatten()], (8,), seed=0)
+    x = RNG.standard_normal((2, 8)).astype(np.float32)
+    assert np.array_equal(model.forward(x), x)
+    with pytest.raises(ValueError):
+        Sequential([Reshape((3, 3))], (8,), seed=0)
+
+
+def test_dense_requires_flat_input():
+    with pytest.raises(ValueError):
+        Sequential([Dense(4)], (3, 3), seed=0)
+
+
+def test_deterministic_initialisation():
+    a = Sequential([Dense(4), Dense(2)], (6,), seed=7)
+    b = Sequential([Dense(4), Dense(2)], (6,), seed=7)
+    for wa, wb in zip(a.get_weights(), b.get_weights()):
+        assert np.array_equal(wa, wb)

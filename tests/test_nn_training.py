@@ -1,0 +1,136 @@
+"""Trainer behaviour: convergence, the paper's stability features
+(checkpoint restore, bias init, LR finder), optimizers, save/load."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    CrossEntropyFromLogits,
+    Dense,
+    MeanSquaredError,
+    ReLU,
+    Sequential,
+    Trainer,
+    TrainingConfig,
+    find_learning_rate,
+)
+from repro.nn.architectures import mlp
+
+
+def _linear_problem(n=300, d=8, k=3, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, d)).astype(np.float32)
+    w = rng.standard_normal((d, k))
+    return x, (x @ w).argmax(axis=1)
+
+
+def test_training_converges():
+    x, y = _linear_problem()
+    model = mlp((8,), 3, hidden=(16,), seed=0)
+    history = Trainer(model).fit(
+        x, y, TrainingConfig(epochs=25, batch_size=32, learning_rate=0.01, seed=1)
+    )
+    assert history.val_accuracy[-1] > 0.75
+    assert history.train_loss[-1] < history.train_loss[0]
+
+
+def test_best_checkpoint_restoration():
+    """After restore, the model's val loss equals the best epoch's."""
+    x, y = _linear_problem(seed=3)
+    model = mlp((8,), 3, hidden=(8,), seed=0)
+    trainer = Trainer(model)
+    cfg = TrainingConfig(epochs=12, batch_size=32, learning_rate=0.05, seed=2)
+    history = trainer.fit(x, y, cfg)
+    assert history.restored_best
+    assert history.best_epoch >= 0
+    # best_epoch's recorded val loss is the minimum of the curve.
+    assert history.val_loss[history.best_epoch] == pytest.approx(min(history.val_loss))
+
+
+def test_early_stopping_cuts_epochs():
+    x, y = _linear_problem(seed=4)
+    model = mlp((8,), 3, hidden=(8,), seed=0)
+    history = Trainer(model).fit(
+        x, y,
+        TrainingConfig(epochs=60, batch_size=32, learning_rate=0.02,
+                       early_stop_patience=3, seed=0),
+    )
+    assert len(history.train_loss) < 60
+
+
+def test_classifier_bias_initialisation():
+    """With log-prior bias init, the initial loss matches prior entropy."""
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((200, 6)).astype(np.float32)
+    y = np.array([0] * 180 + [1] * 20)  # 90/10 imbalance
+    model = mlp((6,), 2, hidden=(), seed=0)
+    priors = np.bincount(y) / len(y)
+    model.init_classifier_bias(priors)
+    loss_fn = CrossEntropyFromLogits()
+    loss, _ = loss_fn(model.predict(x), y)
+    prior_entropy = -(priors * np.log(priors)).sum()
+    assert abs(loss - prior_entropy) < 0.25
+
+
+def test_lr_finder_returns_usable_rate():
+    x, y = _linear_problem(seed=5)
+    model = mlp((8,), 3, hidden=(8,), seed=0)
+    saved = model.get_weights()
+    lr, curve = find_learning_rate(model, x, y, steps=12, seed=0)
+    assert 1e-6 < lr < 1.0
+    assert len(curve) >= 3
+    # The finder must not mutate the model.
+    for a, b in zip(saved, model.get_weights()):
+        assert np.array_equal(a, b)
+
+
+def test_sgd_and_adam_reduce_loss():
+    x, y = _linear_problem(seed=6)
+    for optimizer in (SGD(learning_rate=0.05), Adam(learning_rate=0.01)):
+        model = mlp((8,), 3, hidden=(8,), seed=0)
+        history = Trainer(model, optimizer=optimizer).fit(
+            x, y, TrainingConfig(epochs=8, batch_size=32, seed=0)
+        )
+        assert history.train_loss[-1] < history.train_loss[0]
+
+
+def test_mse_loss_gradient():
+    loss = MeanSquaredError()
+    pred = np.array([[1.0, 2.0]], dtype=np.float32)
+    target = np.array([[0.0, 0.0]], dtype=np.float32)
+    value, grad = loss(pred, target)
+    assert value == pytest.approx(2.5)
+    assert np.allclose(grad, pred)  # d/dp mean((p-t)^2) = 2(p-t)/n = p here
+
+
+def test_weight_save_load_roundtrip():
+    model = mlp((8,), 3, hidden=(8, 4), seed=0)
+    buf = io.BytesIO()
+    model.save_weights(buf)
+    clone = mlp((8,), 3, hidden=(8, 4), seed=99)
+    buf.seek(0)
+    clone.load_weights(buf)
+    x = np.random.default_rng(0).standard_normal((5, 8)).astype(np.float32)
+    assert np.allclose(model.predict(x), clone.predict(x))
+
+
+def test_set_weights_shape_mismatch():
+    model = Sequential([Dense(4), ReLU(), Dense(2)], (6,), seed=0)
+    weights = model.get_weights()
+    weights[0] = weights[0][:, :2]
+    with pytest.raises(ValueError):
+        model.set_weights(weights)
+
+
+def test_evaluate_reports_accuracy():
+    x, y = _linear_problem(seed=7)
+    model = mlp((8,), 3, hidden=(16,), seed=0)
+    trainer = Trainer(model)
+    trainer.fit(x, y, TrainingConfig(epochs=20, batch_size=32, learning_rate=0.01, seed=0))
+    metrics = trainer.evaluate(x, y)
+    assert metrics["accuracy"] > 0.8
+    assert metrics["loss"] > 0

@@ -1,0 +1,158 @@
+"""Quantization: fixed-point arithmetic properties, PTQ accuracy, qparams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.ops import QuantParams
+from repro.quantize import (
+    calibrate_activations,
+    multiply_by_quantized_multiplier,
+    quantize_graph,
+    quantize_multiplier,
+)
+from repro.runtime import run_graph
+
+RNG = np.random.default_rng(0)
+
+
+# -- fixed-point multiplier ---------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.floats(min_value=1e-6, max_value=0.9999),
+    st.integers(min_value=-(2**20), max_value=2**20),
+)
+def test_quantized_multiplier_accuracy(real, acc):
+    """Integer requantization approximates real multiplication to <=1 LSB
+    relative error for scale ratios < 1 (the only ones PTQ produces)."""
+    mant, exp = quantize_multiplier(real)
+    out = multiply_by_quantized_multiplier(np.array([acc], dtype=np.int64), mant, exp)
+    expected = acc * real
+    assert abs(out[0] - expected) <= max(1.0, abs(expected) * 1e-6) + 0.5
+
+
+def test_quantize_multiplier_zero():
+    assert quantize_multiplier(0.0) == (0, 0)
+
+
+def test_quantize_multiplier_negative_rejected():
+    with pytest.raises(ValueError):
+        quantize_multiplier(-0.5)
+
+
+def test_multiplier_rounding_half_away():
+    # 0.5 * 1 should round away from zero to 1; -1 * 0.5 to -1... wait:
+    mant, exp = quantize_multiplier(0.5)
+    assert multiply_by_quantized_multiplier(np.array([1], np.int64), mant, exp)[0] == 1
+    assert multiply_by_quantized_multiplier(np.array([-1], np.int64), mant, exp)[0] == -1
+    assert multiply_by_quantized_multiplier(np.array([3], np.int64), mant, exp)[0] == 2
+
+
+# -- QuantParams ----------------------------------------------------------------
+
+
+def test_quant_dequant_error_bound():
+    qp = QuantParams(scale=np.array([0.05]), zero_point=-10)
+    values = RNG.uniform(-5, 6, size=200).astype(np.float32)
+    q = qp.quantize(values)
+    back = qp.dequantize(q)
+    in_range = (values > -5) & (values < 6)
+    assert np.abs(back[in_range] - values[in_range]).max() <= 0.05 / 2 + 1e-6
+
+
+def test_per_channel_quantization():
+    qp = QuantParams(scale=np.array([0.1, 1.0]), zero_point=0, per_channel=True)
+    w = np.array([[0.5, 5.0], [-0.5, -5.0]], dtype=np.float32)
+    q = qp.quantize(w, axis=-1)
+    assert q[0, 0] == 5 and q[0, 1] == 5  # each channel at its own scale
+    back = qp.dequantize(q, axis=-1)
+    assert np.allclose(back, w, atol=0.5)
+
+
+# -- calibration ---------------------------------------------------------------
+
+
+def test_calibration_covers_activations(tiny_graphs, tiny_classification_problem):
+    float_graph, _ = tiny_graphs
+    x, _ = tiny_classification_problem
+    stats = calibrate_activations(float_graph, x[:32])
+    for tid in float_graph.activation_tensors():
+        lo, hi = stats.range_for(tid)
+        assert lo <= 0 <= hi  # ranges always bracket zero
+
+
+# -- end-to-end PTQ ---------------------------------------------------------------
+
+
+def test_int8_top1_agreement(trained_tiny_model, tiny_graphs, tiny_classification_problem):
+    float_graph, int8_graph = tiny_graphs
+    x, _ = tiny_classification_problem
+    float_top1 = run_graph(float_graph, x).argmax(axis=1)
+    int8_out = run_graph(int8_graph, x)
+    int8_top1 = int8_out.argmax(axis=1)
+    assert (float_top1 == int8_top1).mean() > 0.85
+
+
+def test_int8_probability_closeness(tiny_graphs, tiny_classification_problem):
+    from repro.runtime.executor import dequantize_output
+
+    float_graph, int8_graph = tiny_graphs
+    x, _ = tiny_classification_problem
+    fp = run_graph(float_graph, x[:64])
+    q = dequantize_output(int8_graph, run_graph(int8_graph, x[:64]))
+    assert np.abs(fp - q).max() < 0.25
+    assert np.abs(fp - q).mean() < 0.05
+
+
+def test_weights_are_int8_bias_int32(tiny_graphs):
+    _, int8_graph = tiny_graphs
+    for op in int8_graph.ops:
+        if op.opcode in ("CONV_2D", "DEPTHWISE_CONV_2D", "FULLY_CONNECTED"):
+            w = int8_graph.tensors[op.inputs[1]]
+            b = int8_graph.tensors[op.inputs[2]]
+            assert w.dtype == "int8" and w.data.dtype == np.int8
+            assert b.dtype == "int32" and b.data.dtype == np.int32
+            assert w.quant.zero_point == 0  # symmetric weights
+
+
+def test_conv_weights_per_channel(tiny_graphs):
+    _, int8_graph = tiny_graphs
+    conv_ops = [op for op in int8_graph.ops if op.opcode == "CONV_2D"]
+    w = int8_graph.tensors[conv_ops[0].inputs[1]]
+    assert w.quant.per_channel
+    assert len(w.quant.scale) == w.shape[-1]
+
+
+def test_per_tensor_option(tiny_graphs, tiny_classification_problem):
+    float_graph, _ = tiny_graphs
+    x, _ = tiny_classification_problem
+    per_tensor = quantize_graph(float_graph, x[:32], per_channel=False)
+    for op in per_tensor.ops:
+        if op.opcode == "CONV_2D":
+            w = per_tensor.tensors[op.inputs[1]]
+            assert not w.quant.per_channel
+    # Still functional.
+    out = run_graph(per_tensor, x[:8])
+    assert out.shape == (8, 3)
+
+
+def test_softmax_output_qparams(tiny_graphs):
+    _, int8_graph = tiny_graphs
+    out_t = int8_graph.tensors[int8_graph.output_id]
+    assert out_t.quant.zero_point == -128
+    assert float(out_t.quant.scale[0]) == pytest.approx(1 / 256)
+
+
+def test_fused_relu_clamps(tiny_graphs):
+    _, int8_graph = tiny_graphs
+    relu_ops = [
+        op for op in int8_graph.ops
+        if op.attrs.get("activation") == "relu" and "clamp_min" in op.attrs
+    ]
+    assert relu_ops, "expected fused relu ops"
+    for op in relu_ops:
+        out_zp = int8_graph.tensors[op.outputs[0]].quant.zero_point
+        assert op.attrs["clamp_min"] == max(-128, out_zp)

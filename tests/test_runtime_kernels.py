@@ -1,0 +1,171 @@
+"""Direct int8-kernel correctness: each integer kernel vs its float
+reference under controlled quantization, plus hypothesis sweeps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.ops import QuantParams
+from repro.quantize.fixedpoint import quantize_multiplier
+from repro.runtime import kernels as K
+
+RNG = np.random.default_rng(0)
+
+
+def _qparams_for(values, symmetric=False):
+    lo = min(float(values.min()), 0.0)
+    hi = max(float(values.max()), 0.0)
+    if symmetric:
+        m = max(abs(lo), abs(hi), 1e-9)
+        return QuantParams(scale=np.array([m / 127.0]), zero_point=0)
+    scale = max((hi - lo) / 255.0, 1e-9)
+    zp = int(np.clip(round(-128 - lo / scale), -128, 127))
+    return QuantParams(scale=np.array([scale]), zero_point=zp)
+
+
+def _conv_setup(shape, w_shape, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=shape).astype(np.float32)
+    w = rng.uniform(-0.5, 0.5, size=w_shape).astype(np.float32)
+    b = rng.uniform(-0.2, 0.2, size=w_shape[-1]).astype(np.float32)
+    return x, w, b
+
+
+def _quantize_conv(x, w, b, out_float):
+    """Build all the quantization machinery for one conv-like op."""
+    xq_p = _qparams_for(x)
+    wq_p = _qparams_for(w, symmetric=True)
+    oq_p = _qparams_for(out_float)
+    xq = xq_p.quantize(x)
+    wq = wq_p.quantize(w)
+    bias_scale = float(xq_p.scale[0] * wq_p.scale[0])
+    bq = np.round(b / bias_scale).astype(np.int32)
+    mult, shift = quantize_multiplier(bias_scale / float(oq_p.scale[0]))
+    return xq, wq, bq, xq_p, oq_p, mult, shift
+
+
+def test_conv2d_int8_close_to_float():
+    x, w, b = _conv_setup((2, 8, 8, 3), (3, 3, 3, 4))
+    ref = K.conv2d_f32(x, w, b, 1, (1, 1), (1, 1))
+    xq, wq, bq, xq_p, oq_p, mult, shift = _quantize_conv(x, w, b, ref)
+    out_q = K.conv2d_i8(xq, wq, bq, 1, (1, 1), (1, 1),
+                        in_zp=xq_p.zero_point, out_zp=oq_p.zero_point,
+                        out_mult=[mult] * 4, out_shift=[shift] * 4)
+    dequant = oq_p.dequantize(out_q)
+    tol = 3 * float(oq_p.scale[0]) + 0.02
+    assert np.abs(dequant - ref).max() < tol
+
+
+def test_dwconv2d_int8_close_to_float():
+    x, w, b = _conv_setup((2, 6, 6, 4), (3, 3, 4, 1))
+    ref = K.dwconv2d_f32(x, w, b, 2, (1, 0), (1, 0))
+    xq, wq, bq, xq_p, oq_p, mult, shift = _quantize_conv(x, w, b, ref)
+    out_q = K.dwconv2d_i8(xq, wq, bq, 2, (1, 0), (1, 0),
+                          in_zp=xq_p.zero_point, out_zp=oq_p.zero_point,
+                          out_mult=[mult] * 4, out_shift=[shift] * 4)
+    dequant = oq_p.dequantize(out_q)
+    assert np.abs(dequant - ref).max() < 3 * float(oq_p.scale[0]) + 0.02
+
+
+def test_conv1d_int8_close_to_float():
+    x, w, b = _conv_setup((2, 12, 3), (3, 3, 5))
+    ref = K.conv1d_f32(x, w, b, 1, (1, 1))
+    xq, wq, bq, xq_p, oq_p, mult, shift = _quantize_conv(x, w, b, ref)
+    out_q = K.conv1d_i8(xq, wq, bq, 1, (1, 1),
+                        in_zp=xq_p.zero_point, out_zp=oq_p.zero_point,
+                        out_mult=[mult] * 5, out_shift=[shift] * 5)
+    assert np.abs(oq_p.dequantize(out_q) - ref).max() < 3 * float(oq_p.scale[0]) + 0.02
+
+
+def test_fc_int8_close_to_float():
+    x, w, b = _conv_setup((4, 10), (10, 6))
+    ref = K.fc_f32(x, w, b)
+    xq, wq, bq, xq_p, oq_p, mult, shift = _quantize_conv(x, w, b, ref)
+    out_q = K.fc_i8(xq, wq, bq, in_zp=xq_p.zero_point, out_zp=oq_p.zero_point,
+                    out_mult=mult, out_shift=shift)
+    assert np.abs(oq_p.dequantize(out_q) - ref).max() < 3 * float(oq_p.scale[0]) + 0.02
+
+
+def test_relu_clamp_matches_float_relu():
+    x, w, b = _conv_setup((1, 6, 6, 2), (3, 3, 2, 3), seed=3)
+    ref = K.conv2d_f32(x, w, b, 1, (1, 1), (1, 1), activation="relu")
+    xq, wq, bq, xq_p, oq_p, mult, shift = _quantize_conv(x, w, b, ref)
+    out_q = K.conv2d_i8(xq, wq, bq, 1, (1, 1), (1, 1),
+                        in_zp=xq_p.zero_point, out_zp=oq_p.zero_point,
+                        out_mult=[mult] * 3, out_shift=[shift] * 3,
+                        clamp_min=max(-128, oq_p.zero_point), clamp_max=127)
+    dequant = oq_p.dequantize(out_q)
+    assert dequant.min() >= -float(oq_p.scale[0])  # relu floor within 1 LSB
+    assert np.abs(dequant - ref).max() < 3 * float(oq_p.scale[0]) + 0.02
+
+
+def test_avgpool_int8_rounding():
+    qp = QuantParams(scale=np.array([0.1]), zero_point=0)
+    x = np.array([[[[10], [11]], [[12], [13]]]], dtype=np.int8)
+    out = K.avgpool2d_i8(x, 2)
+    assert out[0, 0, 0, 0] == 12  # (10+11+12+13)/4 = 11.5 -> round 12
+
+
+def test_gap_int8_matches_float_within_lsb():
+    x_float = RNG.uniform(-1, 1, size=(2, 5, 5, 3)).astype(np.float32)
+    qp = _qparams_for(x_float)
+    xq = qp.quantize(x_float)
+    out_q = K.gap2d_i8(xq)
+    ref = K.gap2d_f32(qp.dequantize(xq))
+    assert np.abs(qp.dequantize(out_q) - ref).max() <= float(qp.scale[0]) * 1.01
+
+
+def test_maxpool_int8_is_exact():
+    x = RNG.integers(-128, 128, size=(1, 8, 8, 2)).astype(np.int8)
+    out = K.maxpool2d_i8(x, 2)
+    assert out.dtype == np.int8
+    assert out[0, 0, 0, 0] == x[0, :2, :2, 0].max()
+
+
+def test_add_int8_close_to_float():
+    a_f = RNG.uniform(-1, 1, size=(2, 4, 4, 3)).astype(np.float32)
+    b_f = RNG.uniform(-2, 2, size=(2, 4, 4, 3)).astype(np.float32)
+    a_p, b_p = _qparams_for(a_f), _qparams_for(b_f)
+    out_f = a_f + b_f
+    o_p = _qparams_for(out_f)
+    twice_max = 2.0 * max(float(a_p.scale[0]), float(b_p.scale[0]))
+    m1 = quantize_multiplier(float(a_p.scale[0]) / twice_max)
+    m2 = quantize_multiplier(float(b_p.scale[0]) / twice_max)
+    mo = quantize_multiplier(twice_max / ((1 << 20) * float(o_p.scale[0])))
+    out_q = K.add_i8(
+        a_p.quantize(a_f), b_p.quantize(b_f),
+        zp_a=a_p.zero_point, zp_b=b_p.zero_point, out_zp=o_p.zero_point,
+        left_shift=20, mult1=m1[0], shift1=m1[1], mult2=m2[0], shift2=m2[1],
+        out_mult=mo[0], out_shift=mo[1],
+    )
+    assert np.abs(o_p.dequantize(out_q) - out_f).max() < 3 * float(o_p.scale[0]) + 0.03
+
+
+def test_softmax_int8_probabilities():
+    logits = RNG.uniform(-4, 4, size=(5, 7)).astype(np.float32)
+    qp = _qparams_for(logits)
+    out = K.softmax_i8(qp.quantize(logits), float(qp.scale[0]), qp.zero_point)
+    probs = (out.astype(np.float32) + 128) / 256.0
+    ref = K.softmax_f32(logits)
+    assert np.abs(probs - ref).max() < 0.04
+    assert np.array_equal(probs.argmax(axis=1), ref.argmax(axis=1))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=3),  # stride
+    st.integers(min_value=4, max_value=10),  # spatial size
+    st.integers(min_value=1, max_value=4),  # channels
+)
+def test_conv2d_int8_property(stride, size, channels):
+    """int8 conv tracks the float reference within a few LSB for any
+    stride/size/channel combination."""
+    x, w, b = _conv_setup((1, size, size, channels), (3, 3, channels, 2),
+                          seed=stride * 100 + size)
+    ref = K.conv2d_f32(x, w, b, stride, (1, 1), (1, 1))
+    xq, wq, bq, xq_p, oq_p, mult, shift = _quantize_conv(x, w, b, ref)
+    out_q = K.conv2d_i8(xq, wq, bq, stride, (1, 1), (1, 1),
+                        in_zp=xq_p.zero_point, out_zp=oq_p.zero_point,
+                        out_mult=[mult] * 2, out_shift=[shift] * 2)
+    assert np.abs(oq_p.dequantize(out_q) - ref).max() < 4 * float(oq_p.scale[0]) + 0.03

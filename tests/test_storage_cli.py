@@ -1,0 +1,130 @@
+"""Project persistence + the CLI driving a full workflow on disk."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import ClassificationBlock, Impulse, Platform, TimeSeriesInput
+from repro.core.storage import load_project, save_project
+from repro.data.synthetic import vibration_dataset
+from repro.dsp import SpectralAnalysisBlock
+from repro.formats.wav import write_wav
+from repro.nn import TrainingConfig
+
+
+def _trained_project():
+    platform = Platform()
+    platform.register_user("alice")
+    project = platform.create_project("persist", owner="alice")
+    for s in vibration_dataset(samples_per_class=14, seed=0):
+        project.dataset.add(s, category=s.category)
+    project.set_impulse(
+        Impulse(
+            TimeSeriesInput(window_size_ms=2000, window_increase_ms=2000,
+                            frequency_hz=100, axes=3),
+            [SpectralAnalysisBlock(sample_rate=100, fft_length=64)],
+            ClassificationBlock(
+                architecture="mlp", arch_kwargs=dict(hidden=(16,)),
+                training=TrainingConfig(epochs=25, batch_size=16,
+                                        learning_rate=3e-3, seed=0),
+            ),
+        )
+    )
+    project.train(seed=0)
+    return project
+
+
+def test_save_load_roundtrip(tmp_path):
+    project = _trained_project()
+    baseline = project.test(precision="int8").accuracy
+    save_project(project, tmp_path / "proj")
+
+    restored = load_project(tmp_path / "proj")
+    assert restored.name == "persist"
+    assert len(restored.dataset) == len(project.dataset)
+    assert restored.label_map == project.label_map
+    assert restored.int8_graph is not None
+    # int8 evaluation reproduces exactly from the persisted graph.
+    assert restored.test(precision="int8").accuracy == pytest.approx(baseline)
+    # float evaluation falls back to the persisted float graph.
+    assert restored.test(precision="float32").accuracy > 0.6
+
+
+def test_save_untrained_project(tmp_path):
+    platform = Platform()
+    platform.register_user("alice")
+    project = platform.create_project("empty", owner="alice")
+    save_project(project, tmp_path / "p")
+    restored = load_project(tmp_path / "p")
+    assert len(restored.dataset) == 0
+    assert restored.impulse is None
+    assert restored.float_graph is None
+
+
+def test_categories_survive_roundtrip(tmp_path):
+    project = _trained_project()
+    save_project(project, tmp_path / "p")
+    restored = load_project(tmp_path / "p")
+    orig = {s.content_hash(): s.category for s in project.dataset}
+    back = {s.content_hash(): s.category for s in restored.dataset}
+    assert orig == back
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def _wav_file(path, freq, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(2000) / 2000
+    audio = (np.sin(2 * np.pi * freq * t) + 0.1 * rng.standard_normal(2000)) * 0.5
+    with open(path, "wb") as fh:
+        write_wav(fh, audio.astype(np.float32), 2000)
+
+
+def test_cli_full_workflow(tmp_path, capsys):
+    proj = str(tmp_path / "proj")
+    assert cli_main(["create", "--dir", proj, "--name", "cli-kws"]) == 0
+
+    # Ingest two tone classes.
+    for label, freq in (("low", 200.0), ("high", 800.0)):
+        files = []
+        for i in range(12):
+            path = tmp_path / f"{label}{i}.wav"
+            _wav_file(path, freq, seed=i)
+            files.append(str(path))
+        assert cli_main(["ingest", "--dir", proj, "--label", label] + files) == 0
+
+    spec = {
+        "input": {"type": "time-series", "window_size_ms": 1000,
+                  "window_increase_ms": 1000, "frequency_hz": 2000, "axes": 1},
+        "dsp": [{"type": "mfe", "config": {"sample_rate": 2000, "n_filters": 16}}],
+        "learn": {"type": "classification", "architecture": "conv1d_stack",
+                  "arch_kwargs": {"n_layers": 2, "first_filters": 8,
+                                  "last_filters": 16},
+                  "training": {"epochs": 25, "batch_size": 8,
+                               "learning_rate": 3e-3, "seed": 0}},
+    }
+    spec_path = tmp_path / "impulse.json"
+    spec_path.write_text(json.dumps(spec))
+    assert cli_main(["set-impulse", "--dir", proj, "--spec", str(spec_path)]) == 0
+
+    assert cli_main(["train", "--dir", proj, "--seed", "0"]) == 0
+    assert cli_main(["summary", "--dir", proj]) == 0
+    assert cli_main(["test", "--dir", proj, "--precision", "int8"]) == 0
+    out = capsys.readouterr().out
+    assert "accuracy:" in out
+
+    assert cli_main(["profile", "--dir", proj, "--device", "rp2040"]) == 0
+    out_dir = tmp_path / "build"
+    assert cli_main(["deploy", "--dir", proj, "--target", "wasm",
+                     "--out", str(out_dir)]) == 0
+    assert (out_dir / "model.bin").exists()
+    assert (out_dir / "edge-impulse-standalone.wat").exists()
+
+
+def test_cli_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        cli_main(["frobnicate"])

@@ -1,0 +1,62 @@
+"""Transfer-learning block (paper Sec. 4.3: audio keyword transfer)."""
+
+import numpy as np
+import pytest
+
+from repro.core.learn_blocks import TransferLearningBlock, learn_block_from_dict
+from repro.data.synthetic import keyword_dataset
+from repro.dsp import MFCCBlock
+from repro.nn import TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def small_transfer_task():
+    """A *small* labelled set — the scenario transfer learning targets."""
+    ds = keyword_dataset(keywords=["left", "right"], samples_per_class=8,
+                         sample_rate=8000, include_noise=False,
+                         include_unknown=False, seed=3)
+    block = MFCCBlock(sample_rate=8000, frame_length=0.02, frame_stride=0.02,
+                      n_filters=32, n_coefficients=13)
+    label_map = {l: i for i, l in enumerate(ds.labels)}
+    x = np.stack([block.transform(s.data) for s in ds])
+    y = np.array([label_map[s.label] for s in ds])
+    return x, y
+
+
+def test_transfer_block_trains_on_small_data(small_transfer_task):
+    x, y = small_transfer_task
+    block = TransferLearningBlock(
+        training=TrainingConfig(epochs=6, batch_size=8, learning_rate=3e-3, seed=0),
+        fine_tune_epochs=2,
+    )
+    metrics = block.fit(x, y, seed=0)
+    assert metrics["transfer"] is True
+    preds = block.predict(x).argmax(axis=1)
+    assert (preds == y).mean() > 0.7  # learns from 16 samples
+
+
+def test_transfer_backbone_cached(small_transfer_task):
+    x, y = small_transfer_task
+    TransferLearningBlock._BACKBONE_CACHE.clear()
+    block = TransferLearningBlock(
+        training=TrainingConfig(epochs=3, batch_size=8, seed=0),
+        fine_tune_epochs=1,
+    )
+    block.fit(x, y, seed=0)
+    assert len(TransferLearningBlock._BACKBONE_CACHE) == 1
+    # A second fit reuses the pretrained backbone (no new cache entry).
+    block2 = TransferLearningBlock(
+        training=TrainingConfig(epochs=3, batch_size=8, seed=0),
+        fine_tune_epochs=1,
+    )
+    block2.fit(x, y, seed=0)
+    assert len(TransferLearningBlock._BACKBONE_CACHE) == 1
+
+
+def test_transfer_block_serialization():
+    block = TransferLearningBlock(fine_tune_epochs=3)
+    spec = block.to_dict()
+    clone = learn_block_from_dict(spec)
+    assert isinstance(clone, TransferLearningBlock)
+    assert clone.fine_tune_epochs == 3
+    assert "Transfer" in block.describe()

@@ -1,0 +1,34 @@
+"""Utility helpers."""
+
+import numpy as np
+
+from repro.utils import ensure_rng, human_bytes, human_ms
+from repro.utils.rng import spawn
+
+
+def test_ensure_rng_deterministic():
+    a = ensure_rng(7).random(3)
+    b = ensure_rng(7).random(3)
+    assert np.array_equal(a, b)
+
+
+def test_ensure_rng_passthrough():
+    rng = np.random.default_rng(0)
+    assert ensure_rng(rng) is rng
+
+
+def test_spawn_independent():
+    rng = ensure_rng(0)
+    kids = spawn(rng, 3)
+    draws = [k.random() for k in kids]
+    assert len(set(draws)) == 3
+
+
+def test_human_bytes():
+    assert human_bytes(512) == "512 B"
+    assert human_bytes(2048) == "2.0 kB"
+    assert human_bytes(3 * 1024 * 1024) == "3.0 MB"
+
+
+def test_human_ms():
+    assert human_ms(12.345) == "12.35 ms"
