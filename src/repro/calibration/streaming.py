@@ -21,6 +21,16 @@ def continuous_probabilities(
     """
     win = int(window_s * sample_rate)
     stride = int(stride_s * sample_rate)
+    if win < 1:
+        raise ValueError(
+            f"window_s * sample_rate must be >= 1 sample; got "
+            f"window_s={window_s}, sample_rate={sample_rate} -> {win} samples"
+        )
+    if stride < 1:
+        raise ValueError(
+            f"stride_s * sample_rate must be >= 1 sample; got "
+            f"stride_s={stride_s}, sample_rate={sample_rate} -> {stride} samples"
+        )
     if len(stream) < win:
         raise ValueError("stream shorter than one window")
     probs, times = [], []

@@ -12,6 +12,7 @@ Usage::
     python -m repro.cli train   --dir proj --seed 0
     python -m repro.cli test    --dir proj --precision int8
     python -m repro.cli profile --dir proj --device nano33ble
+    python -m repro.cli classify --dir proj --precision int8 clip.wav
     python -m repro.cli deploy  --dir proj --target cpp --out build/
 """
 
@@ -96,6 +97,49 @@ def _cmd_deploy(args) -> int:
     return 0
 
 
+def _cmd_classify(args) -> int:
+    """Classify raw recordings through the serving layer (compiled model,
+    micro-batched over each file's windows)."""
+    project = load_project(args.dir)
+    if project.impulse is None:
+        print("project has no impulse; run set-impulse and train first")
+        return 1
+
+    from repro.data.dataset import Dataset
+    from repro.data.ingestion import IngestionService
+    from repro.serve import ModelServer, ServingError
+
+    server = ModelServer.for_project(project)
+    scratch = IngestionService(Dataset(name="classify-scratch"))
+    for filename in args.files:
+        try:
+            payload = pathlib.Path(filename).read_bytes()
+            sample_id = scratch.ingest(payload, label="?", fmt=args.format)
+            sample = scratch.dataset.get(sample_id)
+            features = project.impulse.features_for_sample(sample)
+            results = server.classify_batch(
+                project.project_id, list(features),
+                precision=args.precision, engine=args.engine,
+            )
+        except (OSError, ValueError, ServingError) as exc:
+            print(f"  {filename}: error: {exc}")
+            return 1
+        # Mean over the recording's windows, as live classification does.
+        labels = results[0]["classification"].keys()
+        mean = {
+            label: sum(r["classification"][label] for r in results) / len(results)
+            for label in labels
+        }
+        top = max(mean, key=mean.get)
+        detail = ", ".join(f"{label}={p:.3f}" for label, p in
+                           sorted(mean.items(), key=lambda kv: -kv[1]))
+        print(f"  {filename}: {top} ({detail}) [{len(results)} window(s)]")
+    stats = server.snapshot()
+    print(f"served {stats['requests']} window(s) in {stats['batches']} batch(es), "
+          f"mean batch size {stats['mean_batch_size']:.1f}")
+    return 0
+
+
 def _cmd_summary(args) -> int:
     project = load_project(args.dir)
     print(project.dataset.summary())
@@ -153,6 +197,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--precision", default="int8", choices=("float32", "int8"))
     p.add_argument("--out", required=True)
     p.set_defaults(fn=_cmd_deploy)
+
+    p = sub.add_parser("classify",
+                       help="classify raw recordings via the serving layer")
+    p.add_argument("--dir", required=True)
+    p.add_argument("--precision", default="int8", choices=("float32", "int8"))
+    p.add_argument("--engine", default="eon", choices=("eon", "tflm"))
+    p.add_argument("--format", default=None)
+    p.add_argument("files", nargs="+")
+    p.set_defaults(fn=_cmd_classify)
 
     p = sub.add_parser("summary", help="show dataset + impulse state")
     p.add_argument("--dir", required=True)

@@ -15,6 +15,7 @@ from typing import Any
 
 from repro.core.impulse import Impulse
 from repro.core.registry import Platform
+from repro.serve import ModelNotTrainedError, ServingError
 
 
 class ApiError(Exception):
@@ -23,6 +24,18 @@ class ApiError(Exception):
     def __init__(self, status: int, message: str):
         super().__init__(message)
         self.status = status
+
+
+def _require(body: dict, *keys: str) -> None:
+    """400 on missing request-body keys.
+
+    Handlers must validate their own body keys: a bare ``KeyError`` from
+    ``body[...]`` would be turned into a 404 by :meth:`RestAPI.handle`,
+    and 404 is reserved for genuinely missing resources.
+    """
+    missing = [k for k in keys if k not in body]
+    if missing:
+        raise ApiError(400, f"missing required body key(s): {', '.join(missing)}")
 
 
 class RestAPI:
@@ -42,6 +55,8 @@ class RestAPI:
             ("POST", r"^/api/projects/(\d+)/jobs/train$", self._train),
             ("GET", r"^/api/projects/(\d+)/jobs/(\d+)$", self._job_status),
             ("POST", r"^/api/projects/(\d+)/test$", self._test),
+            ("POST", r"^/api/projects/(\d+)/classify$", self._classify),
+            ("GET", r"^/api/serving/stats$", self._serving_stats),
             ("POST", r"^/api/projects/(\d+)/profile$", self._profile),
             ("POST", r"^/api/projects/(\d+)/deploy$", self._deploy),
             ("POST", r"^/api/projects/(\d+)/versions$", self._commit_version),
@@ -113,7 +128,11 @@ class RestAPI:
     def _upload_data(self, body, user, pid) -> dict:
         p = self.platform.get_project(int(pid))
         p.require_member(user)
-        payload = base64.b64decode(body["payload_b64"])
+        _require(body, "payload_b64")
+        try:
+            payload = base64.b64decode(body["payload_b64"])
+        except (ValueError, TypeError) as exc:
+            raise ApiError(400, f"payload_b64 is not valid base64: {exc}")
         sample_id = p.ingestion.ingest(
             payload,
             label=body.get("label", "unlabeled"),
@@ -132,7 +151,12 @@ class RestAPI:
     def _set_impulse(self, body, user, pid) -> dict:
         p = self.platform.get_project(int(pid))
         p.require_member(user)
-        p.set_impulse(Impulse.from_dict(body["impulse"]))
+        _require(body, "impulse")
+        try:
+            impulse = Impulse.from_dict(body["impulse"])
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ApiError(400, f"invalid impulse spec: {exc!r}")
+        p.set_impulse(impulse)
         return {"feature_shape": list(p.impulse.feature_shape())}
 
     def _get_impulse(self, body, user, pid) -> dict:
@@ -163,6 +187,40 @@ class RestAPI:
             "labels": report.labels,
             "confusion_matrix": report.matrix.tolist(),
         }
+
+    def _classify(self, body, user, pid) -> dict:
+        """Serve classification from the batched serving layer.
+
+        Body: ``features`` (one flat window) or ``batch`` (list of
+        windows), plus optional ``precision``/``engine``.
+        """
+        p = self.platform.get_project(int(pid), username=user)
+        if ("features" in body) == ("batch" in body):
+            raise ApiError(400, "provide exactly one of 'features' or 'batch'")
+        precision = body.get("precision", "int8")
+        engine = body.get("engine", "eon")
+        try:
+            if "features" in body:
+                result = self.platform.serving.classify(
+                    p.project_id, body["features"], precision=precision, engine=engine
+                )
+                return {**result, "precision": precision, "engine": engine}
+            results = self.platform.serving.classify_batch(
+                p.project_id, body["batch"], precision=precision, engine=engine
+            )
+            return {
+                "results": results,
+                "batch_size": len(results),
+                "precision": precision,
+                "engine": engine,
+            }
+        except ModelNotTrainedError as exc:
+            raise ApiError(409, str(exc))
+        except ServingError as exc:
+            raise ApiError(400, str(exc))
+
+    def _serving_stats(self, body, user) -> dict:
+        return self.platform.serving.snapshot()
 
     def _profile(self, body, user, pid) -> dict:
         p = self.platform.get_project(int(pid), username=user)

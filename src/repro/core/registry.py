@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.project import Project
+from repro.serve import ModelServer
 
 
 @dataclass
@@ -32,6 +33,9 @@ class Platform:
         self.users: dict[str, User] = {}
         self.organizations: dict[str, Organization] = {}
         self.projects: dict[int, Project] = {}
+        # The hosted-inference tier: LRU-cached compiled models +
+        # micro-batched classify (paper Sec. 4.9).
+        self.serving = ModelServer(self)
 
     # -- identities -------------------------------------------------------
 

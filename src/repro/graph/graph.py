@@ -20,14 +20,19 @@ class Graph:
         self.ops: list[GOp] = []
         self.input_id: int = -1
         self.output_id: int = -1
+        # Memoized CompiledPlan (see repro.runtime.executor.compile_plan);
+        # invalidated by structural edits.
+        self._compiled_plan = None
 
     # -- construction --------------------------------------------------------
 
     def add_tensor(self, tensor: GTensor) -> int:
+        self._compiled_plan = None  # structural edit invalidates the plan
         self.tensors.append(tensor)
         return len(self.tensors) - 1
 
     def add_op(self, op: GOp) -> None:
+        self._compiled_plan = None
         self.ops.append(op)
 
     # -- introspection --------------------------------------------------------

@@ -11,12 +11,20 @@ they carry — exactly the comparison of paper Sec. 5.3:
 """
 
 from repro.runtime.arena import ArenaPlan, plan_arena
-from repro.runtime.executor import run_graph
+from repro.runtime.executor import (
+    CompiledPlan,
+    compile_plan,
+    run_graph,
+    run_graph_dispatch,
+)
 from repro.runtime.interpreter import TFLMInterpreter
 from repro.runtime.eon import EONCompiler, EONModel
 
 __all__ = [
     "run_graph",
+    "run_graph_dispatch",
+    "compile_plan",
+    "CompiledPlan",
     "plan_arena",
     "ArenaPlan",
     "TFLMInterpreter",

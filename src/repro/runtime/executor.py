@@ -1,7 +1,29 @@
-"""Shared graph execution: one dispatch table used by calibration, the
-interpreter, and (via precompiled plans) the EON runtime."""
+"""Shared graph execution: compiled plans + the reference dispatch path.
+
+Two ways to execute a :class:`repro.graph.Graph`:
+
+- :func:`compile_plan` resolves every op **once** into a bound closure
+  (kernel function, weights, biases, quant params and attributes all
+  pre-looked-up), so repeated invokes run a straight list of closures.
+  This is the hot path used by :func:`run_graph`,
+  :class:`repro.runtime.interpreter.TFLMInterpreter` and
+  :class:`repro.runtime.eon.EONModel`.
+- :func:`run_graph_dispatch` re-resolves each op through the opcode
+  dispatch chain on every call — the pre-plan behaviour, kept as the
+  reference implementation for equivalence tests and the serving
+  benchmark's baseline.
+
+Both paths call the same kernels with the same arguments, so outputs are
+bit-identical.  Compiled plans additionally use ``graph.lifetimes()`` to
+drop dead activations as execution proceeds (non-record mode), so peak
+Python-side memory tracks the arena plan instead of the sum of all
+activations.
+"""
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -101,12 +123,259 @@ def _kernel_call(graph: Graph, op: GOp, values: dict[int, np.ndarray]) -> np.nda
     raise NotImplementedError(f"no kernel for opcode {op.opcode}")
 
 
+# -- plan compilation -----------------------------------------------------
+
+# Explicit contraction path for the depthwise einsum: two operands admit a
+# single contraction, so handing einsum the path skips its per-call greedy
+# path search (the AOT "prepare" step a real kernel does once).
+_DW_EINSUM_PATH = ["einsum_path", (0, 1)]
+
+
+def _quant_kwargs(graph: Graph, op: GOp) -> dict:
+    """Requantization params with weights-side values pre-cast to the
+    int64 the kernels accumulate in, so per-invoke ``astype`` copies
+    (``copy=False`` fast path) disappear."""
+    a = op.attrs
+    return dict(
+        in_zp=graph.tensors[op.inputs[0]].quant.zero_point,
+        out_zp=graph.tensors[op.outputs[0]].quant.zero_point,
+        out_mult=np.asarray(a["out_mult"], dtype=np.int64),
+        out_shift=np.asarray(a["out_shift"], dtype=np.int64),
+        clamp_min=a["clamp_min"], clamp_max=a["clamp_max"],
+    )
+
+
+def _bind_op(graph: Graph, op: GOp) -> Callable[[dict[int, np.ndarray]], np.ndarray]:
+    """Resolve one op into a closure over pre-fetched weights/attrs.
+
+    All dispatch decisions (opcode, dtype, activation), tensor-table
+    lookups, attribute reads and weight-side dtype preparation happen
+    here, once; the returned closure only indexes the live-values map
+    and calls the kernel.
+    """
+    t = graph.tensors
+    a = op.attrs
+    is_int8 = t[op.outputs[0]].dtype == "int8"
+    x_id = op.inputs[0]
+
+    if op.opcode in ("CONV_2D", "DEPTHWISE_CONV_2D"):
+        w = t[op.inputs[1]].data
+        b = t[op.inputs[2]].data
+        stride, pad_h, pad_w = a["stride"], a["pad_h"], a["pad_w"]
+        if is_int8:
+            b64 = b.astype(np.int64)
+            kw = _quant_kwargs(graph, op)
+            if op.opcode == "DEPTHWISE_CONV_2D":
+                w64 = w.astype(np.int64)
+                return lambda v: K.dwconv2d_i8_prepared(
+                    v[x_id], w64, b64, stride, pad_h, pad_w, **kw
+                )
+            kh, kw_ = w.shape[0], w.shape[1]
+            w2d = w.astype(np.int64).reshape(-1, w.shape[3])
+            return lambda v: K.conv2d_i8_prepared(
+                v[x_id], w2d, kh, kw_, b64, stride, pad_h, pad_w, **kw
+            )
+        act = a.get("activation", "none")
+        if op.opcode == "DEPTHWISE_CONV_2D":
+            return lambda v: K.dwconv2d_f32(
+                v[x_id], w, b, stride, pad_h, pad_w, act, path=_DW_EINSUM_PATH
+            )
+        return lambda v: K.conv2d_f32(v[x_id], w, b, stride, pad_h, pad_w, act)
+
+    if op.opcode == "CONV_1D":
+        w = t[op.inputs[1]].data
+        b = t[op.inputs[2]].data
+        stride, pad = a["stride"], a["pad"]
+        if is_int8:
+            b64 = b.astype(np.int64)
+            kw = _quant_kwargs(graph, op)
+            k = w.shape[0]
+            w2d = w.astype(np.int64).reshape(-1, w.shape[2])
+            return lambda v: K.conv1d_i8_prepared(
+                v[x_id], w2d, k, b64, stride, pad, **kw
+            )
+        act = a.get("activation", "none")
+        return lambda v: K.conv1d_f32(v[x_id], w, b, stride, pad, act)
+
+    if op.opcode == "FULLY_CONNECTED":
+        w = t[op.inputs[1]].data
+        b = t[op.inputs[2]].data
+        if is_int8:
+            w64 = w.astype(np.int64)
+            b64 = b.astype(np.int64)
+            kw = _quant_kwargs(graph, op)
+            return lambda v: K.fc_i8(v[x_id], w64, b64, **kw)
+        act = a.get("activation", "none")
+        return lambda v: K.fc_f32(v[x_id], w, b, act)
+
+    if op.opcode in ("MAX_POOL_2D", "MAX_POOL_1D", "AVG_POOL_2D"):
+        pool = a["pool_size"]
+        fn = {
+            ("MAX_POOL_2D", True): K.maxpool2d_i8,
+            ("MAX_POOL_2D", False): K.maxpool2d_f32,
+            ("MAX_POOL_1D", True): K.maxpool1d_i8,
+            ("MAX_POOL_1D", False): K.maxpool1d_f32,
+            ("AVG_POOL_2D", True): K.avgpool2d_i8,
+            ("AVG_POOL_2D", False): K.avgpool2d_f32,
+        }[(op.opcode, is_int8)]
+        return lambda v: fn(v[x_id], pool)
+
+    if op.opcode == "GLOBAL_AVG_POOL_2D":
+        fn = K.gap2d_i8 if is_int8 else K.gap2d_f32
+        return lambda v: fn(v[x_id])
+    if op.opcode == "GLOBAL_AVG_POOL_1D":
+        fn = K.gap1d_i8 if is_int8 else K.gap1d_f32
+        return lambda v: fn(v[x_id])
+
+    if op.opcode == "RESHAPE":
+        out_shape = tuple(t[op.outputs[0]].shape)
+        return lambda v: v[x_id].reshape((v[x_id].shape[0],) + out_shape)
+
+    if op.opcode == "ADD":
+        b_id = op.inputs[1]
+        b_const = t[b_id].data if t[b_id].is_const else None
+        if is_int8:
+            kw = dict(
+                zp_a=t[op.inputs[0]].quant.zero_point,
+                zp_b=t[b_id].quant.zero_point,
+                out_zp=t[op.outputs[0]].quant.zero_point,
+                left_shift=a["left_shift"],
+                mult1=a["mult1"], shift1=a["shift1"],
+                mult2=a["mult2"], shift2=a["shift2"],
+                out_mult=a["out_mult"], out_shift=a["out_shift"],
+                clamp_min=a["clamp_min"], clamp_max=a["clamp_max"],
+            )
+            if b_const is not None:
+                return lambda v: K.add_i8(v[x_id], b_const, **kw)
+            return lambda v: K.add_i8(v[x_id], v[b_id], **kw)
+        act = a.get("activation", "none")
+        if b_const is not None:
+            return lambda v: K.add_f32(v[x_id], b_const, act)
+        return lambda v: K.add_f32(v[x_id], v[b_id], act)
+
+    if op.opcode == "SOFTMAX":
+        if is_int8:
+            qp = t[op.inputs[0]].quant
+            in_scale, in_zp = float(qp.scale[0]), qp.zero_point
+            return lambda v: K.softmax_i8(v[x_id], in_scale, in_zp)
+        return lambda v: K.softmax_f32(v[x_id])
+
+    raise NotImplementedError(f"no kernel for opcode {op.opcode}")
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One compiled op: output tensor id + fully bound kernel closure."""
+
+    opcode: str
+    out_id: int
+    fn: Callable[[dict[int, np.ndarray]], np.ndarray]
+
+
+class CompiledPlan:
+    """A straight-line executable plan over a graph.
+
+    Holds one :class:`PlanStep` per op plus, per step, the list of
+    activation tensor ids whose lifetime ends at that step (freed during
+    non-record execution).  Closures snapshot weights at compile time
+    (int8 weights are pre-cast to the kernels' accumulator dtype), so
+    editing a tensor's ``data`` afterwards requires recompiling the plan.
+    """
+
+    def __init__(self, graph: Graph):
+        graph.validate()
+        self.graph = graph
+        self.steps: list[PlanStep] = [
+            PlanStep(op.opcode, op.outputs[0], _bind_op(graph, op)) for op in graph.ops
+        ]
+        # Dead-activation schedule: tensor ids to drop after each step.
+        # The graph output's lifetime extends past the last op, so it is
+        # never scheduled for release.
+        lifetimes = graph.lifetimes()
+        self._release: list[list[int]] = [[] for _ in graph.ops]
+        for tid, (_, last) in lifetimes.items():
+            if tid != graph.output_id and last < len(graph.ops):
+                self._release[last].append(tid)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def prepare_input(self, batch: np.ndarray) -> np.ndarray:
+        """Coerce caller input to the graph's input dtype (quantizing
+        float input for int8 graphs, as the SDK does on-device)."""
+        batch = np.asarray(batch)
+        in_t = self.graph.tensors[self.graph.input_id]
+        if in_t.dtype == "int8" and batch.dtype != np.int8:
+            batch = in_t.quant.quantize(batch.astype(np.float32))
+        elif in_t.dtype == "float32":
+            batch = batch.astype(np.float32)
+        return batch
+
+    def execute(
+        self, batch: np.ndarray, record: bool = False
+    ) -> np.ndarray | dict[int, np.ndarray]:
+        """Run the plan over a batch.
+
+        With ``record=True`` returns every activation tensor (used by
+        calibration and the active-learning embedding hook) and nothing
+        is freed; otherwise dead activations are dropped as soon as
+        their last consumer has run.
+        """
+        values: dict[int, np.ndarray] = {
+            self.graph.input_id: self.prepare_input(batch)
+        }
+        if record:
+            for step in self.steps:
+                values[step.out_id] = step.fn(values)
+            return values
+        for step, dead in zip(self.steps, self._release):
+            values[step.out_id] = step.fn(values)
+            for tid in dead:
+                del values[tid]
+        return values[self.graph.output_id]
+
+    def live_tensor_peak(self, batch_size: int = 1) -> int:
+        """Peak bytes of simultaneously-live activations under the
+        release schedule (per sample times ``batch_size``) — the
+        Python-side analogue of the arena plan's footprint."""
+        sizes = {
+            tid: self.graph.tensors[tid].size_bytes
+            for tid in self.graph.lifetimes()
+        }
+        live = {self.graph.input_id}
+        peak = sizes[self.graph.input_id]
+        for step, dead in zip(self.steps, self._release):
+            live.add(step.out_id)
+            peak = max(peak, sum(sizes[t] for t in live))
+            live -= set(dead)
+        return peak * batch_size
+
+
+def compile_plan(graph: Graph, cache: bool = True) -> CompiledPlan:
+    """Compile (or fetch the cached) execution plan for ``graph``.
+
+    The plan is memoized on the graph instance; structural edits via
+    ``Graph.add_tensor``/``Graph.add_op`` invalidate it.
+    """
+    if cache:
+        plan = getattr(graph, "_compiled_plan", None)
+        if plan is not None:
+            return plan
+    plan = CompiledPlan(graph)
+    if cache:
+        graph._compiled_plan = plan
+    return plan
+
+
+# -- entry points ----------------------------------------------------------
+
+
 def run_graph(
     graph: Graph,
     batch: np.ndarray,
     record: bool = False,
 ) -> np.ndarray | dict[int, np.ndarray]:
-    """Execute the graph over a batch.
+    """Execute the graph over a batch (via its compiled plan).
 
     Float graphs take/return float32.  int8 graphs accept float input (which
     is quantized with the input tensor's qparams, as the SDK does on-device)
@@ -114,6 +383,20 @@ def run_graph(
 
     With ``record=True`` returns every activation tensor (used by
     calibration and the active-learning embedding hook).
+    """
+    return compile_plan(graph).execute(batch, record=record)
+
+
+def run_graph_dispatch(
+    graph: Graph,
+    batch: np.ndarray,
+    record: bool = False,
+) -> np.ndarray | dict[int, np.ndarray]:
+    """Reference path: per-invoke opcode dispatch, no plan, no freeing.
+
+    Kept for equivalence tests and as the baseline in
+    ``benchmarks/bench_serving_throughput.py``; produces bit-identical
+    outputs to :func:`run_graph`.
     """
     batch = np.asarray(batch)
     in_t = graph.tensors[graph.input_id]

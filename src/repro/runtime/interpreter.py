@@ -1,8 +1,9 @@
 """TFLM-style interpreter.
 
-Executes a graph through an op-registry dispatch, carrying the runtime
-bookkeeping a real TFLM interpreter holds in SRAM: a tensor struct per
-tensor, a node struct per op, and the arena.  The profiler charges these
+Executes a graph through a plan compiled at construction time (the
+AllocateTensors-equivalent step), carrying the runtime bookkeeping a real
+TFLM interpreter holds in SRAM: a tensor struct per tensor, a node struct
+per op, and the arena.  The profiler charges these
 structures to RAM and the interpreter core + registered kernels to flash,
 which is exactly the overhead the EON Compiler removes (Sec. 5.3).
 """
@@ -13,7 +14,7 @@ import numpy as np
 
 from repro.graph.graph import Graph
 from repro.runtime.arena import ArenaPlan, plan_arena
-from repro.runtime.executor import _kernel_call, dequantize_output
+from repro.runtime.executor import CompiledPlan, compile_plan, dequantize_output
 
 
 class TFLMInterpreter:
@@ -30,8 +31,9 @@ class TFLMInterpreter:
         graph.validate()
         self.graph = graph
         self.arena: ArenaPlan = plan_arena(graph, strategy=arena_strategy)
-        # The op registry: opcode -> kernel resolution happens per-invoke,
-        # as AllocateTensors + dispatch do on-device.
+        # AllocateTensors-equivalent: every opcode is resolved to a bound
+        # kernel once, here, instead of per-invoke.
+        self._plan: CompiledPlan = compile_plan(graph)
         self._registry = {op.opcode for op in graph.ops}
 
     # -- execution -------------------------------------------------------------
@@ -39,16 +41,13 @@ class TFLMInterpreter:
     def invoke(self, batch: np.ndarray) -> np.ndarray:
         """Run inference; returns the raw output tensor (int8 graphs return
         int8 — use :meth:`classify` or :meth:`predict_proba` for floats)."""
-        batch = np.asarray(batch)
-        in_t = self.graph.tensors[self.graph.input_id]
-        if in_t.dtype == "int8" and batch.dtype != np.int8:
-            batch = in_t.quant.quantize(batch.astype(np.float32))
-        values = {self.graph.input_id: batch}
-        for op in self.graph.ops:
-            if op.opcode not in self._registry:
-                raise RuntimeError(f"op {op.opcode} not registered")
-            values[op.outputs[0]] = _kernel_call(self.graph, op, values)
-        return values[self.graph.output_id]
+        # TFLM fidelity: an opcode removed from the registry (a kernel the
+        # firmware never linked) must refuse to run, even though the plan
+        # has it bound.
+        for step in self._plan.steps:
+            if step.opcode not in self._registry:
+                raise RuntimeError(f"op {step.opcode} not registered")
+        return self._plan.execute(batch)
 
     def predict_proba(self, batch: np.ndarray) -> np.ndarray:
         return dequantize_output(self.graph, self.invoke(batch))

@@ -26,6 +26,29 @@ def _apply_activation_f32(x: np.ndarray, activation: str) -> np.ndarray:
     return x
 
 
+def _pad2d(x: np.ndarray, pad_h, pad_w, fill) -> np.ndarray:
+    """Constant-pad H/W of a NHWC batch.  ``np.pad`` costs ~50-80us of
+    pure-Python overhead per call, which dominates small-kernel invokes;
+    this is the same operation as one fill + one slice assign."""
+    (pt, pb), (pl, pr) = tuple(pad_h), tuple(pad_w)
+    if pt == pb == pl == pr == 0:
+        return x
+    b, h, w, c = x.shape
+    out = np.full((b, h + pt + pb, w + pl + pr, c), fill, dtype=x.dtype)
+    out[:, pt : pt + h, pl : pl + w, :] = x
+    return out
+
+
+def _pad1d(x: np.ndarray, pad, fill) -> np.ndarray:
+    (pl, pr) = tuple(pad)
+    if pl == pr == 0:
+        return x
+    b, t, c = x.shape
+    out = np.full((b, t + pl + pr, c), fill, dtype=x.dtype)
+    out[:, pl : pl + t, :] = x
+    return out
+
+
 def _windows_2d(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
     b, h, w, c = x.shape
     oh = (h - kh) // stride + 1
@@ -40,23 +63,23 @@ def _windows_2d(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
 
 
 def conv2d_f32(x, w, b, stride, pad_h, pad_w, activation="none"):
-    xp = np.pad(x, ((0, 0), tuple(pad_h), tuple(pad_w), (0, 0)))
+    xp = _pad2d(x, pad_h, pad_w, 0.0)
     view = _windows_2d(xp, w.shape[0], w.shape[1], stride)
     out = np.tensordot(view, w, axes=([3, 4, 5], [0, 1, 2])) + b
     return _apply_activation_f32(out.astype(np.float32), activation)
 
 
-def dwconv2d_f32(x, w, b, stride, pad_h, pad_w, activation="none"):
-    xp = np.pad(x, ((0, 0), tuple(pad_h), tuple(pad_w), (0, 0)))
+def dwconv2d_f32(x, w, b, stride, pad_h, pad_w, activation="none", path=True):
+    xp = _pad2d(x, pad_h, pad_w, 0.0)
     view = _windows_2d(xp, w.shape[0], w.shape[1], stride)
-    out = np.einsum("bxyijc,ijcd->bxycd", view, w, optimize=True)
+    out = np.einsum("bxyijc,ijcd->bxycd", view, w, optimize=path)
     bsz, oh, ow, c, d = out.shape
     out = out.reshape(bsz, oh, ow, c * d) + b
     return _apply_activation_f32(out.astype(np.float32), activation)
 
 
 def conv1d_f32(x, w, b, stride, pad, activation="none"):
-    xp = np.pad(x, ((0, 0), tuple(pad), (0, 0)))
+    xp = _pad1d(x, pad, 0.0)
     bsz, t, c = xp.shape
     k = w.shape[0]
     ot = (t - k) // stride + 1
@@ -128,12 +151,13 @@ def conv2d_i8(
     x, w, bias, stride, pad_h, pad_w, in_zp, out_zp, out_mult, out_shift,
     clamp_min=-128, clamp_max=127,
 ):
-    xp = np.pad(x, ((0, 0), tuple(pad_h), tuple(pad_w), (0, 0)), constant_values=in_zp)
+    xp = _pad2d(x, pad_h, pad_w, in_zp)
     view = _windows_2d(xp.astype(np.int32) - in_zp, w.shape[0], w.shape[1], stride)
     acc = np.tensordot(
-        view.astype(np.int64), w.astype(np.int64), axes=([3, 4, 5], [0, 1, 2])
+        view.astype(np.int64), w.astype(np.int64, copy=False),
+        axes=([3, 4, 5], [0, 1, 2]),
     )
-    acc += bias.astype(np.int64)
+    acc += bias.astype(np.int64, copy=False)
     mult = np.asarray(out_mult, dtype=np.int64)
     shift = np.asarray(out_shift, dtype=np.int64)
     return _requant(acc, mult, shift, out_zp, clamp_min, clamp_max)
@@ -141,15 +165,16 @@ def conv2d_i8(
 
 def dwconv2d_i8(
     x, w, bias, stride, pad_h, pad_w, in_zp, out_zp, out_mult, out_shift,
-    clamp_min=-128, clamp_max=127,
+    clamp_min=-128, clamp_max=127, path=True,
 ):
-    xp = np.pad(x, ((0, 0), tuple(pad_h), tuple(pad_w), (0, 0)), constant_values=in_zp)
+    xp = _pad2d(x, pad_h, pad_w, in_zp)
     view = _windows_2d(xp.astype(np.int32) - in_zp, w.shape[0], w.shape[1], stride)
     acc = np.einsum(
-        "bxyijc,ijcd->bxycd", view.astype(np.int64), w.astype(np.int64), optimize=True
+        "bxyijc,ijcd->bxycd", view.astype(np.int64),
+        w.astype(np.int64, copy=False), optimize=path,
     )
     bsz, oh, ow, c, d = acc.shape
-    acc = acc.reshape(bsz, oh, ow, c * d) + bias.astype(np.int64)
+    acc = acc.reshape(bsz, oh, ow, c * d) + bias.astype(np.int64, copy=False)
     mult = np.asarray(out_mult, dtype=np.int64)
     shift = np.asarray(out_shift, dtype=np.int64)
     return _requant(acc, mult, shift, out_zp, clamp_min, clamp_max)
@@ -159,7 +184,7 @@ def conv1d_i8(
     x, w, bias, stride, pad, in_zp, out_zp, out_mult, out_shift,
     clamp_min=-128, clamp_max=127,
 ):
-    xp = np.pad(x, ((0, 0), tuple(pad), (0, 0)), constant_values=in_zp)
+    xp = _pad1d(x, pad, in_zp)
     bsz, t, c = xp.shape
     k = w.shape[0]
     ot = (t - k) // stride + 1
@@ -168,8 +193,10 @@ def conv1d_i8(
     view = np.lib.stride_tricks.as_strided(
         centered, shape=(bsz, ot, k, c), strides=(sb, st * stride, st, sc), writeable=False
     )
-    acc = np.tensordot(view.astype(np.int64), w.astype(np.int64), axes=([2, 3], [0, 1]))
-    acc += bias.astype(np.int64)
+    acc = np.tensordot(
+        view.astype(np.int64), w.astype(np.int64, copy=False), axes=([2, 3], [0, 1])
+    )
+    acc += bias.astype(np.int64, copy=False)
     mult = np.asarray(out_mult, dtype=np.int64)
     shift = np.asarray(out_shift, dtype=np.int64)
     return _requant(acc, mult, shift, out_zp, clamp_min, clamp_max)
@@ -179,10 +206,76 @@ def fc_i8(
     x, w, bias, in_zp, out_zp, out_mult, out_shift, clamp_min=-128, clamp_max=127
 ):
     centered = x.astype(np.int64) - in_zp
-    acc = centered @ w.astype(np.int64) + bias.astype(np.int64)
+    acc = centered @ w.astype(np.int64, copy=False) + bias.astype(np.int64, copy=False)
     mult = np.asarray(out_mult, dtype=np.int64)
     shift = np.asarray(out_shift, dtype=np.int64)
     return _requant(acc, mult, shift, out_zp, clamp_min, clamp_max)
+
+
+# -- prepared int8 conv variants -------------------------------------------
+#
+# Compile-time-specialized entry points used by compiled plans
+# (repro.runtime.executor).  They take weights already cast to int64 (and,
+# for CONV_2D, pre-flattened to the GEMM layout), replacing the generic
+# tensordot/einsum calls — whose per-call Python setup dominates small
+# invokes — with a direct matmul / multiply-sum.  Integer arithmetic is
+# exact, so outputs are bit-identical to the generic kernels above.
+
+
+def conv2d_i8_prepared(
+    x, w2d, kh, kw, bias64, stride, pad_h, pad_w, in_zp, out_zp,
+    out_mult, out_shift, clamp_min=-128, clamp_max=127,
+):
+    """``w2d`` is the weight tensor reshaped to ``(kh*kw*cin, cout)`` int64."""
+    xp = _pad2d(x, pad_h, pad_w, in_zp)
+    view = _windows_2d(xp.astype(np.int32) - in_zp, kh, kw, stride)
+    b, oh, ow = view.shape[:3]
+    acc = view.astype(np.int64).reshape(b * oh * ow, -1) @ w2d
+    acc = acc.reshape(b, oh, ow, -1) + bias64
+    return _requant(acc, out_mult, out_shift, out_zp, clamp_min, clamp_max)
+
+
+def dwconv2d_i8_prepared(
+    x, w64, bias64, stride, pad_h, pad_w, in_zp, out_zp,
+    out_mult, out_shift, clamp_min=-128, clamp_max=127,
+):
+    """``w64`` is the ``(kh, kw, c, d)`` weight tensor pre-cast to int64."""
+    xp = _pad2d(x, pad_h, pad_w, in_zp)
+    view = _windows_2d(xp.astype(np.int32) - in_zp, w64.shape[0], w64.shape[1], stride)
+    if w64.shape[3] == 1:
+        # Depth multiplier 1 (the common case): multiply in place on the
+        # int64 copy of the window view, so peak memory matches the
+        # generic einsum kernel while skipping einsum's per-call setup.
+        prod = view.astype(np.int64)
+        prod *= w64[:, :, :, 0]
+        acc = prod.sum(axis=(3, 4)) + bias64
+    else:
+        acc = np.einsum(
+            "bxyijc,ijcd->bxycd", view.astype(np.int64), w64,
+            optimize=["einsum_path", (0, 1)],
+        )
+        b, oh, ow, c, d = acc.shape
+        acc = acc.reshape(b, oh, ow, c * d) + bias64
+    return _requant(acc, out_mult, out_shift, out_zp, clamp_min, clamp_max)
+
+
+def conv1d_i8_prepared(
+    x, w2d, k, bias64, stride, pad, in_zp, out_zp,
+    out_mult, out_shift, clamp_min=-128, clamp_max=127,
+):
+    """``w2d`` is the weight tensor reshaped to ``(k*cin, cout)`` int64."""
+    xp = _pad1d(x, pad, in_zp)
+    bsz, t, c = xp.shape
+    ot = (t - k) // stride + 1
+    centered = xp.astype(np.int32) - in_zp
+    sb, st, sc = centered.strides
+    view = np.lib.stride_tricks.as_strided(
+        centered, shape=(bsz, ot, k, c), strides=(sb, st * stride, st, sc),
+        writeable=False,
+    )
+    acc = view.astype(np.int64).reshape(bsz * ot, -1) @ w2d
+    acc = acc.reshape(bsz, ot, -1) + bias64
+    return _requant(acc, out_mult, out_shift, out_zp, clamp_min, clamp_max)
 
 
 def maxpool2d_i8(x, pool):

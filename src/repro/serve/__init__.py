@@ -1,0 +1,26 @@
+"""Model serving: compiled-model cache + micro-batched classification.
+
+The hosted platform serves inference for thousands of projects behind a
+REST API; this package is that tier.  :class:`ModelServer` compiles each
+(project, precision, engine) once into a plan-backed model, caches it
+LRU-style, and coalesces classify requests into batched invokes via
+:class:`MicroBatcher`.  Reached over ``POST /api/projects/<pid>/classify``
+(:mod:`repro.core.api`) and the ``classify`` CLI command.
+"""
+
+from repro.serve.batcher import MicroBatcher, PendingResult
+from repro.serve.server import (
+    ModelNotTrainedError,
+    ModelServer,
+    ServingError,
+    ServingStats,
+)
+
+__all__ = [
+    "MicroBatcher",
+    "PendingResult",
+    "ModelServer",
+    "ServingError",
+    "ModelNotTrainedError",
+    "ServingStats",
+]

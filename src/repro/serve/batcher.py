@@ -1,0 +1,104 @@
+"""Micro-batching request queue.
+
+Coalesces pending classify requests into one batched graph invoke.  The
+kernels are vectorized over the batch dimension, so one ``invoke`` on N
+stacked windows costs far less than N single-sample invokes — the same
+amortization a hosted inference tier gets from dynamic batching.
+
+The batcher is synchronous and thread-safe: callers ``submit()`` features
+and then ``wait()`` on the returned ticket.  Whoever waits first becomes
+the flush leader and runs the batched invoke for every pending request;
+concurrent submitters from other threads ride along in the same batch.
+Reaching ``max_batch`` pending requests also triggers a flush.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+
+class PendingResult:
+    """Ticket for one submitted request; resolved by a batch flush."""
+
+    __slots__ = ("features", "ready", "result", "error")
+
+    def __init__(self, features: np.ndarray):
+        self.features = features
+        self.ready = threading.Event()
+        self.result: np.ndarray | None = None
+        self.error: Exception | None = None
+
+    def value(self) -> np.ndarray:
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+class MicroBatcher:
+    """Coalesce classify requests into batched ``run_batch`` calls.
+
+    ``run_batch`` takes a ``(n, *feature_shape)`` array and returns one
+    result row per request (any leading-axis indexable).
+    """
+
+    def __init__(self, run_batch, max_batch: int = 32):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._run_batch = run_batch
+        self.max_batch = max_batch
+        self._lock = threading.Lock()
+        self._pending: list[PendingResult] = []
+        # Counters for the serving stats endpoint / benchmark.
+        self.batches = 0
+        self.batched_requests = 0
+        self.largest_batch = 0
+
+    def submit(self, features: np.ndarray) -> PendingResult:
+        """Queue one request; flushes eagerly once ``max_batch`` accumulate."""
+        ticket = PendingResult(np.asarray(features))
+        with self._lock:
+            self._pending.append(ticket)
+            full = len(self._pending) >= self.max_batch
+        if full:
+            self.flush()
+        return ticket
+
+    def flush(self) -> int:
+        """Run one batched invoke over up to ``max_batch`` pending
+        requests; returns how many were resolved."""
+        with self._lock:
+            batch = self._pending[: self.max_batch]
+            self._pending = self._pending[self.max_batch :]
+        if not batch:
+            return 0
+        try:
+            stacked = np.stack([t.features for t in batch])
+            results = self._run_batch(stacked)
+            for ticket, row in zip(batch, results):
+                ticket.result = row
+        except Exception as exc:  # propagate to every waiter in the batch
+            for ticket in batch:
+                ticket.error = exc
+        finally:
+            for ticket in batch:
+                ticket.ready.set()
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += len(batch)
+            self.largest_batch = max(self.largest_batch, len(batch))
+        return len(batch)
+
+    def wait(self, ticket: PendingResult) -> np.ndarray:
+        """Block until ``ticket`` resolves, flushing if nobody else has."""
+        while not ticket.ready.is_set():
+            if self.flush() == 0:
+                # Another thread is mid-flush with our ticket; yield.
+                ticket.ready.wait(timeout=0.05)
+        return ticket.value()
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._pending)

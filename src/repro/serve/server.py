@@ -1,0 +1,242 @@
+"""The model-serving layer (paper Sec. 4.9's hosted inference API).
+
+A :class:`ModelServer` sits over the platform's project registry and
+serves classification requests from compiled models:
+
+- models are compiled once (EON plan or TFLM interpreter — both execute
+  a :class:`repro.runtime.executor.CompiledPlan`) and held in an LRU
+  cache keyed ``(project_id, precision, engine)``;
+- retraining is detected by graph identity, so a cache entry never
+  serves a stale model;
+- requests go through a :class:`repro.serve.batcher.MicroBatcher` per
+  cached model, coalescing concurrent classify calls into one batched
+  invoke.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.runtime.eon import EONCompiler
+from repro.runtime.interpreter import TFLMInterpreter
+from repro.serve.batcher import MicroBatcher
+
+ENGINES = ("eon", "tflm")
+PRECISIONS = ("float32", "int8")
+
+
+class ServingError(Exception):
+    """Invalid classify request (bad engine/precision/feature shape)."""
+
+
+class ModelNotTrainedError(ServingError):
+    """The project has no trained graph for the requested precision."""
+
+
+@dataclass
+class ServingStats:
+    """Operational counters.  ``batches``/``batched_requests`` hold the
+    totals of retired cache entries; live entries are added by
+    :meth:`ModelServer.snapshot`."""
+
+    requests: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+
+
+@dataclass
+class _CacheEntry:
+    """One compiled model + its micro-batcher."""
+
+    graph: object
+    model: object  # EONModel or TFLMInterpreter; both expose predict_proba
+    batcher: MicroBatcher
+    feature_size: int = 0
+    feature_shape: tuple[int, ...] = field(default_factory=tuple)
+
+
+class ModelServer:
+    """Batched serving over compiled models with an LRU model cache."""
+
+    def __init__(self, platform, cache_size: int = 8, max_batch: int = 32):
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        self.platform = platform
+        self.cache_size = cache_size
+        self.max_batch = max_batch
+        self.stats = ServingStats()
+        self._cache: OrderedDict[tuple[int, str, str], _CacheEntry] = OrderedDict()
+        # Guards the cache and stats; per-entry batchers have their own
+        # lock, so classify calls only contend here for the model lookup.
+        self._lock = threading.RLock()
+
+    @classmethod
+    def for_project(cls, project, **kwargs) -> "ModelServer":
+        """A standalone server over one project (the CLI entry point)."""
+        registry = SimpleNamespace(projects={project.project_id: project})
+        return cls(registry, **kwargs)
+
+    # -- model cache -------------------------------------------------------
+
+    def get_model(
+        self, project_id: int, precision: str = "int8", engine: str = "eon"
+    ) -> _CacheEntry:
+        """Fetch (or compile and cache) the served model for a project.
+
+        Raises ``KeyError`` for an unknown project (a missing resource)
+        and :class:`ServingError` for bad parameters or untrained models.
+        """
+        if precision not in PRECISIONS:
+            raise ServingError(f"unknown precision {precision!r}; expected {PRECISIONS}")
+        if engine not in ENGINES:
+            raise ServingError(f"unknown engine {engine!r}; expected {ENGINES}")
+        project = self.platform.projects[project_id]
+        graph = project.int8_graph if precision == "int8" else project.float_graph
+        if graph is None:
+            raise ModelNotTrainedError(
+                f"project {project_id} has no trained {precision} model"
+            )
+
+        key = (project_id, precision, engine)
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None and entry.graph is graph:
+                self.stats.cache_hits += 1
+                self._cache.move_to_end(key)
+                return entry
+
+            # Compiling under the lock serializes concurrent misses on the
+            # same key, so exactly one model (and batcher) is built.
+            self.stats.cache_misses += 1
+            model = (
+                EONCompiler().compile(graph)
+                if engine == "eon"
+                else TFLMInterpreter(graph)
+            )
+
+            def run_batch(stacked: np.ndarray) -> np.ndarray:
+                return model.predict_proba(stacked)
+
+            entry = _CacheEntry(
+                graph=graph,
+                model=model,
+                batcher=MicroBatcher(run_batch, max_batch=self.max_batch),
+                feature_size=int(np.prod(graph.tensors[graph.input_id].shape)),
+                feature_shape=tuple(graph.tensors[graph.input_id].shape),
+            )
+            stale = self._cache.get(key)
+            if stale is not None:  # project was retrained; replace the model
+                self._retire(stale)
+            self._cache[key] = entry
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                _, evicted = self._cache.popitem(last=False)
+                self._retire(evicted)
+                self.stats.cache_evictions += 1
+            return entry
+
+    def _retire(self, entry: _CacheEntry) -> None:
+        """Fold a leaving entry's batcher counters into the totals so
+        stats survive eviction/invalidation."""
+        self.stats.batches += entry.batcher.batches
+        self.stats.batched_requests += entry.batcher.batched_requests
+
+    def invalidate(self, project_id: int | None = None) -> None:
+        """Drop cached models (all, or one project's)."""
+        with self._lock:
+            keys = [
+                k for k in self._cache if project_id is None or k[0] == project_id
+            ]
+            for key in keys:
+                self._retire(self._cache.pop(key))
+
+    # -- classification ----------------------------------------------------
+
+    def _coerce_features(self, entry: _CacheEntry, features) -> np.ndarray:
+        try:
+            arr = np.asarray(features, dtype=np.float32)
+        except (TypeError, ValueError) as exc:
+            raise ServingError(f"features are not numeric: {exc}")
+        if arr.size != entry.feature_size:
+            raise ServingError(
+                f"expected {entry.feature_size} features "
+                f"(shape {entry.feature_shape}), got {arr.size}"
+            )
+        return arr.reshape(entry.feature_shape)
+
+    def _labels(self, project_id: int) -> list[str]:
+        label_map = self.platform.projects[project_id].label_map
+        return [l for l, _ in sorted(label_map.items(), key=lambda kv: kv[1])]
+
+    def _to_result(self, labels: list[str], probs: np.ndarray) -> dict:
+        classification = {l: float(p) for l, p in zip(labels, probs)}
+        top = max(classification, key=classification.get) if classification else None
+        return {"classification": classification, "top": top}
+
+    def classify(
+        self,
+        project_id: int,
+        features,
+        precision: str = "int8",
+        engine: str = "eon",
+    ) -> dict:
+        """Classify one feature window; returns ``{"classification",
+        "top"}``.  Goes through the micro-batch queue, so concurrent
+        callers share one batched invoke."""
+        entry = self.get_model(project_id, precision, engine)
+        ticket = entry.batcher.submit(self._coerce_features(entry, features))
+        probs = entry.batcher.wait(ticket)
+        with self._lock:
+            self.stats.requests += 1
+        return self._to_result(self._labels(project_id), probs)
+
+    def classify_batch(
+        self,
+        project_id: int,
+        feature_rows,
+        precision: str = "int8",
+        engine: str = "eon",
+    ) -> list[dict]:
+        """Classify many windows in micro-batches; one result per row."""
+        if not isinstance(feature_rows, (list, tuple)) or len(feature_rows) == 0:
+            raise ServingError("batch must be a non-empty list of feature rows")
+        entry = self.get_model(project_id, precision, engine)
+        # Validate every row before submitting any, so a malformed row
+        # mid-batch cannot strand already-queued tickets.
+        coerced = [self._coerce_features(entry, row) for row in feature_rows]
+        tickets = [entry.batcher.submit(row) for row in coerced]
+        results = [entry.batcher.wait(t) for t in tickets]
+        with self._lock:
+            self.stats.requests += len(tickets)
+        labels = self._labels(project_id)
+        return [self._to_result(labels, probs) for probs in results]
+
+    # -- observability -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Server-wide stats: retired totals + live batcher counters."""
+        with self._lock:
+            batches = self.stats.batches + sum(
+                e.batcher.batches for e in self._cache.values()
+            )
+            batched = self.stats.batched_requests + sum(
+                e.batcher.batched_requests for e in self._cache.values()
+            )
+            return {
+                "requests": self.stats.requests,
+                "batches": batches,
+                "batched_requests": batched,
+                "mean_batch_size": batched / batches if batches else 0.0,
+                "cache_size": len(self._cache),
+                "cache_hits": self.stats.cache_hits,
+                "cache_misses": self.stats.cache_misses,
+                "cache_evictions": self.stats.cache_evictions,
+            }

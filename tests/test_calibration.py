@@ -26,6 +26,23 @@ def _pulse_probs(n=40, positions=(10, 25), width=3, peak=0.95):
     return probs, times
 
 
+def test_zero_stride_raises_clear_error():
+    """Regression: stride_s * sample_rate < 1 used to crash with an
+    opaque ``range() arg 3 must not be zero``."""
+    stream = np.zeros(100, np.float32)
+    classify = lambda w: np.array([1.0, 0.0])
+    with pytest.raises(ValueError, match="stride_s"):
+        continuous_probabilities(classify, stream, sample_rate=16,
+                                 window_s=1.0, stride_s=0.01)
+    with pytest.raises(ValueError, match="window_s"):
+        continuous_probabilities(classify, stream, sample_rate=16,
+                                 window_s=0.01, stride_s=1.0)
+    # The boundary case stays valid: exactly one sample of stride.
+    probs, times = continuous_probabilities(classify, stream, sample_rate=16,
+                                            window_s=1.0, stride_s=1 / 16)
+    assert len(probs) == len(times) > 0
+
+
 def test_threshold_gates_detections():
     probs, times = _pulse_probs()
     low = StreamingPostProcessor(PostProcessConfig(threshold=0.5, smoothing_windows=1), 1)

@@ -119,6 +119,37 @@ def test_full_automation_flow(api):
     assert any(p["project_id"] == pid for p in listing["projects"])
 
 
+def test_missing_body_key_is_400_not_404(api):
+    """Regression: a request missing a required body key used to surface
+    as 404 via the blanket KeyError mapping; it must be a 400."""
+    pid = api.handle("POST", "/api/projects", {"name": "p"}, user="alice")["project_id"]
+    upload = api.handle("POST", f"/api/projects/{pid}/data", {"label": "x"},
+                        user="alice")
+    assert upload["status"] == 400
+    assert "payload_b64" in upload["error"]
+    impulse = api.handle("POST", f"/api/projects/{pid}/impulse", {}, user="alice")
+    assert impulse["status"] == 400
+    assert "impulse" in impulse["error"]
+    # 404 stays reserved for genuinely missing resources.
+    assert api.handle("POST", "/api/projects/999/data",
+                      {"payload_b64": ""}, user="alice")["status"] == 404
+
+
+def test_bad_base64_is_400(api):
+    pid = api.handle("POST", "/api/projects", {"name": "p"}, user="alice")["project_id"]
+    response = api.handle("POST", f"/api/projects/{pid}/data",
+                          {"payload_b64": "!!not-base64!!"}, user="alice")
+    assert response["status"] == 400
+
+
+def test_malformed_impulse_spec_is_400(api):
+    pid = api.handle("POST", "/api/projects", {"name": "p"}, user="alice")["project_id"]
+    response = api.handle("POST", f"/api/projects/{pid}/impulse",
+                          {"impulse": {"input": {"type": "time-series"}}},
+                          user="alice")
+    assert response["status"] == 400
+
+
 def test_job_status_missing(api):
     pid = api.handle("POST", "/api/projects", {"name": "p"}, user="alice")["project_id"]
     response = api.handle("GET", f"/api/projects/{pid}/jobs/99", user="alice")

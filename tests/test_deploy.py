@@ -47,6 +47,16 @@ def test_cpp_library_contents(deploy_ctx):
     assert "run_classifier" in sdk
 
 
+def test_eon_cpp_includes_string_h(deploy_ctx):
+    """Regression: the generated source calls memcpy but never included
+    <string.h>, so the emitted eon_model.cpp could not compile."""
+    graph, impulse, label_map = deploy_ctx
+    artifact = build_artifact("cpp", graph, impulse, label_map, "eon", "proj")
+    cpp = artifact.files["tflite-model/eon_model.cpp"].decode()
+    assert "memcpy(" in cpp
+    assert "#include <string.h>" in cpp
+
+
 def test_cpp_tflm_variant_ships_serialized_model(deploy_ctx):
     graph, impulse, label_map = deploy_ctx
     artifact = build_artifact("cpp", graph, impulse, label_map, "tflm", "proj")

@@ -9,7 +9,13 @@ from repro.core.impulse import TimeSeriesInput
 from repro.graph import sequential_to_graph
 from repro.nn.architectures import conv1d_stack, ds_cnn
 from repro.quantize import quantize_graph
-from repro.runtime import EONCompiler, TFLMInterpreter, run_graph
+from repro.runtime import (
+    EONCompiler,
+    TFLMInterpreter,
+    plan_arena,
+    run_graph,
+    run_graph_dispatch,
+)
 
 
 @settings(max_examples=40, deadline=None)
@@ -60,6 +66,30 @@ def test_engine_equality_property(n_layers, filters, n_classes):
     a = TFLMInterpreter(qg).invoke(x)
     b = EONCompiler().compile(qg).invoke(x)
     assert np.array_equal(a, b)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=3),  # conv1d layers
+    st.sampled_from([4, 8]),  # first filters
+    st.integers(min_value=0, max_value=1000),  # data seed
+)
+def test_compiled_plan_matches_dispatch_property(n_layers, filters, seed):
+    """For any random float32/int8 graph: compiled-plan execution is
+    bit-identical to the legacy per-invoke dispatch path, and the arena
+    plan stays overlap-free under both strategies."""
+    rng = np.random.default_rng(seed)
+    model = conv1d_stack((12, 4), 3, n_layers=n_layers,
+                         first_filters=filters, last_filters=filters * 2,
+                         seed=seed)
+    x = rng.standard_normal((5, 12, 4)).astype(np.float32)
+    float_graph = sequential_to_graph(model)
+    int8_graph = quantize_graph(float_graph, x)
+    for graph in (float_graph, int8_graph):
+        assert np.array_equal(run_graph(graph, x), run_graph_dispatch(graph, x))
+        for strategy in ("greedy", "naive"):
+            plan = plan_arena(graph, strategy=strategy)
+            assert plan.overlaps(graph.lifetimes()) == []
 
 
 def test_latency_monotone_in_macs():

@@ -1,0 +1,322 @@
+"""Serving layer: micro-batcher, model cache, API route, compiled plans."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.graph import GOp, Graph, GTensor
+from repro.runtime import (
+    EONCompiler,
+    TFLMInterpreter,
+    compile_plan,
+    run_graph,
+    run_graph_dispatch,
+)
+from repro.serve import MicroBatcher, ModelNotTrainedError, ModelServer, ServingError
+
+RNG = np.random.default_rng(7)
+
+
+# -- micro-batcher ----------------------------------------------------------
+
+
+def test_batcher_coalesces_pending_requests():
+    calls = []
+
+    def run_batch(stacked):
+        calls.append(len(stacked))
+        return stacked.sum(axis=1)
+
+    batcher = MicroBatcher(run_batch, max_batch=8)
+    tickets = [batcher.submit(np.full(3, float(i))) for i in range(5)]
+    assert batcher.pending == 5 and calls == []
+    results = [batcher.wait(t) for t in tickets]
+    assert calls == [5]  # one batched invoke for all five requests
+    assert [float(r) for r in results] == [0.0, 3.0, 6.0, 9.0, 12.0]
+
+
+def test_batcher_flushes_at_max_batch():
+    calls = []
+
+    def run_batch(stacked):
+        calls.append(len(stacked))
+        return stacked
+
+    batcher = MicroBatcher(run_batch, max_batch=4)
+    for i in range(4):
+        batcher.submit(np.zeros(2))
+    assert calls == [4]  # submit of the 4th request triggered the flush
+    assert batcher.pending == 0
+    assert batcher.largest_batch == 4
+
+
+def test_batcher_propagates_errors_to_all_waiters():
+    def run_batch(stacked):
+        raise RuntimeError("kernel exploded")
+
+    batcher = MicroBatcher(run_batch, max_batch=8)
+    t1, t2 = batcher.submit(np.zeros(2)), batcher.submit(np.zeros(2))
+    with pytest.raises(RuntimeError):
+        batcher.wait(t1)
+    with pytest.raises(RuntimeError):
+        batcher.wait(t2)
+
+
+def test_batcher_threaded_requests_share_batches():
+    calls = []
+    lock = threading.Lock()
+
+    def run_batch(stacked):
+        with lock:
+            calls.append(len(stacked))
+        return stacked * 2
+
+    batcher = MicroBatcher(run_batch, max_batch=64)
+    results = {}
+
+    def worker(i):
+        ticket = batcher.submit(np.full(2, float(i)))
+        results[i] = batcher.wait(ticket)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(16)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert sorted(float(results[i][0]) for i in range(16)) == [
+        float(2 * i) for i in range(16)
+    ]
+    assert sum(calls) == 16
+    assert len(calls) <= 16  # at least some coalescing is allowed, none required
+
+
+# -- model server -----------------------------------------------------------
+
+
+@pytest.fixture()
+def served_platform(tiny_graphs):
+    """A platform with one 'trained' project carrying the tiny graphs."""
+    from repro.core import Platform
+
+    platform = Platform()
+    platform.register_user("alice")
+    project = platform.create_project("served", owner="alice")
+    project.float_graph, project.int8_graph = tiny_graphs
+    project.label_map = {"a": 0, "b": 1, "c": 2}
+    return platform, project
+
+
+def test_server_matches_direct_inference(served_platform, tiny_classification_problem):
+    platform, project = served_platform
+    x, _ = tiny_classification_problem
+    server = platform.serving
+    features = x[0]
+
+    for precision, graph in (("float32", project.float_graph),
+                             ("int8", project.int8_graph)):
+        for engine in ("eon", "tflm"):
+            result = server.classify(project.project_id, features,
+                                     precision=precision, engine=engine)
+            expected = EONCompiler().compile(graph).predict_proba(features[None])[0]
+            got = np.array([result["classification"][l] for l in ("a", "b", "c")])
+            np.testing.assert_allclose(got, expected, atol=1e-6)
+            assert result["top"] == ("a", "b", "c")[int(expected.argmax())]
+
+
+def test_server_batch_matches_singles(served_platform, tiny_classification_problem):
+    platform, project = served_platform
+    x, _ = tiny_classification_problem
+    server = platform.serving
+    batch_results = server.classify_batch(project.project_id, list(x[:6]))
+    singles = [server.classify(project.project_id, row) for row in x[:6]]
+    for br, sr in zip(batch_results, singles):
+        assert br == sr
+
+
+def test_server_cache_hits_and_retrain_invalidation(served_platform):
+    platform, project = served_platform
+    server = platform.serving
+    e1 = server.get_model(project.project_id, "int8", "eon")
+    e2 = server.get_model(project.project_id, "int8", "eon")
+    assert e1 is e2
+    assert server.stats.cache_hits == 1 and server.stats.cache_misses == 1
+
+    # Retraining replaces the graph object; the cache must recompile.
+    from repro.quantize import quantize_graph
+
+    calib = RNG.standard_normal((8, 16, 8)).astype(np.float32)
+    project.int8_graph = quantize_graph(project.float_graph, calib)
+    e3 = server.get_model(project.project_id, "int8", "eon")
+    assert e3 is not e1
+    assert server.stats.cache_misses == 2
+
+
+def test_server_lru_eviction(served_platform):
+    platform, project = served_platform
+    server = ModelServer(platform, cache_size=1)
+    server.get_model(project.project_id, "int8", "eon")
+    server.get_model(project.project_id, "float32", "eon")  # evicts int8
+    assert server.stats.cache_evictions == 1
+    server.get_model(project.project_id, "int8", "eon")
+    assert server.stats.cache_misses == 3  # int8 had to recompile
+
+
+def test_server_errors(served_platform):
+    platform, project = served_platform
+    server = platform.serving
+    with pytest.raises(ServingError):
+        server.get_model(project.project_id, "float16", "eon")
+    with pytest.raises(ServingError):
+        server.get_model(project.project_id, "int8", "cuda")
+    with pytest.raises(ServingError):
+        server.classify(project.project_id, [1.0, 2.0])
+    with pytest.raises(KeyError):
+        server.get_model(999, "int8", "eon")
+    project.int8_graph = None
+    server.invalidate(project.project_id)
+    with pytest.raises(ModelNotTrainedError):
+        server.get_model(project.project_id, "int8", "eon")
+
+
+def test_server_snapshot_counters(served_platform, tiny_classification_problem):
+    platform, project = served_platform
+    x, _ = tiny_classification_problem
+    server = platform.serving
+    server.classify_batch(project.project_id, list(x[:10]))
+    snap = server.snapshot()
+    assert snap["requests"] == 10
+    assert snap["batched_requests"] == 10
+    assert snap["batches"] >= 1
+    assert snap["mean_batch_size"] > 1.0
+
+
+def test_classify_rest_route(served_platform, tiny_classification_problem):
+    from repro.core import RestAPI
+
+    platform, project = served_platform
+    x, _ = tiny_classification_problem
+    api = RestAPI(platform)
+    pid = project.project_id
+    feats = x[0].reshape(-1).tolist()
+
+    single = api.handle("POST", f"/api/projects/{pid}/classify",
+                        {"features": feats}, user="alice")
+    assert single["status"] == 200
+    assert set(single["classification"]) == {"a", "b", "c"}
+    assert single["top"] in ("a", "b", "c")
+
+    batch = api.handle("POST", f"/api/projects/{pid}/classify",
+                       {"batch": [feats, feats], "precision": "float32"},
+                       user="alice")
+    assert batch["status"] == 200 and batch["batch_size"] == 2
+
+    assert api.handle("POST", f"/api/projects/{pid}/classify", {},
+                      user="alice")["status"] == 400
+    assert api.handle("POST", f"/api/projects/{pid}/classify",
+                      {"features": feats, "batch": [feats]},
+                      user="alice")["status"] == 400
+    assert api.handle("POST", f"/api/projects/{pid}/classify",
+                      {"features": [0.0, 1.0]}, user="alice")["status"] == 400
+    assert api.handle("POST", f"/api/projects/{pid}/classify",
+                      {"features": ["not", "numbers"]}, user="alice")["status"] == 400
+    assert api.handle("POST", f"/api/projects/{pid}/classify",
+                      {"batch": 5}, user="alice")["status"] == 400
+    # A malformed row mid-batch fails cleanly without stranding tickets.
+    bad_batch = api.handle("POST", f"/api/projects/{pid}/classify",
+                           {"batch": [feats, [1.0], feats]}, user="alice")
+    assert bad_batch["status"] == 400
+    again = api.handle("POST", f"/api/projects/{pid}/classify",
+                       {"features": feats}, user="alice")
+    assert again["status"] == 200
+    assert api.handle("POST", "/api/projects/999/classify",
+                      {"features": feats}, user="alice")["status"] == 404
+
+    project.int8_graph = None
+    platform.serving.invalidate(pid)
+    assert api.handle("POST", f"/api/projects/{pid}/classify",
+                      {"features": feats}, user="alice")["status"] == 409
+
+    stats = api.handle("GET", "/api/serving/stats")
+    assert stats["status"] == 200 and stats["requests"] >= 3
+
+
+# -- compiled plans ---------------------------------------------------------
+
+
+def _fc_chain() -> Graph:
+    graph = Graph("chain")
+    t0 = graph.add_tensor(GTensor("t0", (4,)))
+    w = graph.add_tensor(GTensor("w", (4, 2), data=np.ones((4, 2), np.float32)))
+    b = graph.add_tensor(GTensor("b", (2,), data=np.zeros(2, np.float32)))
+    t1 = graph.add_tensor(GTensor("t1", (2,)))
+    graph.add_op(GOp("FULLY_CONNECTED", [t0, w, b], [t1], {"activation": "none"}))
+    graph.input_id, graph.output_id = t0, t1
+    return graph
+
+
+def test_plan_is_cached_and_invalidated():
+    graph = _fc_chain()
+    plan = compile_plan(graph)
+    assert compile_plan(graph) is plan
+    graph.add_tensor(GTensor("scratch", (4,)))
+    assert graph._compiled_plan is None
+    assert compile_plan(graph) is not plan
+
+
+def test_plan_matches_dispatch_reference(tiny_graphs, tiny_classification_problem):
+    x, _ = tiny_classification_problem
+    for graph in tiny_graphs:
+        expected = run_graph_dispatch(graph, x[:16])
+        assert np.array_equal(run_graph(graph, x[:16]), expected)
+        assert np.array_equal(compile_plan(graph).execute(x[:16]), expected)
+        assert np.array_equal(TFLMInterpreter(graph).invoke(x[:16]), expected)
+        assert np.array_equal(EONCompiler().compile(graph).invoke(x[:16]), expected)
+
+
+def test_plan_record_keeps_all_activations(tiny_graphs):
+    float_graph, _ = tiny_graphs
+    x = RNG.standard_normal((2, 16, 8)).astype(np.float32)
+    recorded = run_graph(float_graph, x, record=True)
+    reference = run_graph_dispatch(float_graph, x, record=True)
+    assert recorded.keys() == reference.keys()
+    for tid in recorded:
+        assert np.array_equal(recorded[tid], reference[tid])
+
+
+def test_plan_live_peak_below_total_activations(tiny_graphs):
+    """Lifetime-based freeing keeps live bytes under the sum of all
+    activations (the point of part 2 of the tentpole)."""
+    for graph in tiny_graphs:
+        plan = compile_plan(graph)
+        total = sum(
+            graph.tensors[tid].size_bytes for tid in graph.lifetimes()
+        )
+        assert 0 < plan.live_tensor_peak() < total
+
+
+def _random_chain_graph(rng, dtype="float32"):
+    """A random FC chain; int8 variants go through quantize_graph."""
+    from repro.graph import sequential_to_graph
+    from repro.nn.architectures import conv1d_stack
+    from repro.quantize import quantize_graph
+
+    n_layers = int(rng.integers(1, 3))
+    filters = int(rng.choice([4, 8]))
+    model = conv1d_stack((12, 4), 3, n_layers=n_layers,
+                         first_filters=filters, last_filters=filters * 2,
+                         seed=int(rng.integers(0, 100)))
+    graph = sequential_to_graph(model)
+    if dtype == "int8":
+        calib = rng.standard_normal((16, 12, 4)).astype(np.float32)
+        graph = quantize_graph(graph, calib)
+    return graph
+
+
+@pytest.mark.parametrize("dtype", ["float32", "int8"])
+def test_plan_equivalence_random_graphs(dtype):
+    rng = np.random.default_rng(42 if dtype == "float32" else 43)
+    for _ in range(4):
+        graph = _random_chain_graph(rng, dtype)
+        x = rng.standard_normal((5, 12, 4)).astype(np.float32)
+        assert np.array_equal(run_graph(graph, x), run_graph_dispatch(graph, x))

@@ -117,6 +117,15 @@ def test_cli_full_workflow(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "accuracy:" in out
 
+    # Serve classification for a fresh recording via the serving layer.
+    clip = tmp_path / "query.wav"
+    _wav_file(clip, 800.0, seed=99)
+    assert cli_main(["classify", "--dir", proj, "--precision", "int8",
+                     str(clip)]) == 0
+    out = capsys.readouterr().out
+    assert "high (" in out  # an 800 Hz tone classifies as the 'high' class
+    assert "batch(es)" in out
+
     assert cli_main(["profile", "--dir", proj, "--device", "rp2040"]) == 0
     out_dir = tmp_path / "build"
     assert cli_main(["deploy", "--dir", proj, "--target", "wasm",
