@@ -1,21 +1,29 @@
-"""Serving-layer throughput: compiled plans + micro-batching.
+"""Serving-layer throughput: compiled plans, micro-batching, sharding.
 
-Measures the two speedups this subsystem exists for, on a MobileNet-style
-graph (the paper's VWW architecture family):
+Measures the three speedups this subsystem exists for, on a
+MobileNet-style graph (the paper's VWW architecture family):
 
 1. **Plan compile vs. per-invoke dispatch** — ``run_graph`` executes a
    straight list of pre-bound closures; ``run_graph_dispatch`` re-walks
    the opcode dispatch chain per op per call.
 2. **Batched vs. single-request serving** — the ModelServer's
    micro-batcher coalesces classify requests into one vectorized invoke.
+3. **Multi-worker sharded serving** — ``ShardedModelServer`` workers
+   drain their per-shard queues in batched gulps, so a flood of
+   independent requests gets the amortization without callers batching.
 
-Both paths must stay bit-identical to the reference dispatch output.
+int8 paths must stay bit-identical to the reference dispatch output;
+float32 follows the tolerance contract (allclose, rtol 1e-5 — BLAS
+batched reductions may reassociate).
+
+``BENCH_SMOKE=1`` shrinks iteration counts for per-PR CI sampling; the
+headline numbers land in ``results/BENCH_pr2.json`` either way.
 """
 
 import time
 
 import numpy as np
-from conftest import save_result
+from conftest import save_metric, save_result, smoke_mode
 
 from repro.core import Platform
 from repro.graph import sequential_to_graph
@@ -28,6 +36,7 @@ from repro.runtime import (
     run_graph,
     run_graph_dispatch,
 )
+from repro.serve import ModelServer, ShardedModelServer
 
 # The plan-vs-dispatch comparison uses the paper-scale 32x32 VWW input,
 # where per-invoke kernel-prepare work (weight casts, einsum paths) is a
@@ -87,12 +96,14 @@ def test_compiled_plan_beats_dispatch():
         )
 
         plan = compile_plan(graph)
+        iters, reps = (8, 3) if smoke_mode() else (25, 9)
         times = _interleaved_best_of(
             {"dispatch": lambda: run_graph_dispatch(graph, x),
              "plan": lambda: plan.execute(x)},
-            iters=25, reps=9,
+            iters=iters, reps=reps,
         )
         speedups[name] = times["dispatch"] / times["plan"]
+        save_metric(f"plan_speedup_{name}", speedups[name])
         lines.append(
             f"  {name:<8} dispatch {times['dispatch'] * 1e3:7.3f} ms/invoke | "
             f"plan {times['plan'] * 1e3:7.3f} ms/invoke | {speedups[name]:4.2f}x"
@@ -118,7 +129,7 @@ def test_batched_serving_throughput():
 
     server = platform.serving
     rng = np.random.default_rng(2)
-    n_requests = 64
+    n_requests = 32 if smoke_mode() else 64
     requests = [
         rng.standard_normal(int(np.prod(SERVE_SHAPE))).astype(np.float32)
         for _ in range(n_requests)
@@ -148,5 +159,85 @@ def test_batched_serving_throughput():
         f"cache hits {stats['cache_hits']}/{stats['cache_hits'] + stats['cache_misses']}",
     ])
     save_result("serving_throughput", text)
+    save_metric("serving_single_rps", single_rps)
+    save_metric("serving_batched_rps", batched_rps)
+    save_metric("serving_batched_speedup", speedup)
     print("\n" + text)
     assert speedup >= 2.0, f"batched serving only {speedup:.2f}x single-request"
+
+
+def test_sharded_serving_throughput():
+    """Multi-worker sharded serving vs. a single worker handling requests
+    one at a time.  Traffic model: a flood of independent classify
+    requests spread over several projects (so shards all own models);
+    4 shard workers drain their queues in batched gulps.  Must sustain
+    >= 2x the single-worker throughput, with outputs equivalent under
+    the f32 tolerance contract (allclose, rtol 1e-5)."""
+    n_projects = 6
+    n_requests = 96 if smoke_mode() else 192
+    workers = 4
+    rng = np.random.default_rng(3)
+
+    platform = Platform()
+    platform.register_user("bench")
+    projects = []
+    for i in range(n_projects):
+        float_graph, int8_graph = _mobilenet_graphs(SERVE_SHAPE, seed=i)
+        p = platform.create_project(f"vww-shard-{i}", owner="bench")
+        p.float_graph, p.int8_graph = float_graph, int8_graph
+        p.label_map = {"no_person": 0, "person": 1}
+        projects.append(p)
+
+    requests = [
+        (projects[i % n_projects].project_id,
+         rng.standard_normal(int(np.prod(SERVE_SHAPE))).astype(np.float32))
+        for i in range(n_requests)
+    ]
+
+    single = ModelServer(platform)
+    sharded = ShardedModelServer(platform, workers=workers)
+    for p in projects:  # warm every cache so compile time is excluded
+        single.get_model(p.project_id, "float32", "eon")
+        sharded.get_model(p.project_id, "float32", "eon")
+
+    def single_pass():
+        return [single.classify(pid, f, precision="float32")
+                for pid, f in requests]
+
+    def sharded_pass():
+        tickets = [sharded.submit(pid, f, precision="float32")
+                   for pid, f in requests]
+        return [t.value() for t in tickets]
+
+    # Equivalence first: same answers, f32 tolerance contract.
+    for got, want in zip(sharded_pass(), single_pass()):
+        assert got["top"] == want["top"]
+        np.testing.assert_allclose(
+            [got["classification"][l] for l in ("no_person", "person")],
+            [want["classification"][l] for l in ("no_person", "person")],
+            rtol=1e-5, atol=1e-7,
+        )
+
+    t_single = _best_of(single_pass)
+    t_sharded = _best_of(sharded_pass)
+    single_rps = n_requests / t_single
+    sharded_rps = n_requests / t_sharded
+    speedup = sharded_rps / single_rps
+
+    snap = sharded.snapshot()
+    busy = sum(1 for s in snap["per_shard"] if s["requests"])
+    text = "\n".join([
+        f"Serving — single worker vs. {workers} sharded workers "
+        f"(f32 EON, {n_projects} projects)",
+        f"  single   {single_rps:8.1f} req/s ({t_single / n_requests * 1e3:6.2f} ms/req)",
+        f"  sharded  {sharded_rps:8.1f} req/s ({t_sharded / n_requests * 1e3:6.2f} ms/req)",
+        f"  speedup {speedup:.2f}x | busy shards {busy}/{workers} | "
+        f"mean batch {snap['mean_batch_size']:.1f}",
+    ])
+    save_result("serving_sharded_throughput", text)
+    save_metric("sharded_single_rps", single_rps)
+    save_metric("sharded_rps", sharded_rps)
+    save_metric("sharded_speedup_4w", speedup)
+    print("\n" + text)
+    sharded.close()
+    assert speedup >= 2.0, f"sharded serving only {speedup:.2f}x single-worker"

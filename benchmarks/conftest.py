@@ -5,20 +5,68 @@ fixtures; the ``benchmark`` fixture then times the table/figure
 *regeneration*, which is the deterministic, repeatable part.  Every bench
 writes its rendered table to ``results/`` so EXPERIMENTS.md can cite the
 measured output.
+
+Two CI hooks:
+
+- ``BENCH_SMOKE=1`` asks benches for reduced iteration counts
+  (:func:`smoke_mode`), so the perf trajectory can be sampled on every
+  PR without monopolising a runner;
+- benches report headline numbers via :func:`save_metric`; at session
+  end they are written as one JSON document to
+  ``results/$BENCH_JSON`` (default ``BENCH_pr2.json``), which CI uploads
+  as an artifact and feeds to ``scripts/check_bench_regression.py``.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
+import platform as _platform
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
+#: Headline metrics accumulated over the session, flushed to JSON at exit.
+_METRICS: dict[str, float] = {}
+
+
+def smoke_mode() -> bool:
+    """True when CI asks for the cheap variant of every benchmark."""
+    return os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
 
 def save_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def save_metric(name: str, value: float) -> None:
+    """Record one headline number for the per-PR benchmark artifact."""
+    _METRICS[name] = float(value)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _METRICS:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    target = RESULTS_DIR / os.environ.get("BENCH_JSON", "BENCH_pr2.json")
+    payload = {
+        "python": _platform.python_version(),
+        "smoke": smoke_mode(),
+        "metrics": dict(sorted(_METRICS.items())),
+    }
+    # Merge with an existing artifact so separate bench invocations
+    # (e.g. serving + tables run as two pytest calls) accumulate.
+    if target.exists():
+        try:
+            previous = json.loads(target.read_text())
+            merged = {**previous.get("metrics", {}), **payload["metrics"]}
+            payload["metrics"] = dict(sorted(merged.items()))
+        except (ValueError, OSError):
+            pass
+    target.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 @pytest.fixture(scope="session")

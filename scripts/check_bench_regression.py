@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Perf regression gate: compare a fresh benchmark artifact to the baseline.
+
+CI's ``bench-smoke`` job runs the serving benchmarks, which write their
+headline numbers to ``results/BENCH_pr2.json`` (see
+``benchmarks/conftest.py``).  This script compares that artifact against
+the committed baseline (``benchmarks/BENCH_baseline.json``) and fails
+when any **gated** metric regressed by more than ``--max-regression``
+(default 20%).
+
+Only ratio metrics (speedups) are gated: they are what the subsystems
+guarantee and they transfer across runner hardware.  Absolute
+requests/sec are reported for trend-watching but never gated — a slower
+CI runner is not a code regression.
+
+Baseline format::
+
+    {
+      "gated": {"serving_batched_speedup": 2.5, ...},
+      "informational": ["serving_single_rps", ...]
+    }
+
+Usage::
+
+    python scripts/check_bench_regression.py results/BENCH_pr2.json \
+        benchmarks/BENCH_baseline.json [--max-regression 0.20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(path: str) -> dict:
+    try:
+        return json.loads(pathlib.Path(path).read_text())
+    except OSError as exc:
+        sys.exit(f"error: cannot read {path}: {exc}")
+    except ValueError as exc:
+        sys.exit(f"error: {path} is not valid JSON: {exc}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("new", help="fresh metrics JSON (results/BENCH_pr2.json)")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--max-regression", type=float, default=0.20,
+        help="allowed fractional drop on gated metrics (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    new_doc = load(args.new)
+    base_doc = load(args.baseline)
+    metrics = new_doc.get("metrics", {})
+    gated: dict[str, float] = base_doc.get("gated", {})
+    informational: list[str] = base_doc.get("informational", [])
+
+    failures = []
+    print(f"perf gate: {args.new} vs {args.baseline} "
+          f"(max regression {args.max_regression:.0%})")
+    for name, baseline_value in sorted(gated.items()):
+        floor = baseline_value * (1.0 - args.max_regression)
+        value = metrics.get(name)
+        if value is None:
+            failures.append(f"{name}: missing from {args.new}")
+            print(f"  FAIL {name:<28} missing (baseline {baseline_value:.2f})")
+            continue
+        status = "ok  " if value >= floor else "FAIL"
+        print(f"  {status} {name:<28} {value:8.2f}  "
+              f"(baseline {baseline_value:.2f}, floor {floor:.2f})")
+        if value < floor:
+            failures.append(
+                f"{name}: {value:.2f} < floor {floor:.2f} "
+                f"(baseline {baseline_value:.2f})"
+            )
+    for name in informational:
+        value = metrics.get(name)
+        shown = f"{value:.1f}" if isinstance(value, (int, float)) else "missing"
+        print(f"  info {name:<28} {shown}")
+
+    if failures:
+        print("\nperf regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nperf regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

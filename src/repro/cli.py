@@ -13,6 +13,7 @@ Usage::
     python -m repro.cli test    --dir proj --precision int8
     python -m repro.cli profile --dir proj --device nano33ble
     python -m repro.cli classify --dir proj --precision int8 clip.wav
+    python -m repro.cli serve   --dir proj --workers 4 clip.wav clip2.wav
     python -m repro.cli deploy  --dir proj --target cpp --out build/
 """
 
@@ -61,10 +62,14 @@ def _cmd_set_impulse(args) -> int:
 
 def _cmd_train(args) -> int:
     project = load_project(args.dir)
-    job = project.train(seed=args.seed)
-    save_project(project, args.dir)
-    print(f"job {job.job_id} {job.status}: {job.result}")
-    return 0 if job.status == "finished" else 1
+    job = project.train_async(seed=args.seed, retries=args.retries).wait()
+    if job.status == "succeeded":
+        save_project(project, args.dir)
+    else:
+        for line in job.logs:
+            print(f"  {line}")
+    print(f"job {job.job_id} {job.status}: {job.result if job.error is None else job.error}")
+    return 0 if job.status == "succeeded" else 1
 
 
 def _cmd_test(args) -> int:
@@ -140,6 +145,63 @@ def _cmd_classify(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Classify recordings through the multi-worker sharded serving tier.
+
+    Every window of every file is submitted as an independent async
+    request and the owning shard worker drains its queue in batched
+    gulps.  Shards partition the model cache by (project, precision,
+    engine), so a single project's traffic lands on one shard — the
+    other ``--workers`` shards are capacity for *other* models, which is
+    where the multi-worker speedup shows (see
+    ``benchmarks/bench_serving_throughput.py``); the per-shard stats
+    printed at the end make the placement visible.
+    """
+    project = load_project(args.dir)
+    if project.impulse is None:
+        print("project has no impulse; run set-impulse and train first")
+        return 1
+
+    from repro.data.dataset import Dataset
+    from repro.data.ingestion import IngestionService
+    from repro.serve import ServingError, ShardedModelServer
+
+    scratch = IngestionService(Dataset(name="serve-scratch"))
+    with ShardedModelServer.for_project(project, workers=args.workers) as server:
+        for filename in args.files:
+            try:
+                payload = pathlib.Path(filename).read_bytes()
+                sample_id = scratch.ingest(payload, label="?", fmt=args.format)
+                sample = scratch.dataset.get(sample_id)
+                features = project.impulse.features_for_sample(sample)
+                tickets = [
+                    server.submit(project.project_id, window,
+                                  precision=args.precision, engine=args.engine)
+                    for window in features
+                ]
+                results = [t.value() for t in tickets]
+            except (OSError, ValueError, ServingError) as exc:
+                print(f"  {filename}: error: {exc}")
+                return 1
+            labels = results[0]["classification"].keys()
+            mean = {
+                label: sum(r["classification"][label] for r in results) / len(results)
+                for label in labels
+            }
+            top = max(mean, key=mean.get)
+            print(f"  {filename}: {top} "
+                  f"({', '.join(f'{l}={p:.3f}' for l, p in sorted(mean.items(), key=lambda kv: -kv[1]))}) "
+                  f"[{len(results)} window(s)]")
+        stats = server.snapshot()
+    print(f"served {stats['requests']} window(s) across {stats['workers']} worker shard(s): "
+          f"{stats['batches']} batch(es), mean batch size {stats['mean_batch_size']:.1f}")
+    for shard in stats["per_shard"]:
+        if shard["requests"]:
+            print(f"  {shard['name']}: {shard['requests']} request(s), "
+                  f"{shard['drains']} drain(s), {shard['cache_size']} cached model(s)")
+    return 0
+
+
 def _cmd_summary(args) -> int:
     project = load_project(args.dir)
     print(project.dataset.summary())
@@ -175,6 +237,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("train", help="run a training job")
     p.add_argument("--dir", required=True)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--retries", type=int, default=0,
+                   help="re-queue the job this many times on failure")
     p.set_defaults(fn=_cmd_train)
 
     p = sub.add_parser("test", help="evaluate on the holdout split")
@@ -206,6 +270,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", default=None)
     p.add_argument("files", nargs="+")
     p.set_defaults(fn=_cmd_classify)
+
+    p = sub.add_parser("serve",
+                       help="classify recordings via multi-worker sharded serving")
+    p.add_argument("--dir", required=True)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--precision", default="int8", choices=("float32", "int8"))
+    p.add_argument("--engine", default="eon", choices=("eon", "tflm"))
+    p.add_argument("--format", default=None)
+    p.add_argument("files", nargs="+")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("summary", help="show dataset + impulse state")
     p.add_argument("--dir", required=True)

@@ -14,7 +14,13 @@ from repro.core.learn_blocks import (
     TransferLearningBlock,
 )
 from repro.core.project import Project
-from repro.core.jobs import Job, JobQueue
+from repro.core.jobs import (
+    Job,
+    JobCancelled,
+    JobExecutor,
+    JobQueue,
+    UnknownJobError,
+)
 from repro.core.registry import Organization, Platform, User
 from repro.core.api import RestAPI
 
@@ -28,7 +34,10 @@ __all__ = [
     "TransferLearningBlock",
     "Project",
     "Job",
+    "JobCancelled",
+    "JobExecutor",
     "JobQueue",
+    "UnknownJobError",
     "Platform",
     "Organization",
     "User",

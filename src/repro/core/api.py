@@ -14,6 +14,7 @@ import re
 from typing import Any
 
 from repro.core.impulse import Impulse
+from repro.core.jobs import UnknownJobError
 from repro.core.registry import Platform
 from repro.serve import ModelNotTrainedError, ServingError
 
@@ -53,7 +54,13 @@ class RestAPI:
             ("POST", r"^/api/projects/(\d+)/impulse$", self._set_impulse),
             ("GET", r"^/api/projects/(\d+)/impulse$", self._get_impulse),
             ("POST", r"^/api/projects/(\d+)/jobs/train$", self._train),
+            ("POST", r"^/api/projects/(\d+)/train$", self._train),
+            ("POST", r"^/api/projects/(\d+)/jobs/autotune$", self._autotune),
+            ("POST", r"^/api/projects/(\d+)/jobs/profile$", self._profile_job),
+            ("POST", r"^/api/projects/(\d+)/jobs/deploy$", self._deploy_job),
+            ("GET", r"^/api/projects/(\d+)/jobs$", self._list_jobs),
             ("GET", r"^/api/projects/(\d+)/jobs/(\d+)$", self._job_status),
+            ("POST", r"^/api/projects/(\d+)/jobs/(\d+)/cancel$", self._job_cancel),
             ("POST", r"^/api/projects/(\d+)/test$", self._test),
             ("POST", r"^/api/projects/(\d+)/classify$", self._classify),
             ("GET", r"^/api/serving/stats$", self._serving_stats),
@@ -77,6 +84,9 @@ class RestAPI:
                     payload = handler(body, user, *match.groups())
                 except ApiError as exc:
                     return {"status": exc.status, "error": str(exc)}
+                except UnknownJobError as exc:
+                    # str(), not the KeyError repr — "no job 7", not "'no job 7'".
+                    return {"status": 404, "error": str(exc)}
                 except (KeyError, PermissionError) as exc:
                     status = 403 if isinstance(exc, PermissionError) else 404
                     return {"status": status, "error": str(exc)}
@@ -166,17 +176,86 @@ class RestAPI:
         return {"impulse": p.impulse.to_dict(), "dataflow": p.impulse.render()}
 
     def _train(self, body, user, pid) -> dict:
+        """Queue training and answer immediately with the job id — the
+        hosted contract; poll ``GET /jobs/<jid>`` for progress."""
         p = self.platform.get_project(int(pid))
         p.require_member(user)
-        job = p.train(seed=int(body.get("seed", 0)))
-        return {"job_id": job.job_id, "job_status": job.status, "metrics": job.result}
+        try:
+            job = p.train_async(
+                seed=int(body.get("seed", 0)),
+                retries=int(body.get("retries", 0)),
+            )
+        except RuntimeError as exc:
+            raise ApiError(409, str(exc))
+        return {"job_id": job.job_id, "job_status": job.status}
+
+    def _autotune(self, body, user, pid) -> dict:
+        p = self.platform.get_project(int(pid))
+        p.require_member(user)
+        try:
+            job = p.autotune_async(block_index=int(body.get("block_index", 0)))
+        except (RuntimeError, IndexError) as exc:
+            raise ApiError(409, str(exc))
+        return {"job_id": job.job_id, "job_status": job.status}
+
+    def _profile_job(self, body, user, pid) -> dict:
+        p = self.platform.get_project(int(pid))
+        p.require_member(user)
+        job = p.profile_async(
+            device_key=body.get("device", "nano33ble"),
+            precision=body.get("precision", "int8"),
+            engine=body.get("engine", "eon"),
+        )
+        return {"job_id": job.job_id, "job_status": job.status}
+
+    def _deploy_job(self, body, user, pid) -> dict:
+        p = self.platform.get_project(int(pid))
+        p.require_member(user)
+        job = p.deploy_async(
+            target=body.get("target", "cpp"),
+            engine=body.get("engine", "eon"),
+            precision=body.get("precision", "int8"),
+        )
+        return {"job_id": job.job_id, "job_status": job.status}
+
+    def _list_jobs(self, body, user, pid) -> dict:
+        p = self.platform.get_project(int(pid), username=user)
+        return {
+            "jobs": [
+                {"job_id": j.job_id, "name": j.name, "job_status": j.status,
+                 "progress": j.progress}
+                for j in p.jobs.list_jobs()
+            ]
+        }
 
     def _job_status(self, body, user, pid, jid) -> dict:
+        """Live job view with log streaming.
+
+        Optional body keys: ``wait_s`` long-polls until the job is
+        terminal (or the deadline passes); ``log_offset`` returns only
+        log lines from that index on, plus the next offset.
+        """
         p = self.platform.get_project(int(pid), username=user)
-        job = p.jobs.jobs.get(int(jid))
-        if job is None:
-            raise ApiError(404, f"no job {jid}")
-        return {"job_id": job.job_id, "job_status": job.status, "logs": job.logs}
+        job = p.jobs.get(int(jid))
+        try:
+            wait_s = None if body.get("wait_s") is None else float(body["wait_s"])
+            log_offset = int(body.get("log_offset", 0))
+        except (TypeError, ValueError) as exc:
+            raise ApiError(400, f"wait_s/log_offset must be numeric: {exc}")
+        if wait_s is not None:
+            job.wait(wait_s)
+        payload = job.snapshot(log_offset=log_offset)
+        # Job functions keep their results JSON-safe (e.g. deploy returns
+        # the manifest, not the artifact), so dicts pass through as-is.
+        if isinstance(job.result, dict):
+            payload["result"] = job.result
+        return payload
+
+    def _job_cancel(self, body, user, pid, jid) -> dict:
+        p = self.platform.get_project(int(pid))
+        p.require_member(user)
+        status = p.jobs.cancel(int(jid))
+        return {"job_id": int(jid), "job_status": status}
 
     def _test(self, body, user, pid) -> dict:
         p = self.platform.get_project(int(pid), username=user)

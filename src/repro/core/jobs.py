@@ -1,107 +1,344 @@
-"""Job queue with an autoscaling worker-pool simulation (paper Sec. 4.10).
+"""Job orchestration: a thread-pooled executor with a real lifecycle (paper Sec. 4.10).
 
 The hosted platform runs every training / tuning / export job in a
-container on an autoscaled Kubernetes cluster.  We reproduce the control
-plane: jobs are queued, a simulated worker pool scales between
-``min_workers`` and ``max_workers`` based on queue depth, and each job
-records logs and status transitions.  Execution itself is synchronous (the
-functions run in-process when the queue is drained), keeping everything
-deterministic.
+container on an autoscaled Kubernetes cluster.  This module reproduces
+that control plane as an in-process orchestrator:
+
+- :class:`JobExecutor` owns a FIFO queue and a pool of worker threads
+  that scales between ``min_workers`` and ``max_workers`` with queue
+  depth (scaling decisions are recorded as :class:`ScalingEvent`, the
+  autoscaler trace the paper describes);
+- every :class:`Job` moves through ``queued -> running ->
+  succeeded | failed | cancelled``, carries a streamable log, a
+  ``progress`` fraction, and a retry budget;
+- queued jobs can be cancelled outright; running jobs are cancelled
+  cooperatively — the job function calls :meth:`Job.check_cancelled`
+  at safe points and the executor marks the job ``cancelled``;
+- failures are isolated: an exception fails (or retries) that job only.
+
+Submitting is always asynchronous — ``submit`` returns immediately and
+callers use :meth:`Job.wait`, :meth:`JobExecutor.drain` or the jobs API
+routes to observe completion.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 import traceback
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
+
+#: Terminal job states — once reached, a job's status never changes again.
+TERMINAL_STATES = ("succeeded", "failed", "cancelled")
+
+
+class UnknownJobError(KeyError):
+    """Lookup of a job id the executor has never issued.
+
+    Subclasses ``KeyError`` so legacy callers that caught ``KeyError``
+    keep working, but carries a clear message (the API maps this to a
+    404 instead of a blank ``KeyError: 7`` surfacing as a 500).
+    """
+
+    def __init__(self, job_id: object):
+        super().__init__(f"no job {job_id}")
+        self.job_id = job_id
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0]
+
+
+class JobCancelled(Exception):
+    """Raised inside a job function to acknowledge a cancellation request."""
 
 
 @dataclass
 class Job:
+    """One unit of background work plus its observable state."""
+
     job_id: int
     name: str
     fn: Callable[["Job"], object] = field(repr=False, default=None)
-    status: str = "queued"  # queued | running | finished | failed
+    status: str = "queued"  # queued | running | succeeded | failed | cancelled
     logs: list[str] = field(default_factory=list)
     result: object = None
     error: str | None = None
+    progress: float = 0.0
+    max_retries: int = 0
+    attempts: int = 0
+    created_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    ended_at: float | None = None
+
+    def __post_init__(self):
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        self._cancel = threading.Event()
+
+    # -- worker-side hooks --------------------------------------------------
 
     def log(self, message: str) -> None:
-        self.logs.append(message)
+        with self._lock:
+            self.logs.append(message)
+
+    def set_progress(self, fraction: float) -> None:
+        """Report completion fraction in [0, 1]; monotonic per attempt."""
+        with self._lock:
+            self.progress = float(min(1.0, max(0.0, fraction)))
+
+    @property
+    def cancel_requested(self) -> bool:
+        return self._cancel.is_set()
+
+    def check_cancelled(self) -> None:
+        """Cooperative cancellation point for running job functions."""
+        if self._cancel.is_set():
+            raise JobCancelled(f"job {self.job_id} cancelled")
+
+    # -- caller-side observation --------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    def wait(self, timeout: float | None = None) -> "Job":
+        """Block until the job reaches a terminal state (or timeout)."""
+        self._done.wait(timeout)
+        return self
+
+    def read_logs(self, offset: int = 0) -> tuple[list[str], int]:
+        """Log lines from ``offset`` on, plus the next offset — the
+        streaming contract the ``GET /jobs/<jid>`` route exposes."""
+        with self._lock:
+            lines = self.logs[offset:]
+            return lines, offset + len(lines)
+
+    def snapshot(self, log_offset: int = 0) -> dict:
+        """JSON-compatible view of the job for the API."""
+        lines, next_offset = self.read_logs(log_offset)
+        return {
+            "job_id": self.job_id,
+            "name": self.name,
+            "job_status": self.status,
+            "progress": self.progress,
+            "attempts": self.attempts,
+            "error": self.error,
+            "logs": lines,
+            "log_offset": next_offset,
+        }
 
 
 @dataclass
 class ScalingEvent:
+    """One autoscaler decision: pool resized at ``tick``."""
+
     tick: int
     queue_depth: int
     workers: int
 
 
-class JobQueue:
-    """FIFO job queue + autoscaler simulation."""
+class JobExecutor:
+    """Thread-pooled job orchestrator with queue-depth autoscaling.
+
+    Worker threads are spawned on demand up to
+    ``min(max_workers, ceil(queue_depth / jobs_per_worker))`` (never
+    below ``min_workers`` while work exists) and exit after a short idle
+    grace once the queue empties — so test suites creating many
+    projects don't accumulate threads.  All worker threads are daemons.
+    """
 
     def __init__(
         self,
         min_workers: int = 1,
         max_workers: int = 8,
         jobs_per_worker: int = 2,
+        idle_grace_s: float = 0.05,
     ):
+        if min_workers < 1 or max_workers < min_workers:
+            raise ValueError("need 1 <= min_workers <= max_workers")
         self.min_workers = min_workers
         self.max_workers = max_workers
         self.jobs_per_worker = jobs_per_worker
+        self.idle_grace_s = idle_grace_s
         self.jobs: dict[int, Job] = {}
-        self._pending: list[int] = []
+        self._pending: deque[int] = deque()
+        self._cond = threading.Condition()
         self._next_id = 1
         self._tick = 0
-        self.workers = min_workers
+        self._running = 0
+        self.workers = 0  # live worker threads
         self.scaling_events: list[ScalingEvent] = []
+        self._shutdown = False
 
-    def submit(self, name: str, fn: Callable[[Job], object]) -> Job:
-        job = Job(job_id=self._next_id, name=name, fn=fn)
-        self._next_id += 1
-        self.jobs[job.job_id] = job
-        self._pending.append(job.job_id)
-        self._autoscale()
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self, name: str, fn: Callable[[Job], object], retries: int = 0
+    ) -> Job:
+        """Queue a job; returns immediately with the (queued) Job."""
+        with self._cond:
+            if self._shutdown:
+                raise RuntimeError("executor is shut down")
+            job = Job(job_id=self._next_id, name=name, fn=fn, max_retries=retries)
+            self._next_id += 1
+            self.jobs[job.job_id] = job
+            self._pending.append(job.job_id)
+            self._autoscale_locked()
+            self._cond.notify()
         return job
 
-    def _autoscale(self) -> None:
-        """Scale the (simulated) pool to ceil(depth / jobs_per_worker)."""
+    def _autoscale_locked(self) -> None:
+        """Spawn workers toward ceil(in_flight / jobs_per_worker), clamped.
+
+        In-flight counts queued *and* running jobs — a busy worker is not
+        spare capacity, so a backlog behind long jobs still scales out.
+        """
         self._tick += 1
-        depth = len(self._pending)
+        in_flight = len(self._pending) + self._running
         desired = max(
-            self.min_workers,
-            min(self.max_workers, -(-depth // self.jobs_per_worker)),
+            self.min_workers if in_flight else 0,
+            min(self.max_workers, -(-in_flight // self.jobs_per_worker)),
         )
-        if desired != self.workers:
-            self.workers = desired
-            self.scaling_events.append(
-                ScalingEvent(tick=self._tick, queue_depth=depth, workers=desired)
+        while self.workers < desired:
+            self.workers += 1
+            self._record_scale_locked()
+            threading.Thread(
+                target=self._worker, name=f"job-worker-{self.workers}", daemon=True
+            ).start()
+
+    def _record_scale_locked(self) -> None:
+        self.scaling_events.append(
+            ScalingEvent(
+                tick=self._tick, queue_depth=len(self._pending), workers=self.workers
             )
+        )
 
-    def run_next(self) -> Job | None:
-        """Execute one queued job to completion."""
-        if not self._pending:
-            return None
-        job = self.jobs[self._pending.pop(0)]
-        job.status = "running"
-        job.log(f"job {job.job_id} ({job.name}) started on worker pool of {self.workers}")
+    # -- worker loop --------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending:
+                    if self._shutdown or not self._cond.wait(timeout=self.idle_grace_s):
+                        if not self._pending:  # idle grace expired: scale down
+                            self.workers -= 1
+                            self._tick += 1
+                            self._record_scale_locked()
+                            return
+                job = self.jobs[self._pending.popleft()]
+                if job.status == "cancelled":
+                    continue
+                job.status = "running"
+                job.started_at = time.time()
+                job.attempts += 1
+                self._running += 1
+            self._run_one(job)
+            with self._cond:
+                self._running -= 1
+                self._cond.notify_all()
+
+    def _run_one(self, job: Job) -> None:
+        job.log(
+            f"job {job.job_id} ({job.name}) started on worker pool of "
+            f"{max(self.workers, 1)} (attempt {job.attempts})"
+        )
         try:
+            job.check_cancelled()
             job.result = job.fn(job)
-            job.status = "finished"
-            job.log("job finished")
+        except JobCancelled:
+            self._finish(job, "cancelled", log="job cancelled")
+            return
         except Exception as exc:  # noqa: BLE001 - job isolation
-            job.status = "failed"
             job.error = f"{type(exc).__name__}: {exc}"
-            job.log("job failed:\n" + traceback.format_exc(limit=3))
-        self._autoscale()
-        return job
+            if job.attempts <= job.max_retries and not job.cancel_requested:
+                job.log(
+                    f"attempt {job.attempts} failed ({job.error}); retrying "
+                    f"({job.max_retries - job.attempts + 1} retr(y/ies) left)"
+                )
+                with self._cond:
+                    job.status = "queued"
+                    job.progress = 0.0
+                    self._pending.append(job.job_id)
+                    self._autoscale_locked()
+                    self._cond.notify()
+                return
+            self._finish(job, "failed", log="job failed:\n" + traceback.format_exc(limit=3))
+            return
+        job.error = None
+        job.set_progress(1.0)
+        self._finish(job, "succeeded", log="job succeeded")
 
-    def drain(self) -> list[Job]:
-        """Run everything in the queue; returns completed jobs in order."""
-        done = []
-        while self._pending:
-            done.append(self.run_next())
-        return done
+    def _finish(self, job: Job, status: str, log: str) -> None:
+        job.status = status
+        job.ended_at = time.time()
+        job.log(log)
+        job._done.set()
+
+    # -- control plane ------------------------------------------------------
+
+    def get(self, job_id: int) -> Job:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise UnknownJobError(job_id) from None
 
     def status(self, job_id: int) -> str:
-        return self.jobs[job_id].status
+        """Status string; raises :class:`UnknownJobError` (not a bare
+        ``KeyError``) for ids this executor never issued."""
+        return self.get(job_id).status
+
+    def cancel(self, job_id: int) -> str:
+        """Cancel a job.  Queued jobs are cancelled immediately; running
+        jobs get a cooperative request (honoured at the function's next
+        ``check_cancelled``).  Returns the job's status after the attempt.
+        """
+        with self._cond:
+            job = self.get(job_id)
+            if job.done:
+                return job.status
+            job._cancel.set()
+            if job.status == "queued":
+                try:
+                    self._pending.remove(job_id)
+                except ValueError:
+                    pass  # a worker claimed it between checks
+                else:
+                    self._finish(job, "cancelled", log="cancelled while queued")
+            return job.status
+
+    def wait(self, job_id: int, timeout: float | None = None) -> Job:
+        return self.get(job_id).wait(timeout)
+
+    def drain(self, timeout: float | None = None) -> list[Job]:
+        """Block until every submitted job is terminal; returns them in
+        submission order (the old synchronous-queue contract)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for job in list(self.jobs.values()):
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            job.wait(remaining)
+        return [j for j in self.jobs.values() if j.done]
+
+    def list_jobs(self) -> list[Job]:
+        with self._cond:
+            return list(self.jobs.values())
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; optionally wait for in-flight jobs."""
+        with self._cond:
+            self._shutdown = True
+            self._cond.notify_all()
+        if wait:
+            self.drain()
+
+
+#: Back-compat alias — the pre-orchestrator name.  ``JobQueue()`` now
+#: builds a real executor; the synchronous ``drain()`` contract (block
+#: until everything submitted has finished) is preserved.
+JobQueue = JobExecutor

@@ -9,12 +9,13 @@ versioning, collaborators and public sharing (Sec. 6.3).
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.impulse import Impulse
-from repro.core.jobs import Job, JobQueue
+from repro.core.impulse import Impulse, TimeSeriesInput
+from repro.core.jobs import Job, JobExecutor
 from repro.core.learn_blocks import AnomalyBlock, ClassificationBlock
 from repro.data.dataset import Dataset
 from repro.data.ingestion import IngestionService
@@ -53,7 +54,12 @@ class Project:
         self.ingestion = IngestionService(self.dataset, hmac_key=hmac_key)
         self.dataset_versions = DatasetVersionStore()
         self.project_versions: list[ProjectVersion] = []
-        self.jobs = JobQueue()
+        self.jobs = JobExecutor()
+        # Serializes jobs that mutate trained state (train, autotune) so
+        # two concurrently-submitted mutators cannot interleave writes to
+        # label_map / graphs / the impulse; read-only jobs (profile,
+        # deploy) run freely alongside.
+        self._mutation_lock = threading.Lock()
 
         self.impulse: Impulse | None = None
         self.label_map: dict[str, int] = {}
@@ -85,37 +91,134 @@ class Project:
 
     # -- training -----------------------------------------------------------------
 
-    def train(self, seed: int = 0, quantize: bool = True) -> Job:
-        """Queue and run a training job; returns the finished Job."""
+    def train_async(
+        self, seed: int = 0, quantize: bool = True, retries: int = 0
+    ) -> Job:
+        """Queue a training job and return it immediately (the hosted
+        semantics: ``POST /jobs/train`` answers with a job id while the
+        worker pool does the work)."""
         if self.impulse is None:
             raise RuntimeError("set an impulse before training")
 
         def _run(job: Job) -> dict:
+            with self._mutation_lock:
+                return _train(job)
+
+        def _train(job: Job) -> dict:
             impulse = self.impulse
             job.log("extracting features")
+            job.set_progress(0.05)
             x, y, label_map = impulse.features_for_dataset(self.dataset, category="train")
             if len(x) == 0:
                 raise RuntimeError("no training data")
-            self.label_map = label_map
+            job.check_cancelled()
             job.log(f"training on {len(x)} windows, {len(label_map)} classes")
+            job.set_progress(0.2)
             metrics = impulse.learn_block.fit(x, y, seed=seed)
             job.log(f"training metrics: {metrics}")
+            job.set_progress(0.8)
+            job.check_cancelled()
 
+            # Build everything locally, then commit label_map + graphs
+            # together past the last cancellation point: a cancelled or
+            # failed retrain must never leave new labels paired with the
+            # previous model's graphs (serving zips them positionally).
+            float_graph = int8_graph = None
             if isinstance(impulse.learn_block, ClassificationBlock):
                 model = impulse.learn_block.model
-                self.float_graph = sequential_to_graph(model, name=self.name)
+                float_graph = sequential_to_graph(model, name=self.name)
                 if quantize:
                     calib = x[: min(len(x), 128)]
-                    self.int8_graph = quantize_graph(self.float_graph, calib)
+                    int8_graph = quantize_graph(float_graph, calib)
                     job.log("int8 quantization complete")
+            self.label_map = label_map
+            if float_graph is not None:
+                self.float_graph = float_graph
+                self.int8_graph = int8_graph
             self.last_training_metrics = metrics
             return metrics
 
-        job = self.jobs.submit("train", _run)
-        self.jobs.drain()
-        if job.status == "failed":
-            raise RuntimeError(f"training job failed: {job.error}")
+        return self.jobs.submit("train", _run, retries=retries)
+
+    def train(self, seed: int = 0, quantize: bool = True) -> Job:
+        """Train synchronously: queue the job, wait, raise on failure."""
+        job = self.train_async(seed=seed, quantize=quantize).wait()
+        if job.status != "succeeded":
+            raise RuntimeError(f"training job {job.status}: {job.error}")
         return job
+
+    # -- DSP autotune (as a managed job) ------------------------------------
+
+    def autotune_async(self, block_index: int = 0, max_windows: int = 32) -> Job:
+        """Queue a DSP-autotune job (paper Sec. 4.2): fit the block's
+        hyperparameters to representative training windows, then swap the
+        tuned block into the impulse (which invalidates trained graphs)."""
+        if self.impulse is None:
+            raise RuntimeError("set an impulse before autotuning")
+        if not isinstance(self.impulse.input_block, TimeSeriesInput):
+            raise RuntimeError("DSP autotune needs a time-series input block")
+        if not 0 <= block_index < len(self.impulse.dsp_blocks):
+            raise IndexError(f"no DSP block at index {block_index}")
+
+        def _run(job: Job) -> dict:
+            with self._mutation_lock:
+                return _autotune(job)
+
+        def _autotune(job: Job) -> dict:
+            from repro.dsp import autotune_dsp
+
+            impulse = self.impulse
+            block = impulse.dsp_blocks[block_index]
+            job.log(f"autotuning DSP block {block_index} ({block.block_type})")
+            windows: list = []
+            for sample in self.dataset.samples(category="train"):
+                windows.extend(impulse.input_block.windows(sample.data))
+                if len(windows) >= max_windows:
+                    break
+            if not windows:
+                raise RuntimeError("no training data to autotune against")
+            job.set_progress(0.3)
+            job.check_cancelled()
+            tuned = autotune_dsp(
+                block.block_type,
+                windows[:max_windows],
+                int(impulse.input_block.frequency_hz),
+            )
+            impulse.dsp_blocks[block_index] = tuned
+            # A new feature extractor invalidates trained artifacts.
+            self.set_impulse(impulse)
+            job.log(f"tuned config: {tuned.config()}")
+            return {"block_index": block_index, "config": tuned.config(),
+                    "windows_used": min(len(windows), max_windows)}
+
+        return self.jobs.submit("dsp-autotune", _run)
+
+    def profile_async(
+        self, device_key: str, precision: str = "int8", engine: str = "eon"
+    ) -> Job:
+        """Queue a profiling job; result is the :meth:`profile` dict."""
+
+        def _run(job: Job) -> dict:
+            job.log(f"profiling for {device_key} ({precision}/{engine})")
+            return self.profile(device_key, precision=precision, engine=engine)
+
+        return self.jobs.submit("profile", _run)
+
+    def deploy_async(
+        self, target: str = "cpp", engine: str = "eon", precision: str = "int8"
+    ) -> Job:
+        """Queue a deployment-build job; result holds the artifact and
+        its manifest."""
+
+        def _run(job: Job) -> dict:
+            job.log(f"building {target} artifact ({precision}/{engine})")
+            artifact = self.deploy(target=target, engine=engine, precision=precision)
+            job.log(f"artifact built: {artifact.total_bytes()} bytes")
+            # The job result crosses the API boundary, so keep it
+            # JSON-safe: the manifest, not the artifact object itself.
+            return {"manifest": artifact.manifest()}
+
+        return self.jobs.submit("deploy", _run)
 
     # -- evaluation ------------------------------------------------------------------
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.project import Project
-from repro.serve import ModelServer
+from repro.serve import ModelServer, ShardedModelServer
 
 
 @dataclass
@@ -29,13 +29,19 @@ class Organization:
 class Platform:
     """Top-level registry: the in-process stand-in for the hosted service."""
 
-    def __init__(self):
+    def __init__(self, serving_workers: int = 1):
         self.users: dict[str, User] = {}
         self.organizations: dict[str, Organization] = {}
         self.projects: dict[int, Project] = {}
-        # The hosted-inference tier: LRU-cached compiled models +
-        # micro-batched classify (paper Sec. 4.9).
-        self.serving = ModelServer(self)
+        # The hosted-inference tier (paper Sec. 4.9): LRU-cached compiled
+        # models + micro-batched classify.  ``serving_workers > 1`` turns
+        # on the multi-worker sharded tier, partitioning the model cache
+        # across that many shard workers.
+        self.serving = (
+            ShardedModelServer(self, workers=serving_workers)
+            if serving_workers > 1
+            else ModelServer(self)
+        )
 
     # -- identities -------------------------------------------------------
 

@@ -22,6 +22,7 @@ activations.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable
 
@@ -351,19 +352,35 @@ class CompiledPlan:
         return peak * batch_size
 
 
+# Guards only the creation of per-graph compile locks (cheap, constant
+# work).  Actual compilation serializes per graph, so concurrent shards
+# warming *different* models still compile in parallel while racers on
+# the *same* cold graph build exactly one plan.
+_PLAN_LOCKS_GUARD = threading.Lock()
+
+
 def compile_plan(graph: Graph, cache: bool = True) -> CompiledPlan:
     """Compile (or fetch the cached) execution plan for ``graph``.
 
     The plan is memoized on the graph instance; structural edits via
-    ``Graph.add_tensor``/``Graph.add_op`` invalidate it.
+    ``Graph.add_tensor``/``Graph.add_op`` invalidate it.  Thread-safe:
+    concurrent callers racing on a cold graph get the same plan object.
     """
-    if cache:
+    if not cache:
+        return CompiledPlan(graph)
+    plan = getattr(graph, "_compiled_plan", None)
+    if plan is not None:
+        return plan
+    with _PLAN_LOCKS_GUARD:
+        lock = getattr(graph, "_plan_compile_lock", None)
+        if lock is None:
+            lock = threading.Lock()
+            graph._plan_compile_lock = lock
+    with lock:
         plan = getattr(graph, "_compiled_plan", None)
-        if plan is not None:
-            return plan
-    plan = CompiledPlan(graph)
-    if cache:
-        graph._compiled_plan = plan
+        if plan is None:
+            plan = CompiledPlan(graph)
+            graph._compiled_plan = plan
     return plan
 
 

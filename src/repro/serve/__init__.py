@@ -15,6 +15,7 @@ from repro.serve.server import (
     ServingError,
     ServingStats,
 )
+from repro.serve.shard import ShardedModelServer
 
 __all__ = [
     "MicroBatcher",
@@ -23,4 +24,5 @@ __all__ = [
     "ServingError",
     "ModelNotTrainedError",
     "ServingStats",
+    "ShardedModelServer",
 ]

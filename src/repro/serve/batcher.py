@@ -94,8 +94,11 @@ class MicroBatcher:
         """Block until ``ticket`` resolves, flushing if nobody else has."""
         while not ticket.ready.is_set():
             if self.flush() == 0:
-                # Another thread is mid-flush with our ticket; yield.
-                ticket.ready.wait(timeout=0.05)
+                # The queue is empty, so our ticket was claimed by an
+                # in-flight flush on another thread; its ``finally``
+                # always resolves every claimed ticket, so a plain
+                # (poll-free) wait on the event cannot hang.
+                ticket.ready.wait()
         return ticket.value()
 
     @property

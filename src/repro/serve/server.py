@@ -66,12 +66,19 @@ class _CacheEntry:
 class ModelServer:
     """Batched serving over compiled models with an LRU model cache."""
 
-    def __init__(self, platform, cache_size: int = 8, max_batch: int = 32):
+    def __init__(
+        self,
+        platform,
+        cache_size: int = 8,
+        max_batch: int = 32,
+        name: str = "server",
+    ):
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
         self.platform = platform
         self.cache_size = cache_size
         self.max_batch = max_batch
+        self.name = name
         self.stats = ServingStats()
         self._cache: OrderedDict[tuple[int, str, str], _CacheEntry] = OrderedDict()
         # Guards the cache and stats; per-entry batchers have their own
@@ -212,7 +219,13 @@ class ModelServer:
         # Validate every row before submitting any, so a malformed row
         # mid-batch cannot strand already-queued tickets.
         coerced = [self._coerce_features(entry, row) for row in feature_rows]
-        tickets = [entry.batcher.submit(row) for row in coerced]
+        return self.classify_coerced(project_id, entry, coerced)
+
+    def classify_coerced(self, project_id: int, entry: _CacheEntry, rows) -> list[dict]:
+        """Batch-classify rows already validated by ``_coerce_features``
+        against ``entry`` — the shard-worker hot path, which coerces at
+        admission time and must not pay for it twice."""
+        tickets = [entry.batcher.submit(row) for row in rows]
         results = [entry.batcher.wait(t) for t in tickets]
         with self._lock:
             self.stats.requests += len(tickets)
@@ -231,6 +244,7 @@ class ModelServer:
                 e.batcher.batched_requests for e in self._cache.values()
             )
             return {
+                "name": self.name,
                 "requests": self.stats.requests,
                 "batches": batches,
                 "batched_requests": batched,

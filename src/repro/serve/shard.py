@@ -1,0 +1,297 @@
+"""Multi-worker sharded serving: partitioned model caches + shard workers.
+
+The hosted inference tier scales past one process by sharding: each
+worker owns a disjoint partition of the compiled-model cache, so cache
+state never needs cross-worker coherence and lock contention stays
+per-shard.  :class:`ShardedModelServer` reproduces that topology
+in-process:
+
+- N shards, each wrapping its own :class:`repro.serve.ModelServer`
+  (cache + micro-batchers + lock) and its own daemon worker thread;
+- a request for ``(project, precision, engine)`` is routed to the shard
+  owning ``crc32(key) % N`` — a stable hash, so a model is only ever
+  compiled and cached in one shard;
+- each worker drains its queue in gulps, groups the gulp by model key
+  and executes one batched invoke per group, so a flood of requests
+  gets the micro-batching amortization without callers coordinating;
+- admission control is synchronous: ``submit`` resolves the model and
+  validates features in the caller's thread, so bad requests fail fast
+  with the same exceptions :class:`ModelServer` raises and can never
+  poison a worker.
+
+``snapshot()`` aggregates the per-shard counters (summed totals plus a
+``per_shard`` breakdown) — surfaced at ``GET /api/serving/stats``.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from collections import deque
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.serve.server import ModelServer, ServingError
+
+
+class _ShardTicket:
+    """One in-flight request owned by a shard worker.
+
+    Carries the cache entry resolved at admission, so the worker serves
+    the model version the request was validated against without a
+    second cache lookup (which would double-count hit statistics).
+    """
+
+    __slots__ = ("key", "entry", "features", "ready", "result", "error")
+
+    def __init__(self, key: tuple, entry, features: np.ndarray):
+        self.key = key
+        self.entry = entry
+        self.features = features
+        self.ready = threading.Event()
+        self.result: dict | None = None
+        self.error: Exception | None = None
+
+    def resolve(self, result: dict | None = None, error: Exception | None = None):
+        self.result = result
+        self.error = error
+        self.ready.set()
+
+    def value(self) -> dict:
+        self.ready.wait()
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+class _Shard:
+    """One cache partition: a ModelServer, a request queue, a worker."""
+
+    def __init__(self, server: ModelServer, index: int, max_queue: int):
+        self.server = server
+        self.index = index
+        self.max_queue = max_queue
+        self._queue: deque[_ShardTicket] = deque()
+        self._cond = threading.Condition()
+        self._thread: threading.Thread | None = None
+        self._stop = False
+        # Worker counters (reads are snapshots; writes are worker-only).
+        self.drains = 0
+        self.grouped_batches = 0
+
+    def enqueue(self, ticket: _ShardTicket) -> None:
+        with self._cond:
+            if self._stop:
+                raise ServingError(f"shard {self.index} is shut down")
+            if len(self._queue) >= self.max_queue:
+                raise ServingError(
+                    f"shard {self.index} queue full ({self.max_queue} requests)"
+                )
+            self._queue.append(ticket)
+            if self._thread is None or not self._thread.is_alive():
+                self._thread = threading.Thread(
+                    target=self._worker, name=f"serve-shard-{self.index}", daemon=True
+                )
+                self._thread.start()
+            self._cond.notify()
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue:
+                    if self._stop:
+                        return
+                    self._cond.wait()
+                # Gulp everything queued right now: the whole point of a
+                # shard worker is to turn a backlog into few big invokes.
+                gulp = list(self._queue)
+                self._queue.clear()
+            self.drains += 1
+            self._execute(gulp)
+
+    def _execute(self, gulp: list[_ShardTicket]) -> None:
+        # Group the gulp by admitted cache entry (stable order) -> one
+        # batched classify per distinct model version.  Grouping on the
+        # entry (not just the key) keeps requests admitted across a
+        # retrain boundary on the model they were validated against.
+        groups: dict[int, list[_ShardTicket]] = {}
+        for ticket in gulp:
+            groups.setdefault(id(ticket.entry), []).append(ticket)
+        for tickets in groups.values():
+            project_id = tickets[0].key[0]
+            try:
+                # Features were coerced at admission against this entry,
+                # so go straight to the batched invoke.
+                results = self.server.classify_coerced(
+                    project_id, tickets[0].entry, [t.features for t in tickets]
+                )
+            except Exception as exc:  # noqa: BLE001 - isolate per group
+                for ticket in tickets:
+                    ticket.resolve(error=exc)
+                continue
+            self.grouped_batches += 1
+            for ticket, result in zip(tickets, results):
+                ticket.resolve(result=result)
+
+    def stop(self) -> None:
+        # Claim the leftover queue under the lock so a still-running
+        # worker can never see (or double-resolve) these tickets; the
+        # worker drains its in-flight gulp normally and then exits.
+        with self._cond:
+            self._stop = True
+            leftovers = list(self._queue)
+            self._queue.clear()
+            self._cond.notify_all()
+        for ticket in leftovers:
+            ticket.resolve(error=ServingError(f"shard {self.index} shut down"))
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+
+class ShardedModelServer:
+    """N-worker serving: the model cache partitioned across shards.
+
+    Public surface mirrors :class:`ModelServer` (``classify``,
+    ``classify_batch``, ``get_model``, ``invalidate``, ``snapshot``), so
+    the API layer and CLI can use either interchangeably; ``submit`` /
+    ticket ``value()`` additionally expose the asynchronous path.
+    """
+
+    def __init__(
+        self,
+        platform,
+        workers: int = 4,
+        cache_size: int = 8,
+        max_batch: int = 32,
+        max_queue: int = 4096,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.platform = platform
+        self.workers = workers
+        self.shards = [
+            _Shard(
+                ModelServer(
+                    platform,
+                    cache_size=cache_size,
+                    max_batch=max_batch,
+                    name=f"shard-{i}",
+                ),
+                index=i,
+                max_queue=max_queue,
+            )
+            for i in range(workers)
+        ]
+
+    @classmethod
+    def for_project(cls, project, **kwargs) -> "ShardedModelServer":
+        """A standalone sharded server over one project (CLI ``serve``)."""
+        registry = SimpleNamespace(projects={project.project_id: project})
+        return cls(registry, **kwargs)
+
+    # -- routing -----------------------------------------------------------
+
+    def shard_index(self, project_id: int, precision: str, engine: str) -> int:
+        """Stable shard assignment for a model key (crc32, not ``hash``,
+        so placement survives interpreter restarts and PYTHONHASHSEED)."""
+        key = f"{project_id}|{precision}|{engine}".encode()
+        return zlib.crc32(key) % self.workers
+
+    def shard_for(self, project_id: int, precision: str, engine: str) -> _Shard:
+        return self.shards[self.shard_index(project_id, precision, engine)]
+
+    # -- serving -----------------------------------------------------------
+
+    def submit(
+        self,
+        project_id: int,
+        features,
+        precision: str = "int8",
+        engine: str = "eon",
+    ) -> _ShardTicket:
+        """Admit one request onto its shard's queue; returns a ticket
+        whose ``value()`` blocks for the worker's result.  Raises
+        eagerly (``ServingError`` / ``KeyError``) on bad requests."""
+        shard = self.shard_for(project_id, precision, engine)
+        entry = shard.server.get_model(project_id, precision, engine)
+        coerced = shard.server._coerce_features(entry, features)
+        ticket = _ShardTicket((project_id, precision, engine), entry, coerced)
+        shard.enqueue(ticket)
+        return ticket
+
+    def classify(
+        self,
+        project_id: int,
+        features,
+        precision: str = "int8",
+        engine: str = "eon",
+    ) -> dict:
+        return self.submit(project_id, features, precision, engine).value()
+
+    def classify_batch(
+        self,
+        project_id: int,
+        feature_rows,
+        precision: str = "int8",
+        engine: str = "eon",
+    ) -> list[dict]:
+        if not isinstance(feature_rows, (list, tuple)) or len(feature_rows) == 0:
+            raise ServingError("batch must be a non-empty list of feature rows")
+        tickets = [
+            self.submit(project_id, row, precision, engine) for row in feature_rows
+        ]
+        return [t.value() for t in tickets]
+
+    # -- cache management --------------------------------------------------
+
+    def get_model(self, project_id: int, precision: str = "int8", engine: str = "eon"):
+        """Resolve (and warm) the model in its owning shard's cache."""
+        return self.shard_for(project_id, precision, engine).server.get_model(
+            project_id, precision, engine
+        )
+
+    def invalidate(self, project_id: int | None = None) -> None:
+        for shard in self.shards:
+            shard.server.invalidate(project_id)
+
+    # -- observability -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Aggregated counters plus the per-shard breakdown."""
+        per_shard = []
+        for shard in self.shards:
+            snap = shard.server.snapshot()
+            snap["queue_depth"] = shard.queue_depth
+            snap["drains"] = shard.drains
+            snap["grouped_batches"] = shard.grouped_batches
+            per_shard.append(snap)
+        summed = (
+            "requests", "batches", "batched_requests", "cache_size",
+            "cache_hits", "cache_misses", "cache_evictions",
+        )
+        total = {k: sum(s[k] for s in per_shard) for k in summed}
+        total["mean_batch_size"] = (
+            total["batched_requests"] / total["batches"] if total["batches"] else 0.0
+        )
+        total["workers"] = self.workers
+        total["per_shard"] = per_shard
+        return total
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every shard worker (queued requests fail cleanly)."""
+        for shard in self.shards:
+            shard.stop()
+
+    def __enter__(self) -> "ShardedModelServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

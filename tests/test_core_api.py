@@ -87,13 +87,18 @@ def test_full_automation_flow(api):
     get_resp = api.handle("GET", f"/api/projects/{pid}/impulse", user="alice")
     assert "mfe" in get_resp["dataflow"]
 
+    # Training is asynchronous: the route answers immediately with a job
+    # id, and GET /jobs/<jid> (here with a long-poll) tracks it to done.
     train = api.handle("POST", f"/api/projects/{pid}/jobs/train", {"seed": 0},
                        user="alice")
-    assert train["status"] == 200 and train["job_status"] == "finished"
+    assert train["status"] == 200
+    assert train["job_status"] in ("queued", "running")
 
     job = api.handle("GET", f"/api/projects/{pid}/jobs/{train['job_id']}",
-                     user="alice")
-    assert job["job_status"] == "finished"
+                     {"wait_s": 60.0}, user="alice")
+    assert job["job_status"] == "succeeded"
+    assert job["progress"] == 1.0
+    assert "accuracy" in job["result"] or job["result"]  # training metrics
 
     test = api.handle("POST", f"/api/projects/{pid}/test", {}, user="alice")
     assert test["status"] == 200
@@ -151,9 +156,123 @@ def test_malformed_impulse_spec_is_400(api):
 
 
 def test_job_status_missing(api):
+    """Regression: an unknown job id used to surface as a bare KeyError
+    (a 500 in a real gateway); it must be a clean 404 with a message."""
     pid = api.handle("POST", "/api/projects", {"name": "p"}, user="alice")["project_id"]
     response = api.handle("GET", f"/api/projects/{pid}/jobs/99", user="alice")
     assert response["status"] == 404
+    assert response["error"] == "no job 99"
+    cancel = api.handle("POST", f"/api/projects/{pid}/jobs/99/cancel", user="alice")
+    assert cancel["status"] == 404 and cancel["error"] == "no job 99"
+
+
+def test_job_status_malformed_params_are_400(api):
+    pid = _project_with_data(api, n_per_class=2)
+    train = api.handle("POST", f"/api/projects/{pid}/train", {}, user="alice")
+    jid = train["job_id"]
+    bad_wait = api.handle("GET", f"/api/projects/{pid}/jobs/{jid}",
+                          {"wait_s": "soon"}, user="alice")
+    assert bad_wait["status"] == 400
+    bad_offset = api.handle("GET", f"/api/projects/{pid}/jobs/{jid}",
+                            {"log_offset": "x"}, user="alice")
+    assert bad_offset["status"] == 400
+    api.handle("GET", f"/api/projects/{pid}/jobs/{jid}", {"wait_s": 60.0},
+               user="alice")  # let the job finish before teardown
+
+
+def _project_with_data(api, n_per_class=14):
+    pid = api.handle("POST", "/api/projects", {"name": "jobs"}, user="alice")["project_id"]
+    for label, freq in (("low", 200.0), ("high", 800.0)):
+        for i in range(n_per_class):
+            api.handle("POST", f"/api/projects/{pid}/data",
+                       {"payload_b64": _wav_b64(freq, seed=i), "label": label,
+                        "format": "wav"}, user="alice")
+    api.handle("POST", f"/api/projects/{pid}/impulse",
+               {"impulse": IMPULSE_SPEC}, user="alice")
+    return pid
+
+
+def test_train_job_async_lifecycle(api):
+    """POST /train answers immediately; the job transitions
+    queued -> running -> succeeded with progress and streamable logs."""
+    pid = _project_with_data(api)
+    train = api.handle("POST", f"/api/projects/{pid}/train", {}, user="alice")
+    assert train["status"] == 200
+    assert train["job_status"] in ("queued", "running")
+    jid = train["job_id"]
+
+    done = api.handle("GET", f"/api/projects/{pid}/jobs/{jid}",
+                      {"wait_s": 60.0}, user="alice")
+    assert done["job_status"] == "succeeded"
+    assert done["progress"] == 1.0
+    assert any("training" in line for line in done["logs"])
+
+    # Log streaming: a second read from the returned offset is empty.
+    rest = api.handle("GET", f"/api/projects/{pid}/jobs/{jid}",
+                      {"log_offset": done["log_offset"]}, user="alice")
+    assert rest["logs"] == []
+
+    listing = api.handle("GET", f"/api/projects/{pid}/jobs", user="alice")
+    assert any(j["job_id"] == jid and j["job_status"] == "succeeded"
+               for j in listing["jobs"])
+
+
+def test_cancel_queued_train_job(api):
+    """Cancelling a still-queued job works over the API."""
+    import threading
+
+    pid = _project_with_data(api)
+    platform = api.platform
+    project = platform.projects[pid]
+    gate = threading.Event()
+    project.jobs.submit("blocker", lambda j: gate.wait(timeout=10.0))
+    queued = api.handle("POST", f"/api/projects/{pid}/train", {}, user="alice")
+    cancel = api.handle("POST",
+                        f"/api/projects/{pid}/jobs/{queued['job_id']}/cancel",
+                        user="alice")
+    gate.set()
+    assert cancel["status"] == 200 and cancel["job_status"] == "cancelled"
+    status = api.handle("GET", f"/api/projects/{pid}/jobs/{queued['job_id']}",
+                        {"wait_s": 10.0}, user="alice")
+    assert status["job_status"] == "cancelled"
+
+
+def test_profile_deploy_autotune_as_jobs(api):
+    pid = _project_with_data(api)
+    train = api.handle("POST", f"/api/projects/{pid}/train", {}, user="alice")
+    api.handle("GET", f"/api/projects/{pid}/jobs/{train['job_id']}",
+               {"wait_s": 60.0}, user="alice")
+
+    prof = api.handle("POST", f"/api/projects/{pid}/jobs/profile",
+                      {"device": "nano33ble"}, user="alice")
+    assert prof["status"] == 200
+    prof_done = api.handle("GET", f"/api/projects/{pid}/jobs/{prof['job_id']}",
+                           {"wait_s": 30.0}, user="alice")
+    assert prof_done["job_status"] == "succeeded"
+    assert prof_done["result"]["total_ms"] > 0
+
+    dep = api.handle("POST", f"/api/projects/{pid}/jobs/deploy",
+                     {"target": "cpp"}, user="alice")
+    dep_done = api.handle("GET", f"/api/projects/{pid}/jobs/{dep['job_id']}",
+                          {"wait_s": 30.0}, user="alice")
+    assert dep_done["job_status"] == "succeeded"
+    assert any("eon_model" in f for f in dep_done["result"]["manifest"]["files"])
+
+    tune = api.handle("POST", f"/api/projects/{pid}/jobs/autotune", {},
+                      user="alice")
+    tune_done = api.handle("GET", f"/api/projects/{pid}/jobs/{tune['job_id']}",
+                           {"wait_s": 30.0}, user="alice")
+    assert tune_done["job_status"] == "succeeded"
+    assert tune_done["result"]["config"]
+    # Autotune swapped the DSP block, which invalidates trained graphs.
+    assert api.platform.projects[pid].float_graph is None
+
+
+def test_autotune_without_impulse_is_409(api):
+    pid = api.handle("POST", "/api/projects", {"name": "p"}, user="alice")["project_id"]
+    response = api.handle("POST", f"/api/projects/{pid}/jobs/autotune", {},
+                          user="alice")
+    assert response["status"] == 409
 
 
 def test_user_creation(api):

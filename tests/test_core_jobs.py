@@ -1,34 +1,59 @@
-"""Job queue: lifecycle, failure isolation, autoscaling simulation."""
+"""Job orchestration: lifecycle, isolation, cancellation, retry, autoscaling."""
 
-from repro.core.jobs import JobQueue
+import threading
+import time
+
+import pytest
+
+from repro.core.jobs import JobCancelled, JobExecutor, JobQueue, UnknownJobError
 
 
 def test_job_lifecycle():
-    q = JobQueue()
-    job = q.submit("work", lambda j: 42)
-    assert job.status == "queued"
-    q.drain()
-    assert job.status == "finished"
+    q = JobExecutor()
+    started = threading.Event()
+    release = threading.Event()
+
+    def work(job):
+        started.set()
+        release.wait(timeout=5.0)
+        return 42
+
+    job = q.submit("work", work)
+    assert started.wait(timeout=5.0)
+    assert job.status == "running"
+    release.set()
+    job.wait(timeout=5.0)
+    assert job.status == "succeeded"
     assert job.result == 42
+    assert job.progress == 1.0
+    assert job.started_at is not None and job.ended_at is not None
     assert any("started" in line for line in job.logs)
 
 
+def test_drain_waits_for_everything():
+    q = JobExecutor()
+    jobs = [q.submit(f"j{i}", lambda j, i=i: i * i) for i in range(6)]
+    done = q.drain(timeout=10.0)
+    assert [j.result for j in jobs] == [0, 1, 4, 9, 16, 25]
+    assert {j.job_id for j in done} == {j.job_id for j in jobs}
+
+
 def test_failed_job_isolated():
-    q = JobQueue()
+    q = JobExecutor()
 
     def boom(job):
         raise RuntimeError("exploded")
 
     bad = q.submit("bad", boom)
     good = q.submit("good", lambda j: "ok")
-    q.drain()
+    q.drain(timeout=10.0)
     assert bad.status == "failed"
     assert "RuntimeError" in bad.error
-    assert good.status == "finished"
+    assert good.status == "succeeded"
 
 
-def test_job_logging():
-    q = JobQueue()
+def test_job_logging_and_streaming():
+    q = JobExecutor()
 
     def chatty(job):
         job.log("step 1")
@@ -36,31 +61,150 @@ def test_job_logging():
         return None
 
     job = q.submit("chatty", chatty)
-    q.drain()
+    job.wait(timeout=5.0)
     assert "step 1" in job.logs and "step 2" in job.logs
+    # Streamed reads resume from the returned offset.
+    first, offset = job.read_logs(0)
+    assert first == job.logs
+    rest, _ = job.read_logs(offset)
+    assert rest == []
 
 
-def test_autoscaling_up_and_down():
-    q = JobQueue(min_workers=1, max_workers=4, jobs_per_worker=2)
-    jobs = [q.submit(f"j{i}", lambda j: None) for i in range(8)]
-    # 8 queued jobs / 2 per worker -> 4 workers.
+def test_progress_reporting():
+    q = JobExecutor()
+
+    def stepped(job):
+        job.set_progress(0.5)
+        assert job.progress == 0.5
+        return "done"
+
+    job = q.submit("stepped", stepped)
+    job.wait(timeout=5.0)
+    assert job.progress == 1.0  # success forces 1.0
+
+
+def test_retry_policy():
+    q = JobExecutor()
+    attempts = []
+
+    def flaky(job):
+        attempts.append(job.attempts)
+        if len(attempts) < 3:
+            raise RuntimeError("transient")
+        return "finally"
+
+    job = q.submit("flaky", flaky, retries=2)
+    job.wait(timeout=10.0)
+    assert job.status == "succeeded"
+    assert job.result == "finally"
+    assert attempts == [1, 2, 3]
+    assert any("retrying" in line for line in job.logs)
+
+
+def test_retry_budget_exhausted():
+    q = JobExecutor()
+
+    def always_fails(job):
+        raise ValueError("permanent")
+
+    job = q.submit("doomed", always_fails, retries=1)
+    job.wait(timeout=10.0)
+    assert job.status == "failed"
+    assert job.attempts == 2
+    assert "ValueError" in job.error
+
+
+def test_cancel_queued_job():
+    q = JobExecutor(max_workers=1, jobs_per_worker=100)
+    gate = threading.Event()
+    blocker = q.submit("blocker", lambda j: gate.wait(timeout=5.0))
+    victim = q.submit("victim", lambda j: "never ran")
+    status = q.cancel(victim.job_id)
+    gate.set()
+    assert status == "cancelled"
+    victim.wait(timeout=5.0)
+    assert victim.status == "cancelled"
+    assert victim.result is None
+    blocker.wait(timeout=5.0)
+    assert blocker.status == "succeeded"
+
+
+def test_cancel_running_job_cooperatively():
+    q = JobExecutor()
+    running = threading.Event()
+
+    def loops(job):
+        running.set()
+        for _ in range(200):
+            job.check_cancelled()
+            time.sleep(0.01)
+        return "ran to completion"
+
+    job = q.submit("loops", loops)
+    assert running.wait(timeout=5.0)
+    q.cancel(job.job_id)
+    job.wait(timeout=5.0)
+    assert job.status == "cancelled"
+    assert job.cancel_requested
+
+
+def test_cancel_terminal_job_is_noop():
+    q = JobExecutor()
+    job = q.submit("quick", lambda j: 1)
+    job.wait(timeout=5.0)
+    assert q.cancel(job.job_id) == "succeeded"
+
+
+def test_unknown_job_id_raises_clear_error():
+    q = JobExecutor()
+    with pytest.raises(UnknownJobError) as excinfo:
+        q.status(99)
+    assert "no job 99" in str(excinfo.value)
+    # Still a KeyError for legacy callers.
+    with pytest.raises(KeyError):
+        q.get(99)
+
+
+def test_autoscaling_records_pool_growth():
+    q = JobExecutor(min_workers=1, max_workers=4, jobs_per_worker=2)
+    gates = threading.Event()
+
+    jobs = [q.submit(f"j{i}", lambda j: gates.wait(timeout=5.0)) for i in range(8)]
+    # 8 queued jobs / 2 per worker -> the pool scales toward 4 workers.
+    deadline = time.monotonic() + 5.0
+    while q.workers < 4 and time.monotonic() < deadline:
+        time.sleep(0.005)
     assert q.workers == 4
-    q.drain()
-    assert q.workers == 1  # scaled back down
-    assert all(j.status == "finished" for j in jobs)
-    assert len(q.scaling_events) >= 2
+    gates.set()
+    q.drain(timeout=10.0)
+    assert all(j.status == "succeeded" for j in jobs)
     peaks = [e.workers for e in q.scaling_events]
     assert max(peaks) == 4
+    # Idle workers exit after the grace period -> scale back down.
+    deadline = time.monotonic() + 5.0
+    while q.workers > 0 and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert q.workers == 0
 
 
-def test_worker_bounds_respected():
-    q = JobQueue(min_workers=2, max_workers=3, jobs_per_worker=1)
+def test_worker_cap_respected():
+    q = JobExecutor(min_workers=2, max_workers=3, jobs_per_worker=1)
+    gate = threading.Event()
     for i in range(10):
-        q.submit(f"j{i}", lambda j: None)
-    assert q.workers == 3  # capped at max
-    q.drain()
-    assert q.workers == 2  # floor at min
+        q.submit(f"j{i}", lambda j: gate.wait(timeout=5.0))
+    assert q.workers <= 3
+    gate.set()
+    q.drain(timeout=10.0)
+    assert max(e.workers for e in q.scaling_events) == 3
 
 
-def test_run_next_empty():
-    assert JobQueue().run_next() is None
+def test_shutdown_rejects_new_work():
+    q = JobExecutor()
+    q.submit("last", lambda j: "ok")
+    q.shutdown(wait=True)
+    with pytest.raises(RuntimeError):
+        q.submit("late", lambda j: None)
+
+
+def test_jobqueue_alias_is_executor():
+    assert JobQueue is JobExecutor

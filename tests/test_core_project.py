@@ -46,7 +46,7 @@ def test_train_produces_graphs(trained_project):
     assert project.int8_graph is not None
     assert project.int8_graph.dtype == "int8"
     job = project.jobs.jobs[1]
-    assert job.status == "finished"
+    assert job.status == "succeeded"
 
 
 def test_holdout_evaluation(trained_project):

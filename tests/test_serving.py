@@ -134,6 +134,31 @@ def test_server_batch_matches_singles(served_platform, tiny_classification_probl
         assert br == sr
 
 
+def test_f32_batch_vs_single_tolerance_contract(served_platform,
+                                                tiny_classification_problem):
+    """The float32 serving contract is numerical, not bitwise: a batched
+    invoke may reassociate BLAS reductions differently from a
+    single-row invoke, so outputs agree to allclose(rtol=1e-5) — and
+    that is the guarantee ``classify_batch`` documents.  (int8 stays
+    exactly equal: integer arithmetic does not reassociate.)"""
+    platform, project = served_platform
+    x, _ = tiny_classification_problem
+    server = platform.serving
+    labels = ("a", "b", "c")
+
+    batch = server.classify_batch(project.project_id, list(x[:12]),
+                                  precision="float32")
+    singles = [server.classify(project.project_id, row, precision="float32")
+               for row in x[:12]]
+    for br, sr in zip(batch, singles):
+        assert br["top"] == sr["top"]
+        np.testing.assert_allclose(
+            [br["classification"][l] for l in labels],
+            [sr["classification"][l] for l in labels],
+            rtol=1e-5, atol=1e-7,
+        )
+
+
 def test_server_cache_hits_and_retrain_invalidation(served_platform):
     platform, project = served_platform
     server = platform.serving

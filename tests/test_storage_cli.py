@@ -126,6 +126,15 @@ def test_cli_full_workflow(tmp_path, capsys):
     assert "high (" in out  # an 800 Hz tone classifies as the 'high' class
     assert "batch(es)" in out
 
+    # Same recording through the multi-worker sharded serving tier.
+    clip2 = tmp_path / "query2.wav"
+    _wav_file(clip2, 200.0, seed=98)
+    assert cli_main(["serve", "--dir", proj, "--workers", "4",
+                     str(clip), str(clip2)]) == 0
+    out = capsys.readouterr().out
+    assert "worker shard(s)" in out
+    assert "high (" in out and "low (" in out
+
     assert cli_main(["profile", "--dir", proj, "--device", "rp2040"]) == 0
     out_dir = tmp_path / "build"
     assert cli_main(["deploy", "--dir", proj, "--target", "wasm",
