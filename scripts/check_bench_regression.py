@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Perf regression gate: compare a fresh benchmark artifact to the baseline.
 
-CI's ``bench-smoke`` job runs the serving benchmarks, which write their
-headline numbers to ``results/BENCH_pr2.json`` (see
+CI's ``bench-smoke`` job runs the serving + distributed-tuner
+benchmarks, which write their headline numbers to
+``results/$BENCH_JSON`` (``results/BENCH_pr3.json`` in CI; see
 ``benchmarks/conftest.py``).  This script compares that artifact against
 the committed baseline (``benchmarks/BENCH_baseline.json``) and fails
 when any **gated** metric regressed by more than ``--max-regression``

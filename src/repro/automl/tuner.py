@@ -10,6 +10,7 @@ to measure accuracy.  Results render as the Table 3 / Figure 3 view.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -99,6 +100,10 @@ class EonTuner:
         self.val_fraction = val_fraction
         self.trials: list[TunerTrial] = []
         self._feature_cache: dict[str, np.ndarray] = {}
+        # Parallel trials share the feature cache; the events dict lets
+        # one thread own each (expensive) transform while others wait.
+        self._cache_lock = threading.Lock()
+        self._cache_events: dict[str, threading.Event] = {}
 
     # -- internals ----------------------------------------------------------
 
@@ -106,9 +111,29 @@ class EonTuner:
         key = json.dumps(dsp_spec, sort_keys=True)
         block = get_dsp_block({"type": dsp_spec["type"],
                                "config": {k: v for k, v in dsp_spec.items() if k != "type"}})
-        if key not in self._feature_cache:
-            self._feature_cache[key] = block.transform_batch(self.raw)
-        return block, self._feature_cache[key]
+        while True:
+            with self._cache_lock:
+                if key in self._feature_cache:
+                    return block, self._feature_cache[key]
+                event = self._cache_events.get(key)
+                if event is None:
+                    event = self._cache_events[key] = threading.Event()
+                    owner = True
+                else:
+                    owner = False
+            if owner:
+                try:
+                    features = block.transform_batch(self.raw)
+                except BaseException:
+                    with self._cache_lock:
+                        del self._cache_events[key]
+                    event.set()  # wake waiters so one of them retries
+                    raise
+                with self._cache_lock:
+                    self._feature_cache[key] = features
+                event.set()
+                return block, features
+            event.wait()  # owner finished (or failed) — re-check the cache
 
     def _build_model(self, model_spec: dict, input_shape, n_classes, seed):
         spec = dict(model_spec)
@@ -158,7 +183,25 @@ class EonTuner:
         epochs: int | None = None,
         skip_if_infeasible: bool = True,
     ) -> TunerTrial:
-        """Price + (maybe) train one configuration."""
+        """Price + (maybe) train one configuration, recording the trial."""
+        trial = self._evaluate_trial(
+            dsp_spec, model_spec, seed=seed, epochs=epochs,
+            skip_if_infeasible=skip_if_infeasible,
+        )
+        self.trials.append(trial)
+        return trial
+
+    def _evaluate_trial(
+        self,
+        dsp_spec: dict,
+        model_spec: dict,
+        seed: int = 0,
+        epochs: int | None = None,
+        skip_if_infeasible: bool = True,
+    ) -> TunerTrial:
+        """One trial's work, without touching ``self.trials`` — safe to run
+        concurrently from child jobs (results are committed in submission
+        order by the parent job's finalizer)."""
         block, features = self._features(dsp_spec)
         n_classes = int(self.labels.max()) + 1
         model, in_shape = self._build_model(
@@ -193,31 +236,172 @@ class EonTuner:
             preds = model.predict_classes(feats[val_idx])
             trial.accuracy = float((preds == self.labels[val_idx]).mean())
             trial.trained = True
-        self.trials.append(trial)
         return trial
 
     # -- search strategies ----------------------------------------------------
 
-    def run(self, n_trials: int = 12, seed: int = 0) -> list[TunerTrial]:
-        """Random search (the shipping EON Tuner algorithm)."""
+    def _sample_plan(
+        self, n_trials: int, seed: int
+    ) -> list[tuple[dict, dict, int]]:
+        """Draw the trial plan exactly as serial :meth:`run` does.
+
+        Sampling consumes the search rng in the same order (config draw,
+        dedupe, then per-trial seed draw), so a plan executed in parallel
+        is bit-identical to the serial sweep.
+        """
         rng = ensure_rng(seed)
         seen: set[str] = set()
         attempts = 0
-        while len([t for t in self.trials if True]) < n_trials and attempts < n_trials * 10:
+        planned: list[tuple[dict, dict, int]] = []
+        while (
+            len(self.trials) + len(planned) < n_trials
+            and attempts < n_trials * 10
+        ):
             attempts += 1
             dsp_spec, model_spec = self.space.sample(rng)
             key = json.dumps([dsp_spec, model_spec], sort_keys=True)
             if key in seen:
                 continue
             seen.add(key)
-            self.evaluate_config(dsp_spec, model_spec, seed=int(rng.integers(1 << 31)))
+            planned.append((dsp_spec, model_spec, int(rng.integers(1 << 31))))
+        return planned
+
+    def run(self, n_trials: int = 12, seed: int = 0) -> list[TunerTrial]:
+        """Random search (the shipping EON Tuner algorithm)."""
+        for dsp_spec, model_spec, trial_seed in self._sample_plan(n_trials, seed):
+            self.evaluate_config(dsp_spec, model_spec, seed=trial_seed)
         return self.trials
 
+    def run_parallel(
+        self,
+        n_trials: int = 12,
+        executor=None,
+        max_inflight: int = 4,
+        seed: int = 0,
+        retries: int = 0,
+    ):
+        """Distributed random search: one child job per trial on a
+        :class:`repro.core.jobs.JobExecutor`, capped at ``max_inflight``
+        concurrent trials (the paper's "parallel search" on the hosted
+        cluster).  Returns the **parent job** immediately; ``wait()`` on
+        it, stream its logs, or cancel it (queued trials are dropped,
+        in-flight trials drain, and nothing is committed).
+
+        Per-trial seeds are fixed at planning time, so the committed
+        leaderboard is order-independent and bit-identical to a serial
+        :meth:`run` with the same ``seed``.  Trials are committed to
+        ``self.trials`` (in plan order) only when every trial succeeded.
+        """
+        from repro.core.jobs import JobExecutor
+
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if executor is None:
+            executor = JobExecutor(max_workers=max(2, max_inflight))
+        planned = self._sample_plan(n_trials, seed)
+        total = len(planned)
+
+        def on_child_done(parent, child):
+            done = sum(1 for c in executor.children(parent.job_id) if c.done)
+            parent.set_progress(done / total if total else 1.0)
+            trial = child.result if child.status == "succeeded" else None
+            if trial is not None:
+                parent.log(
+                    f"trial {child.name}: acc="
+                    f"{'-' if trial.accuracy is None else f'{trial.accuracy:.3f}'} "
+                    f"({'trained' if trial.trained else 'screened out'}) "
+                    f"[{done}/{total}]"
+                )
+            else:
+                parent.log(f"trial {child.name}: {child.status} [{done}/{total}]")
+
+        def finalize(parent, children):
+            executor.clear_group_limit(f"tuner-{parent.job_id}")
+            completed = [c for c in children if c.status == "succeeded"]
+            if parent.cancel_requested or len(completed) != len(children):
+                # Cancelled or partially-failed search: commit nothing —
+                # the tuner (and any project built on it) is untouched.
+                return {
+                    "committed": False,
+                    "trials_completed": len(completed),
+                    "trials_total": len(children),
+                }
+            self.trials.extend(c.result for c in children)  # plan order
+            best = self.best_trial() if self.trials else None
+            return {
+                "committed": True,
+                "trials_total": len(children),
+                "trials_trained": sum(1 for t in self.trials if t.trained),
+                "best_accuracy": None if best is None else best.accuracy,
+                "leaderboard": self.leaderboard(),
+            }
+
+        parent = executor.spawn_parent(
+            f"eon-tuner ({total} trials, {max_inflight} in flight)",
+            finalize=finalize,
+            on_child_done=on_child_done,
+            fail_on_child_failure=True,
+        )
+        group = f"tuner-{parent.job_id}"
+        executor.set_group_limit(group, max_inflight)
+        for i, (dsp_spec, model_spec, trial_seed) in enumerate(planned):
+            def _trial(job, dsp_spec=dsp_spec, model_spec=model_spec,
+                       trial_seed=trial_seed):
+                job.log(
+                    f"evaluating {dsp_spec['type']} x "
+                    f"{model_spec['architecture']} (seed {trial_seed})"
+                )
+                job.check_cancelled()
+                return self._evaluate_trial(dsp_spec, model_spec, seed=trial_seed)
+
+            executor.submit(
+                f"tuner-trial-{i}", _trial, retries=retries,
+                parent=parent, group=group,
+            )
+        executor.seal_parent(parent)
+        return parent
+
     def best_trial(self) -> TunerTrial | None:
+        """The most accurate trained, in-budget trial.
+
+        Returns ``None`` when trials ran but none both trained and met
+        the constraints; raises :class:`RuntimeError` when no trials have
+        run at all (e.g. ``run(n_trials=0)``) — an empty search has no
+        leaderboard to pick from.
+        """
+        if not self.trials:
+            raise RuntimeError(
+                "no trials have been run; call run()/run_parallel() with "
+                "n_trials > 0 before asking for the best trial"
+            )
         trained = [t for t in self.trials if t.trained and t.meets_constraints]
         if not trained:
             return None
         return max(trained, key=lambda t: t.accuracy)
+
+    def leaderboard(self, trials: list[TunerTrial] | None = None) -> list[dict]:
+        """JSON-safe leaderboard rows (accuracy-sorted trained trials) —
+        the ``GET /tuner/<jid>`` payload; pass ``trials`` to rank a
+        partial set (e.g. completed child-job results mid-search)."""
+        pool = self.trials if trials is None else trials
+        rows = sorted(
+            (t for t in pool if t.trained), key=lambda t: -(t.accuracy or 0)
+        )
+        return [
+            {
+                "rank": i + 1,
+                "dsp": t.dsp_name,
+                "model": t.model_name,
+                "accuracy": None if t.accuracy is None else float(t.accuracy),
+                "dsp_ms": float(t.dsp_ms),
+                "nn_ms": float(t.nn_ms),
+                "total_ms": float(t.total_ms),
+                "ram_kb": float(t.ram_kb),
+                "flash_kb": float(t.flash_kb),
+                "meets_constraints": bool(t.meets_constraints),
+            }
+            for i, t in enumerate(rows)
+        ]
 
     def apply_to_project(self, project, trial: TunerTrial | None = None) -> None:
         """Update a project's impulse to a tuner result — the "update the
@@ -252,6 +436,9 @@ class EonTuner:
             f"{'RAM kB':>8} {'Flash kB':>9}"
         )
         lines = [header, "-" * len(header)]
+        if not self.trials:
+            lines.append("(no trials run — call run()/run_parallel() first)")
+            return "\n".join(lines)
         rows = sorted(
             (t for t in self.trials if t.trained),
             key=lambda t: -(t.accuracy or 0),

@@ -79,6 +79,95 @@ def _cmd_test(args) -> int:
     return 0
 
 
+def _stream_job_logs(job) -> None:
+    """Print a job's log lines as they land, until it is terminal."""
+    offset = 0
+    while True:
+        done = job.wait(0.5).done
+        lines, offset = job.read_logs(offset)
+        for line in lines:
+            print(f"  {line}")
+        if done:
+            return
+
+
+def _cmd_tune(args) -> int:
+    """Run the EON Tuner as a distributed job: one child job per trial,
+    ``--parallel`` trials in flight on the project's executor."""
+    from repro.automl import TunerConstraints
+
+    project = load_project(args.dir)
+    constraints = TunerConstraints(device_key=args.device)
+    job = project.tune_async(
+        n_trials=args.trials,
+        max_inflight=max(1, args.parallel),
+        seed=args.seed,
+        constraints=constraints,
+        train_epochs=args.epochs,
+    )
+    print(f"tuner job {job.job_id}: {args.trials} trials, "
+          f"{max(1, args.parallel)} in flight (target {args.device})")
+    _stream_job_logs(job)
+    if job.status != "succeeded":
+        print(f"tuner job {job.status}: {job.error}")
+        return 1
+    tuner = project.tuners[job.job_id]
+    print(tuner.results_table())
+    if args.apply:
+        try:
+            project.apply_tuner_result(job.job_id)
+        except (IndexError, RuntimeError) as exc:
+            print(f"cannot apply a configuration: {exc}")
+            return 1
+        save_project(project, args.dir)
+        print("applied best configuration to the project impulse "
+              "(retrain to refresh graphs)")
+    return 0
+
+
+def _cmd_fleet_rollout(args) -> int:
+    """Simulate a staged OTA rollout: build firmware from the project,
+    register a virtual fleet, and push canary-first as a job."""
+    from repro.core.jobs import JobExecutor
+    from repro.device import DeviceFleet, VirtualDevice
+
+    project = load_project(args.dir)
+    try:
+        artifact = project.deploy(target="firmware", engine=args.engine,
+                                  precision=args.precision)
+    except RuntimeError as exc:
+        print(f"cannot build firmware: {exc}")
+        return 1
+    image = artifact.metadata["image"]
+    if args.version:
+        image.version = args.version
+
+    fleet = DeviceFleet()
+    for i in range(args.devices):
+        fleet.register(VirtualDevice(f"dev-{i}", args.device))
+    inject = {d for d in (args.inject_failures or "").split(",") if d}
+
+    executor = JobExecutor()
+    job = fleet.ota_update_async(
+        image, executor,
+        canary_fraction=args.canary,
+        failure_threshold=args.threshold,
+        max_inflight=args.parallel,
+        retries_per_device=args.retries,
+        inject_failures=inject or None,
+    )
+    _stream_job_logs(job)
+    report = job.result or {}
+    print(f"rollout {job.status}: {len(report.get('updated', []))} updated, "
+          f"{len(report.get('failed', []))} failed, "
+          f"{len(report.get('rolled_back', []))} rolled back, "
+          f"{len(report.get('skipped', []))} skipped"
+          + (" [ABORTED at canary]" if report.get("aborted") else ""))
+    for did, version in sorted(fleet.versions().items()):
+        print(f"  {did}: {version}")
+    return 0 if job.status == "succeeded" and not report.get("aborted") else 1
+
+
 def _cmd_profile(args) -> int:
     project = load_project(args.dir)
     result = project.profile(args.device, precision=args.precision,
@@ -245,6 +334,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dir", required=True)
     p.add_argument("--precision", default="float32", choices=("float32", "int8"))
     p.set_defaults(fn=_cmd_test)
+
+    p = sub.add_parser("tune", help="distributed EON Tuner search")
+    p.add_argument("--dir", required=True)
+    p.add_argument("--trials", type=int, default=6)
+    p.add_argument("--parallel", type=int, default=4,
+                   help="max trials in flight (1 = serial order, same result)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--device", default="nano33ble")
+    p.add_argument("--epochs", type=int, default=6)
+    p.add_argument("--apply", action="store_true",
+                   help="apply the best configuration to the project impulse")
+    p.set_defaults(fn=_cmd_tune)
+
+    p = sub.add_parser("fleet-rollout",
+                       help="staged OTA rollout job over a virtual fleet")
+    p.add_argument("--dir", required=True)
+    p.add_argument("--devices", type=int, default=8)
+    p.add_argument("--device", default="nano33ble",
+                   help="device profile for the virtual fleet")
+    p.add_argument("--canary", type=float, default=0.25)
+    p.add_argument("--threshold", type=float, default=0.0,
+                   help="abort when the canary failure rate exceeds this")
+    p.add_argument("--parallel", type=int, default=4,
+                   help="max concurrent device flashes")
+    p.add_argument("--retries", type=int, default=0,
+                   help="per-device flash retry budget")
+    p.add_argument("--version", default=None, help="override image version")
+    p.add_argument("--engine", default="eon", choices=("eon", "tflm"))
+    p.add_argument("--precision", default="int8", choices=("float32", "int8"))
+    p.add_argument("--inject-failures", default=None,
+                   help="comma-separated device ids whose transfer corrupts")
+    p.set_defaults(fn=_cmd_fleet_rollout)
 
     p = sub.add_parser("profile", help="estimate on-device resources")
     p.add_argument("--dir", required=True)

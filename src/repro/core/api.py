@@ -27,6 +27,15 @@ class ApiError(Exception):
         self.status = status
 
 
+def _number(body: dict, key: str, default, cast=int):
+    """Fetch + cast a numeric body value; malformed input is a 400, not
+    an unhandled ValueError escaping :meth:`RestAPI.handle`."""
+    try:
+        return cast(body.get(key, default))
+    except (TypeError, ValueError) as exc:
+        raise ApiError(400, f"{key} must be {cast.__name__}-like: {exc}")
+
+
 def _require(body: dict, *keys: str) -> None:
     """400 on missing request-body keys.
 
@@ -56,6 +65,14 @@ class RestAPI:
             ("POST", r"^/api/projects/(\d+)/jobs/train$", self._train),
             ("POST", r"^/api/projects/(\d+)/train$", self._train),
             ("POST", r"^/api/projects/(\d+)/jobs/autotune$", self._autotune),
+            ("POST", r"^/api/projects/(\d+)/tuner$", self._tuner_start),
+            ("GET", r"^/api/projects/(\d+)/tuner/(\d+)$", self._tuner_status),
+            ("POST", r"^/api/projects/(\d+)/tuner/(\d+)/apply$", self._tuner_apply),
+            ("POST", r"^/api/fleet/devices$", self._fleet_register),
+            ("GET", r"^/api/fleet/devices$", self._fleet_devices),
+            ("POST", r"^/api/fleet/rollout$", self._fleet_rollout),
+            ("GET", r"^/api/fleet/rollout/(\d+)$", self._fleet_rollout_status),
+            ("POST", r"^/api/fleet/rollout/(\d+)/cancel$", self._fleet_rollout_cancel),
             ("POST", r"^/api/projects/(\d+)/jobs/profile$", self._profile_job),
             ("POST", r"^/api/projects/(\d+)/jobs/deploy$", self._deploy_job),
             ("GET", r"^/api/projects/(\d+)/jobs$", self._list_jobs),
@@ -197,6 +214,210 @@ class RestAPI:
         except (RuntimeError, IndexError) as exc:
             raise ApiError(409, str(exc))
         return {"job_id": job.job_id, "job_status": job.status}
+
+    # -- distributed EON Tuner ------------------------------------------------
+
+    def _tuner_start(self, body, user, pid) -> dict:
+        """Queue a distributed tuner search (one child job per trial).
+
+        Body: ``n_trials``, ``max_inflight``, ``seed``, ``epochs``,
+        optional ``space`` (``{"dsp_templates": [...],
+        "model_templates": [...]}``) and constraint keys ``device``,
+        ``max_ram_kb``, ``max_flash_kb``, ``max_latency_ms``.
+        """
+        p = self.platform.get_project(int(pid))
+        p.require_member(user)
+        space = None
+        if "space" in body:
+            from repro.automl import SearchSpace
+
+            try:
+                space = SearchSpace(
+                    dsp_templates=list(body["space"]["dsp_templates"]),
+                    model_templates=list(body["space"]["model_templates"]),
+                )
+            except (KeyError, TypeError) as exc:
+                raise ApiError(400, f"invalid search space: {exc!r}")
+        constraints = None
+        if any(k in body for k in ("device", "max_ram_kb", "max_flash_kb",
+                                   "max_latency_ms")):
+            from repro.automl import TunerConstraints
+
+            constraints = TunerConstraints(
+                device_key=body.get("device", "nano33ble"),
+                max_ram_kb=body.get("max_ram_kb"),
+                max_flash_kb=body.get("max_flash_kb"),
+                max_latency_ms=body.get("max_latency_ms"),
+            )
+        try:
+            job = p.tune_async(
+                n_trials=_number(body, "n_trials", 6),
+                max_inflight=_number(body, "max_inflight", 4),
+                seed=_number(body, "seed", 0),
+                space=space,
+                constraints=constraints,
+                train_epochs=_number(body, "epochs", 6),
+                retries=_number(body, "retries", 0),
+            )
+        except ValueError as exc:  # e.g. max_inflight < 1
+            raise ApiError(400, str(exc))
+        except RuntimeError as exc:
+            raise ApiError(409, str(exc))
+        return {"job_id": job.job_id, "job_status": job.status,
+                "trials_total": len(job.children)}
+
+    def _tuner_status(self, body, user, pid, jid) -> dict:
+        """Tuner job view with the (partial) leaderboard: completed
+        trials are ranked live while the search is still running."""
+        p = self.platform.get_project(int(pid), username=user)
+        job = p.jobs.get(int(jid))
+        tuner = p.tuners.get(int(jid))
+        if tuner is None:
+            raise ApiError(404, f"job {jid} is not a tuner job")
+        try:
+            wait_s = None if body.get("wait_s") is None else float(body["wait_s"])
+            log_offset = int(body.get("log_offset", 0))
+        except (TypeError, ValueError) as exc:
+            raise ApiError(400, f"wait_s/log_offset must be numeric: {exc}")
+        if wait_s is not None:
+            job.wait(wait_s)
+        children = p.jobs.children(job.job_id)
+        completed = [c.result for c in children
+                     if c.status == "succeeded" and c.result is not None]
+        payload = job.snapshot(log_offset=log_offset)
+        payload["trials_total"] = len(children)
+        payload["trials_completed"] = len(completed)
+        payload["leaderboard"] = tuner.leaderboard(completed)
+        if isinstance(job.result, dict):
+            payload["result"] = job.result
+        return payload
+
+    def _tuner_apply(self, body, user, pid, jid) -> dict:
+        """Update the project's impulse to a tuner result (rank 1 = best)."""
+        p = self.platform.get_project(int(pid))
+        p.require_member(user)
+        job = p.jobs.get(int(jid))
+        if not job.done:
+            raise ApiError(409, f"tuner job {jid} is still {job.status}")
+        rank = _number(body, "rank", 1)
+        try:
+            p.apply_tuner_result(int(jid), rank=rank)
+        except (IndexError, RuntimeError) as exc:
+            raise ApiError(409, str(exc))
+        return {"applied": True, "rank": rank, "impulse": p.impulse.to_dict()}
+
+    # -- fleet OTA rollouts ---------------------------------------------------
+
+    def _require_operator(self, user: str) -> None:
+        """Mutating fleet routes need a registered platform user — the
+        fleet is shared infrastructure, so anonymous callers may look
+        but not touch (rollout *start* is additionally gated on project
+        membership)."""
+        if user not in self.platform.users:
+            raise PermissionError(
+                f"{user} is not a registered user; fleet management needs "
+                "an account"
+            )
+
+    def _fleet_register(self, body, user) -> dict:
+        from repro.device import VirtualDevice
+
+        self._require_operator(user)
+        _require(body, "device_id")
+        try:
+            device = VirtualDevice(
+                str(body["device_id"]), body.get("profile", "nano33ble")
+            )
+            self.platform.fleet.register(device)
+        except KeyError as exc:
+            raise ApiError(400, f"unknown device profile: {exc}")
+        except ValueError as exc:
+            raise ApiError(409, str(exc))
+        return {"device_id": device.device_id, "profile": device.profile.name}
+
+    def _fleet_devices(self, body, user) -> dict:
+        return {"devices": self.platform.fleet.versions()}
+
+    def _fleet_rollout(self, body, user) -> dict:
+        """Start a staged OTA rollout job: build firmware from a trained
+        project and push it canary-first across the registered fleet.
+
+        Body: ``project_id`` (required), ``canary_fraction``,
+        ``failure_threshold``, ``max_inflight``, ``retries``,
+        ``device_ids``, ``engine``, ``precision``, and the test hook
+        ``inject_failures`` (list of ids, or ``{id: n_attempts}``).
+        """
+        _require(body, "project_id")
+        p = self.platform.get_project(_number(body, "project_id", None))
+        p.require_member(user)
+        # Validate request inputs before the (expensive) firmware build.
+        canary_fraction = _number(body, "canary_fraction", 0.25, float)
+        failure_threshold = _number(body, "failure_threshold", 0.0, float)
+        max_inflight = _number(body, "max_inflight", 4)
+        retries = _number(body, "retries", 0)
+        inject = body.get("inject_failures")
+        try:
+            if isinstance(inject, list):
+                inject = set(inject)
+            elif isinstance(inject, dict):
+                inject = {str(k): int(v) for k, v in inject.items()}
+        except (TypeError, ValueError) as exc:
+            raise ApiError(400, f"invalid inject_failures: {exc}")
+        try:
+            artifact = p.deploy(
+                target="firmware",
+                engine=body.get("engine", "eon"),
+                precision=body.get("precision", "int8"),
+            )
+        except RuntimeError as exc:
+            raise ApiError(409, str(exc))
+        image = artifact.metadata["image"]
+        try:
+            job = self.platform.fleet.ota_update_async(
+                image,
+                self.platform.fleet_jobs,
+                device_ids=body.get("device_ids"),
+                canary_fraction=canary_fraction,
+                failure_threshold=failure_threshold,
+                max_inflight=max_inflight,
+                retries_per_device=retries,
+                inject_failures=inject,
+            )
+        except ValueError as exc:
+            raise ApiError(400, str(exc))
+        except RuntimeError as exc:
+            raise ApiError(409, str(exc))  # e.g. a rollout is in progress
+        return {"job_id": job.job_id, "job_status": job.status,
+                "image_version": image.version,
+                "devices_total": len(body.get("device_ids")
+                                     if body.get("device_ids") is not None
+                                     else self.platform.fleet.devices)}
+
+    def _fleet_rollout_status(self, body, user, jid) -> dict:
+        """Rollout job view: long-poll + per-device log streaming, with
+        the rollout report as ``result`` once the job settles."""
+        job = self.platform.fleet_jobs.get(int(jid))
+        try:
+            wait_s = None if body.get("wait_s") is None else float(body["wait_s"])
+            log_offset = int(body.get("log_offset", 0))
+        except (TypeError, ValueError) as exc:
+            raise ApiError(400, f"wait_s/log_offset must be numeric: {exc}")
+        if wait_s is not None:
+            job.wait(wait_s)
+        payload = job.snapshot(log_offset=log_offset)
+        payload["devices"] = {
+            c.name.split(":", 1)[1]: c.status
+            for c in self.platform.fleet_jobs.children(job.job_id)
+            if c.name.startswith("ota-flash:")
+        }
+        if isinstance(job.result, dict):
+            payload["result"] = job.result
+        return payload
+
+    def _fleet_rollout_cancel(self, body, user, jid) -> dict:
+        self._require_operator(user)
+        status = self.platform.fleet_jobs.cancel(int(jid))
+        return {"job_id": int(jid), "job_status": status}
 
     def _profile_job(self, body, user, pid) -> dict:
         p = self.platform.get_project(int(pid))

@@ -16,6 +16,22 @@ that control plane as an in-process orchestrator:
   at safe points and the executor marks the job ``cancelled``;
 - failures are isolated: an exception fails (or retries) that job only.
 
+Distributed workloads (the EON Tuner's parallel trials, fleet OTA
+rollouts) are modelled as **parent jobs** with child jobs:
+
+- :meth:`JobExecutor.spawn_parent` creates a coordinator job that never
+  occupies a worker thread — it completes when all of its children are
+  terminal (so a fleet of parents can never deadlock the pool);
+- children are submitted with ``parent=`` and optionally a ``group=``
+  whose in-flight concurrency is capped via :meth:`set_group_limit`
+  (the per-job-group quota of the hosted cluster);
+- cancelling a parent cascades to every descendant: queued children are
+  cancelled outright, running children drain cooperatively, and the
+  parent finishes once the last child is terminal;
+- an optional ``on_child_done`` callback observes each child as it
+  lands (progress aggregation, staged submission of more children) and
+  ``finalize`` computes the parent's result from its children.
+
 Submitting is always asynchronous — ``submit`` returns immediately and
 callers use :meth:`Job.wait`, :meth:`JobExecutor.drain` or the jobs API
 routes to observe completion.
@@ -71,11 +87,22 @@ class Job:
     created_at: float = field(default_factory=time.time)
     started_at: float | None = None
     ended_at: float | None = None
+    parent_id: int | None = None
+    group: str | None = None
+    children: list[int] = field(default_factory=list)
 
     def __post_init__(self):
         self._lock = threading.Lock()
         self._done = threading.Event()
         self._cancel = threading.Event()
+        # Parent-job machinery (set by JobExecutor.spawn_parent).
+        self._is_parent = False
+        self._sealed = True  # plain jobs have no children to wait on
+        self._completing = False
+        self._notified_children = 0  # children whose done-note was processed
+        self._finalize: Callable[["Job", list["Job"]], object] | None = None
+        self._on_child_done: Callable[["Job", "Job"], None] | None = None
+        self._fail_on_child_failure = True
 
     # -- worker-side hooks --------------------------------------------------
 
@@ -125,6 +152,8 @@ class Job:
             "progress": self.progress,
             "attempts": self.attempts,
             "error": self.error,
+            "parent_id": self.parent_id,
+            "children": list(self.children),
             "logs": lines,
             "log_offset": next_offset,
         }
@@ -164,30 +193,146 @@ class JobExecutor:
         self.idle_grace_s = idle_grace_s
         self.jobs: dict[int, Job] = {}
         self._pending: deque[int] = deque()
-        self._cond = threading.Condition()
+        # RLock: parent-completion bookkeeping re-enters the lock from
+        # paths that may already hold it (cancel cascade, seal).
+        self._cond = threading.Condition(threading.RLock())
         self._next_id = 1
         self._tick = 0
         self._running = 0
         self.workers = 0  # live worker threads
         self.scaling_events: list[ScalingEvent] = []
         self._shutdown = False
+        self._group_limits: dict[str, int] = {}
+        self._group_running: dict[str, int] = {}
 
     # -- submission ---------------------------------------------------------
 
     def submit(
-        self, name: str, fn: Callable[[Job], object], retries: int = 0
+        self,
+        name: str,
+        fn: Callable[[Job], object],
+        retries: int = 0,
+        parent: "Job | int | None" = None,
+        group: str | None = None,
     ) -> Job:
-        """Queue a job; returns immediately with the (queued) Job."""
+        """Queue a job; returns immediately with the (queued) Job.
+
+        ``parent`` links the job under a coordinator created with
+        :meth:`spawn_parent`; ``group`` subjects it to that group's
+        in-flight cap (see :meth:`set_group_limit`).
+        """
         with self._cond:
             if self._shutdown:
                 raise RuntimeError("executor is shut down")
-            job = Job(job_id=self._next_id, name=name, fn=fn, max_retries=retries)
+            parent_job = self._resolve_parent_locked(parent)
+            job = Job(
+                job_id=self._next_id, name=name, fn=fn, max_retries=retries,
+                parent_id=parent_job.job_id if parent_job else None,
+                group=group,
+            )
             self._next_id += 1
             self.jobs[job.job_id] = job
+            if parent_job is not None:
+                parent_job.children.append(job.job_id)
+                if parent_job.cancel_requested:
+                    # A cancelled parent accepts no new work: the child is
+                    # born cancelled (it still counts as a terminal child).
+                    job._cancel.set()
             self._pending.append(job.job_id)
             self._autoscale_locked()
             self._cond.notify()
         return job
+
+    def _resolve_parent_locked(self, parent: "Job | int | None") -> Job | None:
+        if parent is None:
+            return None
+        parent_job = self.get(parent.job_id if isinstance(parent, Job) else parent)
+        if not parent_job._is_parent:
+            raise ValueError(f"job {parent_job.job_id} is not a parent job")
+        if parent_job.done:
+            raise RuntimeError(
+                f"parent job {parent_job.job_id} is already {parent_job.status}"
+            )
+        return parent_job
+
+    def spawn_parent(
+        self,
+        name: str,
+        parent: "Job | int | None" = None,
+        finalize: Callable[[Job, list[Job]], object] | None = None,
+        on_child_done: Callable[[Job, Job], None] | None = None,
+        fail_on_child_failure: bool = True,
+    ) -> Job:
+        """Create a coordinator job for a family of child jobs.
+
+        The parent never occupies a worker thread: it is ``running`` from
+        birth and completes when it has been sealed (:meth:`seal_parent`)
+        and every child is terminal — or, if cancelled, as soon as its
+        (cascaded-cancelled) children have drained.  ``finalize(parent,
+        children)`` computes the parent's result; raising inside it fails
+        the parent.  ``on_child_done(parent, child)`` fires once per child
+        as it lands (outside the executor lock, so it may submit further
+        children for staged workloads).  Callers MUST eventually call
+        :meth:`seal_parent` or :meth:`cancel`, else the parent never
+        completes.
+        """
+        with self._cond:
+            if self._shutdown:
+                raise RuntimeError("executor is shut down")
+            parent_job = self._resolve_parent_locked(parent)
+            job = Job(
+                job_id=self._next_id, name=name, fn=None, status="running",
+                parent_id=parent_job.job_id if parent_job else None,
+            )
+            self._next_id += 1
+            job.started_at = time.time()
+            job._is_parent = True
+            job._sealed = False
+            job._finalize = finalize
+            job._on_child_done = on_child_done
+            job._fail_on_child_failure = fail_on_child_failure
+            self.jobs[job.job_id] = job
+            if parent_job is not None:
+                parent_job.children.append(job.job_id)
+                if parent_job.cancel_requested:
+                    job._cancel.set()
+        job.log(f"parent job {job.job_id} ({name}) spawned")
+        return job
+
+    def seal_parent(self, parent: "Job | int") -> None:
+        """Declare that no more children will be submitted under
+        ``parent``; the parent completes once all children are terminal
+        (immediately, if they already are)."""
+        notes: list[tuple[str, int]] = []
+        with self._cond:
+            job = self.get(parent.job_id if isinstance(parent, Job) else parent)
+            if not job._is_parent:
+                raise ValueError(f"job {job.job_id} is not a parent job")
+            job._sealed = True
+            notes.append(("check", job.job_id))
+        self._process_notes(notes)
+
+    def set_group_limit(self, group: str, max_inflight: int) -> None:
+        """Cap how many jobs of ``group`` may run concurrently."""
+        if max_inflight < 1:
+            raise ValueError("group limit must be >= 1")
+        with self._cond:
+            self._group_limits[group] = max_inflight
+            self._cond.notify_all()
+
+    def clear_group_limit(self, group: str) -> None:
+        """Drop a group's cap + counters (call once the group's jobs are
+        all terminal, e.g. from a parent finalizer) so per-workload
+        groups don't accumulate forever."""
+        with self._cond:
+            self._group_limits.pop(group, None)
+            self._group_running.pop(group, None)
+            self._cond.notify_all()
+
+    def children(self, job_id: int) -> list[Job]:
+        """The child jobs of ``job_id``, in submission order."""
+        with self._cond:
+            return [self.jobs[c] for c in self.get(job_id).children]
 
     def _autoscale_locked(self) -> None:
         """Spawn workers toward ceil(in_flight / jobs_per_worker), clamped.
@@ -217,29 +362,53 @@ class JobExecutor:
 
     # -- worker loop --------------------------------------------------------
 
+    def _claim_locked(self) -> Job | None:
+        """Pop the first pending job whose group is under its cap."""
+        for jid in list(self._pending):
+            job = self.jobs[jid]
+            if job.status != "queued":  # cancelled while pending
+                self._pending.remove(jid)
+                continue
+            if job.group is not None:
+                limit = self._group_limits.get(job.group)
+                if limit is not None and self._group_running.get(job.group, 0) >= limit:
+                    continue  # group at capacity — leave in order, look on
+            self._pending.remove(jid)
+            return job
+        return None
+
     def _worker(self) -> None:
         while True:
             with self._cond:
-                while not self._pending:
+                job = self._claim_locked()
+                while job is None:
                     if self._shutdown or not self._cond.wait(timeout=self.idle_grace_s):
-                        if not self._pending:  # idle grace expired: scale down
+                        job = self._claim_locked()
+                        if job is None:  # idle grace expired: scale down
                             self.workers -= 1
                             self._tick += 1
                             self._record_scale_locked()
                             return
-                job = self.jobs[self._pending.popleft()]
-                if job.status == "cancelled":
-                    continue
+                    else:
+                        job = self._claim_locked()
                 job.status = "running"
                 job.started_at = time.time()
                 job.attempts += 1
                 self._running += 1
-            self._run_one(job)
+                if job.group is not None:
+                    self._group_running[job.group] = (
+                        self._group_running.get(job.group, 0) + 1
+                    )
+            notes = self._run_one(job)
             with self._cond:
                 self._running -= 1
+                if job.group is not None and job.group in self._group_running:
+                    self._group_running[job.group] -= 1
                 self._cond.notify_all()
+            self._process_notes(notes)
 
-    def _run_one(self, job: Job) -> None:
+    def _run_one(self, job: Job) -> list[tuple[str, int]]:
+        notes: list[tuple[str, int]] = []
         job.log(
             f"job {job.job_id} ({job.name}) started on worker pool of "
             f"{max(self.workers, 1)} (attempt {job.attempts})"
@@ -248,8 +417,9 @@ class JobExecutor:
             job.check_cancelled()
             job.result = job.fn(job)
         except JobCancelled:
-            self._finish(job, "cancelled", log="job cancelled")
-            return
+            with self._cond:
+                self._finish_locked(job, "cancelled", "job cancelled", notes)
+            return notes
         except Exception as exc:  # noqa: BLE001 - job isolation
             job.error = f"{type(exc).__name__}: {exc}"
             if job.attempts <= job.max_retries and not job.cancel_requested:
@@ -263,18 +433,111 @@ class JobExecutor:
                     self._pending.append(job.job_id)
                     self._autoscale_locked()
                     self._cond.notify()
-                return
-            self._finish(job, "failed", log="job failed:\n" + traceback.format_exc(limit=3))
-            return
+                return notes
+            with self._cond:
+                self._finish_locked(
+                    job, "failed",
+                    "job failed:\n" + traceback.format_exc(limit=3), notes,
+                )
+            return notes
         job.error = None
         job.set_progress(1.0)
-        self._finish(job, "succeeded", log="job succeeded")
+        with self._cond:
+            self._finish_locked(job, "succeeded", "job succeeded", notes)
+        return notes
 
-    def _finish(self, job: Job, status: str, log: str) -> None:
+    def _finish_locked(
+        self, job: Job, status: str, log: str, notes: list[tuple[str, int]]
+    ) -> None:
         job.status = status
         job.ended_at = time.time()
         job.log(log)
         job._done.set()
+        if job.parent_id is not None:
+            notes.append(("done", job.job_id))
+
+    # -- parent completion --------------------------------------------------
+
+    def _process_notes(self, notes: list[tuple[str, int]]) -> None:
+        """Drive parent bookkeeping outside the executor lock.
+
+        ``("done", child_id)`` fires the parent's ``on_child_done`` then
+        re-checks the parent; ``("check", parent_id)`` re-checks
+        completion directly.  Completion of a parent appends a ``done``
+        note for *its* parent, so whole trees settle in one pass.
+        """
+        while notes:
+            kind, jid = notes.pop(0)
+            job = self.jobs.get(jid)
+            if job is None:
+                continue
+            if kind == "done":
+                parent = self.jobs.get(job.parent_id)
+                if parent is None:
+                    continue
+                if parent._on_child_done is not None:
+                    try:
+                        parent._on_child_done(parent, job)
+                    except Exception as exc:  # noqa: BLE001 - observer isolation
+                        parent.log(
+                            f"on_child_done callback error for child "
+                            f"{job.job_id}: {type(exc).__name__}: {exc}"
+                        )
+                else:
+                    with self._cond:
+                        total = len(parent.children)
+                        done = sum(
+                            1 for c in parent.children if self.jobs[c].done
+                        )
+                    if total:
+                        parent.set_progress(done / total)
+                # Count the child as notified only after its callback ran:
+                # the parent cannot complete (and finalize cannot read a
+                # partially-updated aggregate) until every child's
+                # observer has finished.
+                with self._cond:
+                    parent._notified_children += 1
+                notes.append(("check", parent.job_id))
+            else:  # "check"
+                self._try_complete_parent(job, notes)
+
+    def _try_complete_parent(
+        self, parent: Job, notes: list[tuple[str, int]]
+    ) -> None:
+        with self._cond:
+            if not parent._is_parent or parent.done or parent._completing:
+                return
+            if not (parent._sealed or parent.cancel_requested):
+                return  # more children may still be submitted
+            kids = [self.jobs[c] for c in parent.children]
+            if any(not k.done for k in kids):
+                return
+            if parent._notified_children < len(kids):
+                return  # a sibling's done-note is still being processed
+            parent._completing = True
+        status = "cancelled" if parent.cancel_requested else "succeeded"
+        if status == "succeeded" and parent._fail_on_child_failure:
+            failed = [k for k in kids if k.status == "failed"]
+            if failed:
+                status = "failed"
+                parent.error = (
+                    f"{len(failed)} child job(s) failed: "
+                    + "; ".join(f"job {k.job_id}: {k.error}" for k in failed[:3])
+                )
+        if parent._finalize is not None:
+            try:
+                parent.result = parent._finalize(parent, kids)
+            except Exception as exc:  # noqa: BLE001 - finalizer isolation
+                if status != "cancelled":
+                    status = "failed"
+                parent.error = f"{type(exc).__name__}: {exc}"
+        if status == "succeeded":
+            parent.set_progress(1.0)
+        with self._cond:
+            self._finish_locked(
+                parent, status,
+                f"parent job {status} ({len(kids)} child job(s))", notes,
+            )
 
     # -- control plane ------------------------------------------------------
 
@@ -290,23 +553,37 @@ class JobExecutor:
         return self.get(job_id).status
 
     def cancel(self, job_id: int) -> str:
-        """Cancel a job.  Queued jobs are cancelled immediately; running
-        jobs get a cooperative request (honoured at the function's next
-        ``check_cancelled``).  Returns the job's status after the attempt.
+        """Cancel a job and (recursively) its children.  Queued jobs are
+        cancelled immediately; running jobs get a cooperative request
+        (honoured at the function's next ``check_cancelled``); parent
+        jobs complete once their cascaded-cancelled children drain.
+        Returns the job's status after the attempt.
         """
+        notes: list[tuple[str, int]] = []
         with self._cond:
             job = self.get(job_id)
             if job.done:
                 return job.status
-            job._cancel.set()
-            if job.status == "queued":
-                try:
-                    self._pending.remove(job_id)
-                except ValueError:
-                    pass  # a worker claimed it between checks
-                else:
-                    self._finish(job, "cancelled", log="cancelled while queued")
-            return job.status
+            self._cancel_locked(job, notes)
+        self._process_notes(notes)
+        return job.status
+
+    def _cancel_locked(self, job: Job, notes: list[tuple[str, int]]) -> None:
+        if job.done:
+            return
+        job._cancel.set()
+        for cid in list(job.children):
+            self._cancel_locked(self.jobs[cid], notes)
+        if job.status == "queued":
+            try:
+                self._pending.remove(job.job_id)
+            except ValueError:
+                pass  # a worker claimed it between checks
+            else:
+                self._finish_locked(job, "cancelled", "cancelled while queued", notes)
+        elif job._is_parent:
+            # All children may already be terminal — re-check completion.
+            notes.append(("check", job.job_id))
 
     def wait(self, job_id: int, timeout: float | None = None) -> Job:
         return self.get(job_id).wait(timeout)

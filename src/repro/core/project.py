@@ -66,6 +66,12 @@ class Project:
         self.float_graph: Graph | None = None
         self.int8_graph: Graph | None = None
         self.last_training_metrics: dict = {}
+        # Parent-job id -> the EonTuner behind it, so the API can render
+        # (partial) leaderboards while the search runs.  Bounded: only
+        # the most recent searches are retained (a tuner pins its raw
+        # windows + per-DSP feature caches, which is multi-MB).
+        self.tuners: dict[int, object] = {}
+        self.max_retained_tuners = 8
 
     # -- collaboration ------------------------------------------------------
 
@@ -192,6 +198,102 @@ class Project:
                     "windows_used": min(len(windows), max_windows)}
 
         return self.jobs.submit("dsp-autotune", _run)
+
+    # -- EON Tuner (distributed trials on the project's executor) -----------
+
+    def build_tuner(
+        self,
+        space=None,
+        constraints=None,
+        train_epochs: int = 6,
+        precision: str = "float32",
+        engine: str = "tflm",
+        max_windows: int = 256,
+    ):
+        """Assemble an :class:`repro.automl.EonTuner` over this project's
+        training windows (raw, pre-DSP — the tuner searches the DSP
+        config itself)."""
+        from repro.automl import EonTuner, TunerConstraints, kws_search_space
+        from repro.core.impulse import TimeSeriesInput
+
+        if self.impulse is None:
+            raise RuntimeError("set an impulse before tuning")
+        if not isinstance(self.impulse.input_block, TimeSeriesInput):
+            raise RuntimeError("the EON Tuner needs a time-series input block")
+        names = sorted({s.label for s in self.dataset.samples(category="train")})
+        label_map = {l: i for i, l in enumerate(names)}
+        windows, ys = [], []
+        for sample in self.dataset.samples(category="train"):
+            for w in self.impulse.input_block.windows(sample.data):
+                windows.append(w)
+                ys.append(label_map[sample.label])
+            if len(windows) >= max_windows:
+                break
+        if not windows:
+            raise RuntimeError("no training data to tune on")
+        space = space or kws_search_space(
+            sample_rate=int(self.impulse.input_block.frequency_hz)
+        )
+        return EonTuner(
+            np.stack(windows[:max_windows]),
+            np.array(ys[:max_windows]),
+            space,
+            constraints=constraints or TunerConstraints(),
+            precision=precision,
+            engine=engine,
+            train_epochs=train_epochs,
+        )
+
+    def tune_async(
+        self,
+        n_trials: int = 6,
+        max_inflight: int = 4,
+        seed: int = 0,
+        space=None,
+        constraints=None,
+        train_epochs: int = 6,
+        retries: int = 0,
+    ) -> Job:
+        """Queue a distributed EON Tuner search: one child job per trial
+        on this project's executor, ``max_inflight`` trials in flight.
+        Returns the parent job; the tuner behind it is kept in
+        ``self.tuners[job.job_id]`` for leaderboard rendering and
+        :meth:`apply_tuner_result`.  The search commits nothing to the
+        project — applying the winner is an explicit second step — so a
+        cancelled or failed search leaves project state untouched."""
+        tuner = self.build_tuner(
+            space=space, constraints=constraints, train_epochs=train_epochs
+        )
+        job = tuner.run_parallel(
+            n_trials=n_trials, executor=self.jobs,
+            max_inflight=max_inflight, seed=seed, retries=retries,
+        )
+        self.tuners[job.job_id] = tuner
+        while len(self.tuners) > self.max_retained_tuners:
+            self.tuners.pop(next(iter(self.tuners)))
+        return job
+
+    def apply_tuner_result(self, job_id: int, rank: int = 1) -> None:
+        """Swap the impulse to a finished tuner job's ``rank``-th trial
+        (1 = best) — the "update the project to this configuration" flow."""
+        tuner = self.tuners.get(job_id)
+        if tuner is None:
+            raise KeyError(f"no tuner ran as job {job_id}")
+        if not tuner.trials:
+            raise RuntimeError(
+                f"tuner job {job_id} committed no trials (cancelled, failed "
+                "or empty search) — nothing to apply"
+            )
+        trained = sorted(
+            (t for t in tuner.trials if t.trained and t.meets_constraints),
+            key=lambda t: -(t.accuracy or 0),
+        )
+        if not 1 <= rank <= len(trained):
+            raise IndexError(
+                f"rank {rank} out of range (tuner has {len(trained)} "
+                "feasible trained trials)"
+            )
+        tuner.apply_to_project(self, trained[rank - 1])
 
     def profile_async(
         self, device_key: str, precision: str = "int8", engine: str = "eon"

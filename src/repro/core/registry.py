@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.jobs import JobExecutor
 from repro.core.project import Project
 from repro.serve import ModelServer, ShardedModelServer
 
@@ -42,6 +43,12 @@ class Platform:
             if serving_workers > 1
             else ModelServer(self)
         )
+        # The device fleet + its rollout executor (paper Sec. 8.2): OTA
+        # updates run as staged jobs, not inline with the API request.
+        from repro.device.fleet import DeviceFleet
+
+        self.fleet = DeviceFleet()
+        self.fleet_jobs = JobExecutor()
 
     # -- identities -------------------------------------------------------
 

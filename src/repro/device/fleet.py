@@ -3,11 +3,23 @@
 The paper's case study hinges on pushing a new model to microcontrollers
 already in the field.  The fleet manager does staged OTA rollouts with
 checksum verification and automatic rollback on failed verification.
+
+Two rollout paths:
+
+- :meth:`DeviceFleet.ota_update` — the original synchronous staged
+  rollout (kept for scripts and as the semantics reference);
+- :meth:`DeviceFleet.ota_update_async` — the same staged rollout as a
+  **job** on a :class:`repro.core.jobs.JobExecutor`: one flash child job
+  per device (retried per-device via the job retry budget), a canary
+  cohort gating the fleet-wide stage behind a failure-rate threshold,
+  cooperative cancellation, and streamable per-device logs on the
+  parent job.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import asdict, dataclass, field
 
 from repro.deploy.firmware import FirmwareImage
 from repro.device.firmware import VirtualDevice
@@ -21,6 +33,21 @@ class RolloutReport:
     updated: list[str] = field(default_factory=list)
     failed: list[str] = field(default_factory=list)
     rolled_back: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    aborted: bool = False
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class _SyncRolloutToken:
+    """Marks the fleet's rollout slot as held by a synchronous
+    :meth:`DeviceFleet.ota_update` (which has no Job to point at)."""
+
+    job_id = "sync"
+
+    def __init__(self):
+        self.done = False
 
 
 class DeviceFleet:
@@ -29,6 +56,18 @@ class DeviceFleet:
     def __init__(self):
         self.devices: dict[str, VirtualDevice] = {}
         self._previous: dict[str, FirmwareImage | None] = {}
+        # Rollouts are serialized per fleet: overlapping rollouts would
+        # corrupt each other's previous-image/rollback bookkeeping.
+        self._rollout_gate = threading.Lock()
+        self._active_rollout = None  # the in-flight parent Job, if any
+
+    def _check_no_active_rollout_locked(self) -> None:
+        active = self._active_rollout
+        if active is not None and not active.done:
+            raise RuntimeError(
+                f"a rollout is already in progress (job {active.job_id}); "
+                "wait for it or cancel it first"
+            )
 
     def register(self, device: VirtualDevice) -> None:
         if device.device_id in self.devices:
@@ -75,6 +114,22 @@ class DeviceFleet:
         ``inject_failures`` marks device ids whose transfer corrupts —
         the failure-injection hook used by tests.
         """
+        with self._rollout_gate:
+            self._check_no_active_rollout_locked()
+            # Hold the slot so an async rollout started mid-flight is
+            # refused just like the reverse direction.
+            token = _SyncRolloutToken()
+            self._active_rollout = token
+        try:
+            return self._ota_update_sync(
+                image, device_ids, canary_fraction, inject_failures
+            )
+        finally:
+            token.done = True
+
+    def _ota_update_sync(
+        self, image, device_ids, canary_fraction, inject_failures
+    ) -> RolloutReport:
         targets = device_ids if device_ids is not None else sorted(self.devices)
         inject_failures = inject_failures or set()
         report = RolloutReport(image_version=image.version)
@@ -106,8 +161,219 @@ class DeviceFleet:
                     self.devices[did].flash(previous)
                 report.updated.remove(did)
                 report.rolled_back.append(did)
+            report.aborted = True
             return report
 
         for did in rest:
             _attempt(did)
         return report
+
+    # -- async staged rollout (as a managed job) ----------------------------
+
+    def ota_update_async(
+        self,
+        image: FirmwareImage,
+        executor,
+        device_ids: list[str] | None = None,
+        canary_fraction: float = 0.25,
+        failure_threshold: float = 0.0,
+        max_inflight: int = 4,
+        retries_per_device: int = 0,
+        inject_failures: "set[str] | dict[str, int] | None" = None,
+    ):
+        """Staged OTA rollout as a parent job on ``executor``.
+
+        Stage 1 flashes the canary cohort (``canary_fraction`` of the
+        targets, at least one device), at most ``max_inflight`` devices
+        concurrently.  When the last canary lands, the canary failure
+        rate is compared to ``failure_threshold``: above it, the rollout
+        **aborts** — updated canaries are rolled back and the remaining
+        fleet is never touched (``report.aborted``).  Otherwise stage 2
+        flashes the rest of the fleet.  Each device is a child job with
+        its own retry budget (``retries_per_device``); a device that
+        exhausts it is rolled back to its previous image.
+
+        ``inject_failures`` is the failure hook used by tests: a set of
+        device ids whose transfer always corrupts, or a mapping
+        ``device_id -> n`` corrupting only the first ``n`` attempts
+        (exercising per-device retries).
+
+        Returns the parent :class:`repro.core.jobs.Job` immediately; its
+        ``result`` is the :meth:`RolloutReport.to_dict` payload plus the
+        canary failure rate.  Cancelling the parent drops queued devices
+        (reported as ``skipped``) and lets in-flight flashes drain.
+        """
+        targets = device_ids if device_ids is not None else sorted(self.devices)
+        for did in targets:
+            if did not in self.devices:
+                raise KeyError(f"unknown device {did!r}")
+        if not 0.0 <= canary_fraction <= 1.0:
+            raise ValueError("canary_fraction must be in [0, 1]")
+        if not 0.0 <= failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in [0, 1]")
+        if isinstance(inject_failures, dict):
+            inject = dict(inject_failures)
+        else:
+            # A plain set corrupts every attempt (beyond any retry budget).
+            inject = {did: 1 << 30 for did in (inject_failures or ())}
+
+        n_canary = max(1, int(len(targets) * canary_fraction)) if targets else 0
+        canary, rest = list(targets[:n_canary]), list(targets[n_canary:])
+        canary_set = frozenset(canary)
+
+        state = {
+            "lock": threading.Lock(),
+            "report": RolloutReport(image_version=image.version),
+            "previous": {},  # device id -> firmware before this rollout
+            "attempts": {},  # device id -> flash attempts so far
+            "canary_done": 0,
+            "stage2_started": False,
+        }
+
+        def _flash_fn(did):
+            def _run(job):
+                job.check_cancelled()
+                device = self.devices[did]
+                with state["lock"]:
+                    if did not in state["previous"]:
+                        previous = device.firmware
+                        state["previous"][did] = previous
+                        self._previous[did] = previous
+                    state["attempts"][did] = attempt = state["attempts"].get(did, 0) + 1
+                    corrupt = attempt <= inject.get(did, 0)
+                job.log(f"flashing {did} with {image.version} (attempt {attempt})")
+                if not self._try_flash(device, image, corrupt=corrupt):
+                    raise RuntimeError(
+                        f"firmware verification failed on {did} (attempt {attempt})"
+                    )
+                job.log(f"{did} verified at {image.version}")
+                return {"device_id": did, "version": image.version}
+            return _run
+
+        def _submit_device(parent, group, did):
+            # The device id travels in the job name: on_child_done may run
+            # (on a worker thread) before submit() even returns, so a
+            # side-table keyed by job id would race.
+            executor.submit(
+                f"ota-flash:{did}", _flash_fn(did),
+                retries=retries_per_device, parent=parent, group=group,
+            )
+
+        def _rollback(did) -> None:
+            previous = state["previous"].get(did)
+            if previous is not None:
+                self.devices[did].flash(previous)
+
+        def on_child_done(parent, child):
+            report = state["report"]
+            did = child.name.split(":", 1)[1]
+            if child.status == "failed":
+                # Roll back before recording, so readers of the report
+                # never see a failed device still on the new image.
+                _rollback(did)
+            with state["lock"]:
+                if child.status == "succeeded":
+                    report.updated.append(did)
+                elif child.status == "cancelled":
+                    report.skipped.append(did)
+                else:
+                    report.failed.append(did)
+                    report.rolled_back.append(did)
+                terminal = (len(report.updated) + len(report.failed)
+                            + len(report.skipped))
+            if child.status == "failed":
+                parent.log(f"{did}: flash failed after {child.attempts} "
+                           f"attempt(s), rolled back ({child.error})")
+            elif child.status == "succeeded":
+                parent.log(f"{did}: updated to {image.version} "
+                           f"(attempt {child.attempts})")
+            else:
+                parent.log(f"{did}: skipped (rollout cancelled)")
+            parent.set_progress(terminal / len(targets) if targets else 1.0)
+
+            if did not in canary_set:
+                return
+            with state["lock"]:
+                state["canary_done"] += 1
+                if state["canary_done"] < len(canary) or state["stage2_started"]:
+                    return
+                state["stage2_started"] = True
+                failed_canaries = [d for d in report.failed if d in canary_set]
+                rate = len(failed_canaries) / len(canary)
+                state["canary_rate"] = rate
+            if parent.cancel_requested:
+                with state["lock"]:
+                    report.skipped.extend(rest)
+                parent.log("rollout cancelled before the fleet-wide stage; "
+                           f"{len(rest)} device(s) skipped")
+                executor.seal_parent(parent)
+                return
+            if rate > failure_threshold:
+                # Abort: roll back every updated canary; the rest of the
+                # fleet is never flashed.
+                with state["lock"]:
+                    updated = list(report.updated)
+                for u in updated:
+                    _rollback(u)
+                with state["lock"]:
+                    for u in updated:
+                        report.updated.remove(u)
+                        report.rolled_back.append(u)
+                    report.skipped.extend(rest)
+                    report.aborted = True
+                parent.log(
+                    f"canary failure rate {rate:.0%} exceeds threshold "
+                    f"{failure_threshold:.0%}: rollout aborted, "
+                    f"{len(updated)} canar(y/ies) rolled back, "
+                    f"{len(rest)} device(s) untouched"
+                )
+                executor.seal_parent(parent)
+                return
+            parent.log(
+                f"canary cohort healthy ({rate:.0%} <= "
+                f"{failure_threshold:.0%}); rolling out to "
+                f"{len(rest)} remaining device(s)"
+            )
+            for did2 in rest:
+                _submit_device(parent, group, did2)
+            executor.seal_parent(parent)
+
+        def finalize(parent, children):
+            executor.clear_group_limit(f"rollout-{parent.job_id}")
+            report = state["report"]
+            return {
+                **report.to_dict(),
+                "devices_total": len(targets),
+                "canary": list(canary),
+                "canary_failure_rate": state.get("canary_rate"),
+                "failure_threshold": failure_threshold,
+            }
+
+        with self._rollout_gate:
+            # Rollouts are serialized per fleet (overlapping rollouts
+            # would corrupt each other's rollback state); the slot frees
+            # itself when the parent job goes terminal.
+            self._check_no_active_rollout_locked()
+            parent = executor.spawn_parent(
+                f"fleet-rollout {image.version} ({len(targets)} devices, "
+                f"{n_canary} canary)",
+                finalize=finalize,
+                on_child_done=on_child_done,
+                fail_on_child_failure=False,
+            )
+            self._active_rollout = parent
+        group = f"rollout-{parent.job_id}"
+        executor.set_group_limit(group, max_inflight)
+        parent.log(
+            f"rollout of {image.version}: canary={canary or '[]'} "
+            f"then {len(rest)} device(s), abort above "
+            f"{failure_threshold:.0%} canary failures"
+        )
+        if not targets:
+            executor.seal_parent(parent)
+            return parent
+        for did in canary:
+            _submit_device(parent, group, did)
+        # Stage 2 is submitted (or abandoned) by the canary barrier in
+        # on_child_done; the parent is sealed there.
+        return parent

@@ -51,6 +51,10 @@ def multiply_by_quantized_multiplier(
         raise ValueError("multiplier exponent too large; accumulator would overflow")
     prod = acc * mant
     rounding = np.int64(1) << (total_shift - 1)
-    # Round half away from zero: add/subtract the rounding constant by sign.
-    adjusted = np.where(prod >= 0, prod + rounding, prod - rounding + 1)
-    return adjusted >> total_shift
+    # Round half away from zero, mirroring the positive formula for
+    # negatives: ``(|prod| + half) >> shift`` then restore the sign.
+    # (The previous ``prod - half + 1 >> shift`` trick over-rounds some
+    # negative values by a full LSB, e.g. prod=-5, shift=2 gave -2
+    # instead of -1.)
+    magnitude = (np.abs(prod) + rounding) >> total_shift
+    return np.where(prod >= 0, magnitude, -magnitude)

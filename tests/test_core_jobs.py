@@ -208,3 +208,179 @@ def test_shutdown_rejects_new_work():
 
 def test_jobqueue_alias_is_executor():
     assert JobQueue is JobExecutor
+
+
+# -- parent/child jobs + group caps -----------------------------------------
+
+
+def test_group_limit_caps_concurrency():
+    q = JobExecutor(max_workers=6, jobs_per_worker=1)
+    q.set_group_limit("g", 2)
+    lock = threading.Lock()
+    state = {"now": 0, "peak": 0}
+
+    def work(job):
+        with lock:
+            state["now"] += 1
+            state["peak"] = max(state["peak"], state["now"])
+        time.sleep(0.03)
+        with lock:
+            state["now"] -= 1
+
+    jobs = [q.submit(f"j{i}", work, group="g") for i in range(6)]
+    q.drain(timeout=10.0)
+    assert all(j.status == "succeeded" for j in jobs)
+    assert state["peak"] <= 2
+
+
+def test_grouped_and_ungrouped_jobs_coexist():
+    """A capped group must not starve jobs outside the group."""
+    q = JobExecutor(max_workers=4, jobs_per_worker=1)
+    q.set_group_limit("slow", 1)
+    gate = threading.Event()
+    slow = [q.submit(f"s{i}", lambda j: gate.wait(timeout=5.0), group="slow")
+            for i in range(3)]
+    free = q.submit("free", lambda j: "ran")
+    free.wait(timeout=5.0)
+    assert free.status == "succeeded"  # while the slow group is capped
+    gate.set()
+    q.drain(timeout=10.0)
+    assert all(j.status == "succeeded" for j in slow)
+
+
+def test_parent_aggregates_children():
+    q = JobExecutor()
+    parent = q.spawn_parent(
+        "sum", finalize=lambda p, kids: sum(k.result for k in kids)
+    )
+    for i in range(4):
+        q.submit(f"c{i}", lambda j, i=i: i, parent=parent)
+    q.seal_parent(parent)
+    parent.wait(timeout=10.0)
+    assert parent.status == "succeeded"
+    assert parent.result == 0 + 1 + 2 + 3
+    assert parent.progress == 1.0
+    assert [c.job_id for c in q.children(parent.job_id)] == parent.children
+
+
+def test_parent_with_no_children_completes_on_seal():
+    q = JobExecutor()
+    parent = q.spawn_parent("empty", finalize=lambda p, kids: len(kids))
+    q.seal_parent(parent)
+    parent.wait(timeout=5.0)
+    assert parent.status == "succeeded"
+    assert parent.result == 0
+
+
+def test_parent_fails_when_child_fails():
+    q = JobExecutor()
+    parent = q.spawn_parent("family")
+    q.submit("ok", lambda j: 1, parent=parent)
+    q.submit("boom", lambda j: 1 / 0, parent=parent)
+    q.seal_parent(parent)
+    parent.wait(timeout=10.0)
+    assert parent.status == "failed"
+    assert "ZeroDivisionError" in parent.error
+
+
+def test_parent_tolerates_child_failure_when_asked():
+    q = JobExecutor()
+    parent = q.spawn_parent(
+        "lenient", fail_on_child_failure=False,
+        finalize=lambda p, kids: [k.status for k in kids],
+    )
+    q.submit("ok", lambda j: 1, parent=parent)
+    q.submit("boom", lambda j: 1 / 0, parent=parent)
+    q.seal_parent(parent)
+    parent.wait(timeout=10.0)
+    assert parent.status == "succeeded"
+    assert sorted(parent.result) == ["failed", "succeeded"]
+
+
+def test_finalizer_error_fails_parent():
+    q = JobExecutor()
+    parent = q.spawn_parent(
+        "bad-finalize", finalize=lambda p, kids: 1 / 0
+    )
+    q.submit("ok", lambda j: 1, parent=parent)
+    q.seal_parent(parent)
+    parent.wait(timeout=10.0)
+    assert parent.status == "failed"
+    assert "ZeroDivisionError" in parent.error
+
+
+def test_cancel_parent_cascades_to_children():
+    q = JobExecutor(max_workers=1, jobs_per_worker=100)
+    running = threading.Event()
+
+    def slow(job):
+        running.set()
+        for _ in range(500):
+            job.check_cancelled()
+            time.sleep(0.005)
+
+    parent = q.spawn_parent("family")
+    first = q.submit("slow", slow, parent=parent)
+    queued = [q.submit(f"q{i}", lambda j: "never", parent=parent)
+              for i in range(3)]
+    q.seal_parent(parent)
+    assert running.wait(timeout=5.0)
+    q.cancel(parent.job_id)
+    parent.wait(timeout=10.0)
+    assert parent.status == "cancelled"
+    assert first.status == "cancelled"  # cooperative, drained
+    assert all(c.status == "cancelled" for c in queued)  # dropped outright
+    assert all(c.result is None for c in queued)
+
+
+def test_submit_to_finished_parent_raises():
+    q = JobExecutor()
+    parent = q.spawn_parent("done")
+    q.seal_parent(parent)
+    parent.wait(timeout=5.0)
+    with pytest.raises(RuntimeError, match="already succeeded"):
+        q.submit("late", lambda j: 1, parent=parent)
+
+
+def test_submit_with_non_parent_raises():
+    q = JobExecutor()
+    plain = q.submit("plain", lambda j: 1)
+    with pytest.raises(ValueError, match="not a parent job"):
+        q.submit("child", lambda j: 1, parent=plain)
+    q.drain(timeout=5.0)
+
+
+def test_child_retry_budget_is_per_child():
+    q = JobExecutor()
+    attempts = {"a": 0, "b": 0}
+
+    def flaky(key):
+        def run(job):
+            attempts[key] += 1
+            if attempts[key] < 2:
+                raise RuntimeError("transient")
+            return key
+        return run
+
+    parent = q.spawn_parent("retrying")
+    q.submit("a", flaky("a"), retries=1, parent=parent)
+    q.submit("b", flaky("b"), retries=1, parent=parent)
+    q.seal_parent(parent)
+    parent.wait(timeout=10.0)
+    assert parent.status == "succeeded"
+    assert attempts == {"a": 2, "b": 2}  # each child used its own budget
+
+
+def test_nested_parents_complete_bottom_up():
+    q = JobExecutor()
+    root = q.spawn_parent("root", finalize=lambda p, kids: len(kids))
+    mid = q.spawn_parent("mid", parent=root,
+                         finalize=lambda p, kids: len(kids))
+    q.submit("leaf1", lambda j: 1, parent=mid)
+    q.submit("leaf2", lambda j: 2, parent=mid)
+    q.seal_parent(mid)
+    q.submit("leaf3", lambda j: 3, parent=root)
+    q.seal_parent(root)
+    root.wait(timeout=10.0)
+    assert mid.status == "succeeded" and mid.result == 2
+    assert root.status == "succeeded" and root.result == 2  # mid + leaf3

@@ -65,6 +65,75 @@ def test_firmware_corruption_never_flashes(tiny_graphs):
     assert device.firmware is None  # nothing half-flashed
 
 
+def _tiny_firmware_image(tiny_graphs):
+    from repro.core import ClassificationBlock, Impulse, TimeSeriesInput
+    from repro.deploy import build_artifact
+    from repro.dsp import RawBlock
+
+    impulse = Impulse(
+        TimeSeriesInput(window_size_ms=1000, window_increase_ms=1000,
+                        frequency_hz=16, axes=8),
+        [RawBlock()],
+        ClassificationBlock(),
+    )
+    artifact = build_artifact("firmware", tiny_graphs[1], impulse,
+                              {"a": 0, "b": 1, "c": 2}, "eon", "p")
+    return artifact.metadata["image"]
+
+
+def test_async_rollout_corruption_never_flashes(tiny_graphs):
+    """The async job path keeps the sync guarantee: a corrupt transfer
+    leaves the device exactly as it was (here: unflashed), and a lone
+    failing canary aborts the rollout."""
+    from repro.core.jobs import JobExecutor
+    from repro.device import DeviceFleet, VirtualDevice
+
+    image = _tiny_firmware_image(tiny_graphs)
+    fleet = DeviceFleet()
+    device = VirtualDevice("lone", "nano33ble")
+    fleet.register(device)
+    executor = JobExecutor()
+    job = fleet.ota_update_async(
+        image, executor, inject_failures={"lone"}, retries_per_device=1
+    )
+    job.wait(timeout=30.0)
+    report = job.result
+    assert report["updated"] == [] and report["aborted"] is True
+    assert "lone" in report["failed"]
+    assert device.firmware is None  # nothing half-flashed, ever
+    # The per-device retry budget was spent before giving up.
+    (child,) = executor.children(job.job_id)
+    assert child.attempts == 2
+
+
+def test_async_rollout_device_flash_exception_is_isolated(tiny_graphs):
+    """A device whose flash() raises (not just corrupts) fails its own
+    child job; healthy devices still update."""
+    from repro.core.jobs import JobExecutor
+    from repro.device import DeviceFleet, VirtualDevice
+
+    image = _tiny_firmware_image(tiny_graphs)
+    fleet = DeviceFleet()
+    bad = VirtualDevice("bad", "nano33ble")
+    bad.flash = lambda img: (_ for _ in ()).throw(IOError("bus fault"))
+    fleet.register(bad)
+    for i in range(3):
+        fleet.register(VirtualDevice(f"ok{i}", "nano33ble"))
+
+    job = fleet.ota_update_async(
+        image, JobExecutor(),
+        device_ids=[f"ok{i}" for i in range(3)] + ["bad"],
+        canary_fraction=0.25, failure_threshold=1.0,
+    )
+    job.wait(timeout=30.0)
+    report = job.result
+    assert sorted(report["updated"]) == ["ok0", "ok1", "ok2"]
+    assert report["failed"] == ["bad"]
+    versions = fleet.versions()
+    assert versions["bad"] == "unflashed"
+    assert all(versions[f"ok{i}"] == "1.0.0" for i in range(3))
+
+
 def test_ingestion_garbage_rejected():
     from repro.data.dataset import Dataset
     from repro.data.ingestion import IngestionService

@@ -130,6 +130,59 @@ def test_dataset_split_is_pure_function_of_content(seed):
     assert a.get(id_a).category == b.get(id_b).category
 
 
+@settings(max_examples=12, deadline=None)
+@given(st.data())
+def test_cancelling_parent_terminates_random_job_dags(data):
+    """For any random tree of parent/child jobs, cancelling the root
+    eventually terminates every descendant, and after drain() no job in
+    the executor is left 'running' or 'queued'."""
+    import threading
+    import time as _time
+
+    from repro.core.jobs import TERMINAL_STATES, JobExecutor
+
+    executor = JobExecutor(max_workers=4)
+    all_jobs = []
+    release = threading.Event()
+
+    def leaf(job):
+        for _ in range(20):
+            job.check_cancelled()
+            if release.wait(timeout=0.002):
+                break
+        return "leaf done"
+
+    def grow(parent, depth):
+        n_children = data.draw(st.integers(min_value=0, max_value=3),
+                               label=f"children@{depth}")
+        for _ in range(n_children):
+            if depth < 2 and data.draw(st.booleans(), label="is_parent"):
+                node = executor.spawn_parent("node", parent=parent)
+                all_jobs.append(node)
+                grow(node, depth + 1)
+                executor.seal_parent(node)
+            else:
+                all_jobs.append(executor.submit("leaf", leaf, parent=parent))
+
+    root = executor.spawn_parent("root")
+    all_jobs.append(root)
+    grow(root, 0)
+    executor.seal_parent(root)
+
+    # Cancel at a random point: immediately, or after a tiny head start.
+    if data.draw(st.booleans(), label="head_start"):
+        _time.sleep(0.005)
+    executor.cancel(root.job_id)
+    release.set()
+
+    done = executor.drain(timeout=30.0)
+    assert {j.job_id for j in done} == {j.job_id for j in all_jobs}
+    for job in executor.list_jobs():
+        assert job.status in TERMINAL_STATES, (job.name, job.status)
+    assert root.status in ("cancelled", "succeeded")  # raced completions ok
+    assert executor.queue_depth == 0
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     st.floats(min_value=-10, max_value=10, allow_nan=False),

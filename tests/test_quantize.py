@@ -34,6 +34,18 @@ def test_quantized_multiplier_accuracy(real, acc):
     assert abs(out[0] - expected) <= max(1.0, abs(expected) * 1e-6) + 0.5
 
 
+def test_quantized_multiplier_negative_half_away_regression():
+    """Regression: negative accumulators used to over-round by a full
+    LSB (e.g. 0.35 * -90 -> -33); rounding must mirror the positive
+    formula around zero."""
+    mant, exp = quantize_multiplier(0.35)
+    out = multiply_by_quantized_multiplier(
+        np.array([-90, 90], dtype=np.int64), mant, exp
+    )
+    assert out[0] == -out[1]  # symmetric around zero
+    assert out[0] in (-32, -31)  # |error| <= 1 LSB of -31.5
+
+
 def test_quantize_multiplier_zero():
     assert quantize_multiplier(0.0) == (0, 0)
 
