@@ -6,13 +6,15 @@ embeddings to 2-D (t-SNE or a spectral UMAP-style embedding, PCA for
 speed), (4) auto-label or flag samples by proximity to labelled clusters.
 """
 
-from repro.active.embeddings import embed_with_model
+from repro.active.embeddings import embed_with_model, feature_sketch, sketch_projection
 from repro.active.projection import pca_2d, spectral_2d, tsne_2d
 from repro.active.labeler import LabelSuggestion, flag_outliers, suggest_labels
 from repro.active.explorer import DataExplorer, ExplorerView
 
 __all__ = [
     "embed_with_model",
+    "feature_sketch",
+    "sketch_projection",
     "pca_2d",
     "tsne_2d",
     "spectral_2d",

@@ -1,4 +1,5 @@
-"""Semantic embeddings from an intermediate model layer."""
+"""Semantic embeddings from an intermediate model layer, plus the cheap
+seeded projections the monitoring plane uses as feature sketches."""
 
 from __future__ import annotations
 
@@ -6,6 +7,44 @@ import numpy as np
 
 from repro.nn.layers import Dense
 from repro.nn.model import Sequential
+
+#: Cached projection matrices keyed (n_features, dim, seed) — the sketch
+#: path runs per served batch, so the matrix must never be re-drawn.
+#: Bounded FIFO: sketch callers use a handful of fixed feature sizes, so
+#: request-controlled input lengths cannot grow server memory unbounded
+#: (evicted matrices are deterministically re-derivable from the seed).
+_SKETCH_PROJECTIONS: dict[tuple[int, int, int], np.ndarray] = {}
+_SKETCH_CACHE_LIMIT = 64
+
+
+def sketch_projection(n_features: int, dim: int = 8, seed: int = 0) -> np.ndarray:
+    """The (deterministic, cached) random projection used for sketches."""
+    key = (int(n_features), int(dim), int(seed))
+    proj = _SKETCH_PROJECTIONS.get(key)
+    if proj is None:
+        rng = np.random.default_rng(seed)
+        proj = rng.standard_normal((n_features, dim)).astype(np.float32)
+        proj /= np.sqrt(n_features)
+        # Benign race: concurrent misses compute the identical matrix.
+        while len(_SKETCH_PROJECTIONS) >= _SKETCH_CACHE_LIMIT:
+            _SKETCH_PROJECTIONS.pop(next(iter(_SKETCH_PROJECTIONS)), None)
+        _SKETCH_PROJECTIONS[key] = proj
+    return proj
+
+
+def feature_sketch(x: np.ndarray, dim: int = 8, seed: int = 0) -> np.ndarray:
+    """Seeded random-projection sketches of feature rows.
+
+    ``(n, ...) -> (n, dim)`` in one matmul — the compact per-inference
+    feature summary telemetry carries, so drift detectors can compare
+    input distributions without retaining full feature windows.  The
+    projection is Johnson-Lindenstrauss-style: fixed per (feature size,
+    dim, seed), so sketches are comparable across batches, processes and
+    model versions.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    flat = x.reshape(len(x), -1)
+    return flat @ sketch_projection(flat.shape[1], dim=dim, seed=seed)
 
 
 def embed_with_model(

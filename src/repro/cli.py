@@ -14,6 +14,7 @@ Usage::
     python -m repro.cli profile --dir proj --device nano33ble
     python -m repro.cli classify --dir proj --precision int8 clip.wav
     python -m repro.cli serve   --dir proj --workers 4 clip.wav clip2.wav
+    python -m repro.cli monitor --dir proj --auto-retrain
     python -m repro.cli deploy  --dir proj --target cpp --out build/
 """
 
@@ -291,6 +292,108 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_monitor(args) -> int:
+    """Offline closed-loop demo over a directory project: serve baseline
+    traffic through the monitored serving layer, pin it as the reference,
+    inject drifted traffic (raw-domain drift, pushed device-style so the
+    raw windows are retained as drift-loop candidates), then run a
+    MonitorDaemon sweep and print the alerts (optionally letting the
+    auto-retrain loop route the drift windows back and retrain)."""
+    import numpy as np
+
+    project = load_project(args.dir)
+    if project.impulse is None or project.float_graph is None:
+        print("project has no trained model; run set-impulse and train first")
+        return 1
+
+    from repro.active.embeddings import feature_sketch
+    from repro.data.dataset import Sample
+    from repro.monitor import (MonitorDaemon, MonitorService, TelemetryRecord,
+                               model_version_of)
+    from repro.serve import ModelServer
+    from types import SimpleNamespace
+
+    platform = SimpleNamespace(projects={project.project_id: project}, fleet=None)
+    service = MonitorService(platform)
+    server = ModelServer.for_project(project)
+    server.telemetry = service.telemetry
+
+    samples = project.dataset.samples()[: args.windows]
+    if not samples:
+        print("project has no data to replay")
+        return 1
+
+    def first_window(sample) -> np.ndarray:
+        return np.asarray(
+            project.impulse.features_for_sample(sample)[0], np.float32
+        ).reshape(-1)
+
+    pid = project.project_id
+    service.set_policy(pid, {
+        "reference_size": len(samples), "min_records": min(8, len(samples)),
+        "window": 2 * len(samples), "auto_retrain": args.auto_retrain,
+        "auto_rollout": False,
+    })
+    baseline = [first_window(s) for s in samples]
+    server.classify_batch(pid, baseline, precision=args.precision,
+                          engine=args.engine)
+    service.set_reference(pid)
+    print(f"baseline: served {len(baseline)} window(s), reference pinned")
+
+    # Drift in the raw domain, classify through the serving layer, and
+    # push one device-style record per input that *retains the raw
+    # recording* — exactly what a monitored fleet device emits, and what
+    # the auto-retrain loop routes back through the ingestion service.
+    server.telemetry = None  # the push below is the drift-phase record
+    rng = np.random.default_rng(0)
+    version = model_version_of(project)
+    for s in samples:
+        drifted = (s.data * args.drift_gain
+                   + rng.normal(0, args.drift_noise, size=s.data.shape)
+                   ).astype(np.float32)
+        row = first_window(Sample(data=drifted, label="?"))
+        result = server.classify(pid, row, precision=args.precision,
+                                 engine=args.engine)
+        ranked = sorted(result["classification"].values(), reverse=True)
+        service.telemetry.record(TelemetryRecord(
+            pid, model_version=version, top=result["top"],
+            confidence=ranked[0],
+            margin=ranked[0] - ranked[1] if len(ranked) > 1 else ranked[0],
+            sketch=feature_sketch(row.reshape(1, -1))[0],
+            raw=drifted, source="cli-replay",
+        ))
+    print(f"injected {len(samples)} drifted recording(s) "
+          f"(gain {args.drift_gain}, noise {args.drift_noise})")
+
+    daemon = MonitorDaemon(service, interval_s=60.0)
+    sweep = daemon.tick(wait=True)
+    for line in sweep.logs:
+        print(f"  {line}")
+    snapshot = service.snapshot(pid)
+    print(f"monitor status: {snapshot['health']}")
+    for result in snapshot["detectors"]:
+        flag = "TRIGGERED" if result["triggered"] else "ok"
+        print(f"  {result['detector']:<22} score={result['score']:.3f} "
+              f"threshold={result['threshold']:.3f} [{flag}]")
+    for alert in service.alerts(pid):
+        print(f"  ALERT #{alert['alert_id']} {alert['severity']}: "
+              f"{alert['message']}"
+              + (f" -> {alert['action']}" if alert['action'] else ""))
+    if args.auto_retrain and snapshot.get("loop_jobs"):
+        loop = service.monitor(pid).loop_jobs[-1]
+        loop.wait()
+        for line in loop.logs:
+            print(f"  {line}")
+        if loop.status == "succeeded":
+            save_project(project, args.dir)
+            print(f"closed loop complete: model revision "
+                  f"{project.model_revision} saved back to {args.dir}")
+        else:
+            print(f"closed loop {loop.status}: {loop.error}")
+            return 1
+    return 0
+
+
 def _cmd_summary(args) -> int:
     project = load_project(args.dir)
     print(project.dataset.summary())
@@ -401,6 +504,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", default=None)
     p.add_argument("files", nargs="+")
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("monitor",
+                       help="replay traffic with drift injection through "
+                            "the monitored serving layer")
+    p.add_argument("--dir", required=True)
+    p.add_argument("--windows", type=int, default=32,
+                   help="windows replayed per phase (baseline + drifted)")
+    p.add_argument("--drift-gain", type=float, default=2.5,
+                   help="gain applied to the drifted traffic")
+    p.add_argument("--drift-noise", type=float, default=0.5,
+                   help="noise stddev added to the drifted traffic")
+    p.add_argument("--precision", default="int8", choices=("float32", "int8"))
+    p.add_argument("--engine", default="eon", choices=("eon", "tflm"))
+    p.add_argument("--auto-retrain", action="store_true",
+                   help="let the closed loop retrain on the drift window "
+                        "and save the new revision")
+    p.set_defaults(fn=_cmd_monitor)
 
     p = sub.add_parser("summary", help="show dataset + impulse state")
     p.add_argument("--dir", required=True)

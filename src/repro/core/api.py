@@ -70,7 +70,17 @@ class RestAPI:
             ("POST", r"^/api/projects/(\d+)/tuner/(\d+)/apply$", self._tuner_apply),
             ("POST", r"^/api/fleet/devices$", self._fleet_register),
             ("GET", r"^/api/fleet/devices$", self._fleet_devices),
+            ("POST", r"^/api/fleet/devices/([^/]+)/classify$",
+             self._fleet_device_classify),
             ("POST", r"^/api/fleet/rollout$", self._fleet_rollout),
+            ("POST", r"^/api/telemetry$", self._telemetry_ingest),
+            ("GET", r"^/api/projects/(\d+)/monitor$", self._monitor_status),
+            ("GET", r"^/api/projects/(\d+)/monitor/alerts$", self._monitor_alerts),
+            ("POST", r"^/api/projects/(\d+)/monitor/policy$", self._monitor_policy),
+            ("POST", r"^/api/projects/(\d+)/monitor/evaluate$",
+             self._monitor_evaluate),
+            ("POST", r"^/api/projects/(\d+)/monitor/reference$",
+             self._monitor_reference),
             ("GET", r"^/api/fleet/rollout/(\d+)$", self._fleet_rollout_status),
             ("POST", r"^/api/fleet/rollout/(\d+)/cancel$", self._fleet_rollout_cancel),
             ("POST", r"^/api/projects/(\d+)/jobs/profile$", self._profile_job),
@@ -371,7 +381,19 @@ class RestAPI:
             )
         except RuntimeError as exc:
             raise ApiError(409, str(exc))
+        from repro.monitor import model_version_of
+
         image = artifact.metadata["image"]
+        # Stamp the project's model revision so monitoring can tell the
+        # rolled-out generation apart.  ``health_gate: true`` gates the
+        # fleet-wide stage on monitor health after ``soak_s`` seconds of
+        # canary soak.
+        image.version = model_version_of(p)
+        health_gate = None
+        if body.get("health_gate"):
+            health_gate = self.platform.monitor.health_gate(
+                p.project_id, model_version=image.version
+            )
         try:
             job = self.platform.fleet.ota_update_async(
                 image,
@@ -382,11 +404,21 @@ class RestAPI:
                 max_inflight=max_inflight,
                 retries_per_device=retries,
                 inject_failures=inject,
+                health_gate=health_gate,
+                soak_s=_number(body, "soak_s", 0.0, float),
             )
+        except KeyError as exc:  # unknown device id — clean 404 message
+            raise ApiError(404, exc.args[0] if exc.args else str(exc))
         except ValueError as exc:
             raise ApiError(400, str(exc))
         except RuntimeError as exc:
             raise ApiError(409, str(exc))  # e.g. a rollout is in progress
+        # Bind telemetry attribution only after the rollout is actually
+        # accepted — a rejected request must not steal another project's
+        # fleet binding (or register bindings for unvalidated devices).
+        self.platform.monitor.watch_fleet(
+            p.project_id, device_ids=body.get("device_ids")
+        )
         return {"job_id": job.job_id, "job_status": job.status,
                 "image_version": image.version,
                 "devices_total": len(body.get("device_ids")
@@ -418,6 +450,118 @@ class RestAPI:
         self._require_operator(user)
         status = self.platform.fleet_jobs.cancel(int(jid))
         return {"job_id": int(jid), "job_status": status}
+
+    # -- production monitoring (repro.monitor) --------------------------------
+
+    def _telemetry_ingest(self, body, user) -> dict:
+        """Device/client telemetry push: ``{"records": [{...}, ...]}``.
+
+        Each record needs ``project_id``; everything else (model_version,
+        latency_ms, top, confidence, margin, ok, source, sketch, raw) is
+        optional — ``raw`` carries a drift-window sample the closed loop
+        may route back into the dataset.  That makes this a
+        training-data-influencing route, so like the other mutating fleet
+        surfaces it requires a registered caller (real device daemons
+        authenticate as the operator that provisioned them).
+        """
+        from repro.monitor import TelemetryRecord
+
+        self._require_operator(user)
+        _require(body, "records")
+        items = body["records"]
+        if not isinstance(items, list) or not items:
+            raise ApiError(400, "records must be a non-empty list")
+        records = []
+        for i, item in enumerate(items):
+            if not isinstance(item, dict):
+                raise ApiError(400, f"records[{i}] must be an object")
+            try:
+                record = TelemetryRecord.from_dict(item)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ApiError(400, f"records[{i}] is malformed: {exc!r}")
+            if record.project_id not in self.platform.projects:
+                raise ApiError(404, f"no project {record.project_id}")
+            # Telemetry can carry training data (raw drift windows), so
+            # pushing into a project needs membership of *that* project —
+            # being some registered user is not enough.
+            self.platform.projects[record.project_id].require_member(user)
+            records.append(record)
+        return {"accepted": self.platform.monitor.telemetry.extend(records)}
+
+    def _monitor_status(self, body, user, pid) -> dict:
+        """Monitor snapshot: status, detector scores, telemetry summary,
+        policy, and closed-loop job states.  ``wait_loop_s`` long-polls
+        the most recent retrain-loop job before answering."""
+        p = self.platform.get_project(int(pid), username=user)
+        monitor = self.platform.monitor
+        try:
+            wait_loop_s = (None if body.get("wait_loop_s") is None
+                           else float(body["wait_loop_s"]))
+        except (TypeError, ValueError) as exc:
+            raise ApiError(400, f"wait_loop_s must be numeric: {exc}")
+        if wait_loop_s is not None:
+            loops = monitor.monitor(p.project_id).loop_jobs
+            if loops:
+                loops[-1].wait(wait_loop_s)
+        return monitor.snapshot(p.project_id)
+
+    def _monitor_alerts(self, body, user, pid) -> dict:
+        p = self.platform.get_project(int(pid), username=user)
+        return {"alerts": self.platform.monitor.alerts(p.project_id)}
+
+    def _monitor_policy(self, body, user, pid) -> dict:
+        p = self.platform.get_project(int(pid))
+        p.require_member(user)
+        try:
+            policy = self.platform.monitor.set_policy(p.project_id, body)
+        except (TypeError, ValueError) as exc:
+            raise ApiError(400, str(exc))
+        return {"policy": policy.to_dict()}
+
+    def _monitor_evaluate(self, body, user, pid) -> dict:
+        """Run one on-demand monitoring sweep as a job and return its
+        snapshot (plus the sweep job id)."""
+        p = self.platform.get_project(int(pid))
+        p.require_member(user)
+        monitor = self.platform.monitor
+        job = monitor.jobs.submit(
+            f"monitor-sweep p{p.project_id}",
+            lambda j: monitor.evaluate(p.project_id, job=j),
+        )
+        job.wait(_number(body, "wait_s", 30.0, float))
+        if job.status == "failed":
+            raise ApiError(500, f"monitor sweep failed: {job.error}")
+        payload = job.result if isinstance(job.result, dict) else {}
+        return {**payload, "sweep_job_id": job.job_id,
+                "sweep_job_status": job.status}
+
+    def _monitor_reference(self, body, user, pid) -> dict:
+        """Pin the current telemetry window as the drift baseline."""
+        p = self.platform.get_project(int(pid))
+        p.require_member(user)
+        count = self.platform.monitor.set_reference(p.project_id)
+        if count == 0:
+            raise ApiError(409, "no telemetry to capture as a reference")
+        return {"reference_records": count}
+
+    def _fleet_device_classify(self, body, user, did) -> dict:
+        """Run one inference on a fleet device's flashed impulse (the
+        field path: emits telemetry — raw window included — when the
+        fleet is being monitored, so it needs a registered caller like
+        every other telemetry-producing route)."""
+        self._require_operator(user)
+        _require(body, "data")
+        try:
+            result = self.platform.fleet.classify_on(did, body["data"])
+        except KeyError as exc:
+            # str(KeyError) would repr-quote the message ("\"unknown
+            # device 'x'\""), the defect UnknownJobError exists to avoid.
+            raise ApiError(404, exc.args[0] if exc.args else str(exc))
+        except (TypeError, ValueError) as exc:
+            raise ApiError(400, f"invalid data: {exc}")
+        except RuntimeError as exc:
+            raise ApiError(409, str(exc))
+        return result
 
     def _profile_job(self, body, user, pid) -> dict:
         p = self.platform.get_project(int(pid))

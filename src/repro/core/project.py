@@ -66,12 +66,22 @@ class Project:
         self.float_graph: Graph | None = None
         self.int8_graph: Graph | None = None
         self.last_training_metrics: dict = {}
+        # Monotone model revision: bumped on every committed (re)train.
+        # Serving telemetry and OTA firmware both stamp versions as
+        # "1.0.<revision>", so the monitoring plane can tell model
+        # generations apart.
+        self.model_revision = 0
         # Parent-job id -> the EonTuner behind it, so the API can render
         # (partial) leaderboards while the search runs.  Bounded: only
         # the most recent searches are retained (a tuner pins its raw
         # windows + per-DSP feature caches, which is multi-MB).
         self.tuners: dict[int, object] = {}
         self.max_retained_tuners = 8
+        # Tuner provenance that survives persistence: leaderboards loaded
+        # from disk (job id -> rows; live tuners take precedence — see
+        # leaderboards()) and the trial a deployed model came from.
+        self.saved_leaderboards: dict[int, list[dict]] = {}
+        self.applied_trial: dict | None = None
 
     # -- collaboration ------------------------------------------------------
 
@@ -142,6 +152,7 @@ class Project:
                 self.float_graph = float_graph
                 self.int8_graph = int8_graph
             self.last_training_metrics = metrics
+            self.model_revision += 1
             return metrics
 
         return self.jobs.submit("train", _run, retries=retries)
@@ -293,7 +304,31 @@ class Project:
                 f"rank {rank} out of range (tuner has {len(trained)} "
                 "feasible trained trials)"
             )
-        tuner.apply_to_project(self, trained[rank - 1])
+        trial = trained[rank - 1]
+        tuner.apply_to_project(self, trial)
+        # Provenance: a reloaded project must know which trial its
+        # deployed model came from (persisted by repro.core.storage).
+        self.applied_trial = {
+            "job_id": job_id,
+            "rank": rank,
+            "dsp": trial.dsp_name,
+            "model": trial.model_name,
+            "accuracy": None if trial.accuracy is None else float(trial.accuracy),
+            "dsp_spec": dict(trial.dsp_spec),
+            "model_spec": dict(trial.model_spec),
+            "total_ms": float(trial.total_ms),
+            "ram_kb": float(trial.ram_kb),
+            "flash_kb": float(trial.flash_kb),
+        }
+
+    def leaderboards(self) -> dict[int, list[dict]]:
+        """Tuner leaderboards by parent-job id: rows from live tuners
+        merged over any loaded from disk (live wins on collision)."""
+        merged = dict(self.saved_leaderboards)
+        for job_id, tuner in self.tuners.items():
+            if getattr(tuner, "trials", None):
+                merged[job_id] = tuner.leaderboard()
+        return merged
 
     def profile_async(
         self, device_key: str, precision: str = "int8", engine: str = "eon"

@@ -49,6 +49,14 @@ class Platform:
 
         self.fleet = DeviceFleet()
         self.fleet_jobs = JobExecutor()
+        # The monitoring plane (paper Sec. 4's production half): serving
+        # emits inference telemetry into the monitor's store; drift/SLO
+        # detectors and the closed retrain→rollout loop run as jobs on
+        # the monitor's own executor.
+        from repro.monitor import MonitorService
+
+        self.monitor = MonitorService(self)
+        self.serving.telemetry = self.monitor.telemetry
 
     # -- identities -------------------------------------------------------
 

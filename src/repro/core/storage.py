@@ -34,8 +34,26 @@ def save_project(project: Project, path: str | pathlib.Path) -> None:
         "tags": project.tags,
         "label_map": project.label_map,
         "hmac_key": project.ingestion.hmac_key,
+        "model_revision": project.model_revision,
     }
     (root / "project.json").write_text(json.dumps(manifest, indent=2))
+
+    # Tuner provenance: leaderboards (live searches merged over any
+    # previously-loaded ones) and which trial produced the deployed
+    # model, so a reloaded project keeps its optimization history.
+    leaderboards = project.leaderboards()
+    tuners_json = root / "tuners.json"
+    if leaderboards or project.applied_trial is not None:
+        tuners_json.write_text(json.dumps(
+            {
+                "leaderboards": {str(jid): rows
+                                 for jid, rows in sorted(leaderboards.items())},
+                "applied_trial": project.applied_trial,
+            },
+            indent=2,
+        ))
+    elif tuners_json.exists():
+        tuners_json.unlink()
 
     if project.impulse is not None:
         (root / "impulse.json").write_text(
@@ -82,6 +100,15 @@ def load_project(path: str | pathlib.Path) -> Project:
     project.public = manifest.get("public", False)
     project.tags = list(manifest.get("tags", []))
     project.label_map = dict(manifest.get("label_map", {}))
+    project.model_revision = int(manifest.get("model_revision", 0))
+
+    tuners_json = root / "tuners.json"
+    if tuners_json.exists():
+        doc = json.loads(tuners_json.read_text())
+        project.saved_leaderboards = {
+            int(jid): rows for jid, rows in doc.get("leaderboards", {}).items()
+        }
+        project.applied_trial = doc.get("applied_trial")
 
     samples_json = root / "dataset" / "samples.json"
     if samples_json.exists():

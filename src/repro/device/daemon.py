@@ -31,6 +31,12 @@ class DeviceDaemon:
         category: str | None = None,
     ) -> str:
         """Acquire from the device, wrap in a signed envelope, ingest."""
+        if sensor not in self.device.sensors:
+            available = ", ".join(sorted(self.device.sensors)) or "none"
+            raise ValueError(
+                f"device {self.device.device_id!r} has no sensor {sensor!r}; "
+                f"available sensors: {available}"
+            )
         data = self.device.acquire(sensor, length_ms)
         sim = self.device.sensors[sensor]
         payload = AcquisitionPayload(

@@ -43,6 +43,9 @@ class VirtualDevice:
         self._emulator = EmulatedDevice(self.profile)
         self._last_sample: np.ndarray | None = None
         self._last_sensor: str | None = None
+        # DSP features of the most recent classify(), reused by fleet
+        # telemetry for feature-domain sketches (no second DSP pass).
+        self._last_features: np.ndarray | None = None
 
     # -- provisioning ------------------------------------------------------
 
@@ -66,17 +69,27 @@ class VirtualDevice:
 
     def run_impulse(self) -> dict:
         """Classify the last acquired sample with the flashed impulse."""
-        if self.firmware is None or self._impulse is None:
-            raise RuntimeError("no firmware flashed")
         if self._last_sample is None:
             raise RuntimeError("no sample acquired")
         data = self._last_sample
-        if data.shape[1] == 1:
+        if data.ndim == 2 and data.shape[1] == 1:
             data = data[:, 0]
-        window = self._impulse.input_block.windows(data)[0]
+        return self.classify(data)
+
+    def classify(self, data: np.ndarray) -> dict:
+        """Classify one raw recording on-device (first window) with the
+        flashed impulse — the field-inference path the monitoring plane
+        observes via :meth:`repro.device.fleet.DeviceFleet.classify_on`."""
+        if self.firmware is None or self._impulse is None:
+            raise RuntimeError("no firmware flashed")
+        window = self._impulse.input_block.windows(np.asarray(data))[0]
+        dsp_block = self._impulse.dsp_blocks[0]
+        self._last_features = dsp_block.transform(
+            np.asarray(window, dtype=np.float32)
+        )
         graph = self._model.graph
         probs, trace = self._emulator.run(
-            graph, window, dsp_block=self._impulse.dsp_blocks[0]
+            graph, window, dsp_block=dsp_block, features=self._last_features
         )
         timing = self._emulator.latency_ms(trace)
         ranked = sorted(

@@ -19,10 +19,14 @@ Two rollout paths:
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import asdict, dataclass, field
+
+import numpy as np
 
 from repro.deploy.firmware import FirmwareImage
 from repro.device.firmware import VirtualDevice
+from repro.monitor.telemetry import TelemetryRecord
 
 
 @dataclass
@@ -60,6 +64,16 @@ class DeviceFleet:
         # corrupt each other's previous-image/rollback bookkeeping.
         self._rollout_gate = threading.Lock()
         self._active_rollout = None  # the in-flight parent Job, if any
+        # Monitoring plane: when a TelemetryStore is bound (see
+        # MonitorService.watch_fleet), on-device inferences emit compact
+        # telemetry records.  Attribution is per-device first
+        # (``telemetry_projects``: device id -> project id, set when a
+        # rollout targets a subset of the fleet), falling back to the
+        # fleet-wide ``telemetry_project`` — so two projects sharing one
+        # fleet never see each other's traffic.
+        self.telemetry = None
+        self.telemetry_project: int | None = None
+        self.telemetry_projects: dict[str, int] = {}
 
     def _check_no_active_rollout_locked(self) -> None:
         active = self._active_rollout
@@ -79,6 +93,89 @@ class DeviceFleet:
             did: (d.firmware.version if d.firmware else "unflashed")
             for did, d in self.devices.items()
         }
+
+    def devices_for_project(self, project_id: int) -> "list[str] | None":
+        """Device ids whose telemetry is attributed to ``project_id``
+        (per-device bindings first, then the fleet-wide default).
+        Returns ``None`` when no bindings exist at all — an unmonitored
+        fleet, which callers treat as fleet-wide."""
+        if not self.telemetry_projects and self.telemetry_project is None:
+            return None
+        return [
+            did for did in sorted(self.devices)
+            if self.telemetry_projects.get(did, self.telemetry_project)
+            == project_id
+        ]
+
+    # -- on-device inference + telemetry ------------------------------------
+
+    def classify_on(self, device_id: str, data) -> dict:
+        """Run one inference on a field device's flashed impulse and emit
+        a telemetry record (with the raw window retained as a drift-loop
+        candidate) into the bound store, if any."""
+        if device_id not in self.devices:
+            raise KeyError(f"unknown device {device_id!r}")
+        device = self.devices[device_id]
+        raw = np.asarray(data, dtype=np.float32)
+        try:
+            result = device.classify(raw)
+        except RuntimeError as exc:
+            self._emit_telemetry(device, raw, error=str(exc))
+            raise
+        self._emit_telemetry(device, raw, result=result)
+        return result
+
+    def _emit_telemetry(self, device: VirtualDevice, raw: np.ndarray,
+                        result: dict | None = None,
+                        error: str | None = None) -> None:
+        project_id = self.telemetry_projects.get(
+            device.device_id, self.telemetry_project
+        )
+        if self.telemetry is None or project_id is None:
+            return
+        version = device.firmware.version if device.firmware else "unflashed"
+        if result is not None:
+            probs = list(result["classification"].values())  # ranked desc
+            timing = result.get("timing", {})
+            record = TelemetryRecord(
+                project_id,
+                model_version=version,
+                latency_ms=(timing.get("dsp_ms", 0.0)
+                            + timing.get("inference_ms", 0.0)),
+                top=result["top"],
+                confidence=probs[0] if probs else 0.0,
+                margin=(probs[0] - probs[1]) if len(probs) > 1
+                       else (probs[0] if probs else 0.0),
+                source=device.device_id,
+                sketch=self._sketch(device),
+                raw=raw,
+            )
+        else:
+            record = TelemetryRecord(
+                project_id,
+                model_version=version,
+                ok=False,
+                source=device.device_id,
+                raw=raw,
+                error=error,
+            )
+        self.telemetry.extend((record,))
+
+    @staticmethod
+    def _sketch(device: VirtualDevice):
+        """Sketch in the *feature* domain — the same domain (and hence
+        the same cached projection matrix) the serving tier sketches, so
+        one project's FeatureDriftDetector never compares device and
+        serving sketches drawn from unrelated projections.  Feature size
+        is fixed by the flashed impulse, so variable-length recordings
+        cannot mint new projection matrices either.  The features come
+        from the classify() call that just ran (no second DSP pass)."""
+        from repro.active.embeddings import feature_sketch
+
+        feats = device._last_features
+        if feats is None:  # only reachable if classify() semantics change
+            return None
+        return feature_sketch(np.asarray(feats, np.float32).reshape(1, -1))[0]
 
     def _try_flash(self, device: VirtualDevice, image: FirmwareImage,
                    corrupt: bool = False) -> bool:
@@ -180,6 +277,8 @@ class DeviceFleet:
         max_inflight: int = 4,
         retries_per_device: int = 0,
         inject_failures: "set[str] | dict[str, int] | None" = None,
+        health_gate=None,
+        soak_s: float = 0.0,
     ):
         """Staged OTA rollout as a parent job on ``executor``.
 
@@ -192,6 +291,15 @@ class DeviceFleet:
         flashes the rest of the fleet.  Each device is a child job with
         its own retry budget (``retries_per_device``); a device that
         exhausts it is rolled back to its previous image.
+
+        ``health_gate`` turns the canary barrier into a *telemetry-driven*
+        wave gate: after the canaries land (and after an optional
+        ``soak_s`` seconds of soak, during which canaries serve real
+        traffic), the zero-argument predicate is called — typically
+        :meth:`repro.monitor.MonitorService.health_gate`.  Returning
+        False (or raising) aborts exactly like a failure-threshold
+        breach: canaries roll back, the fleet stage never starts, and
+        the report carries ``health_gate_passed``.
 
         ``inject_failures`` is the failure hook used by tests: a set of
         device ids whose transfer always corrupts, or a mapping
@@ -301,16 +409,15 @@ class DeviceFleet:
                 failed_canaries = [d for d in report.failed if d in canary_set]
                 rate = len(failed_canaries) / len(canary)
                 state["canary_rate"] = rate
-            if parent.cancel_requested:
+            def _skip_rest(message: str) -> None:
                 with state["lock"]:
                     report.skipped.extend(rest)
-                parent.log("rollout cancelled before the fleet-wide stage; "
-                           f"{len(rest)} device(s) skipped")
+                parent.log(f"{message}; {len(rest)} device(s) skipped")
                 executor.seal_parent(parent)
-                return
-            if rate > failure_threshold:
-                # Abort: roll back every updated canary; the rest of the
-                # fleet is never flashed.
+
+            def _abort(reason: str) -> None:
+                # Roll back every updated canary; the rest of the fleet
+                # is never flashed.
                 with state["lock"]:
                     updated = list(report.updated)
                 for u in updated:
@@ -322,13 +429,42 @@ class DeviceFleet:
                     report.skipped.extend(rest)
                     report.aborted = True
                 parent.log(
-                    f"canary failure rate {rate:.0%} exceeds threshold "
-                    f"{failure_threshold:.0%}: rollout aborted, "
+                    f"{reason}: rollout aborted, "
                     f"{len(updated)} canar(y/ies) rolled back, "
                     f"{len(rest)} device(s) untouched"
                 )
                 executor.seal_parent(parent)
+
+            if parent.cancel_requested:
+                _skip_rest("rollout cancelled before the fleet-wide stage")
                 return
+            if rate > failure_threshold:
+                _abort(f"canary failure rate {rate:.0%} exceeds threshold "
+                       f"{failure_threshold:.0%}")
+                return
+            if health_gate is not None:
+                if soak_s > 0:
+                    parent.log(f"soaking canary cohort for {soak_s:.1f}s "
+                               "before the health gate")
+                    deadline = time.monotonic() + soak_s
+                    while (time.monotonic() < deadline
+                           and not parent.cancel_requested):
+                        time.sleep(min(0.05, max(0.0, deadline
+                                                 - time.monotonic())))
+                    if parent.cancel_requested:
+                        _skip_rest("rollout cancelled during the canary soak")
+                        return
+                detail = ""
+                try:
+                    healthy = bool(health_gate())
+                except Exception as exc:  # noqa: BLE001 - gate isolation
+                    healthy = False
+                    detail = f" ({type(exc).__name__}: {exc})"
+                state["health_gate_passed"] = healthy
+                if not healthy:
+                    _abort("canary health gate failed" + detail)
+                    return
+                parent.log("canary health gate passed")
             parent.log(
                 f"canary cohort healthy ({rate:.0%} <= "
                 f"{failure_threshold:.0%}); rolling out to "
@@ -347,6 +483,7 @@ class DeviceFleet:
                 "canary": list(canary),
                 "canary_failure_rate": state.get("canary_rate"),
                 "failure_threshold": failure_threshold,
+                "health_gate_passed": state.get("health_gate_passed"),
             }
 
         with self._rollout_gate:

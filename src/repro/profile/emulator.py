@@ -47,13 +47,24 @@ class EmulatedDevice:
         graph: Graph,
         sample: np.ndarray,
         dsp_block: DSPBlock | None = None,
+        features: np.ndarray | None = None,
     ) -> tuple[np.ndarray, EmulationTrace]:
-        """Process one raw sample end to end; returns (probabilities, trace)."""
+        """Process one raw sample end to end; returns (probabilities, trace).
+
+        ``features`` lets a caller that already ran ``dsp_block`` over
+        ``sample`` supply the result, so the transform is not repeated;
+        DSP cycles are still accounted from the raw sample shape.
+        """
         trace = EmulationTrace()
-        features = np.asarray(sample, dtype=np.float32)
+        raw = np.asarray(sample, dtype=np.float32)
         if dsp_block is not None:
-            trace.dsp_cycles = self._estimator.dsp_cycles(dsp_block, features.shape)
-            features = dsp_block.transform(features)
+            trace.dsp_cycles = self._estimator.dsp_cycles(dsp_block, raw.shape)
+            features = (dsp_block.transform(raw) if features is None
+                        else np.asarray(features, dtype=np.float32))
+        else:
+            features = raw if features is None else np.asarray(
+                features, dtype=np.float32
+            )
 
         batch = features[None, ...]
         in_t = graph.tensors[graph.input_id]

@@ -16,18 +16,24 @@ serves classification requests from compiled models:
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from types import SimpleNamespace
 
 import numpy as np
 
+from repro.active.embeddings import feature_sketch
+from repro.monitor.telemetry import TelemetryRecord, model_version_of
 from repro.runtime.eon import EONCompiler
 from repro.runtime.interpreter import TFLMInterpreter
 from repro.serve.batcher import MicroBatcher
 
 ENGINES = ("eon", "tflm")
 PRECISIONS = ("float32", "int8")
+
+#: Dimensionality of the per-inference feature sketch telemetry carries.
+SKETCH_DIM = 8
 
 
 class ServingError(Exception):
@@ -80,6 +86,11 @@ class ModelServer:
         self.max_batch = max_batch
         self.name = name
         self.stats = ServingStats()
+        # Optional monitoring sink (a repro.monitor TelemetryStore).  When
+        # None — the default — the serving path pays one attribute test
+        # per batch and nothing else.
+        self.telemetry = None
+        self.telemetry_errors = 0
         self._cache: OrderedDict[tuple[int, str, str], _CacheEntry] = OrderedDict()
         # Guards the cache and stats; per-entry batchers have their own
         # lock, so classify calls only contend here for the model lookup.
@@ -199,11 +210,9 @@ class ModelServer:
         "top"}``.  Goes through the micro-batch queue, so concurrent
         callers share one batched invoke."""
         entry = self.get_model(project_id, precision, engine)
-        ticket = entry.batcher.submit(self._coerce_features(entry, features))
-        probs = entry.batcher.wait(ticket)
-        with self._lock:
-            self.stats.requests += 1
-        return self._to_result(self._labels(project_id), probs)
+        return self.classify_coerced(
+            project_id, entry, [self._coerce_features(entry, features)]
+        )[0]
 
     def classify_batch(
         self,
@@ -225,12 +234,63 @@ class ModelServer:
         """Batch-classify rows already validated by ``_coerce_features``
         against ``entry`` — the shard-worker hot path, which coerces at
         admission time and must not pay for it twice."""
+        telemetry = self.telemetry
+        start = time.perf_counter() if telemetry is not None else 0.0
         tickets = [entry.batcher.submit(row) for row in rows]
         results = [entry.batcher.wait(t) for t in tickets]
         with self._lock:
             self.stats.requests += len(tickets)
         labels = self._labels(project_id)
+        if telemetry is not None:
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            try:
+                self._emit_telemetry(
+                    telemetry, project_id, labels, rows, results,
+                    elapsed_ms / max(len(rows), 1),
+                )
+            except Exception:  # noqa: BLE001 - monitoring never breaks serving
+                with self._lock:
+                    self.telemetry_errors += 1
         return [self._to_result(labels, probs) for probs in results]
+
+    def _emit_telemetry(
+        self, telemetry, project_id: int, labels: list[str],
+        rows, probs_rows, latency_ms: float,
+    ) -> None:
+        """Build one compact record per served row — vectorized over the
+        batch (one argmax/partition/matmul) and pushed to the store under
+        a single lock (:meth:`TelemetryStore.extend`)."""
+        probs = np.stack(probs_rows)
+        top_idx = probs.argmax(axis=1)
+        conf = probs[np.arange(len(probs)), top_idx]
+        if probs.shape[1] > 1:
+            margin = conf - np.partition(probs, -2, axis=1)[:, -2]
+        else:
+            margin = conf
+        sketches = feature_sketch(np.stack(rows), dim=SKETCH_DIM)
+        version = model_version_of(self.platform.projects[project_id])
+        # Bulk-convert to Python scalars (one C loop each) and share one
+        # timestamp: per-record float()/time.time() calls add up on a
+        # path that runs once per served batch.
+        ts = time.time()
+        n_labels = len(labels)
+        tops = top_idx.tolist()
+        confs = conf.tolist()
+        margins = margin.tolist()
+        telemetry.extend([
+            TelemetryRecord(
+                project_id,
+                model_version=version,
+                ts=ts,
+                latency_ms=latency_ms,
+                top=labels[tops[i]] if tops[i] < n_labels else None,
+                confidence=confs[i],
+                margin=margins[i],
+                source=self.name,
+                sketch=sketches[i],
+            )
+            for i in range(len(probs))
+        ])
 
     # -- observability -----------------------------------------------------
 
@@ -253,4 +313,5 @@ class ModelServer:
                 "cache_hits": self.stats.cache_hits,
                 "cache_misses": self.stats.cache_misses,
                 "cache_evictions": self.stats.cache_evictions,
+                "telemetry_errors": self.telemetry_errors,
             }

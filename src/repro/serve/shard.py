@@ -195,6 +195,19 @@ class ShardedModelServer:
         registry = SimpleNamespace(projects={project.project_id: project})
         return cls(registry, **kwargs)
 
+    # -- monitoring sink ---------------------------------------------------
+
+    @property
+    def telemetry(self):
+        """The monitoring sink; assigning propagates to every shard's
+        server, so all workers emit into the same store."""
+        return self.shards[0].server.telemetry
+
+    @telemetry.setter
+    def telemetry(self, store) -> None:
+        for shard in self.shards:
+            shard.server.telemetry = store
+
     # -- routing -----------------------------------------------------------
 
     def shard_index(self, project_id: int, precision: str, engine: str) -> int:
@@ -274,6 +287,7 @@ class ShardedModelServer:
         summed = (
             "requests", "batches", "batched_requests", "cache_size",
             "cache_hits", "cache_misses", "cache_evictions",
+            "telemetry_errors",
         )
         total = {k: sum(s[k] for s in per_shard) for k in summed}
         total["mean_batch_size"] = (

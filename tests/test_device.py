@@ -135,6 +135,27 @@ def test_daemon_wrong_key_rejected(firmware_image):
     assert len(project.dataset) == 0
 
 
+def test_daemon_unknown_sensor_is_clear_valueerror():
+    """Regression: an unknown sensor name used to escape as a bare
+    KeyError; it must be a ValueError naming the available sensors."""
+    platform = Platform()
+    platform.register_user("u")
+    project = platform.create_project("sensors", owner="u")
+    device = VirtualDevice("dev-6", "nano33ble",
+                           sensors=[AccelerometerSimulator(seed=0),
+                                    MicrophoneSimulator(seed=0)])
+    daemon = DeviceDaemon(device, project)
+    with pytest.raises(ValueError, match="accelerometer, microphone"):
+        daemon.sample_and_upload("gyroscope", 500, "x")
+    with pytest.raises(ValueError, match="no sensor 'gyroscope'"):
+        daemon.sample_and_upload("gyroscope", 500, "x")
+    assert len(project.dataset) == 0
+    # A device with no sensors at all says so instead of listing nothing.
+    bare = DeviceDaemon(VirtualDevice("dev-7", "nano33ble"), project)
+    with pytest.raises(ValueError, match="available sensors: none"):
+        bare.sample_and_upload("accelerometer", 500, "x")
+
+
 def test_fleet_rollout_and_rollback(firmware_image):
     fleet = DeviceFleet()
     for i in range(6):

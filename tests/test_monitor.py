@@ -1,0 +1,733 @@
+"""The monitoring plane: telemetry store, drift/SLO detectors, policies,
+serving/fleet emission, health-gated rollouts, and the REST surface."""
+
+import copy
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import ClassificationBlock, Impulse, Platform, RestAPI, TimeSeriesInput
+from repro.core.jobs import JobExecutor
+from repro.deploy import build_artifact
+from repro.device import DeviceFleet, VirtualDevice
+from repro.dsp import RawBlock
+from repro.monitor import (
+    ConfidenceShiftDetector,
+    ErrorRateSLODetector,
+    FeatureDriftDetector,
+    LabelMixShiftDetector,
+    LatencySLODetector,
+    MonitorDaemon,
+    MonitorPolicy,
+    MonitorService,
+    TelemetryRecord,
+    TelemetryStore,
+    ks_statistic,
+    psi,
+)
+
+
+def _records(n, project_id=1, confidence=0.9, top="a", ok=True,
+             latency_ms=1.0, sketch=None, raw=None, source="serving"):
+    return [
+        TelemetryRecord(project_id, confidence=confidence, top=top, ok=ok,
+                        latency_ms=latency_ms, sketch=sketch, raw=raw,
+                        source=source)
+        for _ in range(n)
+    ]
+
+
+# -- telemetry store ---------------------------------------------------------
+
+
+def test_store_ring_is_bounded_per_project():
+    store = TelemetryStore(window=8, raw_window=2)
+    store.extend(_records(20, project_id=1))
+    store.extend(_records(3, project_id=2))
+    assert store.count(1) == 8
+    assert store.count(2) == 3
+    assert store.total_records == 23
+    assert store.project_ids() == [1, 2]
+
+
+def test_store_raw_ring_is_bounded_separately():
+    store = TelemetryStore(window=64, raw_window=4)
+    store.extend(_records(10, raw=np.ones(5, dtype=np.float32)))
+    assert store.count(1) == 10
+    assert len(store.drift_candidates(1)) == 4
+    # raw_window genuinely bounds payload memory: records evicted from
+    # the raw ring stay in the main ring but their payload is dropped.
+    assert sum(1 for r in store.recent(1) if r.raw is not None) == 4
+    # raw_window=0 never retains payloads at all.
+    none_store = TelemetryStore(window=8, raw_window=0)
+    none_store.extend(_records(3, raw=np.ones(5, dtype=np.float32)))
+    assert none_store.drift_candidates(1) == []
+    assert all(r.raw is None for r in none_store.recent(1))
+
+
+def test_store_recent_filters():
+    store = TelemetryStore()
+    store.extend(_records(4, source="dev-0"))
+    store.extend(_records(2, source="serving"))
+    a, b = _records(1)[0], _records(1)[0]
+    a.model_version, b.model_version = "1.0.1", "1.0.2"
+    store.extend([a, b])
+    assert len(store.recent(1, source="dev-0")) == 4
+    assert len(store.recent(1, model_version="1.0.2")) == 1
+    assert len(store.recent(1, n=3)) == 3
+    assert store.recent(99) == []
+
+
+def test_store_concurrent_ingest_preserves_totals():
+    store = TelemetryStore(window=10_000)
+    n_threads, per_thread = 8, 200
+
+    def pump():
+        for _ in range(per_thread // 10):
+            store.extend(_records(10))
+
+    threads = [threading.Thread(target=pump) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert store.total_records == n_threads * per_thread
+    assert store.count(1) == n_threads * per_thread
+
+
+def test_store_summary():
+    store = TelemetryStore()
+    store.extend(_records(3, top="yes") + _records(1, top="no", ok=False))
+    summary = store.summary(1)
+    assert summary["by_label"] == {"yes": 3, "no": 1}
+    assert summary["error_rate"] == pytest.approx(0.25)
+
+
+# -- detector statistics -----------------------------------------------------
+
+
+def test_ks_statistic_extremes():
+    assert ks_statistic([0, 0, 0], [1, 1, 1]) == 1.0
+    assert ks_statistic([1, 2, 3], [1, 2, 3]) == 0.0
+    assert ks_statistic([], [1.0]) == 0.0
+
+
+def test_psi_behaviour():
+    assert psi({"a": 10, "b": 10}, {"a": 10, "b": 10}) == pytest.approx(0.0, abs=1e-6)
+    assert psi({"a": 10}, {"b": 10}) > 1.0
+    assert psi({}, {}) == 0.0
+
+
+def test_confidence_shift_detector():
+    rng = np.random.default_rng(0)
+    ref = [TelemetryRecord(1, confidence=c)
+           for c in rng.uniform(0.85, 0.99, 200)]
+    same = [TelemetryRecord(1, confidence=c)
+            for c in rng.uniform(0.85, 0.99, 200)]
+    collapsed = [TelemetryRecord(1, confidence=c)
+                 for c in rng.uniform(0.3, 0.6, 200)]
+    detector = ConfidenceShiftDetector(threshold=0.25)
+    assert not detector.evaluate(ref, same).triggered
+    result = detector.evaluate(ref, collapsed)
+    assert result.triggered and result.score > 0.9
+
+
+def test_label_mix_detector():
+    ref = _records(50, top="a") + _records(50, top="b")
+    same = _records(25, top="a") + _records(25, top="b")
+    skewed = _records(50, top="b")
+    detector = LabelMixShiftDetector(threshold=0.25)
+    assert not detector.evaluate(ref, same).triggered
+    assert detector.evaluate(ref, skewed).triggered
+
+
+def test_feature_drift_detector():
+    rng = np.random.default_rng(0)
+    ref = [TelemetryRecord(1, sketch=rng.normal(0, 1, 8)) for _ in range(100)]
+    same = [TelemetryRecord(1, sketch=rng.normal(0, 1, 8)) for _ in range(100)]
+    shifted = [TelemetryRecord(1, sketch=rng.normal(4, 1, 8))
+               for _ in range(100)]
+    detector = FeatureDriftDetector(threshold=0.35)
+    assert not detector.evaluate(ref, same).triggered
+    assert detector.evaluate(ref, shifted).triggered
+    # No sketches at all -> cleanly not triggered.
+    no_sketch = detector.evaluate(_records(5), _records(5))
+    assert not no_sketch.triggered and "reason" in no_sketch.detail
+
+
+def test_slo_detectors():
+    lat = LatencySLODetector(max_p95_ms=10.0)
+    assert not lat.evaluate([], _records(20, latency_ms=1.0)).triggered
+    assert lat.evaluate([], _records(20, latency_ms=50.0)).triggered
+    err = ErrorRateSLODetector(max_rate=0.1)
+    assert not err.evaluate([], _records(20, ok=True)).triggered
+    assert err.evaluate([], _records(5, ok=True) + _records(5, ok=False)).triggered
+
+
+# -- policy ------------------------------------------------------------------
+
+
+def test_policy_update_and_validation():
+    policy = MonitorPolicy()
+    policy.update({"auto_retrain": True, "window": 32, "max_latency_ms": 5})
+    assert policy.auto_retrain is True and policy.window == 32
+    with pytest.raises(ValueError, match="unknown policy key"):
+        policy.update({"no_such_knob": 1})
+    with pytest.raises(ValueError):
+        policy.update({"canary_fraction": 2.0})
+    with pytest.raises(ValueError):
+        policy.update({"window": 0})
+
+
+def test_rejected_policy_update_rolls_back():
+    """A rejected update must leave the policy untouched — half-applied
+    settings would otherwise block every later update via validate()."""
+    policy = MonitorPolicy()
+    with pytest.raises(ValueError):
+        policy.update({"canary_fraction": 2.0, "window": 16})
+    assert policy.canary_fraction == 0.25
+    assert policy.window == 256
+    # And the policy is still updatable afterwards.
+    policy.update({"window": 64})
+    assert policy.window == 64
+
+
+# -- serving emission --------------------------------------------------------
+
+
+@pytest.fixture()
+def served_project(tiny_graphs):
+    platform = Platform()
+    platform.register_user("u")
+    project = platform.create_project("mon", owner="u")
+    project.set_impulse(Impulse(
+        TimeSeriesInput(window_size_ms=1000, window_increase_ms=1000,
+                        frequency_hz=16, axes=8),
+        [RawBlock()],
+        ClassificationBlock(),
+    ))
+    project.float_graph, project.int8_graph = tiny_graphs
+    project.label_map = {"a": 0, "b": 1, "c": 2}
+    return platform, project
+
+
+def test_serving_emits_telemetry(served_project):
+    platform, project = served_project
+    store = platform.monitor.telemetry
+    rows = [np.random.default_rng(0).standard_normal(16 * 8).tolist()
+            for _ in range(6)]
+    platform.serving.classify_batch(project.project_id, rows)
+    records = store.recent(project.project_id)
+    assert len(records) == 6
+    for rec in records:
+        assert rec.top in ("a", "b", "c")
+        assert 0.0 <= rec.confidence <= 1.0
+        assert rec.margin <= rec.confidence + 1e-6
+        assert rec.sketch is not None and rec.sketch.shape == (8,)
+        assert rec.model_version == "1.0.0"
+        assert rec.latency_ms >= 0.0
+        assert rec.raw is None  # serving does not retain payloads
+    assert platform.serving.snapshot()["telemetry_errors"] == 0
+
+
+def test_serving_without_telemetry_unchanged(tiny_graphs):
+    from repro.serve import ModelServer
+
+    platform, project = None, None
+    plat = Platform()
+    plat.register_user("u")
+    project = plat.create_project("off", owner="u")
+    project.float_graph, project.int8_graph = tiny_graphs
+    project.label_map = {"a": 0, "b": 1, "c": 2}
+    server = ModelServer.for_project(project)
+    assert server.telemetry is None
+    result = server.classify(project.project_id, np.zeros(16 * 8))
+    assert set(result) == {"classification", "top"}
+
+
+def test_sharded_serving_propagates_telemetry(tiny_graphs):
+    plat = Platform(serving_workers=3)
+    plat.register_user("u")
+    project = plat.create_project("shard-mon", owner="u")
+    project.float_graph, project.int8_graph = tiny_graphs
+    project.label_map = {"a": 0, "b": 1, "c": 2}
+    # The Platform wired every shard to the monitor store at construction.
+    assert plat.serving.telemetry is plat.monitor.telemetry
+    rows = [np.zeros(16 * 8).tolist() for _ in range(4)]
+    plat.serving.classify_batch(project.project_id, rows)
+    records = plat.monitor.telemetry.recent(project.project_id)
+    assert len(records) == 4
+    assert all(r.source.startswith("shard-") for r in records)
+    plat.serving.close()
+
+
+# -- fleet emission + health-gated rollout -----------------------------------
+
+
+@pytest.fixture()
+def image(tiny_graphs):
+    impulse = Impulse(
+        TimeSeriesInput(window_size_ms=1000, window_increase_ms=1000,
+                        frequency_hz=16, axes=8),
+        [RawBlock()],
+        ClassificationBlock(),
+    )
+    artifact = build_artifact("firmware", tiny_graphs[1], impulse,
+                              {"a": 0, "b": 1, "c": 2}, "eon", "p")
+    return artifact.metadata["image"]
+
+
+def _fleet(n):
+    fleet = DeviceFleet()
+    for i in range(n):
+        fleet.register(VirtualDevice(f"d{i}", "nano33ble"))
+    return fleet
+
+
+def test_fleet_classify_emits_telemetry_with_raw(image):
+    fleet = _fleet(2)
+    fleet.ota_update(image)
+    store = TelemetryStore()
+    fleet.telemetry = store
+    fleet.telemetry_project = 7
+    data = np.random.default_rng(0).standard_normal((16, 8)).astype(np.float32)
+    result = fleet.classify_on("d0", data)
+    assert result["top"] in ("a", "b", "c")
+    records = store.recent(7)
+    assert len(records) == 1
+    rec = records[0]
+    assert rec.source == "d0"
+    assert rec.model_version == "1.0.0"
+    assert rec.raw is not None and rec.raw.shape == (16, 8)
+    # The sketch is taken in the feature domain (same projection as the
+    # serving tier's sketches for this impulse).
+    from repro.active import feature_sketch
+
+    window = fleet.devices["d0"]._impulse.input_block.windows(data)[0]
+    feats = fleet.devices["d0"]._impulse.features_for_window(window)
+    assert np.allclose(rec.sketch, feature_sketch(feats.reshape(1, -1))[0])
+    assert store.drift_candidates(7) == [rec]
+    # Unflashed device: error telemetry + the exception propagates.
+    fleet.register(VirtualDevice("bare", "nano33ble"))
+    with pytest.raises(RuntimeError, match="no firmware"):
+        fleet.classify_on("bare", data)
+    assert any(not r.ok for r in store.recent(7))
+    with pytest.raises(KeyError):
+        fleet.classify_on("ghost", data)
+
+
+def test_unbound_fleet_emits_nothing(image):
+    fleet = _fleet(1)
+    fleet.ota_update(image)
+    fleet.classify_on("d0", np.zeros((16, 8), dtype=np.float32))  # no sink
+
+
+def test_rollout_health_gate_failure_aborts(image):
+    fleet = _fleet(8)
+    fleet.ota_update(image)
+    executor = JobExecutor()
+    v2 = copy.deepcopy(image)
+    v2.version = "2.0.0"
+    job = fleet.ota_update_async(
+        v2, executor, canary_fraction=0.25, health_gate=lambda: False
+    )
+    job.wait(timeout=30.0)
+    assert job.status == "succeeded"
+    report = job.result
+    assert report["aborted"] is True
+    assert report["health_gate_passed"] is False
+    assert len(report["skipped"]) == 6
+    # Every device is still (or back) on the old version.
+    assert set(fleet.versions().values()) == {"1.0.0"}
+    assert any("health gate failed" in line for line in job.logs)
+
+
+def test_rollout_health_gate_exception_counts_as_unhealthy(image):
+    fleet = _fleet(4)
+    executor = JobExecutor()
+
+    def broken_gate():
+        raise RuntimeError("monitor on fire")
+
+    job = fleet.ota_update_async(image, executor, health_gate=broken_gate)
+    job.wait(timeout=30.0)
+    assert job.result["aborted"] is True
+    assert job.result["health_gate_passed"] is False
+    assert any("monitor on fire" in line for line in job.logs)
+
+
+def test_rollout_health_gate_pass_with_soak(image):
+    fleet = _fleet(4)
+    executor = JobExecutor()
+    calls = []
+
+    def gate():
+        calls.append(1)
+        return True
+
+    job = fleet.ota_update_async(image, executor, health_gate=gate,
+                                 soak_s=0.05)
+    job.wait(timeout=30.0)
+    assert job.status == "succeeded"
+    assert job.result["aborted"] is False
+    assert job.result["health_gate_passed"] is True
+    assert len(calls) == 1
+    assert sorted(job.result["updated"]) == ["d0", "d1", "d2", "d3"]
+    assert any("soaking canary cohort" in line for line in job.logs)
+
+
+def test_monitor_service_health_gate(image):
+    plat = Platform()
+    plat.register_user("u")
+    project = plat.create_project("gate", owner="u")
+    pid = project.project_id
+    gate = plat.monitor.health_gate(pid)
+    assert gate() is True  # no telemetry: no evidence of harm
+    plat.monitor.telemetry.extend(
+        _records(20, project_id=pid, ok=False)
+    )
+    assert gate() is False  # error-rate SLO breached
+    # Scoped to a model version that has no traffic -> healthy.
+    scoped = plat.monitor.health_gate(pid, model_version="9.9.9")
+    assert scoped() is True
+
+
+# -- evaluation, alerts, daemon ----------------------------------------------
+
+
+def _drift_setup(pid=1):
+    plat = Platform()
+    plat.register_user("u")
+    project = plat.create_project("drifty", owner="u")
+    service = plat.monitor
+    service.set_policy(project.project_id, {
+        "reference_size": 20, "min_records": 10, "window": 64,
+    })
+    rng = np.random.default_rng(0)
+    service.telemetry.extend([
+        TelemetryRecord(project.project_id, confidence=c, top="a",
+                        model_version="1.0.1")
+        for c in rng.uniform(0.85, 0.99, 20)
+    ])
+    return plat, project, service, rng
+
+
+def test_evaluate_baselines_then_detects_drift():
+    plat, project, service, rng = _drift_setup()
+    pid = project.project_id
+    # First sweep: captures the reference, not enough fresh records yet.
+    snap = service.evaluate(pid)
+    assert snap["skipped"] is True and snap["reference_records"] == 20
+    # Healthy traffic: no alerts.
+    service.telemetry.extend([
+        TelemetryRecord(pid, confidence=c, top="a")
+        for c in rng.uniform(0.85, 0.99, 30)
+    ])
+    snap = service.evaluate(pid)
+    assert snap["health"] == "ok" and snap["alerts_total"] == 0
+    # Confidence collapse: drift alert, edge-triggered once.
+    service.telemetry.extend([
+        TelemetryRecord(pid, confidence=c, top="a")
+        for c in rng.uniform(0.2, 0.5, 40)
+    ])
+    snap = service.evaluate(pid)
+    assert snap["health"] == "drift"
+    alerts = service.alerts(pid)
+    assert len(alerts) == 1
+    assert alerts[0]["detector"] == "confidence_shift"
+    assert alerts[0]["severity"] == "warning"
+    assert alerts[0]["action"] is None  # auto_retrain is off
+    # Still drifted on the next sweep: no duplicate alert.
+    service.evaluate(pid)
+    assert len(service.alerts(pid)) == 1
+    # A traffic pause (sweep skipped for lack of records) must not fake
+    # a recovery: the last evaluated status survives the skip.
+    service.telemetry.clear(pid)
+    snap = service.evaluate(pid)
+    assert snap["skipped"] is True and snap["health"] == "drift"
+
+
+def test_slo_breach_is_critical():
+    plat, project, service, rng = _drift_setup()
+    pid = project.project_id
+    service.set_policy(pid, {"max_latency_ms": 5.0})
+    service.evaluate(pid)  # capture reference
+    service.telemetry.extend([
+        TelemetryRecord(pid, confidence=c, top="a", latency_ms=80.0)
+        for c in rng.uniform(0.85, 0.99, 30)
+    ])
+    snap = service.evaluate(pid)
+    assert snap["health"] == "unhealthy"
+    assert any(a["severity"] == "critical" and a["detector"] == "latency_slo"
+               for a in service.alerts(pid))
+
+
+def test_daemon_tick_and_schedule():
+    plat, project, service, rng = _drift_setup()
+    daemon = MonitorDaemon(service, interval_s=0.05)
+    job = daemon.tick()
+    assert job.status == "succeeded"
+    assert str(project.project_id) in " ".join(job.logs) or job.result
+    daemon.start()
+    assert daemon.running
+    deadline = 50
+    while len(daemon.sweeps) < 2 and deadline:
+        threading.Event().wait(0.05)
+        deadline -= 1
+    daemon.stop()
+    assert not daemon.running
+    assert len(daemon.sweeps) >= 2
+    with pytest.raises(ValueError):
+        MonitorDaemon(service, interval_s=0)
+
+
+def test_route_drift_samples_skips_unlabeled_and_failed(served_project):
+    """Only healthy, predicted records may be routed back: a top-less or
+    failed record must not mint a phantom 'unlabeled' training class."""
+    platform, project = served_project
+    good = TelemetryRecord(project.project_id, top="a", confidence=0.9,
+                           raw=np.ones((16, 8), dtype=np.float32))
+    topless = TelemetryRecord(project.project_id, top=None,
+                              raw=np.ones((16, 8), dtype=np.float32) * 2)
+    failed = TelemetryRecord(project.project_id, top="b", ok=False,
+                             raw=np.ones((16, 8), dtype=np.float32) * 3)
+    routed = platform.monitor.route_drift_samples(
+        project, [good, topless, failed]
+    )
+    assert routed == 1
+    assert project.dataset.labels == ["a"]
+    sample = project.dataset.samples()[0]
+    assert sample.category == "train"
+    assert sample.metadata["monitor"] is True
+
+
+def test_fleet_telemetry_attribution_per_device(image):
+    """Two projects rolling out to disjoint device subsets keep their
+    telemetry separate; per-device bindings win over the default."""
+    plat = Platform()
+    plat.register_user("u")
+    a = plat.create_project("proj-a", owner="u")
+    b = plat.create_project("proj-b", owner="u")
+    for did in ("dev-a", "dev-b", "dev-c"):
+        plat.fleet.register(VirtualDevice(did, "nano33ble"))
+    plat.fleet.ota_update(image)
+    plat.monitor.watch_fleet(a.project_id)  # fleet-wide default: A
+    plat.monitor.watch_fleet(b.project_id, device_ids=["dev-b"])
+    data = np.zeros((16, 8), dtype=np.float32)
+    plat.fleet.classify_on("dev-a", data)
+    plat.fleet.classify_on("dev-b", data)
+    plat.fleet.classify_on("dev-c", data)
+    store = plat.monitor.telemetry
+    assert [r.source for r in store.recent(a.project_id)] == ["dev-a", "dev-c"]
+    assert [r.source for r in store.recent(b.project_id)] == ["dev-b"]
+    assert sorted(plat.fleet.devices_for_project(a.project_id)) == [
+        "dev-a", "dev-c"]
+    assert plat.fleet.devices_for_project(b.project_id) == ["dev-b"]
+    # A later fleet-wide binding supersedes stale per-device routes (the
+    # fleet was reflashed; old subset attributions must not leak on).
+    plat.monitor.watch_fleet(a.project_id)
+    assert plat.fleet.telemetry_projects == {}
+
+
+def test_loop_rollout_scoped_to_project_devices(served_project, tiny_graphs):
+    """Auto-retrain rollouts must never reflash another project's
+    devices on a shared fleet: targets are the devices attributed to
+    the retraining project."""
+    platform, project_a = served_project
+    project_b = platform.create_project("mon-b", owner="u")
+    project_b.set_impulse(Impulse(
+        TimeSeriesInput(window_size_ms=1000, window_increase_ms=1000,
+                        frequency_hz=16, axes=8),
+        [RawBlock()],
+        ClassificationBlock(),
+    ))
+    project_b.float_graph, project_b.int8_graph = tiny_graphs
+    project_b.label_map = {"a": 0, "b": 1, "c": 2}
+    for did in ("d0", "d1", "d2", "d3"):
+        platform.fleet.register(VirtualDevice(did, "nano33ble"))
+    platform.monitor.watch_fleet(project_a.project_id, device_ids=["d0", "d1"])
+    platform.monitor.watch_fleet(project_b.project_id, device_ids=["d2", "d3"])
+    rollout = platform.monitor.rollout_version(project_b)
+    assert rollout.status == "succeeded"
+    report = rollout.result
+    assert sorted(report["updated"]) == ["d2", "d3"]
+    versions = platform.fleet.versions()
+    assert versions["d0"] == versions["d1"] == "unflashed"
+    assert versions["d2"] == versions["d3"] == "1.0.0"
+
+
+def test_set_reference_empty_capture_preserves_baseline():
+    plat, project, service, rng = _drift_setup()
+    pid = project.project_id
+    assert service.set_reference(pid) == 20  # captures the seeded traffic
+    service.telemetry.clear(pid)
+    # Nothing to capture now: report 0 and keep the pinned baseline.
+    assert service.set_reference(pid) == 0
+    assert len(service.monitor(pid).reference) == 20
+
+
+def test_max_drift_samples_zero_disables_routing():
+    plat, project, service, rng = _drift_setup()
+    pid = project.project_id
+    service.set_policy(pid, {"auto_retrain": True, "max_drift_samples": 0})
+    service.evaluate(pid)  # capture reference
+    service.telemetry.extend([
+        TelemetryRecord(pid, confidence=c, top="a",
+                        raw=np.ones(4, dtype=np.float32))
+        for c in rng.uniform(0.2, 0.5, 40)
+    ])
+    snap = service.evaluate(pid)
+    assert "started_loop_job" in snap
+    loop = service.monitor(pid).loop_jobs[-1]
+    loop.wait(30.0)  # fails later (no impulse) — the count is in the log
+    assert any("0 drift-window sample(s) to route back" in line
+               for line in loop.logs)
+
+
+def test_loop_fails_cleanly_without_impulse():
+    plat = Platform()
+    plat.register_user("u")
+    project = plat.create_project("noimp", owner="u")
+    job = plat.monitor.start_retrain_loop(project, [], reason="test")
+    job.wait(30.0)
+    assert job.status == "failed"
+    assert "impulse" in job.error
+
+
+def test_auto_retrain_respects_cooldown_and_single_loop():
+    plat, project, service, rng = _drift_setup()
+    pid = project.project_id
+    service.set_policy(pid, {"auto_retrain": True, "cooldown_s": 300})
+    service.evaluate(pid)  # capture reference
+    service.telemetry.extend([
+        TelemetryRecord(pid, confidence=c, top="a")
+        for c in rng.uniform(0.2, 0.5, 40)
+    ])
+    snap = service.evaluate(pid)
+    assert "started_loop_job" in snap
+    pm = service.monitor(pid)
+    pm.loop_jobs[-1].wait(30.0)  # fails fast (no impulse) — that's fine
+    # Drift persists, but the cooldown blocks a second loop.
+    service.telemetry.extend([
+        TelemetryRecord(pid, confidence=c, top="a")
+        for c in rng.uniform(0.2, 0.5, 10)
+    ])
+    snap = service.evaluate(pid)
+    assert "started_loop_job" not in snap
+    assert len(pm.loop_jobs) == 1
+
+
+# -- REST surface ------------------------------------------------------------
+
+
+def test_rest_monitor_routes(served_project):
+    platform, project = served_project
+    api = RestAPI(platform)
+    pid = project.project_id
+
+    # Policy: partial update, echo, validation.
+    r = api.handle("POST", f"/api/projects/{pid}/monitor/policy",
+                   {"min_records": 4, "reference_size": 4, "window": 32},
+                   user="u")
+    assert r["status"] == 200 and r["policy"]["min_records"] == 4
+    assert api.handle("POST", f"/api/projects/{pid}/monitor/policy",
+                      {"bogus_knob": 1}, user="u")["status"] == 400
+    assert api.handle("POST", f"/api/projects/{pid}/monitor/policy",
+                      {"window": 0}, user="u")["status"] == 400
+    # Membership is enforced on mutation.
+    assert api.handle("POST", f"/api/projects/{pid}/monitor/policy",
+                      {"window": 8}, user="mallory")["status"] == 403
+
+    # No telemetry yet: reference capture is a clean 409.
+    assert api.handle("POST", f"/api/projects/{pid}/monitor/reference",
+                      {}, user="u")["status"] == 409
+
+    # Telemetry push (the device path) — records can end up in a
+    # training set, so anonymous pushes are 403 and so are pushes into
+    # a project the (registered) caller is not a member of.
+    assert api.handle("POST", "/api/telemetry",
+                      {"records": [{"project_id": pid}]},
+                      user="mallory")["status"] == 403
+    platform.register_user("intruder")
+    assert api.handle("POST", "/api/telemetry",
+                      {"records": [{"project_id": pid}]},
+                      user="intruder")["status"] == 403
+    r = api.handle("POST", "/api/telemetry", {"records": [
+        {"project_id": pid, "confidence": 0.95, "top": "a",
+         "source": "field-1", "raw": [0.0] * 16},
+        {"project_id": pid, "confidence": 0.91, "top": "a"},
+    ]}, user="u")
+    assert r["status"] == 200 and r["accepted"] == 2
+    assert api.handle("POST", "/api/telemetry",
+                      {"records": [{"project_id": 999}]},
+                      user="u")["status"] == 404
+    assert api.handle("POST", "/api/telemetry",
+                      {"records": [{"confidence": 1}]},
+                      user="u")["status"] == 400
+    assert api.handle("POST", "/api/telemetry", {"records": []},
+                      user="u")["status"] == 400
+    assert api.handle("POST", "/api/telemetry", {}, user="u")["status"] == 400
+
+    r = api.handle("POST", f"/api/projects/{pid}/monitor/reference",
+                   {}, user="u")
+    assert r["status"] == 200 and r["reference_records"] == 2
+
+    # Status + summary.
+    r = api.handle("GET", f"/api/projects/{pid}/monitor", {}, user="u")
+    assert r["status"] == 200
+    assert r["telemetry"]["records"] == 2
+    assert r["telemetry"]["by_source"].get("field-1") == 1
+    assert r["telemetry"]["raw_retained"] == 1
+
+    # Serve traffic through the platform tier; it lands in the monitor.
+    rows = [np.zeros(16 * 8).tolist() for _ in range(6)]
+    api.handle("POST", f"/api/projects/{pid}/classify", {"batch": rows},
+               user="u")
+    r = api.handle("POST", f"/api/projects/{pid}/monitor/evaluate", {},
+                   user="u")
+    assert r["status"] == 200 and r["sweep_job_status"] == "succeeded"
+    assert r["recent_records"] >= 6
+
+    r = api.handle("GET", f"/api/projects/{pid}/monitor/alerts", {}, user="u")
+    assert r["status"] == 200 and isinstance(r["alerts"], list)
+
+    # Unknown project -> 404 end to end.
+    assert api.handle("GET", "/api/projects/999/monitor", {})["status"] == 404
+
+
+def test_rest_fleet_device_classify(image):
+    plat = Platform()
+    plat.register_user("ops")
+    api = RestAPI(plat)
+    plat.fleet.register(VirtualDevice("edge-0", "nano33ble"))
+    plat.fleet.ota_update(image)
+    data = np.zeros((16, 8), dtype=np.float32).tolist()
+    # Emits telemetry, so it needs a registered caller.
+    assert api.handle("POST", "/api/fleet/devices/edge-0/classify",
+                      {"data": data}, user="mallory")["status"] == 403
+    r = api.handle("POST", "/api/fleet/devices/edge-0/classify",
+                   {"data": data}, user="ops")
+    assert r["status"] == 200 and r["top"] in ("a", "b", "c")
+    r = api.handle("POST", "/api/fleet/devices/ghost/classify",
+                   {"data": data}, user="ops")
+    assert r["status"] == 404
+    assert r["error"] == "unknown device 'ghost'"  # no repr-quoting
+    assert api.handle("POST", "/api/fleet/devices/edge-0/classify",
+                      {}, user="ops")["status"] == 400
+    plat.fleet.register(VirtualDevice("bare", "nano33ble"))
+    assert api.handle("POST", "/api/fleet/devices/bare/classify",
+                      {"data": data}, user="ops")["status"] == 409
+
+
+def test_failed_rollout_does_not_steal_telemetry_binding(served_project):
+    """A rejected rollout request must not rebind fleet telemetry: the
+    binding happens only once the rollout is accepted."""
+    platform, project = served_project
+    api = RestAPI(platform)
+    r = api.handle("POST", "/api/fleet/rollout",
+                   {"project_id": project.project_id,
+                    "device_ids": ["ghost"]}, user="u")
+    assert r["status"] == 404  # unknown device rejects the rollout
+    assert platform.fleet.telemetry_project is None
+    assert platform.fleet.telemetry_projects == {}

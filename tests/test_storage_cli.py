@@ -73,6 +73,98 @@ def test_categories_survive_roundtrip(tmp_path):
     assert orig == back
 
 
+def test_classify_outputs_bit_identical_after_roundtrip(tmp_path):
+    """Property-style: a saved+reloaded project's trained f32/int8 graphs
+    produce bit-identical outputs, on both engines, for real feature
+    windows and random probes alike."""
+    from repro.runtime import EONCompiler, TFLMInterpreter
+
+    project = _trained_project()
+    save_project(project, tmp_path / "p")
+    restored = load_project(tmp_path / "p")
+    assert restored.model_revision == project.model_revision
+
+    real_x, _, _ = restored.impulse.features_for_dataset(
+        restored.dataset, category="test", label_map=restored.label_map
+    )
+    for graph, twin in ((project.float_graph, restored.float_graph),
+                        (project.int8_graph, restored.int8_graph)):
+        shape = tuple(graph.tensors[graph.input_id].shape)
+        probes = [np.asarray(real_x, np.float32)]
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            probes.append(rng.standard_normal((8,) + shape).astype(np.float32))
+        for x in probes:
+            for engine in (TFLMInterpreter, lambda g: EONCompiler().compile(g)):
+                a = engine(graph).predict_proba(x)
+                b = engine(twin).predict_proba(x)
+                assert a.dtype == b.dtype and a.shape == b.shape
+                assert np.array_equal(a, b)
+
+
+def test_tuner_leaderboard_and_provenance_roundtrip(tmp_path):
+    """A reloaded project keeps its tuner leaderboards and knows which
+    trial produced its deployed model."""
+    from repro.automl import EonTuner, TunerTrial, kws_search_space
+    from repro.core.project import Project
+
+    project = Project(name="prov", owner="alice")
+    project.set_impulse(
+        Impulse(
+            TimeSeriesInput(window_size_ms=2000, window_increase_ms=2000,
+                            frequency_hz=100, axes=3),
+            [SpectralAnalysisBlock(sample_rate=100, fft_length=64)],
+            ClassificationBlock(architecture="mlp"),
+        )
+    )
+    tuner = EonTuner(
+        np.zeros((4, 200, 3), np.float32), np.array([0, 1, 0, 1]),
+        kws_search_space(sample_rate=100),
+    )
+    tuner.trials.append(TunerTrial(
+        dsp_spec={"type": "spectral-analysis", "sample_rate": 100,
+                  "fft_length": 64},
+        model_spec={"architecture": "mlp", "hidden": [16]},
+        dsp_name="spectral(64)", model_name="mlp-16",
+        accuracy=0.91, dsp_ms=1.0, nn_ms=2.0, dsp_ram_kb=1.0,
+        nn_ram_kb=2.0, flash_kb=30.0, trained=True, meets_constraints=True,
+    ))
+    tuner.trials.append(TunerTrial(
+        dsp_spec={"type": "spectral-analysis", "sample_rate": 100,
+                  "fft_length": 32},
+        model_spec={"architecture": "mlp", "hidden": [8]},
+        dsp_name="spectral(32)", model_name="mlp-8",
+        accuracy=0.84, dsp_ms=0.5, nn_ms=1.0, dsp_ram_kb=0.5,
+        nn_ram_kb=1.0, flash_kb=20.0, trained=True, meets_constraints=True,
+    ))
+    project.tuners[7] = tuner
+    project.apply_tuner_result(7, rank=1)
+    assert project.applied_trial["job_id"] == 7
+    assert project.applied_trial["model"] == "mlp-16"
+
+    save_project(project, tmp_path / "p")
+    restored = load_project(tmp_path / "p")
+    assert restored.applied_trial == project.applied_trial
+    assert restored.saved_leaderboards == {7: tuner.leaderboard()}
+    assert restored.leaderboards() == {7: tuner.leaderboard()}
+    assert restored.saved_leaderboards[7][0]["accuracy"] == pytest.approx(0.91)
+
+    # Provenance survives a second hop even with no live tuner objects.
+    save_project(restored, tmp_path / "p2")
+    again = load_project(tmp_path / "p2")
+    assert again.leaderboards() == {7: tuner.leaderboard()}
+    assert again.applied_trial["rank"] == 1
+
+
+def test_project_without_tuner_history_saves_no_tuners_json(tmp_path):
+    from repro.core.project import Project
+
+    project = Project(name="plain", owner="a")
+    save_project(project, tmp_path / "p")
+    assert not (tmp_path / "p" / "tuners.json").exists()
+    assert load_project(tmp_path / "p").leaderboards() == {}
+
+
 # -- CLI -------------------------------------------------------------------
 
 
@@ -134,6 +226,27 @@ def test_cli_full_workflow(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "worker shard(s)" in out
     assert "high (" in out and "low (" in out
+
+    # Replay traffic with drift injection through the monitored serving
+    # layer: the drifted phase must raise drift alerts.
+    assert cli_main(["monitor", "--dir", proj, "--windows", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "reference pinned" in out
+    assert "monitor status: drift" in out
+    assert "TRIGGERED" in out and "ALERT" in out
+
+    # And with --auto-retrain the closed loop routes the drifted raw
+    # recordings back into the dataset, retrains, and saves the new
+    # model revision back into the project directory.
+    before = len(load_project(proj).dataset)
+    assert cli_main(["monitor", "--dir", proj, "--windows", "8",
+                     "--auto-retrain"]) == 0
+    out = capsys.readouterr().out
+    assert "closed loop complete" in out
+    assert "8 drift-window sample(s) to route back" in out
+    reloaded = load_project(proj)
+    assert reloaded.model_revision == 2
+    assert len(reloaded.dataset) > before
 
     assert cli_main(["profile", "--dir", proj, "--device", "rp2040"]) == 0
     out_dir = tmp_path / "build"
