@@ -1,0 +1,112 @@
+"""API dispatch benchmark: compiled path trie vs. the linear regex scan.
+
+The pre-gateway ``RestAPI`` matched every request against an ordered
+list of anchored regexes — O(route count) regex matches per request,
+paid again on every request at serving rates.  The v1 gateway compiles
+the same table into a segment trie walked once per request.  This bench
+times both resolvers over a uniform mix of every registered route
+(including aliases and a slice of 404 misses, which cost the linear
+scan its full table) and gates the trie at >= 2x.
+
+Headline metrics: ``api_dispatch_speedup`` (gated in CI via
+``BENCH_baseline.json``), plus informational per-request latencies and
+the route-table size.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import save_metric, save_result, smoke_mode
+
+from repro.api import LinearRegexRouter, build_router
+from repro.api.errors import NotFoundError
+
+
+def _concrete(template: str) -> str:
+    """Substitute representative values for placeholders."""
+    out = []
+    for segment in template.split("/"):
+        if segment.startswith("{"):
+            name, _, conv = segment[1:-1].partition(":")
+            out.append("12345" if (conv or "str") == "int" else "dev-a1")
+        else:
+            out.append(segment)
+    return "/".join(out)
+
+
+def build_workload() -> list[tuple[str, str]]:
+    """One concrete request per registered template (canonical +
+    aliases) plus a 12.5% tail of misses — the real traffic shape a
+    gateway sees."""
+    router = build_router()
+    requests = []
+    for route in router.routes:
+        for template in (route.path, *route.aliases):
+            requests.append((route.method, _concrete(template)))
+    misses = max(1, len(requests) // 8)
+    requests += [("GET", f"/v1/unknown/resource/{i}") for i in range(misses)]
+    return requests
+
+
+def time_resolver(resolve, requests, repeats: int) -> float:
+    """Total seconds for ``repeats`` passes over the workload."""
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for method, path in requests:
+            try:
+                resolve(method, path)
+            except NotFoundError:
+                pass
+    return time.perf_counter() - start
+
+
+def test_bench_api_dispatch(benchmark_results=None):
+    router = build_router()
+    linear = LinearRegexRouter(router.routes)
+    requests = build_workload()
+    repeats = 40 if smoke_mode() else 200
+
+    # Warm-up (first-touch allocation, regex cache).
+    time_resolver(router.resolve, requests, 2)
+    time_resolver(linear.resolve, requests, 2)
+
+    trie_s = time_resolver(router.resolve, requests, repeats)
+    linear_s = time_resolver(linear.resolve, requests, repeats)
+    n = repeats * len(requests)
+    speedup = linear_s / trie_s
+
+    lines = [
+        "API dispatch: trie vs linear regex scan",
+        f"  routes registered : {len(router.routes)} "
+        f"(+aliases -> {len(requests)} distinct requests incl. misses)",
+        f"  linear regex scan : {linear_s / n * 1e6:8.2f} us/request",
+        f"  compiled path trie: {trie_s / n * 1e6:8.2f} us/request",
+        f"  speedup           : {speedup:8.2f}x",
+    ]
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_result("bench_api_dispatch", text)
+    save_metric("api_dispatch_speedup", speedup)
+    save_metric("api_dispatch_routes", len(router.routes))
+    save_metric("api_dispatch_trie_us", trie_s / n * 1e6)
+    save_metric("api_dispatch_linear_us", linear_s / n * 1e6)
+
+    # Equivalence: both resolvers agree on every workload request.
+    for method, path in requests:
+        try:
+            expected = linear.resolve(method, path)[0]
+        except NotFoundError:
+            expected = None
+        try:
+            got = router.resolve(method, path)[0]
+        except NotFoundError:
+            got = None
+        assert got is expected, f"{method} {path}: {got} != {expected}"
+
+    # The acceptance floor: trie dispatch >= 2x at full table size.
+    assert speedup >= 2.0, f"trie dispatch only {speedup:.2f}x vs linear scan"
+
+
+if __name__ == "__main__":
+    test_bench_api_dispatch()

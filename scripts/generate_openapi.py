@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Generate (or verify) the OpenAPI document + API reference docs.
+
+The gateway's route table (``src/repro/api/resources/``) is the single
+source of truth; this script renders it to:
+
+- ``docs/openapi.json`` — the OpenAPI 3 document (identical to what
+  ``GET /v1/openapi.json`` serves);
+- ``docs/api.md`` — the human-readable endpoint reference.
+
+``--check`` regenerates both, validates the document (well-formed JSON,
+unique non-empty ``operationId`` per operation, every registered route
+present) and fails if the committed files drifted from the route table.
+CI runs it on every PR.
+
+Usage::
+
+    PYTHONPATH=src python scripts/generate_openapi.py [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.api import build_openapi, build_router, render_markdown  # noqa: E402
+
+
+def validate(doc: dict, router) -> list[str]:
+    """Structural checks on the generated document; returns problems."""
+    problems = []
+    try:
+        round_tripped = json.loads(json.dumps(doc))
+    except (TypeError, ValueError) as exc:
+        return [f"document is not JSON-serializable: {exc}"]
+    if round_tripped != doc:
+        problems.append("document does not survive a JSON round-trip")
+    if not doc.get("openapi", "").startswith("3."):
+        problems.append("missing/unsupported `openapi` version field")
+    operation_ids = []
+    for path, operations in doc.get("paths", {}).items():
+        for method, op in operations.items():
+            op_id = op.get("operationId")
+            if not op_id:
+                problems.append(f"{method.upper()} {path}: empty operationId")
+            else:
+                operation_ids.append(op_id)
+            if not op.get("responses"):
+                problems.append(f"{method.upper()} {path}: no responses")
+    duplicates = {o for o in operation_ids if operation_ids.count(o) > 1}
+    if duplicates:
+        problems.append(f"duplicate operationIds: {sorted(duplicates)}")
+    missing = {r.name for r in router.routes} - set(operation_ids)
+    if missing:
+        problems.append(f"registered routes absent from the doc: {missing}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="validate + fail on drift instead of writing")
+    args = parser.parse_args(argv)
+
+    router = build_router()
+    doc = build_openapi(router)
+    json_text = json.dumps(doc, indent=2, sort_keys=False) + "\n"
+    md_text = render_markdown(router)
+
+    problems = validate(doc, router)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}")
+        return 1
+
+    targets = {
+        ROOT / "docs" / "openapi.json": json_text,
+        ROOT / "docs" / "api.md": md_text,
+    }
+    if args.check:
+        drifted = [
+            str(path.relative_to(ROOT))
+            for path, text in targets.items()
+            if not path.exists() or path.read_text() != text
+        ]
+        if drifted:
+            print(f"DRIFT: {', '.join(drifted)} out of date with the route "
+                  "table; run scripts/generate_openapi.py")
+            return 1
+        print(f"openapi OK: {len(doc['paths'])} paths, "
+              f"{len(router.routes)} operations, docs in sync")
+        return 0
+    for path, text in targets.items():
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        print(f"wrote {path.relative_to(ROOT)} ({len(text)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,192 @@
+"""Real HTTP serving for the gateway: stdlib ``ThreadingHTTPServer``.
+
+``serve_http(gateway, port)`` exposes every v1 route over sockets —
+JSON bodies in, the JSON envelope out, with the envelope's ``status``
+mirrored as the HTTP status code.  Query parameters on GETs land in the
+request body dict (the schemas coerce the strings).  Streaming routes
+(``GET .../jobs/<jid>/logs``) are sent with ``Transfer-Encoding:
+chunked``, one log line per chunk, so clients can follow a training job
+live.  Wired into the CLI as ``repro-cli serve --http PORT``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class GatewayRequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-gateway/1.0"
+
+    # The owning GatewayHTTPServer sets this.
+    gateway = None
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request metrics live in the gateway, not stderr
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _token(self) -> str | None:
+        auth = self.headers.get("Authorization", "")
+        if auth.startswith("Bearer "):
+            return auth[len("Bearer "):].strip()
+        return None
+
+    def _read_body(self) -> dict | None:
+        """JSON request body; None signals an already-sent 400."""
+        try:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+        except (TypeError, ValueError):
+            self.close_connection = True
+            self._send_json(
+                {"status": 400, "error": "malformed Content-Length header"}
+            )
+            return None
+        if length == 0:
+            return {}
+        if length > MAX_BODY_BYTES:
+            # The oversized body is left unread, so this connection
+            # cannot be reused for a further request.
+            self.close_connection = True
+            self._send_json({"status": 413, "error": "request body too large"})
+            return None
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._send_json(
+                {"status": 400, "error": f"request body is not JSON: {exc}"}
+            )
+            return None
+        if not isinstance(body, dict):
+            self._send_json(
+                {"status": 400, "error": "request body must be a JSON object"}
+            )
+            return None
+        return body
+
+    def _send_json(self, envelope: dict) -> None:
+        status = int(envelope.get("status", 500))
+        data = json.dumps(envelope).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        if "retry_after_s" in envelope:
+            self.send_header("Retry-After",
+                             str(max(1, round(envelope["retry_after_s"]))))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_stream(self, lines) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            for line in lines:
+                chunk = (line + "\n").encode("utf-8")
+                self.wfile.write(b"%x\r\n" % len(chunk) + chunk + b"\r\n")
+                self.wfile.flush()
+        except Exception:
+            # A crashed stream must NOT look complete: withhold the
+            # chunked terminator and drop the connection, so the client
+            # sees a truncated transfer instead of a clean end-of-log.
+            self.close_connection = True
+            return
+        self.wfile.write(b"0\r\n\r\n")
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(self, method: str) -> None:
+        split = urlsplit(self.path)
+        # Percent-decode each segment *after* splitting, so encoded
+        # characters in string placeholders resolve (device id "dev a"
+        # -> /dev%20a/) and an encoded slash ("a%2Fb") stays one
+        # segment instead of changing the route shape.
+        raw = split.path
+        segments = ([unquote(s) for s in raw[1:].split("/")]
+                    if raw.startswith("/") else None)
+        path = unquote(raw)
+        body = self._read_body()
+        if body is None:
+            return
+        # Query parameters merge into the body; the route schema coerces
+        # the strings ("wait_s=2.5" -> 2.5).  JSON body keys win.
+        for key, value in parse_qsl(split.query):
+            body.setdefault(key, value)
+        token = self._token()
+        # Resolve once; the gateway reuses the (route, params) pair.
+        try:
+            resolved = self.gateway.router.resolve(method, path,
+                                                   segments=segments)
+        except Exception:
+            resolved = None
+        try:
+            if resolved is not None and resolved[0].stream:
+                status, stream, error = self.gateway.open_stream(
+                    method, path, body, token=token, _resolved=resolved
+                )
+                if error is not None:
+                    self._send_json({"status": status, "error": error})
+                else:
+                    self._send_stream(stream)
+                return
+            self._send_json(
+                self.gateway.handle(method, path, body, token=token,
+                                    _resolved=resolved)
+            )
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response
+
+    def do_GET(self):
+        self._dispatch("GET")
+
+    def do_POST(self):
+        self._dispatch("POST")
+
+    def do_PUT(self):
+        self._dispatch("PUT")
+
+    def do_DELETE(self):
+        self._dispatch("DELETE")
+
+
+class GatewayHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, gateway, address=("127.0.0.1", 0)):
+        handler = type(
+            "BoundGatewayRequestHandler",
+            (GatewayRequestHandler,),
+            {"gateway": gateway},
+        )
+        super().__init__(address, handler)
+        self.gateway = gateway
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_in_background(self) -> threading.Thread:
+        thread = threading.Thread(target=self.serve_forever,
+                                  name="gateway-http", daemon=True)
+        thread.start()
+        return thread
+
+
+def serve_http(gateway, host: str = "127.0.0.1", port: int = 0,
+               background: bool = False) -> GatewayHTTPServer:
+    """Bind the gateway to a socket.  ``background=True`` starts the
+    accept loop on a daemon thread and returns immediately (tests, the
+    SDK); otherwise the caller runs ``server.serve_forever()``."""
+    server = GatewayHTTPServer(gateway, (host, port))
+    if background:
+        server.serve_in_background()
+    return server

@@ -1,0 +1,214 @@
+"""The gateway's middleware pipeline: metrics -> rate limit -> auth.
+
+Middlewares are callables ``(ctx, call_next) -> payload`` composed by the
+gateway around schema validation + the route handler.  Requests arriving
+through the legacy ``/api/`` shim (``ctx.legacy``) bypass rate limiting,
+token auth and metrics emission — they run under the pre-gateway trusted
+in-process contract, which is what keeps every legacy payload
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+
+from repro.api.errors import ApiError, AuthError, RateLimitedError
+from repro.core.jobs import UnknownJobError
+from repro.core.registry import UnknownProjectError
+
+
+class TokenBucket:
+    """Classic per-key token bucket (thread-safe, monotonic clock).
+
+    Key cardinality is bounded: when ``max_keys`` is exceeded the
+    longest-idle buckets are evicted (an idle bucket has refilled to
+    capacity anyway, so eviction never grants extra burst beyond a
+    fresh bucket's).
+    """
+
+    def __init__(self, capacity: float, refill_per_s: float,
+                 max_keys: int = 4096):
+        if capacity < 1 or refill_per_s <= 0:
+            raise ValueError("capacity must be >= 1 and refill_per_s > 0")
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self.max_keys = max_keys
+        self._lock = threading.Lock()
+        self._buckets: dict[str, tuple[float, float]] = {}  # key -> (tokens, ts)
+
+    def acquire(self, key: str) -> float | None:
+        """Take one token; returns None on success, else the retry-after
+        hint in seconds."""
+        now = time.monotonic()
+        with self._lock:
+            entry = self._buckets.get(key)
+            if entry is None and len(self._buckets) >= self.max_keys:
+                for stale in sorted(self._buckets,
+                                    key=lambda k: self._buckets[k][1])[
+                                        : self.max_keys // 4]:
+                    del self._buckets[stale]
+            tokens, last = entry if entry is not None else (self.capacity, now)
+            tokens = min(self.capacity, tokens + (now - last) * self.refill_per_s)
+            if tokens >= 1.0:
+                self._buckets[key] = (tokens - 1.0, now)
+                return None
+            self._buckets[key] = (tokens, now)
+            return (1.0 - tokens) / self.refill_per_s
+
+
+class RateLimitMiddleware:
+    """Per-user token-bucket limiting; exhaustion is a 429 with a
+    ``retry_after_s`` hint in the envelope.
+
+    Runs *after* auth, so the bucket key is the resolved identity —
+    never an attacker-chosen raw token (rotating invalid tokens gets
+    401s, not fresh buckets)."""
+
+    def __init__(self, capacity: float = 500.0, refill_per_s: float = 100.0):
+        self.bucket = TokenBucket(capacity, refill_per_s)
+        self.rejected = 0
+
+    def __call__(self, ctx, call_next):
+        if ctx.legacy:
+            return call_next(ctx)
+        key = ctx.user or "anonymous"
+        retry_after = self.bucket.acquire(key)
+        if retry_after is not None:
+            self.rejected += 1
+            raise RateLimitedError(key, retry_after)
+        return call_next(ctx)
+
+
+class AuthMiddleware:
+    """API-token authentication against the Platform token registry.
+
+    Trusted in-process callers pass ``user=`` explicitly (the legacy shim
+    and the in-process SDK path) and skip token checks.  Everything else
+    — i.e. every socket request — must present a token for any route not
+    marked ``auth="public"``; a presented token must resolve even on
+    public routes (a bad credential is never silently ignored).
+    """
+
+    def __call__(self, ctx, call_next):
+        if ctx.user is None:
+            if ctx.token is not None:
+                username = ctx.platform.resolve_token(ctx.token)
+                if username is None:
+                    raise AuthError("invalid API token")
+                ctx.user = username
+            elif ctx.route.auth != "public":
+                raise AuthError(
+                    "authentication required: pass an API token "
+                    "(Authorization: Bearer <token>)"
+                )
+            else:
+                ctx.user = "anonymous"
+        return call_next(ctx)
+
+
+class RequestMetrics:
+    """Per-route request counters + latency, exposed at
+    ``GET /v1/gateway/stats``."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._routes: dict[str, dict] = {}
+        self._statuses: Counter = Counter()
+        self.requests = 0
+        self.errors = 0
+
+    def record(self, route_name: str, status: int, elapsed_s: float) -> None:
+        with self._lock:
+            self.requests += 1
+            if status >= 400:
+                self.errors += 1
+            self._statuses[status] += 1
+            entry = self._routes.setdefault(
+                route_name, {"requests": 0, "errors": 0, "total_ms": 0.0}
+            )
+            entry["requests"] += 1
+            if status >= 400:
+                entry["errors"] += 1
+            entry["total_ms"] += elapsed_s * 1000.0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            routes = {
+                name: {
+                    "requests": e["requests"],
+                    "errors": e["errors"],
+                    "mean_ms": e["total_ms"] / e["requests"],
+                }
+                for name, e in sorted(self._routes.items())
+            }
+            return {
+                "requests": self.requests,
+                "errors": self.errors,
+                "by_status": {str(k): v for k, v in sorted(self._statuses.items())},
+                "routes": routes,
+            }
+
+
+def status_of(exc: BaseException) -> int:
+    """The status an exception will map to in the envelope."""
+    if isinstance(exc, ApiError):
+        return exc.status
+    if isinstance(exc, (UnknownJobError, UnknownProjectError)):
+        return 404
+    if isinstance(exc, PermissionError):
+        return 403
+    return 500
+
+
+class MetricsMiddleware:
+    """Times every request into :class:`RequestMetrics` and feeds
+    project-scoped request telemetry into ``repro.monitor.telemetry``
+    (``source="gateway"`` — the monitor's drift detectors exclude it,
+    but per-project summaries and dashboards see API traffic)."""
+
+    def __init__(self, metrics: RequestMetrics, emit_telemetry: bool = True):
+        self.metrics = metrics
+        self.emit_telemetry = emit_telemetry
+
+    def __call__(self, ctx, call_next):
+        if ctx.legacy:
+            return call_next(ctx)
+        start = time.perf_counter()
+        status = 200
+        try:
+            return call_next(ctx)
+        except BaseException as exc:
+            status = status_of(exc)
+            raise
+        finally:
+            elapsed = time.perf_counter() - start
+            self.metrics.record(ctx.route.name, status, elapsed)
+            if self.emit_telemetry:
+                self._emit(ctx, status, elapsed)
+
+    def _emit(self, ctx, status: int, elapsed_s: float) -> None:
+        pid = ctx.params.get("pid")
+        monitor = getattr(ctx.platform, "monitor", None)
+        # Only authenticated requests against *existing* projects emit:
+        # an anonymous caller iterating project ids must not mint
+        # telemetry rings (unbounded memory) or inject records into
+        # real projects' summaries.
+        if (pid is None or monitor is None or ctx.user is None
+                or pid not in getattr(ctx.platform, "projects", {})):
+            return
+        try:
+            from repro.monitor import TelemetryRecord
+
+            monitor.telemetry.record(TelemetryRecord(
+                project_id=pid,
+                latency_ms=elapsed_s * 1000.0,
+                ok=status < 400,
+                source="gateway",
+                top=None,
+                error=None if status < 400 else f"http {status}",
+            ))
+        except Exception:
+            # Metrics must never break serving the request itself.
+            pass

@@ -1,0 +1,278 @@
+"""Users, projects, data ingestion, impulses, evaluation, deployment."""
+
+from __future__ import annotations
+
+import base64
+
+from repro.api.errors import ApiError
+from repro.api.router import Route
+from repro.api.schemas import PAGINATION, Field, Schema, paginate
+from repro.core.impulse import Impulse
+
+
+def create_user(ctx) -> dict:
+    username = ctx.body.get("username")
+    if not username:
+        raise ApiError(400, "username required")
+    try:
+        ctx.platform.register_user(username)
+    except ValueError as exc:
+        raise ApiError(409, str(exc))
+    return {"username": username}
+
+
+def create_project(ctx) -> dict:
+    name = ctx.body.get("name")
+    if not name:
+        raise ApiError(400, "project name required")
+    if ctx.user not in ctx.platform.users:
+        ctx.platform.register_user(ctx.user)
+    project = ctx.platform.create_project(
+        name, owner=ctx.user, hmac_key=ctx.body.get("hmac_key")
+    )
+    return {"project_id": project.project_id, "name": project.name}
+
+
+def list_projects(ctx) -> dict:
+    found = ctx.platform.public_projects(
+        query=ctx.body.get("query", ""), tag=ctx.body.get("tag")
+    )
+    page, meta = paginate(ctx, found)
+    return {
+        "projects": [
+            {"project_id": p.project_id, "name": p.name, "samples": len(p.dataset)}
+            for p in page
+        ],
+        **meta,
+    }
+
+
+def get_project(ctx) -> dict:
+    p = ctx.platform.get_project(ctx.params["pid"], username=ctx.user)
+    return {
+        "project_id": p.project_id,
+        "name": p.name,
+        "owner": p.owner,
+        "public": p.public,
+        "samples": len(p.dataset),
+        "labels": p.dataset.labels,
+    }
+
+
+def upload_data(ctx) -> dict:
+    p = ctx.platform.get_project(ctx.params["pid"])
+    p.require_member(ctx.user)
+    try:
+        payload = base64.b64decode(ctx.body["payload_b64"])
+    except (ValueError, TypeError) as exc:
+        raise ApiError(400, f"payload_b64 is not valid base64: {exc}")
+    sample_id = p.ingestion.ingest(
+        payload,
+        label=ctx.body.get("label", "unlabeled"),
+        fmt=ctx.body.get("format"),
+        category=ctx.body.get("category"),
+    )
+    return {"sample_id": sample_id}
+
+
+def data_summary(ctx) -> dict:
+    p = ctx.platform.get_project(ctx.params["pid"], username=ctx.user)
+    return {
+        "distribution": p.dataset.class_distribution(),
+        "split_ratio": p.dataset.split_ratio(),
+    }
+
+
+def set_impulse(ctx) -> dict:
+    p = ctx.platform.get_project(ctx.params["pid"])
+    p.require_member(ctx.user)
+    try:
+        impulse = Impulse.from_dict(ctx.body["impulse"])
+    except (KeyError, ValueError, TypeError) as exc:
+        raise ApiError(400, f"invalid impulse spec: {exc!r}")
+    p.set_impulse(impulse)
+    return {"feature_shape": list(p.impulse.feature_shape())}
+
+
+def get_impulse(ctx) -> dict:
+    p = ctx.platform.get_project(ctx.params["pid"], username=ctx.user)
+    if p.impulse is None:
+        raise ApiError(404, "no impulse configured")
+    return {"impulse": p.impulse.to_dict(), "dataflow": p.impulse.render()}
+
+
+def test_project(ctx) -> dict:
+    p = ctx.platform.get_project(ctx.params["pid"], username=ctx.user)
+    report = p.test(precision=ctx.body.get("precision", "float32"))
+    return {
+        "accuracy": report.accuracy,
+        "f1": report.f1.tolist(),
+        "labels": report.labels,
+        "confusion_matrix": report.matrix.tolist(),
+    }
+
+
+def profile_project(ctx) -> dict:
+    p = ctx.platform.get_project(ctx.params["pid"], username=ctx.user)
+    return p.profile(
+        device_key=ctx.body.get("device", "nano33ble"),
+        precision=ctx.body.get("precision", "int8"),
+        engine=ctx.body.get("engine", "eon"),
+    )
+
+
+def deploy_project(ctx) -> dict:
+    p = ctx.platform.get_project(ctx.params["pid"])
+    p.require_member(ctx.user)
+    artifact = p.deploy(
+        target=ctx.body.get("target", "cpp"),
+        engine=ctx.body.get("engine", "eon"),
+        precision=ctx.body.get("precision", "int8"),
+    )
+    return {"artifact": artifact.manifest()}
+
+
+def commit_version(ctx) -> dict:
+    p = ctx.platform.get_project(ctx.params["pid"])
+    p.require_member(ctx.user)
+    version = p.commit_version(message=ctx.body.get("message", ""))
+    return {"version_id": version.version_id,
+            "dataset_version": version.dataset_version}
+
+
+def make_public(ctx) -> dict:
+    p = ctx.platform.get_project(ctx.params["pid"])
+    p.require_member(ctx.user)
+    p.make_public(tags=ctx.body.get("tags"))
+    return {"public": True}
+
+
+_ENGINE = Field("engine", "str", default="eon", enum=("eon", "tflm"),
+                doc="inference engine")
+_PRECISION = Field("precision", "str", enum=("float32", "int8"),
+                   doc="model precision")
+
+
+def register(router) -> None:
+    router.add(Route(
+        "POST", "/v1/users", create_user, name="createUser", tag="users",
+        summary="Register a platform user", auth="public",
+        request=Schema(Field("username", "str", doc="unique username")),
+        response={"description": "The created user",
+                  "fields": ("username",)},
+    ))
+    router.add(Route(
+        "POST", "/v1/projects", create_project, name="createProject",
+        tag="projects", summary="Create a project owned by the caller",
+        request=Schema(
+            Field("name", "str", doc="project name"),
+            Field("hmac_key", "str", doc="ingestion signing key"),
+        ),
+        response={"description": "The created project",
+                  "fields": ("project_id", "name")},
+    ))
+    router.add(Route(
+        "GET", "/v1/projects", list_projects, name="listProjects",
+        tag="projects", summary="Search the public project index",
+        auth="public", paginated=True,
+        request=Schema(
+            Field("query", "str", default="", doc="substring name filter"),
+            Field("tag", "str", doc="exact tag filter"),
+            *PAGINATION,
+        ),
+        response={"description": "One page of public projects",
+                  "fields": ("projects", "total", "limit", "offset")},
+    ))
+    router.add(Route(
+        "GET", "/v1/projects/{pid:int}", get_project, name="getProject",
+        tag="projects", summary="Project metadata",
+        response={"description": "Project metadata",
+                  "fields": ("project_id", "name", "owner", "public",
+                             "samples", "labels")},
+    ))
+    router.add(Route(
+        "POST", "/v1/projects/{pid:int}/data", upload_data, name="uploadData",
+        tag="data", summary="Ingest one base64-encoded sample",
+        request=Schema(
+            Field("payload_b64", "str", required=True,
+                  doc="base64-encoded sample payload"),
+            Field("label", "str", default="unlabeled"),
+            Field("format", "str", doc="payload format (wav, json, ...)"),
+            Field("category", "str", enum=("train", "test"),
+                  doc="dataset split"),
+        ),
+        response={"description": "The ingested sample id",
+                  "fields": ("sample_id",)},
+    ))
+    router.add(Route(
+        "GET", "/v1/projects/{pid:int}/data/summary", data_summary,
+        name="dataSummary", tag="data",
+        summary="Class distribution and train/test split",
+        response={"description": "Dataset summary",
+                  "fields": ("distribution", "split_ratio")},
+    ))
+    router.add(Route(
+        "POST", "/v1/projects/{pid:int}/impulse", set_impulse,
+        name="setImpulse", tag="impulse",
+        summary="Configure the impulse (input + DSP + learn blocks)",
+        request=Schema(
+            Field("impulse", "dict", required=True,
+                  doc="impulse spec (see Impulse.from_dict)"),
+        ),
+        response={"description": "The computed feature shape",
+                  "fields": ("feature_shape",)},
+    ))
+    router.add(Route(
+        "GET", "/v1/projects/{pid:int}/impulse", get_impulse,
+        name="getImpulse", tag="impulse", summary="The configured impulse",
+        response={"description": "Impulse spec and rendered dataflow",
+                  "fields": ("impulse", "dataflow")},
+    ))
+    router.add(Route(
+        "POST", "/v1/projects/{pid:int}/test", test_project, name="testProject",
+        tag="evaluate", summary="Evaluate on the holdout split",
+        request=Schema(Field("precision", "str", default="float32",
+                             enum=("float32", "int8"))),
+        response={"description": "Holdout metrics",
+                  "fields": ("accuracy", "f1", "labels", "confusion_matrix")},
+    ))
+    router.add(Route(
+        "POST", "/v1/projects/{pid:int}/profile", profile_project,
+        name="profileProject", tag="deploy",
+        summary="Estimate on-device latency/RAM/flash (synchronous)",
+        request=Schema(
+            Field("device", "str", default="nano33ble", doc="device key"),
+            Field("precision", "str", default="int8", enum=("float32", "int8")),
+            _ENGINE,
+        ),
+        response={"description": "Resource estimates",
+                  "fields": ("total_ms", "ram_kb", "flash_kb")},
+    ))
+    router.add(Route(
+        "POST", "/v1/projects/{pid:int}/deploy", deploy_project,
+        name="deployProject", tag="deploy",
+        summary="Build a deployment artifact (synchronous)",
+        request=Schema(
+            Field("target", "str", default="cpp",
+                  enum=("cpp", "arduino", "eim", "firmware", "wasm")),
+            _ENGINE,
+            Field("precision", "str", default="int8", enum=("float32", "int8")),
+        ),
+        response={"description": "The artifact manifest",
+                  "fields": ("artifact",)},
+    ))
+    router.add(Route(
+        "POST", "/v1/projects/{pid:int}/versions", commit_version,
+        name="commitVersion", tag="projects",
+        summary="Commit an immutable project version",
+        request=Schema(Field("message", "str", default="")),
+        response={"description": "The committed version",
+                  "fields": ("version_id", "dataset_version")},
+    ))
+    router.add(Route(
+        "POST", "/v1/projects/{pid:int}/public", make_public,
+        name="makePublic", tag="projects",
+        summary="Publish the project to the public index",
+        request=Schema(Field("tags", "list", doc="public index tags")),
+        response={"description": "Confirmation", "fields": ("public",)},
+    ))

@@ -1,0 +1,134 @@
+"""Distributed EON Tuner searches (one child job per trial)."""
+
+from __future__ import annotations
+
+from repro.api.errors import ApiError
+from repro.api.resources.jobs import JOB_VIEW_FIELDS, job_view
+from repro.api.router import Route
+from repro.api.schemas import Field, Schema
+
+
+def tuner_start(ctx) -> dict:
+    """Queue a distributed tuner search.
+
+    Optional ``space`` (``{"dsp_templates": [...], "model_templates":
+    [...]}``) and constraint keys ``device``, ``max_ram_kb``,
+    ``max_flash_kb``, ``max_latency_ms``.
+    """
+    p = ctx.platform.get_project(ctx.params["pid"])
+    p.require_member(ctx.user)
+    body = ctx.body
+    space = None
+    if "space" in body:
+        from repro.automl import SearchSpace
+
+        try:
+            space = SearchSpace(
+                dsp_templates=list(body["space"]["dsp_templates"]),
+                model_templates=list(body["space"]["model_templates"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ApiError(400, f"invalid search space: {exc!r}")
+    constraints = None
+    if any(k in body for k in ("device", "max_ram_kb", "max_flash_kb",
+                               "max_latency_ms")):
+        from repro.automl import TunerConstraints
+
+        constraints = TunerConstraints(
+            device_key=body.get("device", "nano33ble"),
+            max_ram_kb=body.get("max_ram_kb"),
+            max_flash_kb=body.get("max_flash_kb"),
+            max_latency_ms=body.get("max_latency_ms"),
+        )
+    try:
+        job = p.tune_async(
+            n_trials=body.get("n_trials", 6),
+            max_inflight=body.get("max_inflight", 4),
+            seed=body.get("seed", 0),
+            space=space,
+            constraints=constraints,
+            train_epochs=body.get("epochs", 6),
+            retries=body.get("retries", 0),
+        )
+    except ValueError as exc:  # e.g. max_inflight < 1
+        raise ApiError(400, str(exc))
+    except RuntimeError as exc:
+        raise ApiError(409, str(exc))
+    return {"job_id": job.job_id, "job_status": job.status,
+            "trials_total": len(job.children)}
+
+
+def tuner_status(ctx) -> dict:
+    """Tuner job view with the (partial) leaderboard: completed trials
+    are ranked live while the search is still running."""
+    p = ctx.platform.get_project(ctx.params["pid"], username=ctx.user)
+    jid = ctx.params["jid"]
+    job = p.jobs.get(jid)
+    tuner = p.tuners.get(jid)
+    if tuner is None:
+        raise ApiError(404, f"job {jid} is not a tuner job")
+    payload = job_view(job, ctx.body)
+    children = p.jobs.children(job.job_id)
+    completed = [c.result for c in children
+                 if c.status == "succeeded" and c.result is not None]
+    payload["trials_total"] = len(children)
+    payload["trials_completed"] = len(completed)
+    payload["leaderboard"] = tuner.leaderboard(completed)
+    return payload
+
+
+def tuner_apply(ctx) -> dict:
+    """Update the project's impulse to a tuner result (rank 1 = best)."""
+    p = ctx.platform.get_project(ctx.params["pid"])
+    p.require_member(ctx.user)
+    jid = ctx.params["jid"]
+    job = p.jobs.get(jid)
+    if not job.done:
+        raise ApiError(409, f"tuner job {jid} is still {job.status}")
+    rank = ctx.body.get("rank", 1)
+    try:
+        p.apply_tuner_result(jid, rank=rank)
+    except (IndexError, RuntimeError) as exc:
+        raise ApiError(409, str(exc))
+    return {"applied": True, "rank": rank, "impulse": p.impulse.to_dict()}
+
+
+def register(router) -> None:
+    router.add(Route(
+        "POST", "/v1/projects/{pid:int}/tuner", tuner_start, name="tunerStart",
+        tag="tuner", summary="Queue a distributed EON Tuner search",
+        request=Schema(
+            Field("n_trials", "int", default=6, doc="trials to run"),
+            Field("max_inflight", "int", default=4,
+                  doc="concurrent trial jobs"),
+            Field("seed", "int", default=0),
+            Field("epochs", "int", default=6, doc="training epochs per trial"),
+            Field("retries", "int", default=0),
+            Field("space", "dict", doc="search space override "
+                                       "(dsp_templates + model_templates)"),
+            Field("device", "str", doc="constraint: target device key"),
+            Field("max_ram_kb", "float", doc="constraint: RAM budget"),
+            Field("max_flash_kb", "float", doc="constraint: flash budget"),
+            Field("max_latency_ms", "float", doc="constraint: latency budget"),
+        ),
+        response={"description": "The queued tuner job",
+                  "fields": ("job_id", "job_status", "trials_total")},
+    ))
+    router.add(Route(
+        "GET", "/v1/projects/{pid:int}/tuner/{jid:int}", tuner_status,
+        name="tunerStatus", tag="tuner",
+        summary="Tuner job view with the live leaderboard",
+        request=Schema(*JOB_VIEW_FIELDS),
+        response={"description": "Job snapshot plus leaderboard",
+                  "fields": ("job_id", "job_status", "trials_total",
+                             "trials_completed", "leaderboard")},
+    ))
+    router.add(Route(
+        "POST", "/v1/projects/{pid:int}/tuner/{jid:int}/apply", tuner_apply,
+        name="tunerApply", tag="tuner",
+        summary="Apply a tuner result to the project impulse",
+        request=Schema(Field("rank", "int", default=1,
+                             doc="leaderboard rank to apply (1 = best)")),
+        response={"description": "Confirmation plus the new impulse",
+                  "fields": ("applied", "rank", "impulse")},
+    ))

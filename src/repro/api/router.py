@@ -1,0 +1,229 @@
+"""Declarative routes dispatched via a compiled path trie.
+
+Each resource module registers :class:`Route` objects — method, versioned
+path template, typed request schema, response description, auth level —
+and the :class:`Router` compiles every template into one segment trie.
+Dispatch walks the trie once per request (O(path depth)), instead of the
+linear regex scan the pre-gateway ``RestAPI`` used (O(route count) regex
+matches); :class:`LinearRegexRouter` keeps that old strategy alive as the
+benchmark's reference implementation
+(``benchmarks/bench_api_dispatch.py`` gates the trie at >= 2x).
+
+Path templates use ``{name}`` (string segment) and ``{name:int}``
+(decimal segment, converted) placeholders::
+
+    /v1/projects/{pid:int}/jobs/{jid:int}
+    /v1/fleet/devices/{did}/classify
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.api.errors import NotFoundError
+from repro.api.schemas import EMPTY, Schema
+
+
+def _parse_segment(segment: str) -> tuple[str, str] | None:
+    """``"{pid:int}"`` -> ``("pid", "int")``; literals return None."""
+    if segment.startswith("{") and segment.endswith("}"):
+        name, _, conv = segment[1:-1].partition(":")
+        return name, (conv or "str")
+    return None
+
+
+@dataclass
+class Route:
+    """One declared endpoint."""
+
+    method: str
+    path: str
+    handler: Callable
+    name: str  # OpenAPI operationId — unique across the table
+    summary: str = ""
+    tag: str = "misc"
+    auth: str = "user"  # "public" | "user" (API token required over HTTP)
+    request: Schema = field(default=EMPTY)
+    response: dict = field(default_factory=dict)
+    stream: bool = False  # handler returns an iterator (chunked over HTTP)
+    paginated: bool = False
+    aliases: tuple[str, ...] = ()  # extra templates, kept out of OpenAPI
+    legacy_twin: bool = True  # reachable as /api/... through the shim
+
+    def param_specs(self) -> tuple[tuple[str, str], ...]:
+        """Ordered ``(name, converter)`` pairs from the canonical path
+        (computed once; :meth:`Router.resolve` reads it per request)."""
+        specs = getattr(self, "_param_specs", None)
+        if specs is None:
+            specs = tuple(
+                parsed
+                for segment in self.path.split("/")
+                if (parsed := _parse_segment(segment))
+            )
+            self._param_specs = specs
+        return specs
+
+
+class _Node:
+    __slots__ = ("children", "param", "methods")
+
+    def __init__(self):
+        self.children: dict[str, _Node] = {}
+        self.param: tuple[str, str, _Node] | None = None  # (name, conv, node)
+        self.methods: dict[str, Route] = {}
+
+
+class Router:
+    """Compiled path-trie dispatcher over the full route table.
+
+    Templates are inserted into a segment trie; on first resolve the
+    trie is *compiled* — rendered into one generated Python function of
+    nested segment comparisons (the CompiledRouter idiom) and
+    ``exec``-ed once — so a request costs a single call over locals
+    instead of per-node attribute lookups, and nothing scales with the
+    number of routes.  Backtracking (a literal segment like
+    ``jobs/train`` shadowing a placeholder ``jobs/{jid}``) falls out of
+    the generated shape: each branch is an ``if`` that only returns on
+    a full match, so control falls through to the placeholder branch.
+    """
+
+    def __init__(self):
+        self.routes: list[Route] = []
+        self._root = _Node()
+        self._names: set[str] = set()
+        self._find = None  # the generated dispatch function
+
+    def add(self, route: Route) -> Route:
+        if route.name in self._names:
+            raise ValueError(f"duplicate operation id {route.name!r}")
+        self._names.add(route.name)
+        self.routes.append(route)
+        for template in (route.path, *route.aliases):
+            self._insert(template, route)
+        self._find = None  # recompile on next resolve
+        return route
+
+    def _insert(self, template: str, route: Route) -> None:
+        node = self._root
+        for segment in template.strip("/").split("/"):
+            parsed = _parse_segment(segment)
+            if parsed is None:
+                node = node.children.setdefault(segment, _Node())
+            else:
+                name, conv = parsed
+                if node.param is None:
+                    node.param = (name, conv, _Node())
+                elif node.param[:2] != (name, conv):
+                    raise ValueError(
+                        f"conflicting placeholders at {template!r}: "
+                        f"{node.param[:2]} vs {(name, conv)}"
+                    )
+                node = node.param[2]
+        if route.method in node.methods:
+            raise ValueError(f"duplicate route {route.method} {template}")
+        node.methods[route.method] = route
+
+    def resolve(self, method: str, path: str,
+                segments: list[str] | None = None) -> tuple[Route, dict]:
+        """Match one request; raises :class:`NotFoundError` (404, matching
+        the pre-gateway ``no route METHOD PATH`` contract) on a miss.
+
+        ``segments`` lets a front end supply the pre-split path — the
+        HTTP layer splits *before* percent-decoding each segment, so an
+        encoded ``/`` inside a placeholder value cannot change the
+        route shape (``path`` is then only used for error messages)."""
+        find = self._find
+        if find is None:
+            find = self._compile()
+        if segments is None:
+            if not path.startswith("/"):
+                raise NotFoundError(f"no route {method} {path}")
+            segments = path[1:].split("/")
+        found = find(method, segments)
+        if found is None:
+            raise NotFoundError(f"no route {method} {path}")
+        return found
+
+    # -- trie compilation --------------------------------------------------
+
+    def _compile(self):
+        """Render the trie into one generated ``_find(method, segments)``
+        function and ``exec`` it (cached until the table changes)."""
+        namespace: dict = {}
+        lines = ["def _find(method, segments):", "    n = len(segments)"]
+        self._emit(self._root, 0, [], "    ", lines, namespace, [0])
+        lines.append("    return None")
+        exec(compile("\n".join(lines), "<compiled-route-trie>", "exec"),
+             namespace)
+        self._find = namespace["_find"]
+        self._source = "\n".join(lines)  # introspection/debugging aid
+        return self._find
+
+    def _emit(self, node: _Node, depth: int, values: list[str], indent: str,
+              lines: list[str], namespace: dict, counter: list[int]) -> None:
+        if node.methods:
+            table = f"M{counter[0]}"
+            counter[0] += 1
+            namespace[table] = node.methods
+            # The typed params dict is built inline by the generated
+            # code — placeholder names are fixed per trie node, so the
+            # dict literal costs no zip/comprehension at request time.
+            dict_src = "{" + "".join(f"{n}: {v}, " for n, v in values) + "}"
+            lines.append(f"{indent}if n == {depth}:")
+            lines.append(f"{indent}    r = {table}.get(method)")
+            lines.append(f"{indent}    if r is not None:")
+            lines.append(f"{indent}        return r, {dict_src}")
+        if not node.children and node.param is None:
+            return
+        lines.append(f"{indent}if n > {depth}:")
+        lines.append(f"{indent}    s{depth} = segments[{depth}]")
+        inner = indent + "    "
+        for segment, child in node.children.items():
+            lines.append(f"{inner}if s{depth} == {segment!r}:")
+            self._emit(child, depth + 1, values, inner + "    ",
+                       lines, namespace, counter)
+        if node.param is not None:
+            name, conv, child = node.param
+            if conv == "int":
+                # isdecimal(), not isdigit(): superscripts pass isdigit()
+                # but crash int() — they must be a 404, not a ValueError.
+                lines.append(f"{inner}if s{depth}.isdecimal():")
+                value = f"int(s{depth})"
+            else:
+                lines.append(f"{inner}if s{depth}:")
+                value = f"s{depth}"
+            self._emit(child, depth + 1, values + [(repr(name), value)],
+                       inner + "    ", lines, namespace, counter)
+
+
+class LinearRegexRouter:
+    """The pre-gateway dispatch strategy: one anchored regex per route,
+    scanned top to bottom.  Kept only as the benchmark baseline — every
+    request pays O(route count) regex matches, which is exactly what the
+    trie removes."""
+
+    def __init__(self, routes: list[Route]):
+        self._table: list[tuple[str, re.Pattern, Route]] = []
+        for route in routes:
+            for template in (route.path, *route.aliases):
+                pattern = "^"
+                for segment in template.strip("/").split("/"):
+                    parsed = _parse_segment(segment)
+                    if parsed is None:
+                        pattern += "/" + re.escape(segment)
+                    elif parsed[1] == "int":
+                        pattern += r"/(\d+)"
+                    else:
+                        pattern += r"/([^/]+)"
+                self._table.append((route.method, re.compile(pattern + "$"), route))
+
+    def resolve(self, method: str, path: str) -> tuple[Route, tuple]:
+        for verb, pattern, route in self._table:
+            if verb != method:
+                continue
+            match = pattern.match(path)
+            if match:
+                return route, match.groups()
+        raise NotFoundError(f"no route {method} {path}")

@@ -235,6 +235,46 @@ def _cmd_classify(args) -> int:
     return 0
 
 
+def _cmd_serve_http(args) -> int:
+    """Expose the project over the real HTTP gateway: load it into a
+    Platform, issue an API token for the owner, and serve every /v1/
+    route over sockets until interrupted."""
+    from repro.api import serve_http
+    from repro.core import Platform
+
+    project = load_project(args.dir)
+    platform = Platform(serving_workers=max(1, args.workers))
+    platform.register_user(project.owner)
+    platform.projects[project.project_id] = project
+    if args.token:
+        platform.api_tokens[args.token] = project.owner
+        token = args.token
+    else:
+        token = platform.issue_token(project.owner)
+
+    server = serve_http(platform.gateway, host=args.host, port=args.http)
+    pid = project.project_id
+    print(f"API gateway v1 listening on {server.url} "
+          f"(project {pid}: {project.name!r})")
+    print(f"  token: {token}")
+    print("  try:")
+    print(f"    curl -H 'Authorization: Bearer {token}' "
+          f"{server.url}/v1/projects/{pid}")
+    print(f"    curl {server.url}/v1/openapi.json")
+    print(f"    POST /v1/projects/{pid}/train  then  "
+          f"GET /v1/projects/{pid}/jobs/<jid>/logs  (chunked stream)")
+    print(f"    POST /v1/projects/{pid}/classify   GET /v1/serving/stats   "
+          f"GET /v1/projects/{pid}/monitor")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.shutdown()
+        server.server_close()
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """Classify recordings through the multi-worker sharded serving tier.
 
@@ -246,7 +286,17 @@ def _cmd_serve(args) -> int:
     where the multi-worker speedup shows (see
     ``benchmarks/bench_serving_throughput.py``); the per-shard stats
     printed at the end make the placement visible.
+
+    With ``--http PORT`` the command instead serves the project over the
+    real HTTP gateway (every ``/v1/`` route, chunked job-log streaming,
+    OpenAPI at ``/v1/openapi.json``).
     """
+    if args.http is not None:
+        return _cmd_serve_http(args)
+    if not args.files:
+        print("serve needs recordings to classify (or --http PORT "
+              "to expose the /v1/ HTTP gateway)")
+        return 1
     project = load_project(args.dir)
     if project.impulse is None:
         print("project has no impulse; run set-impulse and train first")
@@ -322,6 +372,9 @@ def _cmd_monitor(args) -> int:
     if not samples:
         print("project has no data to replay")
         return 1
+    print(f"monitoring project {project.project_id} offline "
+          f"(live twin over HTTP: GET /v1/projects/{project.project_id}"
+          f"/monitor via `serve --http PORT`)")
 
     def first_window(sample) -> np.ndarray:
         return np.asarray(
@@ -496,18 +549,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_classify)
 
     p = sub.add_parser("serve",
-                       help="classify recordings via multi-worker sharded serving")
+                       help="classify recordings via multi-worker sharded "
+                            "serving, or expose the /v1/ HTTP gateway",
+                       epilog="With --http PORT the project is served over "
+                              "the v1 HTTP API: GET /v1/openapi.json, "
+                              "POST /v1/projects/<pid>/train, "
+                              "GET /v1/projects/<pid>/jobs/<jid>/logs "
+                              "(chunked log stream), "
+                              "POST /v1/projects/<pid>/classify, "
+                              "GET /v1/projects/<pid>/monitor — see "
+                              "docs/api.md and the repro.client SDK.")
     p.add_argument("--dir", required=True)
     p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--http", type=int, default=None, metavar="PORT",
+                   help="serve the /v1/ HTTP gateway on this port "
+                        "(0 = ephemeral) instead of classifying files")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address for --http")
+    p.add_argument("--token", default=None,
+                   help="use this API token instead of minting one")
     p.add_argument("--precision", default="int8", choices=("float32", "int8"))
     p.add_argument("--engine", default="eon", choices=("eon", "tflm"))
     p.add_argument("--format", default=None)
-    p.add_argument("files", nargs="+")
+    p.add_argument("files", nargs="*")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("monitor",
                        help="replay traffic with drift injection through "
-                            "the monitored serving layer")
+                            "the monitored serving layer",
+                       epilog="The same monitor is queryable over HTTP via "
+                              "`serve --http`: GET /v1/projects/<pid>/monitor, "
+                              "GET /v1/projects/<pid>/monitor/alerts, "
+                              "POST /v1/projects/<pid>/monitor/policy.")
     p.add_argument("--dir", required=True)
     p.add_argument("--windows", type=int, default=32,
                    help="windows replayed per phase (baseline + drifted)")

@@ -1,0 +1,221 @@
+"""Python client SDK for the HTTP gateway (stdlib only).
+
+:class:`Client` speaks the v1 envelope over a real socket — retries with
+exponential backoff on connection errors and 5xx/429s, long-poll job
+waiting, and chunked log following::
+
+    from repro.client import Client
+
+    client = Client("http://127.0.0.1:8080", token="ei_...")
+    pid = client.create_project("kws")["project_id"]
+    client.upload_data(pid, wav_bytes, label="yes", fmt="wav")
+    client.set_impulse(pid, impulse_spec)
+    jid = client.train(pid)["job_id"]
+    for line in client.stream_logs(pid, jid):
+        print(line)
+    job = client.wait_job(pid, jid)
+    result = client.classify(pid, features)
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Iterator
+
+
+class ClientError(Exception):
+    """An error envelope (or transport failure) from the gateway."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after_s: float | None = None):
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+        self.message = message
+        self.retry_after_s = retry_after_s
+
+
+class Client:
+    """Minimal, dependency-free SDK over the v1 HTTP surface."""
+
+    def __init__(self, base_url: str, token: str | None = None, *,
+                 retries: int = 3, backoff_s: float = 0.2,
+                 timeout_s: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.token = token
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.timeout_s = timeout_s
+
+    # -- transport ---------------------------------------------------------
+
+    def _build(self, method: str, path: str,
+               body: dict | None) -> urllib.request.Request:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
+        if method == "GET":
+            if body:
+                query = urllib.parse.urlencode(
+                    {k: v for k, v in body.items() if v is not None}
+                )
+                url += ("&" if "?" in url else "?") + query
+        else:
+            data = json.dumps(body or {}).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        return urllib.request.Request(url, data=data, headers=headers,
+                                      method=method)
+
+    def _open(self, method: str, path: str, body: dict | None = None,
+              timeout_s: float | None = None):
+        """Open the response stream, retrying transport errors, 5xx and
+        429 (honouring ``retry_after_s``).  4xx client errors never
+        retry."""
+        last: Exception | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                return urllib.request.urlopen(
+                    self._build(method, path, body),
+                    timeout=timeout_s or self.timeout_s,
+                )
+            except urllib.error.HTTPError as exc:
+                envelope = self._envelope_of(exc)
+                error = ClientError(
+                    envelope.get("status", exc.code),
+                    envelope.get("error", str(exc)),
+                    retry_after_s=envelope.get("retry_after_s"),
+                )
+                if exc.code < 500 and exc.code != 429:
+                    raise error from None
+                last = error
+                wait = (error.retry_after_s if exc.code == 429
+                        and error.retry_after_s else None)
+            except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+                last = exc
+                wait = None
+            if attempt < self.retries:
+                time.sleep(wait if wait is not None
+                           else self.backoff_s * (2 ** attempt))
+        if isinstance(last, ClientError):
+            raise last
+        raise ClientError(599, f"transport failure: {last}")
+
+    @staticmethod
+    def _envelope_of(exc: urllib.error.HTTPError) -> dict:
+        try:
+            envelope = json.loads(exc.read().decode("utf-8"))
+            return envelope if isinstance(envelope, dict) else {}
+        except Exception:
+            return {}
+
+    def request(self, method: str, path: str,
+                body: dict | None = None) -> dict:
+        """One enveloped request; returns the ``data`` payload or raises
+        :class:`ClientError`."""
+        with self._open(method, path, body) as response:
+            envelope = json.loads(response.read().decode("utf-8"))
+        if envelope.get("error") is not None:
+            raise ClientError(envelope.get("status", 500), envelope["error"],
+                              retry_after_s=envelope.get("retry_after_s"))
+        return envelope.get("data", {})
+
+    # -- lifecycle helpers -------------------------------------------------
+
+    def openapi(self) -> dict:
+        return self.request("GET", "/v1/openapi.json")
+
+    def create_user(self, username: str) -> dict:
+        return self.request("POST", "/v1/users", {"username": username})
+
+    def create_project(self, name: str, **kwargs) -> dict:
+        return self.request("POST", "/v1/projects", {"name": name, **kwargs})
+
+    def list_projects(self, **params) -> dict:
+        return self.request("GET", "/v1/projects", params)
+
+    def get_project(self, pid: int) -> dict:
+        return self.request("GET", f"/v1/projects/{pid}")
+
+    def upload_data(self, pid: int, payload: bytes, label: str,
+                    fmt: str | None = None, category: str | None = None) -> dict:
+        body = {"payload_b64": base64.b64encode(payload).decode(),
+                "label": label}
+        if fmt is not None:
+            body["format"] = fmt
+        if category is not None:
+            body["category"] = category
+        return self.request("POST", f"/v1/projects/{pid}/data", body)
+
+    def set_impulse(self, pid: int, spec: dict) -> dict:
+        return self.request("POST", f"/v1/projects/{pid}/impulse",
+                            {"impulse": spec})
+
+    def train(self, pid: int, **kwargs) -> dict:
+        return self.request("POST", f"/v1/projects/{pid}/train", kwargs)
+
+    def job(self, pid: int, jid: int, wait_s: float | None = None,
+            log_offset: int = 0) -> dict:
+        body: dict = {"log_offset": log_offset}
+        if wait_s is not None:
+            body["wait_s"] = wait_s
+        return self.request("GET", f"/v1/projects/{pid}/jobs/{jid}", body)
+
+    def list_jobs(self, pid: int, **params) -> dict:
+        return self.request("GET", f"/v1/projects/{pid}/jobs", params)
+
+    def wait_job(self, pid: int, jid: int, timeout_s: float = 300.0,
+                 poll_s: float = 10.0) -> dict:
+        """Long-poll until the job settles (or ``timeout_s`` passes);
+        returns the final snapshot."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            snapshot = self.job(pid, jid, wait_s=max(0.0,
+                                                     min(poll_s, remaining)))
+            if snapshot["job_status"] in ("succeeded", "failed", "cancelled"):
+                return snapshot
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"job {jid} still {snapshot['job_status']} "
+                    f"after {timeout_s:.0f}s"
+                )
+
+    def stream_logs(self, pid: int, jid: int, log_offset: int = 0,
+                    timeout_s: float = 60.0) -> Iterator[str]:
+        """Follow a job's log lines over the chunked stream route."""
+        path = (f"/v1/projects/{pid}/jobs/{jid}/logs"
+                f"?log_offset={log_offset}&timeout_s={timeout_s}")
+        with self._open("GET", path, None,
+                        timeout_s=timeout_s + self.timeout_s) as response:
+            for raw in response:
+                yield raw.decode("utf-8").rstrip("\n")
+
+    def classify(self, pid: int, features=None, batch=None, **kwargs) -> dict:
+        body = dict(kwargs)
+        if features is not None:
+            body["features"] = features
+        if batch is not None:
+            body["batch"] = batch
+        return self.request("POST", f"/v1/projects/{pid}/classify", body)
+
+    def monitor(self, pid: int, **params) -> dict:
+        return self.request("GET", f"/v1/projects/{pid}/monitor", params)
+
+    def alerts(self, pid: int, **params) -> dict:
+        return self.request("GET", f"/v1/projects/{pid}/monitor/alerts",
+                            params)
+
+    def fleet_devices(self, **params) -> dict:
+        return self.request("GET", "/v1/fleet/devices", params)
+
+    def gateway_stats(self) -> dict:
+        return self.request("GET", "/v1/gateway/stats")
+
+
+__all__ = ["Client", "ClientError"]

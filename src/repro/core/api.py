@@ -1,697 +1,46 @@
-"""REST-like API surface (paper Sec. 4.9).
+"""Legacy REST surface (paper Sec. 4.9) — now a compatibility shim.
 
-Every platform capability is reachable programmatically; this module maps
-``(method, path)`` routes onto the in-process :class:`Platform`, accepting
-and returning JSON-compatible dicts, so custom MLOps pipelines can automate
-data collection, training and deployment exactly as the hosted REST API
-allows.
+The platform's programmatic surface lives in :mod:`repro.api`: a layered
+gateway with a declarative trie router, per-resource modules, typed
+request schemas, middleware (auth, rate limiting, metrics) and a real
+HTTP front end.  This module keeps the historical contract intact:
+
+- every legacy ``(method, "/api/...")`` route resolves through the v1
+  router to the same handler as its ``/v1/...`` twin;
+- responses keep the historical *flat* shape ``{"status": 200,
+  **payload}`` (the v1 envelope nests payloads under ``data`` instead);
+- the ``user=`` argument stays a trusted in-process identity — no
+  tokens, no rate limiting, exactly as before the gateway existed.
+
+``RestAPI.handle`` also accepts ``/v1/...`` paths directly, returning
+them in the same flat legacy shape, which is occasionally convenient for
+in-process callers migrating route by route.
 """
 
 from __future__ import annotations
 
-import base64
-import re
-from typing import Any
-
-from repro.core.impulse import Impulse
-from repro.core.jobs import UnknownJobError
+from repro.api.errors import ApiError  # noqa: F401  (historical export)
 from repro.core.registry import Platform
-from repro.serve import ModelNotTrainedError, ServingError
 
 
-class ApiError(Exception):
-    """Raised for client errors; carries an HTTP-like status code."""
-
-    def __init__(self, status: int, message: str):
-        super().__init__(message)
-        self.status = status
-
-
-def _number(body: dict, key: str, default, cast=int):
-    """Fetch + cast a numeric body value; malformed input is a 400, not
-    an unhandled ValueError escaping :meth:`RestAPI.handle`."""
-    try:
-        return cast(body.get(key, default))
-    except (TypeError, ValueError) as exc:
-        raise ApiError(400, f"{key} must be {cast.__name__}-like: {exc}")
-
-
-def _require(body: dict, *keys: str) -> None:
-    """400 on missing request-body keys.
-
-    Handlers must validate their own body keys: a bare ``KeyError`` from
-    ``body[...]`` would be turned into a 404 by :meth:`RestAPI.handle`,
-    and 404 is reserved for genuinely missing resources.
-    """
-    missing = [k for k in keys if k not in body]
-    if missing:
-        raise ApiError(400, f"missing required body key(s): {', '.join(missing)}")
+def _to_v1(path: str) -> str:
+    """``/api/projects/3/jobs`` -> ``/v1/projects/3/jobs``."""
+    if path.startswith("/api/"):
+        return "/v1/" + path[len("/api/"):]
+    return path
 
 
 class RestAPI:
-    """Route table over a :class:`Platform` instance."""
+    """Compatibility facade over the platform's :class:`ApiGateway`."""
 
     def __init__(self, platform: Platform):
         self.platform = platform
-        self._routes = [
-            ("POST", r"^/api/users$", self._create_user),
-            ("POST", r"^/api/projects$", self._create_project),
-            ("GET", r"^/api/projects$", self._list_projects),
-            ("GET", r"^/api/projects/(\d+)$", self._get_project),
-            ("POST", r"^/api/projects/(\d+)/data$", self._upload_data),
-            ("GET", r"^/api/projects/(\d+)/data/summary$", self._data_summary),
-            ("POST", r"^/api/projects/(\d+)/impulse$", self._set_impulse),
-            ("GET", r"^/api/projects/(\d+)/impulse$", self._get_impulse),
-            ("POST", r"^/api/projects/(\d+)/jobs/train$", self._train),
-            ("POST", r"^/api/projects/(\d+)/train$", self._train),
-            ("POST", r"^/api/projects/(\d+)/jobs/autotune$", self._autotune),
-            ("POST", r"^/api/projects/(\d+)/tuner$", self._tuner_start),
-            ("GET", r"^/api/projects/(\d+)/tuner/(\d+)$", self._tuner_status),
-            ("POST", r"^/api/projects/(\d+)/tuner/(\d+)/apply$", self._tuner_apply),
-            ("POST", r"^/api/fleet/devices$", self._fleet_register),
-            ("GET", r"^/api/fleet/devices$", self._fleet_devices),
-            ("POST", r"^/api/fleet/devices/([^/]+)/classify$",
-             self._fleet_device_classify),
-            ("POST", r"^/api/fleet/rollout$", self._fleet_rollout),
-            ("POST", r"^/api/telemetry$", self._telemetry_ingest),
-            ("GET", r"^/api/projects/(\d+)/monitor$", self._monitor_status),
-            ("GET", r"^/api/projects/(\d+)/monitor/alerts$", self._monitor_alerts),
-            ("POST", r"^/api/projects/(\d+)/monitor/policy$", self._monitor_policy),
-            ("POST", r"^/api/projects/(\d+)/monitor/evaluate$",
-             self._monitor_evaluate),
-            ("POST", r"^/api/projects/(\d+)/monitor/reference$",
-             self._monitor_reference),
-            ("GET", r"^/api/fleet/rollout/(\d+)$", self._fleet_rollout_status),
-            ("POST", r"^/api/fleet/rollout/(\d+)/cancel$", self._fleet_rollout_cancel),
-            ("POST", r"^/api/projects/(\d+)/jobs/profile$", self._profile_job),
-            ("POST", r"^/api/projects/(\d+)/jobs/deploy$", self._deploy_job),
-            ("GET", r"^/api/projects/(\d+)/jobs$", self._list_jobs),
-            ("GET", r"^/api/projects/(\d+)/jobs/(\d+)$", self._job_status),
-            ("POST", r"^/api/projects/(\d+)/jobs/(\d+)/cancel$", self._job_cancel),
-            ("POST", r"^/api/projects/(\d+)/test$", self._test),
-            ("POST", r"^/api/projects/(\d+)/classify$", self._classify),
-            ("GET", r"^/api/serving/stats$", self._serving_stats),
-            ("POST", r"^/api/projects/(\d+)/profile$", self._profile),
-            ("POST", r"^/api/projects/(\d+)/deploy$", self._deploy),
-            ("POST", r"^/api/projects/(\d+)/versions$", self._commit_version),
-            ("POST", r"^/api/projects/(\d+)/public$", self._make_public),
-        ]
+        self.gateway = platform.gateway
 
     def handle(
         self, method: str, path: str, body: dict | None = None, user: str = "api"
     ) -> dict:
         """Dispatch one request; returns ``{"status": int, ...payload}``."""
-        body = body or {}
-        for verb, pattern, handler in self._routes:
-            if verb != method:
-                continue
-            match = re.match(pattern, path)
-            if match:
-                try:
-                    payload = handler(body, user, *match.groups())
-                except ApiError as exc:
-                    return {"status": exc.status, "error": str(exc)}
-                except UnknownJobError as exc:
-                    # str(), not the KeyError repr — "no job 7", not "'no job 7'".
-                    return {"status": 404, "error": str(exc)}
-                except (KeyError, PermissionError) as exc:
-                    status = 403 if isinstance(exc, PermissionError) else 404
-                    return {"status": status, "error": str(exc)}
-                return {"status": 200, **(payload or {})}
-        return {"status": 404, "error": f"no route {method} {path}"}
-
-    # -- handlers --------------------------------------------------------------
-
-    def _create_user(self, body, user) -> dict:
-        username = body.get("username")
-        if not username:
-            raise ApiError(400, "username required")
-        self.platform.register_user(username)
-        return {"username": username}
-
-    def _create_project(self, body, user) -> dict:
-        name = body.get("name")
-        if not name:
-            raise ApiError(400, "project name required")
-        if user not in self.platform.users:
-            self.platform.register_user(user)
-        project = self.platform.create_project(
-            name, owner=user, hmac_key=body.get("hmac_key")
+        return self.gateway.handle_legacy(
+            method, _to_v1(path), body, user=user, display_path=path
         )
-        return {"project_id": project.project_id, "name": project.name}
-
-    def _list_projects(self, body, user) -> dict:
-        found = self.platform.public_projects(
-            query=body.get("query", ""), tag=body.get("tag")
-        )
-        return {
-            "projects": [
-                {"project_id": p.project_id, "name": p.name, "samples": len(p.dataset)}
-                for p in found
-            ]
-        }
-
-    def _get_project(self, body, user, pid) -> dict:
-        p = self.platform.get_project(int(pid), username=user)
-        return {
-            "project_id": p.project_id,
-            "name": p.name,
-            "owner": p.owner,
-            "public": p.public,
-            "samples": len(p.dataset),
-            "labels": p.dataset.labels,
-        }
-
-    def _upload_data(self, body, user, pid) -> dict:
-        p = self.platform.get_project(int(pid))
-        p.require_member(user)
-        _require(body, "payload_b64")
-        try:
-            payload = base64.b64decode(body["payload_b64"])
-        except (ValueError, TypeError) as exc:
-            raise ApiError(400, f"payload_b64 is not valid base64: {exc}")
-        sample_id = p.ingestion.ingest(
-            payload,
-            label=body.get("label", "unlabeled"),
-            fmt=body.get("format"),
-            category=body.get("category"),
-        )
-        return {"sample_id": sample_id}
-
-    def _data_summary(self, body, user, pid) -> dict:
-        p = self.platform.get_project(int(pid), username=user)
-        return {
-            "distribution": p.dataset.class_distribution(),
-            "split_ratio": p.dataset.split_ratio(),
-        }
-
-    def _set_impulse(self, body, user, pid) -> dict:
-        p = self.platform.get_project(int(pid))
-        p.require_member(user)
-        _require(body, "impulse")
-        try:
-            impulse = Impulse.from_dict(body["impulse"])
-        except (KeyError, ValueError, TypeError) as exc:
-            raise ApiError(400, f"invalid impulse spec: {exc!r}")
-        p.set_impulse(impulse)
-        return {"feature_shape": list(p.impulse.feature_shape())}
-
-    def _get_impulse(self, body, user, pid) -> dict:
-        p = self.platform.get_project(int(pid), username=user)
-        if p.impulse is None:
-            raise ApiError(404, "no impulse configured")
-        return {"impulse": p.impulse.to_dict(), "dataflow": p.impulse.render()}
-
-    def _train(self, body, user, pid) -> dict:
-        """Queue training and answer immediately with the job id — the
-        hosted contract; poll ``GET /jobs/<jid>`` for progress."""
-        p = self.platform.get_project(int(pid))
-        p.require_member(user)
-        try:
-            job = p.train_async(
-                seed=int(body.get("seed", 0)),
-                retries=int(body.get("retries", 0)),
-            )
-        except RuntimeError as exc:
-            raise ApiError(409, str(exc))
-        return {"job_id": job.job_id, "job_status": job.status}
-
-    def _autotune(self, body, user, pid) -> dict:
-        p = self.platform.get_project(int(pid))
-        p.require_member(user)
-        try:
-            job = p.autotune_async(block_index=int(body.get("block_index", 0)))
-        except (RuntimeError, IndexError) as exc:
-            raise ApiError(409, str(exc))
-        return {"job_id": job.job_id, "job_status": job.status}
-
-    # -- distributed EON Tuner ------------------------------------------------
-
-    def _tuner_start(self, body, user, pid) -> dict:
-        """Queue a distributed tuner search (one child job per trial).
-
-        Body: ``n_trials``, ``max_inflight``, ``seed``, ``epochs``,
-        optional ``space`` (``{"dsp_templates": [...],
-        "model_templates": [...]}``) and constraint keys ``device``,
-        ``max_ram_kb``, ``max_flash_kb``, ``max_latency_ms``.
-        """
-        p = self.platform.get_project(int(pid))
-        p.require_member(user)
-        space = None
-        if "space" in body:
-            from repro.automl import SearchSpace
-
-            try:
-                space = SearchSpace(
-                    dsp_templates=list(body["space"]["dsp_templates"]),
-                    model_templates=list(body["space"]["model_templates"]),
-                )
-            except (KeyError, TypeError) as exc:
-                raise ApiError(400, f"invalid search space: {exc!r}")
-        constraints = None
-        if any(k in body for k in ("device", "max_ram_kb", "max_flash_kb",
-                                   "max_latency_ms")):
-            from repro.automl import TunerConstraints
-
-            constraints = TunerConstraints(
-                device_key=body.get("device", "nano33ble"),
-                max_ram_kb=body.get("max_ram_kb"),
-                max_flash_kb=body.get("max_flash_kb"),
-                max_latency_ms=body.get("max_latency_ms"),
-            )
-        try:
-            job = p.tune_async(
-                n_trials=_number(body, "n_trials", 6),
-                max_inflight=_number(body, "max_inflight", 4),
-                seed=_number(body, "seed", 0),
-                space=space,
-                constraints=constraints,
-                train_epochs=_number(body, "epochs", 6),
-                retries=_number(body, "retries", 0),
-            )
-        except ValueError as exc:  # e.g. max_inflight < 1
-            raise ApiError(400, str(exc))
-        except RuntimeError as exc:
-            raise ApiError(409, str(exc))
-        return {"job_id": job.job_id, "job_status": job.status,
-                "trials_total": len(job.children)}
-
-    def _tuner_status(self, body, user, pid, jid) -> dict:
-        """Tuner job view with the (partial) leaderboard: completed
-        trials are ranked live while the search is still running."""
-        p = self.platform.get_project(int(pid), username=user)
-        job = p.jobs.get(int(jid))
-        tuner = p.tuners.get(int(jid))
-        if tuner is None:
-            raise ApiError(404, f"job {jid} is not a tuner job")
-        try:
-            wait_s = None if body.get("wait_s") is None else float(body["wait_s"])
-            log_offset = int(body.get("log_offset", 0))
-        except (TypeError, ValueError) as exc:
-            raise ApiError(400, f"wait_s/log_offset must be numeric: {exc}")
-        if wait_s is not None:
-            job.wait(wait_s)
-        children = p.jobs.children(job.job_id)
-        completed = [c.result for c in children
-                     if c.status == "succeeded" and c.result is not None]
-        payload = job.snapshot(log_offset=log_offset)
-        payload["trials_total"] = len(children)
-        payload["trials_completed"] = len(completed)
-        payload["leaderboard"] = tuner.leaderboard(completed)
-        if isinstance(job.result, dict):
-            payload["result"] = job.result
-        return payload
-
-    def _tuner_apply(self, body, user, pid, jid) -> dict:
-        """Update the project's impulse to a tuner result (rank 1 = best)."""
-        p = self.platform.get_project(int(pid))
-        p.require_member(user)
-        job = p.jobs.get(int(jid))
-        if not job.done:
-            raise ApiError(409, f"tuner job {jid} is still {job.status}")
-        rank = _number(body, "rank", 1)
-        try:
-            p.apply_tuner_result(int(jid), rank=rank)
-        except (IndexError, RuntimeError) as exc:
-            raise ApiError(409, str(exc))
-        return {"applied": True, "rank": rank, "impulse": p.impulse.to_dict()}
-
-    # -- fleet OTA rollouts ---------------------------------------------------
-
-    def _require_operator(self, user: str) -> None:
-        """Mutating fleet routes need a registered platform user — the
-        fleet is shared infrastructure, so anonymous callers may look
-        but not touch (rollout *start* is additionally gated on project
-        membership)."""
-        if user not in self.platform.users:
-            raise PermissionError(
-                f"{user} is not a registered user; fleet management needs "
-                "an account"
-            )
-
-    def _fleet_register(self, body, user) -> dict:
-        from repro.device import VirtualDevice
-
-        self._require_operator(user)
-        _require(body, "device_id")
-        try:
-            device = VirtualDevice(
-                str(body["device_id"]), body.get("profile", "nano33ble")
-            )
-            self.platform.fleet.register(device)
-        except KeyError as exc:
-            raise ApiError(400, f"unknown device profile: {exc}")
-        except ValueError as exc:
-            raise ApiError(409, str(exc))
-        return {"device_id": device.device_id, "profile": device.profile.name}
-
-    def _fleet_devices(self, body, user) -> dict:
-        return {"devices": self.platform.fleet.versions()}
-
-    def _fleet_rollout(self, body, user) -> dict:
-        """Start a staged OTA rollout job: build firmware from a trained
-        project and push it canary-first across the registered fleet.
-
-        Body: ``project_id`` (required), ``canary_fraction``,
-        ``failure_threshold``, ``max_inflight``, ``retries``,
-        ``device_ids``, ``engine``, ``precision``, and the test hook
-        ``inject_failures`` (list of ids, or ``{id: n_attempts}``).
-        """
-        _require(body, "project_id")
-        p = self.platform.get_project(_number(body, "project_id", None))
-        p.require_member(user)
-        # Validate request inputs before the (expensive) firmware build.
-        canary_fraction = _number(body, "canary_fraction", 0.25, float)
-        failure_threshold = _number(body, "failure_threshold", 0.0, float)
-        max_inflight = _number(body, "max_inflight", 4)
-        retries = _number(body, "retries", 0)
-        inject = body.get("inject_failures")
-        try:
-            if isinstance(inject, list):
-                inject = set(inject)
-            elif isinstance(inject, dict):
-                inject = {str(k): int(v) for k, v in inject.items()}
-        except (TypeError, ValueError) as exc:
-            raise ApiError(400, f"invalid inject_failures: {exc}")
-        try:
-            artifact = p.deploy(
-                target="firmware",
-                engine=body.get("engine", "eon"),
-                precision=body.get("precision", "int8"),
-            )
-        except RuntimeError as exc:
-            raise ApiError(409, str(exc))
-        from repro.monitor import model_version_of
-
-        image = artifact.metadata["image"]
-        # Stamp the project's model revision so monitoring can tell the
-        # rolled-out generation apart.  ``health_gate: true`` gates the
-        # fleet-wide stage on monitor health after ``soak_s`` seconds of
-        # canary soak.
-        image.version = model_version_of(p)
-        health_gate = None
-        if body.get("health_gate"):
-            health_gate = self.platform.monitor.health_gate(
-                p.project_id, model_version=image.version
-            )
-        try:
-            job = self.platform.fleet.ota_update_async(
-                image,
-                self.platform.fleet_jobs,
-                device_ids=body.get("device_ids"),
-                canary_fraction=canary_fraction,
-                failure_threshold=failure_threshold,
-                max_inflight=max_inflight,
-                retries_per_device=retries,
-                inject_failures=inject,
-                health_gate=health_gate,
-                soak_s=_number(body, "soak_s", 0.0, float),
-            )
-        except KeyError as exc:  # unknown device id — clean 404 message
-            raise ApiError(404, exc.args[0] if exc.args else str(exc))
-        except ValueError as exc:
-            raise ApiError(400, str(exc))
-        except RuntimeError as exc:
-            raise ApiError(409, str(exc))  # e.g. a rollout is in progress
-        # Bind telemetry attribution only after the rollout is actually
-        # accepted — a rejected request must not steal another project's
-        # fleet binding (or register bindings for unvalidated devices).
-        self.platform.monitor.watch_fleet(
-            p.project_id, device_ids=body.get("device_ids")
-        )
-        return {"job_id": job.job_id, "job_status": job.status,
-                "image_version": image.version,
-                "devices_total": len(body.get("device_ids")
-                                     if body.get("device_ids") is not None
-                                     else self.platform.fleet.devices)}
-
-    def _fleet_rollout_status(self, body, user, jid) -> dict:
-        """Rollout job view: long-poll + per-device log streaming, with
-        the rollout report as ``result`` once the job settles."""
-        job = self.platform.fleet_jobs.get(int(jid))
-        try:
-            wait_s = None if body.get("wait_s") is None else float(body["wait_s"])
-            log_offset = int(body.get("log_offset", 0))
-        except (TypeError, ValueError) as exc:
-            raise ApiError(400, f"wait_s/log_offset must be numeric: {exc}")
-        if wait_s is not None:
-            job.wait(wait_s)
-        payload = job.snapshot(log_offset=log_offset)
-        payload["devices"] = {
-            c.name.split(":", 1)[1]: c.status
-            for c in self.platform.fleet_jobs.children(job.job_id)
-            if c.name.startswith("ota-flash:")
-        }
-        if isinstance(job.result, dict):
-            payload["result"] = job.result
-        return payload
-
-    def _fleet_rollout_cancel(self, body, user, jid) -> dict:
-        self._require_operator(user)
-        status = self.platform.fleet_jobs.cancel(int(jid))
-        return {"job_id": int(jid), "job_status": status}
-
-    # -- production monitoring (repro.monitor) --------------------------------
-
-    def _telemetry_ingest(self, body, user) -> dict:
-        """Device/client telemetry push: ``{"records": [{...}, ...]}``.
-
-        Each record needs ``project_id``; everything else (model_version,
-        latency_ms, top, confidence, margin, ok, source, sketch, raw) is
-        optional — ``raw`` carries a drift-window sample the closed loop
-        may route back into the dataset.  That makes this a
-        training-data-influencing route, so like the other mutating fleet
-        surfaces it requires a registered caller (real device daemons
-        authenticate as the operator that provisioned them).
-        """
-        from repro.monitor import TelemetryRecord
-
-        self._require_operator(user)
-        _require(body, "records")
-        items = body["records"]
-        if not isinstance(items, list) or not items:
-            raise ApiError(400, "records must be a non-empty list")
-        records = []
-        for i, item in enumerate(items):
-            if not isinstance(item, dict):
-                raise ApiError(400, f"records[{i}] must be an object")
-            try:
-                record = TelemetryRecord.from_dict(item)
-            except (KeyError, TypeError, ValueError) as exc:
-                raise ApiError(400, f"records[{i}] is malformed: {exc!r}")
-            if record.project_id not in self.platform.projects:
-                raise ApiError(404, f"no project {record.project_id}")
-            # Telemetry can carry training data (raw drift windows), so
-            # pushing into a project needs membership of *that* project —
-            # being some registered user is not enough.
-            self.platform.projects[record.project_id].require_member(user)
-            records.append(record)
-        return {"accepted": self.platform.monitor.telemetry.extend(records)}
-
-    def _monitor_status(self, body, user, pid) -> dict:
-        """Monitor snapshot: status, detector scores, telemetry summary,
-        policy, and closed-loop job states.  ``wait_loop_s`` long-polls
-        the most recent retrain-loop job before answering."""
-        p = self.platform.get_project(int(pid), username=user)
-        monitor = self.platform.monitor
-        try:
-            wait_loop_s = (None if body.get("wait_loop_s") is None
-                           else float(body["wait_loop_s"]))
-        except (TypeError, ValueError) as exc:
-            raise ApiError(400, f"wait_loop_s must be numeric: {exc}")
-        if wait_loop_s is not None:
-            loops = monitor.monitor(p.project_id).loop_jobs
-            if loops:
-                loops[-1].wait(wait_loop_s)
-        return monitor.snapshot(p.project_id)
-
-    def _monitor_alerts(self, body, user, pid) -> dict:
-        p = self.platform.get_project(int(pid), username=user)
-        return {"alerts": self.platform.monitor.alerts(p.project_id)}
-
-    def _monitor_policy(self, body, user, pid) -> dict:
-        p = self.platform.get_project(int(pid))
-        p.require_member(user)
-        try:
-            policy = self.platform.monitor.set_policy(p.project_id, body)
-        except (TypeError, ValueError) as exc:
-            raise ApiError(400, str(exc))
-        return {"policy": policy.to_dict()}
-
-    def _monitor_evaluate(self, body, user, pid) -> dict:
-        """Run one on-demand monitoring sweep as a job and return its
-        snapshot (plus the sweep job id)."""
-        p = self.platform.get_project(int(pid))
-        p.require_member(user)
-        monitor = self.platform.monitor
-        job = monitor.jobs.submit(
-            f"monitor-sweep p{p.project_id}",
-            lambda j: monitor.evaluate(p.project_id, job=j),
-        )
-        job.wait(_number(body, "wait_s", 30.0, float))
-        if job.status == "failed":
-            raise ApiError(500, f"monitor sweep failed: {job.error}")
-        payload = job.result if isinstance(job.result, dict) else {}
-        return {**payload, "sweep_job_id": job.job_id,
-                "sweep_job_status": job.status}
-
-    def _monitor_reference(self, body, user, pid) -> dict:
-        """Pin the current telemetry window as the drift baseline."""
-        p = self.platform.get_project(int(pid))
-        p.require_member(user)
-        count = self.platform.monitor.set_reference(p.project_id)
-        if count == 0:
-            raise ApiError(409, "no telemetry to capture as a reference")
-        return {"reference_records": count}
-
-    def _fleet_device_classify(self, body, user, did) -> dict:
-        """Run one inference on a fleet device's flashed impulse (the
-        field path: emits telemetry — raw window included — when the
-        fleet is being monitored, so it needs a registered caller like
-        every other telemetry-producing route)."""
-        self._require_operator(user)
-        _require(body, "data")
-        try:
-            result = self.platform.fleet.classify_on(did, body["data"])
-        except KeyError as exc:
-            # str(KeyError) would repr-quote the message ("\"unknown
-            # device 'x'\""), the defect UnknownJobError exists to avoid.
-            raise ApiError(404, exc.args[0] if exc.args else str(exc))
-        except (TypeError, ValueError) as exc:
-            raise ApiError(400, f"invalid data: {exc}")
-        except RuntimeError as exc:
-            raise ApiError(409, str(exc))
-        return result
-
-    def _profile_job(self, body, user, pid) -> dict:
-        p = self.platform.get_project(int(pid))
-        p.require_member(user)
-        job = p.profile_async(
-            device_key=body.get("device", "nano33ble"),
-            precision=body.get("precision", "int8"),
-            engine=body.get("engine", "eon"),
-        )
-        return {"job_id": job.job_id, "job_status": job.status}
-
-    def _deploy_job(self, body, user, pid) -> dict:
-        p = self.platform.get_project(int(pid))
-        p.require_member(user)
-        job = p.deploy_async(
-            target=body.get("target", "cpp"),
-            engine=body.get("engine", "eon"),
-            precision=body.get("precision", "int8"),
-        )
-        return {"job_id": job.job_id, "job_status": job.status}
-
-    def _list_jobs(self, body, user, pid) -> dict:
-        p = self.platform.get_project(int(pid), username=user)
-        return {
-            "jobs": [
-                {"job_id": j.job_id, "name": j.name, "job_status": j.status,
-                 "progress": j.progress}
-                for j in p.jobs.list_jobs()
-            ]
-        }
-
-    def _job_status(self, body, user, pid, jid) -> dict:
-        """Live job view with log streaming.
-
-        Optional body keys: ``wait_s`` long-polls until the job is
-        terminal (or the deadline passes); ``log_offset`` returns only
-        log lines from that index on, plus the next offset.
-        """
-        p = self.platform.get_project(int(pid), username=user)
-        job = p.jobs.get(int(jid))
-        try:
-            wait_s = None if body.get("wait_s") is None else float(body["wait_s"])
-            log_offset = int(body.get("log_offset", 0))
-        except (TypeError, ValueError) as exc:
-            raise ApiError(400, f"wait_s/log_offset must be numeric: {exc}")
-        if wait_s is not None:
-            job.wait(wait_s)
-        payload = job.snapshot(log_offset=log_offset)
-        # Job functions keep their results JSON-safe (e.g. deploy returns
-        # the manifest, not the artifact), so dicts pass through as-is.
-        if isinstance(job.result, dict):
-            payload["result"] = job.result
-        return payload
-
-    def _job_cancel(self, body, user, pid, jid) -> dict:
-        p = self.platform.get_project(int(pid))
-        p.require_member(user)
-        status = p.jobs.cancel(int(jid))
-        return {"job_id": int(jid), "job_status": status}
-
-    def _test(self, body, user, pid) -> dict:
-        p = self.platform.get_project(int(pid), username=user)
-        report = p.test(precision=body.get("precision", "float32"))
-        return {
-            "accuracy": report.accuracy,
-            "f1": report.f1.tolist(),
-            "labels": report.labels,
-            "confusion_matrix": report.matrix.tolist(),
-        }
-
-    def _classify(self, body, user, pid) -> dict:
-        """Serve classification from the batched serving layer.
-
-        Body: ``features`` (one flat window) or ``batch`` (list of
-        windows), plus optional ``precision``/``engine``.
-        """
-        p = self.platform.get_project(int(pid), username=user)
-        if ("features" in body) == ("batch" in body):
-            raise ApiError(400, "provide exactly one of 'features' or 'batch'")
-        precision = body.get("precision", "int8")
-        engine = body.get("engine", "eon")
-        try:
-            if "features" in body:
-                result = self.platform.serving.classify(
-                    p.project_id, body["features"], precision=precision, engine=engine
-                )
-                return {**result, "precision": precision, "engine": engine}
-            results = self.platform.serving.classify_batch(
-                p.project_id, body["batch"], precision=precision, engine=engine
-            )
-            return {
-                "results": results,
-                "batch_size": len(results),
-                "precision": precision,
-                "engine": engine,
-            }
-        except ModelNotTrainedError as exc:
-            raise ApiError(409, str(exc))
-        except ServingError as exc:
-            raise ApiError(400, str(exc))
-
-    def _serving_stats(self, body, user) -> dict:
-        return self.platform.serving.snapshot()
-
-    def _profile(self, body, user, pid) -> dict:
-        p = self.platform.get_project(int(pid), username=user)
-        return p.profile(
-            device_key=body.get("device", "nano33ble"),
-            precision=body.get("precision", "int8"),
-            engine=body.get("engine", "eon"),
-        )
-
-    def _deploy(self, body, user, pid) -> dict:
-        p = self.platform.get_project(int(pid))
-        p.require_member(user)
-        artifact = p.deploy(
-            target=body.get("target", "cpp"),
-            engine=body.get("engine", "eon"),
-            precision=body.get("precision", "int8"),
-        )
-        return {"artifact": artifact.manifest()}
-
-    def _commit_version(self, body, user, pid) -> dict:
-        p = self.platform.get_project(int(pid))
-        p.require_member(user)
-        version = p.commit_version(message=body.get("message", ""))
-        return {"version_id": version.version_id, "dataset_version": version.dataset_version}
-
-    def _make_public(self, body, user, pid) -> dict:
-        p = self.platform.get_project(int(pid))
-        p.require_member(user)
-        p.make_public(tags=body.get("tags"))
-        return {"public": True}

@@ -7,11 +7,29 @@ mechanics the paper credits for knowledge sharing.
 
 from __future__ import annotations
 
+import secrets
 from dataclasses import dataclass, field
 
 from repro.core.jobs import JobExecutor
 from repro.core.project import Project
 from repro.serve import ModelServer, ShardedModelServer
+
+
+class UnknownProjectError(KeyError):
+    """Lookup of a project id the platform has never issued.
+
+    Subclasses ``KeyError`` so legacy callers that caught ``KeyError``
+    keep working, but the API gateway routes *only* this typed error to
+    404 — a bare ``KeyError`` from a handler body is a genuine bug and
+    surfaces as a 500.
+    """
+
+    def __init__(self, project_id: object):
+        super().__init__(f"no project {project_id}")
+        self.project_id = project_id
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0]
 
 
 @dataclass
@@ -57,6 +75,12 @@ class Platform:
 
         self.monitor = MonitorService(self)
         self.serving.telemetry = self.monitor.telemetry
+        # API tokens (token -> username): the credential store behind the
+        # gateway's auth middleware.  Issued in-process (or via the CLI's
+        # ``serve --http`` banner); socket callers present them as
+        # ``Authorization: Bearer <token>``.
+        self.api_tokens: dict[str, str] = {}
+        self._gateway = None
 
     # -- identities -------------------------------------------------------
 
@@ -98,10 +122,39 @@ class Platform:
         return project
 
     def get_project(self, project_id: int, username: str | None = None) -> Project:
-        project = self.projects[project_id]
+        try:
+            project = self.projects[project_id]
+        except KeyError:
+            raise UnknownProjectError(project_id) from None
         if username is not None and not project.public:
             project.require_member(username)
         return project
+
+    # -- API tokens ---------------------------------------------------------
+
+    def issue_token(self, username: str) -> str:
+        """Mint an API token for a registered user."""
+        if username not in self.users:
+            raise KeyError(f"unknown user {username!r}")
+        token = "ei_" + secrets.token_hex(16)
+        self.api_tokens[token] = username
+        return token
+
+    def resolve_token(self, token: str) -> str | None:
+        return self.api_tokens.get(token)
+
+    def revoke_token(self, token: str) -> bool:
+        return self.api_tokens.pop(token, None) is not None
+
+    @property
+    def gateway(self):
+        """The platform's API gateway (lazily built: one shared router,
+        middleware chain, metrics and rate-limiter per platform)."""
+        if self._gateway is None:
+            from repro.api import ApiGateway
+
+            self._gateway = ApiGateway(self)
+        return self._gateway
 
     # -- public index -----------------------------------------------------------
 

@@ -129,14 +129,24 @@ class TelemetryStore:
     candidate drift-window samples for the closed retrain loop).
     """
 
-    def __init__(self, window: int = 4096, raw_window: int = 256):
-        if window < 1 or raw_window < 0:
-            raise ValueError("window must be >= 1 and raw_window >= 0")
+    #: Source tag reserved for the API gateway's request metrics; these
+    #: records live in their own per-project ring so request traffic can
+    #: never evict inference observations from the drift window.
+    INFRA_SOURCE = "gateway"
+
+    def __init__(self, window: int = 4096, raw_window: int = 256,
+                 infra_window: int = 1024):
+        if window < 1 or raw_window < 0 or infra_window < 0:
+            raise ValueError(
+                "window must be >= 1, raw_window/infra_window >= 0"
+            )
         self.window = window
         self.raw_window = raw_window
+        self.infra_window = infra_window
         self._lock = threading.Lock()
         self._rings: dict[int, deque[TelemetryRecord]] = {}
         self._raw: dict[int, deque[TelemetryRecord]] = {}
+        self._infra: dict[int, deque[TelemetryRecord]] = {}
         self.total_records = 0
 
     # -- ingest (hot path) -------------------------------------------------
@@ -148,6 +158,17 @@ class TelemetryStore:
         with self._lock:
             for rec in records:
                 pid = rec.project_id
+                if rec.source == self.INFRA_SOURCE:
+                    # Gateway request metrics: separate bounded ring —
+                    # API polling must not starve drift detection.
+                    if self.infra_window:
+                        infra = self._infra.get(pid)
+                        if infra is None:
+                            infra = self._infra[pid] = deque(
+                                maxlen=self.infra_window
+                            )
+                        infra.append(rec)
+                    continue
                 ring = self._rings.get(pid)
                 if ring is None:
                     ring = self._rings[pid] = deque(maxlen=self.window)
@@ -183,8 +204,11 @@ class TelemetryStore:
         since: float | None = None,
     ) -> list[TelemetryRecord]:
         """Newest-last snapshot of a project's window, optionally filtered
-        by source (device id / "serving"), model version, or timestamp."""
+        by source (device id / "serving"), model version, or timestamp.
+        ``source="gateway"`` reads the separate infra ring."""
         with self._lock:
+            if source == self.INFRA_SOURCE:
+                return list(self._infra.get(project_id, ()))
             records = list(self._rings.get(project_id, ()))
         if source is not None:
             records = [r for r in records if r.source == source]
@@ -218,9 +242,11 @@ class TelemetryStore:
             if project_id is None:
                 self._rings.clear()
                 self._raw.clear()
+                self._infra.clear()
             else:
                 self._rings.pop(project_id, None)
                 self._raw.pop(project_id, None)
+                self._infra.pop(project_id, None)
 
     def summary(self, project_id: int) -> dict:
         """JSON-safe per-project ingest summary for the monitor API."""
@@ -228,10 +254,17 @@ class TelemetryStore:
         by_source = Counter(r.source for r in records)
         by_label = Counter(r.top for r in records if r.top is not None)
         by_version = Counter(r.model_version for r in records)
+        with self._lock:
+            infra = list(self._infra.get(project_id, ()))
         return {
             "records": len(records),
             "window": self.window,
             "raw_retained": len(self.drift_candidates(project_id)),
+            "gateway_requests": len(infra),
+            "gateway_error_rate": (
+                sum(1 for r in infra if not r.ok) / len(infra)
+                if infra else 0.0
+            ),
             "by_source": dict(by_source),
             "by_label": dict(by_label),
             "by_model_version": dict(by_version),

@@ -1,0 +1,226 @@
+"""Real HTTP serving + the repro.client SDK, end to end over sockets."""
+
+from __future__ import annotations
+
+import base64
+import io
+import json
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.api import ApiGateway, serve_http
+from repro.client import Client, ClientError
+from repro.core import Platform
+from repro.formats.wav import write_wav
+
+IMPULSE_SPEC = {
+    "input": {"type": "time-series", "window_size_ms": 1000,
+              "window_increase_ms": 1000, "frequency_hz": 2000, "axes": 1},
+    "dsp": [{"type": "mfe", "config": {"sample_rate": 2000, "n_filters": 16}}],
+    "learn": {"type": "classification", "architecture": "conv1d_stack",
+              "arch_kwargs": {"n_layers": 2, "first_filters": 8,
+                              "last_filters": 16},
+              "training": {"epochs": 25, "batch_size": 8,
+                           "learning_rate": 3e-3, "seed": 0}},
+}
+
+
+def _wav_bytes(freq=440.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(2000) / 2000
+    audio = np.sin(2 * np.pi * freq * t) + 0.1 * rng.standard_normal(2000)
+    buf = io.BytesIO()
+    write_wav(buf, audio.astype(np.float32) * 0.5, 2000)
+    return buf.getvalue()
+
+
+@pytest.fixture()
+def server():
+    platform = Platform()
+    platform.register_user("alice")
+    server = serve_http(platform.gateway, port=0, background=True)
+    yield platform, server
+    server.shutdown()
+    server.server_close()
+
+
+@pytest.fixture()
+def client(server):
+    platform, srv = server
+    return Client(srv.url, token=platform.issue_token("alice"),
+                  retries=1, backoff_s=0.05)
+
+
+def test_full_lifecycle_over_http(server, client):
+    """The acceptance flow, entirely over a real socket: create a
+    project, upload data, train via job long-poll with streamed logs,
+    and classify."""
+    platform, _ = server
+    pid = client.create_project("kws-over-http")["project_id"]
+    assert platform.projects[pid].owner == "alice"
+
+    for label, freq in (("low", 200.0), ("high", 800.0)):
+        for i in range(14):
+            response = client.upload_data(pid, _wav_bytes(freq, seed=i),
+                                          label=label, fmt="wav")
+            assert response["sample_id"]
+    summary = client.request("GET", f"/v1/projects/{pid}/data/summary")
+    assert set(summary["distribution"]) == {"low", "high"}
+
+    shape = client.set_impulse(pid, IMPULSE_SPEC)["feature_shape"]
+    assert all(d > 0 for d in shape)
+
+    queued = client.train(pid, seed=0)
+    assert queued["job_status"] in ("queued", "running")
+    jid = queued["job_id"]
+
+    # Follow the chunked log stream while the job runs.
+    lines = list(client.stream_logs(pid, jid, timeout_s=60.0))
+    assert lines[-1] == f"[job {jid} succeeded]"
+    assert any("training" in line for line in lines)
+
+    # Long-poll to the terminal snapshot (idempotent after the stream).
+    job = client.wait_job(pid, jid, timeout_s=60.0)
+    assert job["job_status"] == "succeeded"
+    assert job["progress"] == 1.0
+
+    # Classify one window and a batch through the serving layer.
+    features = np.asarray(
+        platform.projects[pid].impulse.features_for_sample(
+            platform.projects[pid].dataset.samples()[0]
+        )
+    )[0].tolist()
+    single = client.classify(pid, features=features)
+    assert single["top"] in ("low", "high")
+    batch = client.classify(pid, batch=[features, features])
+    assert batch["batch_size"] == 2
+
+    # The jobs listing paginates over HTTP query strings.
+    listing = client.list_jobs(pid, limit=1)
+    assert listing["total"] >= 1 and len(listing["jobs"]) == 1
+
+    stats = client.gateway_stats()
+    assert stats["requests"] > 30
+    assert stats["routes"]["uploadData"]["requests"] == 28
+
+
+def test_openapi_and_auth_over_http(server):
+    platform, srv = server
+    # The OpenAPI doc is public.
+    anonymous = Client(srv.url)
+    doc = anonymous.openapi()
+    assert doc["openapi"].startswith("3.")
+    assert "/v1/projects" in doc["paths"]
+
+    # Protected routes 401 without a token, 401 with a bad one.
+    with pytest.raises(ClientError) as err:
+        anonymous.create_project("nope")
+    assert err.value.status == 401
+    bad = Client(srv.url, token="ei_wrong")
+    with pytest.raises(ClientError) as err:
+        bad.list_projects()
+    assert err.value.status == 401
+
+    # HTTP status code mirrors the envelope status.
+    request = urllib.request.Request(srv.url + "/v1/projects/999")
+    request.add_header("Authorization",
+                       f"Bearer {platform.issue_token('alice')}")
+    with pytest.raises(urllib.error.HTTPError) as http_err:
+        urllib.request.urlopen(request)
+    assert http_err.value.code == 404
+    envelope = json.loads(http_err.value.read())
+    assert envelope == {"status": 404, "error": "no project 999"}
+
+
+def test_http_malformed_requests(server, client):
+    platform, srv = server
+    # Non-JSON body -> 400 before dispatch.
+    request = urllib.request.Request(
+        srv.url + "/v1/users", data=b"not-json",
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    with pytest.raises(urllib.error.HTTPError) as err:
+        urllib.request.urlopen(request)
+    assert err.value.code == 400
+    assert "not JSON" in json.loads(err.value.read())["error"]
+
+    # Unknown route -> enveloped 404 with the request path.
+    with pytest.raises(ClientError) as cerr:
+        client.request("GET", "/v1/nope")
+    assert cerr.value.status == 404 and "/v1/nope" in cerr.value.message
+
+    # Schema validation applies to query strings.
+    pid = client.create_project("q")["project_id"]
+    with pytest.raises(ClientError) as cerr:
+        client.request("GET", f"/v1/projects/{pid}/jobs/1",
+                       {"wait_s": "soon"})
+    assert cerr.value.status == 400 and "wait_s" in cerr.value.message
+
+
+def test_rate_limit_over_http(server):
+    platform, srv = server
+    gw = ApiGateway(platform, rate_limit_capacity=4,
+                    rate_limit_refill_per_s=0.001)
+    limited_srv = serve_http(gw, port=0, background=True)
+    try:
+        client = Client(limited_srv.url,
+                        token=platform.issue_token("alice"), retries=0)
+        statuses = []
+        for _ in range(8):
+            try:
+                client.list_projects()
+                statuses.append(200)
+            except ClientError as exc:
+                statuses.append(exc.status)
+                if exc.status == 429:
+                    assert exc.retry_after_s > 0
+        assert statuses.count(200) == 4
+        assert statuses.count(429) == 4
+    finally:
+        limited_srv.shutdown()
+        limited_srv.server_close()
+
+
+def test_client_retries_transport_errors(server):
+    platform, srv = server
+    client = Client("http://127.0.0.1:1", retries=2, backoff_s=0.01)
+    with pytest.raises(ClientError) as err:
+        client.list_projects()
+    assert err.value.status == 599
+
+    # 4xx never retries (the server would see repeated requests).
+    good = Client(srv.url, token=platform.issue_token("alice"), retries=3)
+    before = srv.gateway.metrics.requests
+    with pytest.raises(ClientError):
+        good.get_project(999)
+    assert srv.gateway.metrics.requests == before + 1
+
+
+def test_legacy_telemetry_push_equivalent_over_v1(server, client):
+    """The device-push route works over the socket (project-scoped auth
+    included)."""
+    pid = client.create_project("tele")["project_id"]
+    accepted = client.request("POST", "/v1/telemetry", {"records": [
+        {"project_id": pid, "confidence": 0.9, "top": "a",
+         "source": "field-1"},
+    ]})
+    assert accepted == {"accepted": 1}
+    with pytest.raises(ClientError) as err:
+        client.request("POST", "/v1/telemetry",
+                       {"records": [{"project_id": 999}]})
+    assert err.value.status == 404
+
+
+def test_base64_upload_roundtrip_over_http(server, client):
+    """upload_data base64-encodes payloads; verify the raw route accepts
+    the same encoding directly."""
+    pid = client.create_project("raw")["project_id"]
+    payload = base64.b64encode(_wav_bytes()).decode()
+    response = client.request("POST", f"/v1/projects/{pid}/data",
+                              {"payload_b64": payload, "label": "x",
+                               "format": "wav"})
+    assert response["sample_id"]
+    platform, _ = server
+    assert len(platform.projects[pid].dataset) == 1
