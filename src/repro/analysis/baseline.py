@@ -1,0 +1,86 @@
+"""Ratcheted lint baseline: pre-existing findings tracked, new ones block.
+
+The baseline file maps finding fingerprints (``file::code::symbol``,
+line-independent) to counts.  ``--check`` fails only when a fingerprint
+appears *more* times than the baseline records — so existing debt is
+visible and tracked, but doesn't block CI, and fixing a finding then
+reintroducing it is caught.  ``--update-baseline`` rewrites the file
+from the current findings (the ratchet: counts only go down by fixing,
+up by explicit re-baseline in a reviewed commit).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic, Report
+
+BASELINE_VERSION = 1
+
+
+def fingerprint_counts(report: Report) -> Counter:
+    return Counter(d.fingerprint() for d in report)
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """``{fingerprint: allowed_count}`` from a baseline file (empty if
+    the file doesn't exist yet)."""
+    path = Path(path)
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text())
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {data.get('version')!r}, "
+            f"expected {BASELINE_VERSION}"
+        )
+    return {fp: int(entry["count"]) for fp, entry in data["findings"].items()}
+
+
+def save_baseline(report: Report, path: str | Path) -> None:
+    counts = fingerprint_counts(report)
+    by_fp: dict[str, Diagnostic] = {}
+    for diag in report:
+        by_fp.setdefault(diag.fingerprint(), diag)
+    findings = {
+        fp: {
+            "count": counts[fp],
+            "code": by_fp[fp].code,
+            "message": by_fp[fp].message,
+        }
+        for fp in sorted(counts)
+    }
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": "lint ratchet: regenerate with "
+                   "`python scripts/lint_repro.py --update-baseline`",
+        "findings": findings,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def new_findings(report: Report, baseline: dict[str, int]) -> list[Diagnostic]:
+    """Diagnostics exceeding their baselined count, in report order."""
+    allowed = dict(baseline)
+    fresh = []
+    for diag in report:
+        fp = diag.fingerprint()
+        if allowed.get(fp, 0) > 0:
+            allowed[fp] -= 1
+        else:
+            fresh.append(diag)
+    return fresh
+
+
+def stale_entries(report: Report, baseline: dict[str, int]) -> dict[str, int]:
+    """Baseline entries no longer fully used (fixed findings): candidates
+    for a ratchet-down re-baseline.  ``{fingerprint: unused_count}``."""
+    counts = fingerprint_counts(report)
+    stale = {}
+    for fp, allowed in baseline.items():
+        unused = allowed - counts.get(fp, 0)
+        if unused > 0:
+            stale[fp] = unused
+    return stale

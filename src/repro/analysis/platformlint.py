@@ -1,0 +1,159 @@
+"""Platform-consistency lints over the service layers.
+
+Three checks, all stdlib-``ast`` over single files:
+
+- **L003** — API-layer code (files under ``api/`` or ``serve/``) raising
+  a bare ``KeyError``: a missing-resource condition must surface as the
+  gateway's typed ``ApiError``/404, not a 500 from an uncaught builtin.
+- **L010** — routes registered via ``router.add(Route(...))`` without
+  the metadata the OpenAPI generator and gateway middleware rely on: a
+  ``summary``, a ``response`` schema, and — for body-carrying methods
+  (POST/PUT/PATCH) — a ``request`` schema.
+- **L020** — ``time.time()`` appearing in a subtraction: wall-clock
+  deltas jump under NTP step/slew; durations and cooldowns must use
+  ``time.monotonic()``.  (``time.time()`` is still fine as a timestamp.)
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.diagnostics import Report
+
+#: Path fragments marking a file as API-layer for L003.
+_API_PATH_PARTS = ("api", "serve")
+
+#: HTTP methods expected to carry a request schema.
+_BODY_METHODS = {"POST", "PUT", "PATCH"}
+
+
+class _ScopedVisitor(ast.NodeVisitor):
+    """NodeVisitor that tracks the enclosing class/function names."""
+
+    def __init__(self, path: str, report: Report):
+        self.path = path
+        self.report = report
+        self.scope: list[str] = []
+
+    def _qualname(self) -> str:
+        return ".".join(self.scope) or "<module>"
+
+    def visit_ClassDef(self, node):
+        self.scope.append(node.name)
+        self.generic_visit(node)
+        self.scope.pop()
+
+    def visit_FunctionDef(self, node):
+        self.scope.append(node.name)
+        self.generic_visit(node)
+        self.scope.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+class _KeyErrorVisitor(_ScopedVisitor):
+    def visit_Raise(self, node):
+        exc = node.exc
+        name = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name == "KeyError":
+            self.report.add(
+                "L003",
+                f"{self._qualname()} raises bare KeyError; API-layer code "
+                "should raise the gateway's typed error (404) instead",
+                file=self.path, line=node.lineno, symbol=self._qualname(),
+                hint="raise ApiError(404, ...) or let the router map it",
+            )
+        self.generic_visit(node)
+
+
+def _is_route_add(node: ast.Call) -> ast.Call | None:
+    """Return the ``Route(...)`` call if ``node`` is ``<x>.add(Route(...))``."""
+    if not (isinstance(node.func, ast.Attribute) and node.func.attr == "add"):
+        return None
+    for arg in node.args:
+        if (isinstance(arg, ast.Call) and isinstance(arg.func, ast.Name)
+                and arg.func.id == "Route"):
+            return arg
+    return None
+
+
+class _RouteVisitor(_ScopedVisitor):
+    def visit_Call(self, node):
+        route = _is_route_add(node)
+        if route is not None:
+            kwargs = {kw.arg for kw in route.keywords if kw.arg}
+            method = None
+            if route.args and isinstance(route.args[0], ast.Constant):
+                method = route.args[0].value
+            for kw in route.keywords:
+                if kw.arg == "method" and isinstance(kw.value, ast.Constant):
+                    method = kw.value.value
+            path_const = None
+            if len(route.args) > 1 and isinstance(route.args[1], ast.Constant):
+                path_const = route.args[1].value
+            for kw in route.keywords:
+                if kw.arg == "path" and isinstance(kw.value, ast.Constant):
+                    path_const = kw.value.value
+            label = f"{method or '?'} {path_const or '?'}"
+            missing = [k for k in ("summary", "response") if k not in kwargs]
+            if method in _BODY_METHODS and "request" not in kwargs:
+                missing.append("request")
+            if missing:
+                self.report.add(
+                    "L010",
+                    f"route {label} registered without {', '.join(missing)}",
+                    file=self.path, line=route.lineno,
+                    symbol=f"route:{label}",
+                    hint="OpenAPI generation and request validation need "
+                         "summary/response (and request for body methods)",
+                )
+        self.generic_visit(node)
+
+
+def _is_time_time(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "time"
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "time"
+    )
+
+
+class _WallClockVisitor(_ScopedVisitor):
+    def visit_BinOp(self, node):
+        if isinstance(node.op, ast.Sub) and (
+            _is_time_time(node.left) or _is_time_time(node.right)
+        ):
+            self.report.add(
+                "L020",
+                f"{self._qualname()} computes a duration from time.time(); "
+                "wall clock is not monotonic",
+                file=self.path, line=node.lineno, symbol=self._qualname(),
+                hint="use time.monotonic() for durations and cooldowns",
+            )
+        self.generic_visit(node)
+
+
+def _parse(source: str, path: str) -> ast.Module:
+    try:
+        return ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise ValueError(f"cannot parse {path}: {exc}") from exc
+
+
+def lint_platform(source: str, path: str) -> Report:
+    """All platform lints applicable to one file."""
+    report = Report(subject=path)
+    tree = _parse(source, path)
+    norm = path.replace("\\", "/")
+    parts = norm.split("/")
+    if any(p in _API_PATH_PARTS for p in parts):
+        _KeyErrorVisitor(path, report).visit(tree)
+    _RouteVisitor(path, report).visit(tree)
+    _WallClockVisitor(path, report).visit(tree)
+    return report

@@ -191,19 +191,19 @@ class JobExecutor:
         self.max_workers = max_workers
         self.jobs_per_worker = jobs_per_worker
         self.idle_grace_s = idle_grace_s
-        self.jobs: dict[int, Job] = {}
-        self._pending: deque[int] = deque()
+        self.jobs: dict[int, Job] = {}  # guarded-by: _cond
+        self._pending: deque[int] = deque()  # guarded-by: _cond
         # RLock: parent-completion bookkeeping re-enters the lock from
         # paths that may already hold it (cancel cascade, seal).
         self._cond = threading.Condition(threading.RLock())
-        self._next_id = 1
-        self._tick = 0
-        self._running = 0
-        self.workers = 0  # live worker threads
-        self.scaling_events: list[ScalingEvent] = []
-        self._shutdown = False
-        self._group_limits: dict[str, int] = {}
-        self._group_running: dict[str, int] = {}
+        self._next_id = 1  # guarded-by: _cond
+        self._tick = 0  # guarded-by: _cond
+        self._running = 0  # guarded-by: _cond
+        self.workers = 0  # guarded-by: _cond (live worker threads)
+        self.scaling_events: list[ScalingEvent] = []  # guarded-by: _cond
+        self._shutdown = False  # guarded-by: _cond
+        self._group_limits: dict[str, int] = {}  # guarded-by: _cond
+        self._group_running: dict[str, int] = {}  # guarded-by: _cond
 
     # -- submission ---------------------------------------------------------
 

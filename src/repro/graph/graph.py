@@ -23,16 +23,23 @@ class Graph:
         # Memoized CompiledPlan (see repro.runtime.executor.compile_plan);
         # invalidated by structural edits.
         self._compiled_plan = None
+        # Set after a successful full verification (repro.analysis); the
+        # compile path skips re-verifying an unchanged graph.  Shares the
+        # plan memo's staleness contract: structural edits clear it,
+        # in-place tensor mutation requires re-verifying explicitly.
+        self._verified_ok = False
 
     # -- construction --------------------------------------------------------
 
     def add_tensor(self, tensor: GTensor) -> int:
         self._compiled_plan = None  # structural edit invalidates the plan
+        self._verified_ok = False
         self.tensors.append(tensor)
         return len(self.tensors) - 1
 
     def add_op(self, op: GOp) -> None:
         self._compiled_plan = None
+        self._verified_ok = False
         self.ops.append(op)
 
     # -- introspection --------------------------------------------------------
@@ -63,31 +70,22 @@ class Graph:
 
     def validate(self) -> None:
         """Structural checks: index bounds, execution-order def-before-use,
-        exactly one producer per activation tensor."""
-        n = len(self.tensors)
-        if not (0 <= self.input_id < n and 0 <= self.output_id < n):
-            raise ValueError("input/output tensor ids out of range")
-        produced = {self.input_id}
-        producers: dict[int, int] = {}
-        for oi, op in enumerate(self.ops):
-            for t in op.inputs:
-                if not 0 <= t < n:
-                    raise ValueError(f"op {oi} input {t} out of range")
-                if not self.tensors[t].is_const and t not in produced:
-                    raise ValueError(
-                        f"op {oi} ({op.opcode}) consumes tensor {t} before production"
-                    )
-            for t in op.outputs:
-                if not 0 <= t < n:
-                    raise ValueError(f"op {oi} output {t} out of range")
-                if t in producers:
-                    raise ValueError(f"tensor {t} produced twice")
-                if self.tensors[t].is_const:
-                    raise ValueError(f"op {oi} writes constant tensor {t}")
-                producers[t] = oi
-                produced.add(t)
-        if self.output_id not in produced:
-            raise ValueError("output tensor is never produced")
+        exactly one producer per activation tensor.
+
+        Delegates to the analysis layer's topology check and raises the
+        first error as a ``ValueError`` (a ``GraphVerificationError``),
+        preserving the historical messages.  For the full verifier —
+        shapes, dtypes, quantization, liveness — use
+        ``repro.analysis.verify_graph``.
+        """
+        from repro.analysis.verify import (  # lazy: analysis imports graph
+            GraphVerificationError,
+            check_topology,
+        )
+
+        report = check_topology(self)
+        if not report.ok:
+            raise GraphVerificationError(report)
 
     def lifetimes(self) -> dict[int, tuple[int, int]]:
         """First-def / last-use op index per activation tensor.
@@ -115,11 +113,12 @@ class Graph:
                 f"{t}:{'w' if self.tensors[t].is_const else 'a'}{list(self.tensors[t].shape)}"
                 for t in op.inputs
             )
-            out = op.outputs[0]
+            outs = ", ".join(
+                f"{t}:{list(self.tensors[t].shape)}" for t in op.outputs
+            ) or "(none)"
             act = op.attrs.get("activation", "none")
             suffix = f" +{act}" if act != "none" else ""
             lines.append(
-                f"  [{oi:>2}] {op.opcode:<20}{suffix:<7} ({ins}) -> "
-                f"{out}:{list(self.tensors[out].shape)}"
+                f"  [{oi:>2}] {op.opcode:<20}{suffix:<7} ({ins}) -> {outs}"
             )
         return "\n".join(lines)

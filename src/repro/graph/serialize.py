@@ -130,5 +130,9 @@ def graph_from_bytes(data: bytes) -> Graph:
         graph.add_op(GOp(spec["opcode"], spec["inputs"], spec["outputs"], attrs))
     graph.input_id = header["input_id"]
     graph.output_id = header["output_id"]
-    graph.validate()
+    # Full verification on load: a blob is an untrusted boundary, so run
+    # shape/dtype/quant checks too, not just the structural validate().
+    from repro.analysis.verify import verify_graph_or_raise  # lazy import
+
+    verify_graph_or_raise(graph, arena=False)
     return graph

@@ -57,6 +57,8 @@ class ProjectMonitor:
         self.status = "baselining"  # baselining | ok | drift | unhealthy
         self.loop_jobs: list[Job] = []
         self.max_retained_loops = 8  # bounded like Project.tuners
+        # Monotonic clock: only ever compared against a monotonic "now"
+        # for the cooldown window, never shown as a timestamp.
         self.last_loop_started: float | None = None
         self._previously_triggered: set[str] = set()
         self._lock = threading.RLock()
@@ -283,7 +285,7 @@ class MonitorService:
         if pm.active_loop is not None:
             return None
         if (pm.policy.cooldown_s and pm.last_loop_started is not None
-                and time.time() - pm.last_loop_started < pm.policy.cooldown_s):
+                and time.monotonic() - pm.last_loop_started < pm.policy.cooldown_s):
             return None
         project = getattr(self.platform, "projects", {}).get(pm.project_id)
         if project is None:
@@ -300,7 +302,7 @@ class MonitorService:
             project, candidates,
             reason=", ".join(r.detector for r in drift),
         )
-        pm.last_loop_started = time.time()
+        pm.last_loop_started = time.monotonic()
         if job is not None:
             job.log(
                 f"project {pm.project_id}: auto_retrain loop started as "

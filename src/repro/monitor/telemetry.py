@@ -144,10 +144,10 @@ class TelemetryStore:
         self.raw_window = raw_window
         self.infra_window = infra_window
         self._lock = threading.Lock()
-        self._rings: dict[int, deque[TelemetryRecord]] = {}
-        self._raw: dict[int, deque[TelemetryRecord]] = {}
-        self._infra: dict[int, deque[TelemetryRecord]] = {}
-        self.total_records = 0
+        self._rings: dict[int, deque[TelemetryRecord]] = {}  # guarded-by: _lock
+        self._raw: dict[int, deque[TelemetryRecord]] = {}  # guarded-by: _lock
+        self._infra: dict[int, deque[TelemetryRecord]] = {}  # guarded-by: _lock
+        self.total_records = 0  # guarded-by: _lock
 
     # -- ingest (hot path) -------------------------------------------------
 

@@ -283,8 +283,18 @@ class CompiledPlan:
     editing a tensor's ``data`` afterwards requires recompiling the plan.
     """
 
-    def __init__(self, graph: Graph):
-        graph.validate()
+    def __init__(self, graph: Graph, verify: bool = True):
+        if verify and not getattr(graph, "_verified_ok", False):
+            # Full verification (topology + shapes/dtypes/quant/liveness)
+            # once per graph lifetime — the success memo is cleared by
+            # structural edits, so an unchanged graph is never re-checked.
+            # The arena cross-check is skipped here because the planner
+            # re-validates at plan time.
+            from repro.analysis.verify import verify_graph_or_raise
+
+            verify_graph_or_raise(graph, arena=False)
+        elif not verify:
+            graph.validate()
         self.graph = graph
         self.steps: list[PlanStep] = [
             PlanStep(op.opcode, op.outputs[0], _bind_op(graph, op)) for op in graph.ops
@@ -359,15 +369,20 @@ class CompiledPlan:
 _PLAN_LOCKS_GUARD = threading.Lock()
 
 
-def compile_plan(graph: Graph, cache: bool = True) -> CompiledPlan:
+def compile_plan(
+    graph: Graph, cache: bool = True, verify: bool = True
+) -> CompiledPlan:
     """Compile (or fetch the cached) execution plan for ``graph``.
 
     The plan is memoized on the graph instance; structural edits via
     ``Graph.add_tensor``/``Graph.add_op`` invalidate it.  Thread-safe:
     concurrent callers racing on a cold graph get the same plan object.
+    Every cold compile runs the full graph verifier
+    (``repro.analysis.verify_graph``); ``verify=False`` opts out,
+    falling back to the legacy structural ``Graph.validate()``.
     """
     if not cache:
-        return CompiledPlan(graph)
+        return CompiledPlan(graph, verify=verify)
     plan = getattr(graph, "_compiled_plan", None)
     if plan is not None:
         return plan
@@ -379,7 +394,7 @@ def compile_plan(graph: Graph, cache: bool = True) -> CompiledPlan:
     with lock:
         plan = getattr(graph, "_compiled_plan", None)
         if plan is None:
-            plan = CompiledPlan(graph)
+            plan = CompiledPlan(graph, verify=verify)
             graph._compiled_plan = plan
     return plan
 

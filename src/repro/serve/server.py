@@ -85,13 +85,13 @@ class ModelServer:
         self.cache_size = cache_size
         self.max_batch = max_batch
         self.name = name
-        self.stats = ServingStats()
+        self.stats = ServingStats()  # guarded-by: _lock
         # Optional monitoring sink (a repro.monitor TelemetryStore).  When
         # None — the default — the serving path pays one attribute test
         # per batch and nothing else.
         self.telemetry = None
-        self.telemetry_errors = 0
-        self._cache: OrderedDict[tuple[int, str, str], _CacheEntry] = OrderedDict()
+        self.telemetry_errors = 0  # guarded-by: _lock
+        self._cache: OrderedDict[tuple[int, str, str], _CacheEntry] = OrderedDict()  # guarded-by: _lock
         # Guards the cache and stats; per-entry batchers have their own
         # lock, so classify calls only contend here for the model lookup.
         self._lock = threading.RLock()
@@ -152,16 +152,16 @@ class ModelServer:
             )
             stale = self._cache.get(key)
             if stale is not None:  # project was retrained; replace the model
-                self._retire(stale)
+                self._retire_locked(stale)
             self._cache[key] = entry
             self._cache.move_to_end(key)
             while len(self._cache) > self.cache_size:
                 _, evicted = self._cache.popitem(last=False)
-                self._retire(evicted)
+                self._retire_locked(evicted)
                 self.stats.cache_evictions += 1
             return entry
 
-    def _retire(self, entry: _CacheEntry) -> None:
+    def _retire_locked(self, entry: _CacheEntry) -> None:
         """Fold a leaving entry's batcher counters into the totals so
         stats survive eviction/invalidation."""
         self.stats.batches += entry.batcher.batches
@@ -174,7 +174,7 @@ class ModelServer:
                 k for k in self._cache if project_id is None or k[0] == project_id
             ]
             for key in keys:
-                self._retire(self._cache.pop(key))
+                self._retire_locked(self._cache.pop(key))
 
     # -- classification ----------------------------------------------------
 

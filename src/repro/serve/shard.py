@@ -72,10 +72,10 @@ class _Shard:
         self.server = server
         self.index = index
         self.max_queue = max_queue
-        self._queue: deque[_ShardTicket] = deque()
+        self._queue: deque[_ShardTicket] = deque()  # guarded-by: _cond
         self._cond = threading.Condition()
         self._thread: threading.Thread | None = None
-        self._stop = False
+        self._stop = False  # guarded-by: _cond
         # Worker counters (reads are snapshots; writes are worker-only).
         self.drains = 0
         self.grouped_batches = 0

@@ -1,0 +1,283 @@
+"""Platform linter: lock discipline, lock order, API lints, baseline ratchet."""
+
+import textwrap
+
+from repro.analysis import (
+    lint_lock_discipline,
+    lint_lock_order,
+    lint_platform,
+    load_baseline,
+    new_findings,
+    save_baseline,
+)
+from repro.analysis.baseline import stale_entries
+from repro.analysis.cli import lint_paths, main
+
+
+def _lint(source: str, path: str = "src/repro/serve/fixture.py", edges=None):
+    return lint_lock_discipline(textwrap.dedent(source), path, edges)
+
+
+# -- lock discipline (L001) -------------------------------------------------
+
+
+GUARDED_CLASS = """
+    import threading
+
+    class Store:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._items = {}  # guarded-by: _lock
+
+        def put(self, k, v):
+            with self._lock:
+                self._items[k] = v
+
+        def size_unsafe(self):
+            return len(self._items)
+
+        def _evict_locked(self, k):
+            self._items.pop(k, None)
+"""
+
+
+def test_guarded_access_outside_lock_is_caught():
+    report = _lint(GUARDED_CLASS)
+    assert [d.code for d in report] == ["L001"]
+    diag = report.diagnostics[0]
+    assert diag.symbol == "Store.size_unsafe._items"
+    assert "with self._lock" in diag.message
+    assert diag.severity == "error"
+
+
+def test_with_scope_and_locked_suffix_and_init_are_clean():
+    report = _lint(GUARDED_CLASS)
+    flagged = {d.symbol for d in report}
+    # put (with-scope), __init__ (construction), _evict_locked (suffix
+    # convention) are all allowed.
+    assert flagged == {"Store.size_unsafe._items"}
+
+
+def test_unannotated_attributes_are_not_checked():
+    report = _lint("""
+        class Free:
+            def __init__(self):
+                self.items = {}
+
+            def read(self):
+                return self.items
+    """)
+    assert len(report) == 0
+
+
+def test_nested_with_covers_inner_statements():
+    report = _lint("""
+        import threading
+
+        class S:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.n = 0  # guarded-by: _lock
+
+            def bump(self):
+                with self._lock:
+                    if True:
+                        for _ in range(3):
+                            self.n += 1
+    """)
+    assert len(report) == 0
+
+
+def test_access_after_with_block_is_flagged():
+    report = _lint("""
+        import threading
+
+        class S:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.n = 0  # guarded-by: _lock
+
+            def bump(self):
+                with self._lock:
+                    self.n += 1
+                return self.n
+    """)
+    assert [d.code for d in report] == ["L001"]
+    assert report.diagnostics[0].symbol == "S.bump.n"
+
+
+# -- lock order (L002) ------------------------------------------------------
+
+
+def test_lock_order_inversion_is_flagged():
+    edges = {}
+    _lint("""
+        import threading
+
+        class A:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._cond = threading.Condition()
+
+            def forward(self):
+                with self._lock:
+                    with self._cond:
+                        pass
+
+            def backward(self):
+                with self._cond:
+                    with self._lock:
+                        pass
+    """, edges=edges)
+    report = lint_lock_order(edges)
+    assert [d.code for d in report] == ["L002"]
+    assert "A._lock" in report.diagnostics[0].message
+    assert "A._cond" in report.diagnostics[0].message
+
+
+def test_consistent_lock_order_is_clean():
+    edges = {}
+    _lint("""
+        import threading
+
+        class A:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._cond = threading.Condition()
+
+            def one(self):
+                with self._lock:
+                    with self._cond:
+                        pass
+
+            def two(self):
+                with self._lock:
+                    with self._cond:
+                        pass
+    """, edges=edges)
+    assert len(lint_lock_order(edges)) == 0
+
+
+# -- platform lints (L003 / L010 / L020) ------------------------------------
+
+
+def test_bare_keyerror_in_api_path_is_flagged():
+    src = textwrap.dedent("""
+        def handler(req):
+            raise KeyError(req)
+    """)
+    report = lint_platform(src, "src/repro/api/resources/things.py")
+    assert [d.code for d in report] == ["L003"]
+    # Same source outside the API layer is fine.
+    assert len(lint_platform(src, "src/repro/core/things.py")) == 0
+
+
+def test_route_missing_metadata_is_flagged():
+    src = textwrap.dedent("""
+        def register(router):
+            router.add(Route("POST", "/v1/things", handler,
+                             name="createThing", tag="things"))
+            router.add(Route("GET", "/v1/things", handler,
+                             name="listThings", summary="List things",
+                             tag="things", response={"type": "array"}))
+    """)
+    report = lint_platform(src, "src/repro/api/resources/things.py")
+    assert [d.code for d in report] == ["L010"]
+    msg = report.diagnostics[0].message
+    assert "summary" in msg and "response" in msg and "request" in msg
+
+
+def test_wallclock_duration_is_flagged():
+    src = textwrap.dedent("""
+        import time
+
+        def cooldown_ok(last):
+            return time.time() - last < 30
+
+        def timestamp_is_fine():
+            return time.time()
+    """)
+    report = lint_platform(src, "src/repro/monitor/fixture.py")
+    assert [d.code for d in report] == ["L020"]
+    assert report.diagnostics[0].symbol == "cooldown_ok"
+
+
+# -- baseline ratchet -------------------------------------------------------
+
+
+def test_baseline_ratchet_blocks_only_new_findings(tmp_path):
+    report = _lint(GUARDED_CLASS)
+    baseline_file = tmp_path / "baseline.json"
+    save_baseline(report, baseline_file)
+    baseline = load_baseline(baseline_file)
+    assert new_findings(report, baseline) == []
+
+    # A second offender in the same class is NOT covered by the baseline.
+    worse = GUARDED_CLASS + (
+        "\n        def also_unsafe(self):\n"
+        "            return list(self._items)\n"
+    )
+    worse_report = _lint(worse)
+    fresh = new_findings(worse_report, baseline)
+    assert [d.symbol for d in fresh] == ["Store.also_unsafe._items"]
+
+    # Fixing the original finding leaves a stale baseline entry.
+    clean_report = _lint(GUARDED_CLASS.replace(
+        "return len(self._items)", "return 0"))
+    assert new_findings(clean_report, baseline) == []
+    assert sum(stale_entries(clean_report, baseline).values()) == 1
+
+
+def test_baseline_counts_duplicate_fingerprints(tmp_path):
+    twice = """
+        import threading
+
+        class S:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.n = 0  # guarded-by: _lock
+
+            def peek(self):
+                return self.n + self.n
+    """
+    report = _lint(twice)
+    assert len(report) == 2  # two accesses, one fingerprint
+    baseline_file = tmp_path / "baseline.json"
+    save_baseline(report, baseline_file)
+    baseline = load_baseline(baseline_file)
+    assert new_findings(report, baseline) == []
+    # A third access of the same attribute exceeds the count.
+    report3 = _lint(twice.replace(
+        "return self.n + self.n", "return self.n + self.n + self.n"))
+    assert len(new_findings(report3, baseline)) == 1
+
+
+# -- the real tree ----------------------------------------------------------
+
+
+def test_src_repro_lints_clean_against_committed_baseline(monkeypatch):
+    import pathlib
+
+    monkeypatch.chdir(pathlib.Path(__file__).resolve().parent.parent)
+    report = lint_paths(["src/repro"])
+    baseline = load_baseline("scripts/lint_baseline.json")
+    fresh = new_findings(report, baseline)
+    assert fresh == [], "\n".join(d.format() for d in fresh)
+    # And the baseline isn't stale: every entry is still exercised.
+    assert stale_entries(report, baseline) == {}
+
+
+def test_cli_check_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "fixture.py"
+    bad.write_text(textwrap.dedent(GUARDED_CLASS))
+    empty = tmp_path / "baseline.json"
+    assert main(["--check", "--baseline", str(empty), str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "L001" in out and "NEW" in out
+    assert main(["--update-baseline", "--baseline", str(empty), str(bad)]) == 0
+    assert main(["--check", "--baseline", str(empty), str(bad)]) == 0
+
+
+def test_cli_verify_zoo_smoke(capsys):
+    assert main(["--verify-zoo", "--tasks", "kws"]) == 0
+    assert "clean" in capsys.readouterr().out
