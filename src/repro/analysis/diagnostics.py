@@ -44,6 +44,9 @@ CODES: dict[str, tuple[str, str]] = {
     "G031": ("warning", "activation tensor never read or written"),
     "G040": ("error", "plan reads an activation after it is freed"),
     "G041": ("error", "arena assigns overlapping memory to live tensors"),
+    # -- pass pipeline (repro.runtime.passes) --
+    "G050": ("error", "optimization pass left the graph unverifiable"),
+    "G051": ("error", "optimization pass raised an exception"),
     # -- platform linter --
     "L001": ("error", "guarded attribute accessed outside its lock"),
     "L002": ("warning", "lock-acquisition-order inversion"),

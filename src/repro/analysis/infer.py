@@ -26,7 +26,7 @@ from repro.graph.ops import GOp, GTensor
 #: (TFLite's "same scale" op constraint; mirrors repro.quantize.ptq).
 SAME_QPARAMS_OPS = (
     "MAX_POOL_2D", "MAX_POOL_1D", "AVG_POOL_2D",
-    "GLOBAL_AVG_POOL_2D", "GLOBAL_AVG_POOL_1D", "RESHAPE",
+    "GLOBAL_AVG_POOL_2D", "GLOBAL_AVG_POOL_1D", "RESHAPE", "TRANSPOSE",
 )
 
 #: Weighted ops: (input, weight, bias) in, one activation out.
@@ -46,6 +46,9 @@ ARITY: dict[str, tuple[int, int]] = {
     "RESHAPE": (1, 1),
     "ADD": (2, 1),
     "SOFTMAX": (1, 1),
+    "QUANTIZE": (1, 1),
+    "DEQUANTIZE": (1, 1),
+    "TRANSPOSE": (1, 1),
 }
 
 
@@ -93,6 +96,31 @@ def _conv_extent(size: int, kernel: int, pad: tuple[int, int], stride: int,
     return out
 
 
+def _fused_pool(op: GOp) -> int | None:
+    """Fusion-pass annotation: the op's kernel max/avg-pools its own
+    output by this factor (see repro.runtime.passes.fusion), so the
+    declared output tensor carries the *pooled* spatial extent."""
+    pool = op.attrs.get("fused_pool")
+    if pool is None:
+        return None
+    pool = int(pool)
+    if pool < 1:
+        raise InferenceError(f"fused_pool must be >= 1, got {pool}")
+    if op.attrs.get("fused_pool_kind", "max") not in ("max", "avg"):
+        raise InferenceError(
+            f"fused_pool_kind must be 'max' or 'avg', "
+            f"got {op.attrs['fused_pool_kind']!r}"
+        )
+    return pool
+
+
+def _pool_extent(size: int, pool: int, axis: str) -> int:
+    out = size // pool
+    if out < 1:
+        raise InferenceError(f"fused_pool {pool} larger than {axis} extent {size}")
+    return out
+
+
 def _weighted_dtypes(x: GTensor, w: GTensor, b: GTensor) -> str:
     """Weight/bias dtype rules for conv/dense, returning the out dtype."""
     if x.dtype == "int8":
@@ -126,6 +154,10 @@ def _conv2d(op: GOp, ins: list[GTensor]) -> OpFacts:
     stride = _stride(op)
     oh = _conv_extent(x.shape[0], kh, _pad_pair(op, "pad_h"), stride, "height")
     ow = _conv_extent(x.shape[1], kw, _pad_pair(op, "pad_w"), stride, "width")
+    pool = _fused_pool(op)
+    if pool is not None:
+        oh = _pool_extent(oh, pool, "height")
+        ow = _pool_extent(ow, pool, "width")
     return OpFacts(((oh, ow, cout),), _weighted_dtypes(x, w, b))
 
 
@@ -145,6 +177,10 @@ def _dwconv2d(op: GOp, ins: list[GTensor]) -> OpFacts:
     stride = _stride(op)
     oh = _conv_extent(x.shape[0], kh, _pad_pair(op, "pad_h"), stride, "height")
     ow = _conv_extent(x.shape[1], kw, _pad_pair(op, "pad_w"), stride, "width")
+    pool = _fused_pool(op)
+    if pool is not None:
+        oh = _pool_extent(oh, pool, "height")
+        ow = _pool_extent(ow, pool, "width")
     return OpFacts(((oh, ow, c * dm),), _weighted_dtypes(x, w, b))
 
 
@@ -160,6 +196,9 @@ def _conv1d(op: GOp, ins: list[GTensor]) -> OpFacts:
     if b.shape != (cout,):
         raise InferenceError(f"bias shape {b.shape} != ({cout},)")
     ot = _conv_extent(x.shape[0], k, _pad_pair(op, "pad"), _stride(op), "time")
+    pool = _fused_pool(op)
+    if pool is not None:
+        ot = _pool_extent(ot, pool, "time")
     return OpFacts(((ot, cout),), _weighted_dtypes(x, w, b))
 
 
@@ -247,6 +286,33 @@ def _softmax(op: GOp, ins: list[GTensor]) -> OpFacts:
     return OpFacts((x.shape,), x.dtype)
 
 
+def _quantize(op: GOp, ins: list[GTensor]) -> OpFacts:
+    (x,) = ins
+    if x.dtype != "float32":
+        raise InferenceError(f"QUANTIZE input must be float32, got {x.dtype}")
+    return OpFacts((x.shape,), "int8")
+
+
+def _dequantize(op: GOp, ins: list[GTensor]) -> OpFacts:
+    (x,) = ins
+    if x.dtype != "int8":
+        raise InferenceError(f"DEQUANTIZE input must be int8, got {x.dtype}")
+    return OpFacts((x.shape,), "float32")
+
+
+def _transpose(op: GOp, ins: list[GTensor]) -> OpFacts:
+    (x,) = ins
+    perm = op.attrs.get("perm")
+    if perm is None:
+        raise InferenceError("missing required attr 'perm'")
+    perm = tuple(int(d) for d in perm)
+    if sorted(perm) != list(range(len(x.shape))):
+        raise InferenceError(
+            f"perm {perm} is not a permutation of axes of {x.shape}"
+        )
+    return OpFacts((tuple(x.shape[d] for d in perm),), x.dtype)
+
+
 TRANSFER: dict[str, callable] = {
     "CONV_2D": _conv2d,
     "DEPTHWISE_CONV_2D": _dwconv2d,
@@ -260,6 +326,9 @@ TRANSFER: dict[str, callable] = {
     "RESHAPE": _reshape,
     "ADD": _add,
     "SOFTMAX": _softmax,
+    "QUANTIZE": _quantize,
+    "DEQUANTIZE": _dequantize,
+    "TRANSPOSE": _transpose,
 }
 
 

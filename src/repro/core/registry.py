@@ -48,18 +48,19 @@ class Organization:
 class Platform:
     """Top-level registry: the in-process stand-in for the hosted service."""
 
-    def __init__(self, serving_workers: int = 1):
+    def __init__(self, serving_workers: int = 1, passes: object = "default"):
         self.users: dict[str, User] = {}
         self.organizations: dict[str, Organization] = {}
         self.projects: dict[int, Project] = {}
         # The hosted-inference tier (paper Sec. 4.9): LRU-cached compiled
         # models + micro-batched classify.  ``serving_workers > 1`` turns
         # on the multi-worker sharded tier, partitioning the model cache
-        # across that many shard workers.
+        # across that many shard workers.  ``passes`` selects the plan
+        # compiler's optimization pipeline for served EON models.
         self.serving = (
-            ShardedModelServer(self, workers=serving_workers)
+            ShardedModelServer(self, workers=serving_workers, passes=passes)
             if serving_workers > 1
-            else ModelServer(self)
+            else ModelServer(self, passes=passes)
         )
         # The device fleet + its rollout executor (paper Sec. 8.2): OTA
         # updates run as staged jobs, not inline with the API request.

@@ -20,9 +20,15 @@ class Graph:
         self.ops: list[GOp] = []
         self.input_id: int = -1
         self.output_id: int = -1
-        # Memoized CompiledPlan (see repro.runtime.executor.compile_plan);
-        # invalidated by structural edits.
+        # Memoized CompiledPlan for the default (passes, batch, engine)
+        # key (see repro.runtime.executor.compile_plan); invalidated by
+        # structural edits.
         self._compiled_plan = None
+        # Non-default plan variants, keyed (pass signature, batch_size,
+        # engine), and memoized pass-pipeline outcomes keyed by pass
+        # signature — same staleness contract as _compiled_plan.
+        self._plan_cache: dict = {}
+        self._pass_outcomes: dict = {}
         # Set after a successful full verification (repro.analysis); the
         # compile path skips re-verifying an unchanged graph.  Shares the
         # plan memo's staleness contract: structural edits clear it,
@@ -31,15 +37,21 @@ class Graph:
 
     # -- construction --------------------------------------------------------
 
-    def add_tensor(self, tensor: GTensor) -> int:
-        self._compiled_plan = None  # structural edit invalidates the plan
+    def _invalidate(self) -> None:
+        """Structural edit: drop every derived memo (plans, pass
+        outcomes, verification)."""
+        self._compiled_plan = None
+        self._plan_cache.clear()
+        self._pass_outcomes.clear()
         self._verified_ok = False
+
+    def add_tensor(self, tensor: GTensor) -> int:
+        self._invalidate()
         self.tensors.append(tensor)
         return len(self.tensors) - 1
 
     def add_op(self, op: GOp) -> None:
-        self._compiled_plan = None
-        self._verified_ok = False
+        self._invalidate()
         self.ops.append(op)
 
     # -- introspection --------------------------------------------------------

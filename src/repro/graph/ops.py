@@ -21,6 +21,9 @@ OPCODES = (
     "RESHAPE",
     "ADD",
     "SOFTMAX",
+    "QUANTIZE",
+    "DEQUANTIZE",
+    "TRANSPOSE",
 )
 
 ACTIVATIONS = ("none", "relu", "relu6")
@@ -124,4 +127,6 @@ def op_macs(op: GOp, tensors: list[GTensor]) -> int:
         return out_elems
     if op.opcode == "SOFTMAX":
         return out_elems * 4  # exp + divide, folded into "mac-equivalents"
+    if op.opcode in ("QUANTIZE", "DEQUANTIZE", "TRANSPOSE"):
+        return out_elems  # one scale/move per element
     return 0

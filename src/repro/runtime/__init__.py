@@ -19,6 +19,12 @@ from repro.runtime.executor import (
 )
 from repro.runtime.interpreter import TFLMInterpreter
 from repro.runtime.eon import EONCompiler, EONModel
+from repro.runtime.passes import (
+    DEFAULT_PASS_NAMES,
+    PassConfig,
+    PassOutcome,
+    run_passes,
+)
 
 __all__ = [
     "run_graph",
@@ -30,4 +36,8 @@ __all__ = [
     "TFLMInterpreter",
     "EONCompiler",
     "EONModel",
+    "DEFAULT_PASS_NAMES",
+    "PassConfig",
+    "PassOutcome",
+    "run_passes",
 ]

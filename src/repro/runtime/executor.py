@@ -18,6 +18,17 @@ bit-identical.  Compiled plans additionally use ``graph.lifetimes()`` to
 drop dead activations as execution proceeds (non-record mode), so peak
 Python-side memory tracks the arena plan instead of the sum of all
 activations.
+
+By default :func:`compile_plan` first runs the graph through the
+``repro.runtime.passes`` optimization pipeline (fusion, constant
+folding, simplification, in-place reuse — each bracketed by the graph
+verifier) and binds the optimized graph; ``passes=None`` binds the
+authored graph exactly as before.  Optimized plans produce bit-identical
+outputs (the pipeline only applies provably exact rewrites), and
+``record=True`` execution transparently delegates to an unoptimized plan
+so every authored activation is still observable.  Plans are cached per
+``(pass signature, batch_size, engine)`` on the graph instance;
+``batch_size`` additionally specializes fused kernels' window geometry.
 """
 
 from __future__ import annotations
@@ -31,6 +42,7 @@ import numpy as np
 from repro.graph.graph import Graph
 from repro.graph.ops import GOp
 from repro.runtime import kernels as K
+from repro.runtime.passes import DEFAULT_PASS_NAMES, PassConfig, run_passes
 
 
 def _kernel_call(graph: Graph, op: GOp, values: dict[int, np.ndarray]) -> np.ndarray:
@@ -121,6 +133,14 @@ def _kernel_call(graph: Graph, op: GOp, values: dict[int, np.ndarray]) -> np.nda
             return K.softmax_i8(x, float(qp.scale[0]), qp.zero_point)
         return K.softmax_f32(x)
 
+    if op.opcode == "QUANTIZE":
+        return t[op.outputs[0]].quant.quantize(x.astype(np.float32))
+    if op.opcode == "DEQUANTIZE":
+        return t[op.inputs[0]].quant.dequantize(x)
+    if op.opcode == "TRANSPOSE":
+        perm = tuple(int(d) for d in a["perm"])
+        return np.transpose(x, (0,) + tuple(d + 1 for d in perm))
+
     raise NotImplementedError(f"no kernel for opcode {op.opcode}")
 
 
@@ -146,13 +166,57 @@ def _quant_kwargs(graph: Graph, op: GOp) -> dict:
     )
 
 
-def _bind_op(graph: Graph, op: GOp) -> Callable[[dict[int, np.ndarray]], np.ndarray]:
+def _conv2d_geom(batch_size, x_shape, kh, kw, stride, pad_h, pad_w):
+    """Batch-specialized window geometry for the fused 2-D convs: the
+    ``(batch, view_shape, view_strides)`` triple of the im2col
+    ``as_strided`` view over the zero-point-centered int32 batch (always
+    freshly-materialized and contiguous), so the specialized plan skips
+    the per-invoke stride arithmetic.  ``None`` for generic plans."""
+    if batch_size is None:
+        return None
+    h = int(x_shape[0]) + int(pad_h[0]) + int(pad_h[1])
+    w = int(x_shape[1]) + int(pad_w[0]) + int(pad_w[1])
+    c = int(x_shape[2])
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    sc, sw, sh = 4, 4 * c, 4 * c * w  # int32 itemsize, C-contiguous
+    return (
+        batch_size,
+        (batch_size, oh, ow, kh, kw, c),
+        (sh * h, sh * stride, sw * stride, sh, sw, sc),
+    )
+
+
+def _conv1d_geom(batch_size, x_shape, k, stride, pad):
+    if batch_size is None:
+        return None
+    tlen = int(x_shape[0]) + int(pad[0]) + int(pad[1])
+    c = int(x_shape[1])
+    sc, st = 4, 4 * c
+    ot = (tlen - k) // stride + 1
+    return (
+        batch_size,
+        (batch_size, ot, k, c),
+        (st * tlen, st * stride, st, sc),
+    )
+
+
+def _bind_op(
+    graph: Graph, op: GOp, batch_size: int | None = None
+) -> Callable[[dict[int, np.ndarray]], np.ndarray]:
     """Resolve one op into a closure over pre-fetched weights/attrs.
 
     All dispatch decisions (opcode, dtype, activation), tensor-table
     lookups, attribute reads and weight-side dtype preparation happen
     here, once; the returned closure only indexes the live-values map
     and calls the kernel.
+
+    Pass-pipeline annotations (``gemm_exact``, ``fused_pool``,
+    ``inplace`` — see ``repro.runtime.passes``) select the fused kernel
+    variants; graphs without them bind exactly the legacy closures.
+    ``batch_size`` pre-computes fused kernels' window geometry for
+    batch-specialized plans (fused kernels fall back to per-invoke
+    geometry when the actual batch differs).
     """
     t = graph.tensors
     a = op.attrs
@@ -163,48 +227,91 @@ def _bind_op(graph: Graph, op: GOp) -> Callable[[dict[int, np.ndarray]], np.ndar
         w = t[op.inputs[1]].data
         b = t[op.inputs[2]].data
         stride, pad_h, pad_w = a["stride"], a["pad_h"], a["pad_w"]
+        fused_pool = a.get("fused_pool")
+        pool_kind = a.get("fused_pool_kind", "max")
         if is_int8:
             b64 = b.astype(np.int64)
             kw = _quant_kwargs(graph, op)
             if op.opcode == "DEPTHWISE_CONV_2D":
                 w64 = w.astype(np.int64)
+                if fused_pool:
+                    geom = _conv2d_geom(
+                        batch_size, t[x_id].shape, w.shape[0], w.shape[1],
+                        stride, pad_h, pad_w,
+                    )
+                    return lambda v: K.dwconv2d_i8_fused(
+                        v[x_id], w64, b64, stride, pad_h, pad_w,
+                        pool=fused_pool, pool_kind=pool_kind, geom=geom, **kw
+                    )
                 return lambda v: K.dwconv2d_i8_prepared(
                     v[x_id], w64, b64, stride, pad_h, pad_w, **kw
                 )
             kh, kw_ = w.shape[0], w.shape[1]
+            if a.get("gemm_exact"):
+                wf = w.astype(np.float64).reshape(-1, w.shape[3])
+                bf = b.astype(np.float64)
+                geom = _conv2d_geom(
+                    batch_size, t[x_id].shape, kh, kw_, stride, pad_h, pad_w
+                )
+                return lambda v: K.conv2d_i8_fused(
+                    v[x_id], wf, kh, kw_, bf, stride, pad_h, pad_w,
+                    pool=fused_pool, pool_kind=pool_kind, geom=geom, **kw
+                )
             w2d = w.astype(np.int64).reshape(-1, w.shape[3])
             return lambda v: K.conv2d_i8_prepared(
                 v[x_id], w2d, kh, kw_, b64, stride, pad_h, pad_w, **kw
             )
         act = a.get("activation", "none")
         if op.opcode == "DEPTHWISE_CONV_2D":
-            return lambda v: K.dwconv2d_f32(
+            base = lambda v: K.dwconv2d_f32(
                 v[x_id], w, b, stride, pad_h, pad_w, act, path=_DW_EINSUM_PATH
             )
-        return lambda v: K.conv2d_f32(v[x_id], w, b, stride, pad_h, pad_w, act)
+        else:
+            base = lambda v: K.conv2d_f32(v[x_id], w, b, stride, pad_h, pad_w, act)
+        if fused_pool:
+            pfn = K.maxpool2d_f32 if pool_kind == "max" else K.avgpool2d_f32
+            return lambda v: pfn(base(v), fused_pool)
+        return base
 
     if op.opcode == "CONV_1D":
         w = t[op.inputs[1]].data
         b = t[op.inputs[2]].data
         stride, pad = a["stride"], a["pad"]
+        fused_pool = a.get("fused_pool")
         if is_int8:
-            b64 = b.astype(np.int64)
-            kw = _quant_kwargs(graph, op)
             k = w.shape[0]
+            kw = _quant_kwargs(graph, op)
+            if a.get("gemm_exact"):
+                wf = w.astype(np.float64).reshape(-1, w.shape[2])
+                bf = b.astype(np.float64)
+                geom = _conv1d_geom(batch_size, t[x_id].shape, k, stride, pad)
+                return lambda v: K.conv1d_i8_fused(
+                    v[x_id], wf, k, bf, stride, pad,
+                    pool=fused_pool, geom=geom, **kw
+                )
+            b64 = b.astype(np.int64)
             w2d = w.astype(np.int64).reshape(-1, w.shape[2])
             return lambda v: K.conv1d_i8_prepared(
                 v[x_id], w2d, k, b64, stride, pad, **kw
             )
         act = a.get("activation", "none")
+        if fused_pool:
+            return lambda v: K.maxpool1d_f32(
+                K.conv1d_f32(v[x_id], w, b, stride, pad, act), fused_pool
+            )
         return lambda v: K.conv1d_f32(v[x_id], w, b, stride, pad, act)
 
     if op.opcode == "FULLY_CONNECTED":
         w = t[op.inputs[1]].data
         b = t[op.inputs[2]].data
         if is_int8:
+            kw = _quant_kwargs(graph, op)
+            if a.get("gemm_exact"):
+                wf = w.astype(np.float64)
+                bf = b.astype(np.float64)
+                return lambda v: K.fc_i8_gemm(v[x_id], wf, bf, **kw)
             w64 = w.astype(np.int64)
             b64 = b.astype(np.int64)
-            kw = _quant_kwargs(graph, op)
             return lambda v: K.fc_i8(v[x_id], w64, b64, **kw)
         act = a.get("activation", "none")
         return lambda v: K.fc_f32(v[x_id], w, b, act)
@@ -235,6 +342,9 @@ def _bind_op(graph: Graph, op: GOp) -> Callable[[dict[int, np.ndarray]], np.ndar
     if op.opcode == "ADD":
         b_id = op.inputs[1]
         b_const = t[b_id].data if t[b_id].is_const else None
+        inplace_id = (
+            op.inputs[a["inplace"]] if "inplace" in a else None
+        )
         if is_int8:
             kw = dict(
                 zp_a=t[op.inputs[0]].quant.zero_point,
@@ -246,10 +356,32 @@ def _bind_op(graph: Graph, op: GOp) -> Callable[[dict[int, np.ndarray]], np.ndar
                 out_mult=a["out_mult"], out_shift=a["out_shift"],
                 clamp_min=a["clamp_min"], clamp_max=a["clamp_max"],
             )
+            if inplace_id is not None:
+                if b_const is not None:
+                    return lambda v: K.add_i8(
+                        v[x_id], b_const, out=v[inplace_id], **kw
+                    )
+                return lambda v: K.add_i8(
+                    v[x_id], v[b_id], out=v[inplace_id], **kw
+                )
             if b_const is not None:
                 return lambda v: K.add_i8(v[x_id], b_const, **kw)
             return lambda v: K.add_i8(v[x_id], v[b_id], **kw)
         act = a.get("activation", "none")
+        if inplace_id is not None:
+            def add_f32_inplace(v):
+                out = np.add(
+                    v[x_id],
+                    b_const if b_const is not None else v[b_id],
+                    out=v[inplace_id],
+                )
+                if act == "relu":
+                    np.maximum(out, 0.0, out=out)
+                elif act == "relu6":
+                    np.clip(out, 0.0, 6.0, out=out)
+                return out
+
+            return add_f32_inplace
         if b_const is not None:
             return lambda v: K.add_f32(v[x_id], b_const, act)
         return lambda v: K.add_f32(v[x_id], v[b_id], act)
@@ -261,16 +393,32 @@ def _bind_op(graph: Graph, op: GOp) -> Callable[[dict[int, np.ndarray]], np.ndar
             return lambda v: K.softmax_i8(v[x_id], in_scale, in_zp)
         return lambda v: K.softmax_f32(v[x_id])
 
+    if op.opcode == "QUANTIZE":
+        out_q = t[op.outputs[0]].quant
+        return lambda v: out_q.quantize(v[x_id].astype(np.float32))
+    if op.opcode == "DEQUANTIZE":
+        in_q = t[x_id].quant
+        return lambda v: in_q.dequantize(v[x_id])
+    if op.opcode == "TRANSPOSE":
+        axes = (0,) + tuple(int(d) + 1 for d in a["perm"])
+        return lambda v: np.ascontiguousarray(np.transpose(v[x_id], axes))
+
     raise NotImplementedError(f"no kernel for opcode {op.opcode}")
 
 
 @dataclass(frozen=True)
 class PlanStep:
-    """One compiled op: output tensor id + fully bound kernel closure."""
+    """One compiled op: output tensor id + fully bound kernel closure.
+
+    ``inplace_src`` is the tensor id whose buffer the closure reuses for
+    its output (``None`` for ordinary allocating steps) — the liveness
+    accounting credits the reuse instead of double-counting.
+    """
 
     opcode: str
     out_id: int
     fn: Callable[[dict[int, np.ndarray]], np.ndarray]
+    inplace_src: int | None = None
 
 
 class CompiledPlan:
@@ -283,7 +431,16 @@ class CompiledPlan:
     editing a tensor's ``data`` afterwards requires recompiling the plan.
     """
 
-    def __init__(self, graph: Graph, verify: bool = True):
+    def __init__(
+        self,
+        graph: Graph,
+        verify: bool = True,
+        *,
+        source_graph: Graph | None = None,
+        pass_outcome=None,
+        batch_size: int | None = None,
+        engine: str | None = None,
+    ):
         if verify and not getattr(graph, "_verified_ok", False):
             # Full verification (topology + shapes/dtypes/quant/liveness)
             # once per graph lifetime — the success memo is cleared by
@@ -296,8 +453,23 @@ class CompiledPlan:
         elif not verify:
             graph.validate()
         self.graph = graph
+        #: The authored graph this plan was compiled from (``graph``
+        #: itself when no pass pipeline ran).  Record-mode execution
+        #: delegates to an unoptimized plan over it so every authored
+        #: activation stays observable.
+        self.source_graph = source_graph if source_graph is not None else graph
+        #: ``repro.runtime.passes.PassOutcome`` when the pipeline ran.
+        self.pass_outcome = pass_outcome
+        self.batch_size = batch_size
+        self.engine = engine
         self.steps: list[PlanStep] = [
-            PlanStep(op.opcode, op.outputs[0], _bind_op(graph, op)) for op in graph.ops
+            PlanStep(
+                op.opcode,
+                op.outputs[0],
+                _bind_op(graph, op, batch_size=batch_size),
+                op.inputs[op.attrs["inplace"]] if "inplace" in op.attrs else None,
+            )
+            for op in graph.ops
         ]
         # Dead-activation schedule: tensor ids to drop after each step.
         # The graph output's lifetime extends past the last op, so it is
@@ -330,8 +502,15 @@ class CompiledPlan:
         With ``record=True`` returns every activation tensor (used by
         calibration and the active-learning embedding hook) and nothing
         is freed; otherwise dead activations are dropped as soon as
-        their last consumer has run.
+        their last consumer has run.  Plans over a pass-optimized graph
+        delegate record-mode execution to an unoptimized plan over the
+        authored graph, so fusion/folding never hides an activation from
+        calibration or the embedding hook.
         """
+        if record and self.source_graph is not self.graph:
+            return compile_plan(self.source_graph, passes=None).execute(
+                batch, record=True
+            )
         values: dict[int, np.ndarray] = {
             self.graph.input_id: self.prepare_input(batch)
         }
@@ -356,6 +535,10 @@ class CompiledPlan:
         live = {self.graph.input_id}
         peak = sizes[self.graph.input_id]
         for step, dead in zip(self.steps, self._release):
+            if step.inplace_src is not None:
+                # The step writes into a dying input's buffer; the
+                # "output" is the same allocation, not a second one.
+                live.discard(step.inplace_src)
             live.add(step.out_id)
             peak = max(peak, sum(sizes[t] for t in live))
             live -= set(dead)
@@ -368,22 +551,98 @@ class CompiledPlan:
 # the *same* cold graph build exactly one plan.
 _PLAN_LOCKS_GUARD = threading.Lock()
 
+#: Cache key of the default-configured, unspecialized plan — stored in
+#: the legacy ``graph._compiled_plan`` slot (identity-stable across the
+#: pre-pass-pipeline API); every other key lives in ``graph._plan_cache``.
+_DEFAULT_PLAN_KEY = (DEFAULT_PASS_NAMES, None, None)
+
+#: Keyed-plan cache capacity per graph (FIFO eviction).
+_PLAN_CACHE_CAP = 16
+
+
+def _pass_outcome(graph: Graph, config: PassConfig):
+    """Run (or fetch the memoized) pass pipeline for this config."""
+    memo = getattr(graph, "_pass_outcomes", None)
+    if memo is None:
+        memo = graph._pass_outcomes = {}
+    outcome = memo.get(config.names)
+    if outcome is None:
+        outcome = run_passes(graph, config)
+        memo[config.names] = outcome
+    return outcome
+
+
+def _build_plan(graph, verify, config, batch_size, engine) -> CompiledPlan:
+    if config is None:
+        return CompiledPlan(
+            graph, verify=verify, batch_size=batch_size, engine=engine
+        )
+    outcome = _pass_outcome(graph, config)
+    return CompiledPlan(
+        outcome.graph,
+        verify=True,
+        source_graph=graph,
+        pass_outcome=outcome,
+        batch_size=batch_size,
+        engine=engine,
+    )
+
+
+def _cached_plan(graph: Graph, key) -> CompiledPlan | None:
+    if key == _DEFAULT_PLAN_KEY:
+        return getattr(graph, "_compiled_plan", None)
+    return getattr(graph, "_plan_cache", {}).get(key)
+
+
+def _store_plan(graph: Graph, key, plan: CompiledPlan) -> None:
+    if key == _DEFAULT_PLAN_KEY:
+        graph._compiled_plan = plan
+        return
+    store = getattr(graph, "_plan_cache", None)
+    if store is None:
+        store = graph._plan_cache = {}
+    while len(store) >= _PLAN_CACHE_CAP:
+        store.pop(next(iter(store)))
+    store[key] = plan
+
 
 def compile_plan(
-    graph: Graph, cache: bool = True, verify: bool = True
+    graph: Graph,
+    cache: bool = True,
+    verify: bool = True,
+    passes: object = "default",
+    batch_size: int | None = None,
+    engine: str | None = None,
 ) -> CompiledPlan:
     """Compile (or fetch the cached) execution plan for ``graph``.
 
-    The plan is memoized on the graph instance; structural edits via
-    ``Graph.add_tensor``/``Graph.add_op`` invalidate it.  Thread-safe:
-    concurrent callers racing on a cold graph get the same plan object.
-    Every cold compile runs the full graph verifier
+    ``passes`` selects the optimization pipeline run before binding:
+    ``"default"`` (the production pipeline — see
+    ``repro.runtime.passes``), ``None`` (bind the authored graph exactly,
+    the pre-pipeline behaviour), a :class:`~repro.runtime.passes.PassConfig`,
+    or an iterable of registered pass names.  ``batch_size`` specializes
+    fused kernels' window geometry for that batch (other batch sizes
+    still work via the kernels' generic fallback); ``engine`` is an
+    opaque cache-key component so e.g. the TFLM interpreter and the EON
+    compiler never share plan objects.
+
+    Plans are memoized on the graph instance per
+    ``(pass signature, batch_size, engine)``; structural edits via
+    ``Graph.add_tensor``/``Graph.add_op`` invalidate every cached plan.
+    Thread-safe: concurrent callers racing on a cold graph get the same
+    plan object.  Every cold compile runs the full graph verifier
     (``repro.analysis.verify_graph``); ``verify=False`` opts out,
-    falling back to the legacy structural ``Graph.validate()``.
+    falling back to the legacy structural ``Graph.validate()`` — and
+    also disables the pass pipeline, since the pipeline *is* a sequence
+    of verifier brackets.
     """
+    config = PassConfig.normalize(passes)
+    if not verify or (config is not None and not config.names):
+        config = None
+    key = (config.names if config is not None else None, batch_size, engine)
     if not cache:
-        return CompiledPlan(graph, verify=verify)
-    plan = getattr(graph, "_compiled_plan", None)
+        return _build_plan(graph, verify, config, batch_size, engine)
+    plan = _cached_plan(graph, key)
     if plan is not None:
         return plan
     with _PLAN_LOCKS_GUARD:
@@ -392,10 +651,10 @@ def compile_plan(
             lock = threading.Lock()
             graph._plan_compile_lock = lock
     with lock:
-        plan = getattr(graph, "_compiled_plan", None)
+        plan = _cached_plan(graph, key)
         if plan is None:
-            plan = CompiledPlan(graph, verify=verify)
-            graph._compiled_plan = plan
+            plan = _build_plan(graph, verify, config, batch_size, engine)
+            _store_plan(graph, key, plan)
     return plan
 
 

@@ -32,8 +32,11 @@ class TFLMInterpreter:
         self.graph = graph
         self.arena: ArenaPlan = plan_arena(graph, strategy=arena_strategy)
         # AllocateTensors-equivalent: every opcode is resolved to a bound
-        # kernel once, here, instead of per-invoke.
-        self._plan: CompiledPlan = compile_plan(graph)
+        # kernel once, here, instead of per-invoke.  The interpreter runs
+        # the authored graph op-for-op (TFLM fidelity: the registry check
+        # below must see exactly the ops the model was authored with), so
+        # the optimization pass pipeline is off for this engine.
+        self._plan: CompiledPlan = compile_plan(graph, passes=None, engine="tflm")
         self._registry = {op.opcode for op in graph.ops}
 
     # -- execution -------------------------------------------------------------

@@ -278,6 +278,146 @@ def conv1d_i8_prepared(
     return _requant(acc, out_mult, out_shift, out_zp, clamp_min, clamp_max)
 
 
+# -- fused int8 kernels (pass-optimized plans) ------------------------------
+#
+# Entry points bound by plans compiled through repro.runtime.passes.  Two
+# techniques, both bit-exact:
+#
+# 1. The integer GEMM runs in float64 BLAS.  Every product is an integer
+#    of magnitude <= 255*127 and every partial sum is bounded by
+#    K*255*127 + max|bias| — the fusion pass only sets ``gemm_exact``
+#    after proving that bound < 2**53, where float64 represents every
+#    integer exactly, so dgemm returns the exact accumulators ~10x
+#    faster than numpy's int64 matmul loop.
+# 2. A fused max-pool runs on the accumulators *before* requantization.
+#    Requantize (rounding-doubling multiply + rounding shift + clip) is
+#    monotone non-decreasing and per-channel (spatial pooling never
+#    crosses channels), so requant(max(acc)) == max(requant(acc))
+#    element-for-element — and the requant work shrinks by pool^2.
+#    Average pooling does not commute with requantization, so fused avg
+#    pools run on the requantized int8 output (same kernel as unfused).
+
+
+def _gemm_acc_i64(lhs_f64, w_f64, bias_f64):
+    """Exact integer GEMM in float64 (see exactness note above)."""
+    return (lhs_f64 @ w_f64 + bias_f64).astype(np.int64)
+
+
+def _finish_conv2d_fused(acc, pool, pool_kind, out_mult, out_shift, out_zp,
+                         clamp_min, clamp_max):
+    """Shared tail of the fused 2-D convs: pre-requant max pool /
+    post-requant avg pool around the requantization step."""
+    if pool and pool_kind == "max":
+        acc = maxpool2d_f32(acc, pool)  # dtype-agnostic block max
+    out = _requant(acc, out_mult, out_shift, out_zp, clamp_min, clamp_max)
+    if pool and pool_kind == "avg":
+        out = avgpool2d_i8(out, pool)
+    return out
+
+
+def conv2d_i8_fused(
+    x, w_f64, kh, kw, bias_f64, stride, pad_h, pad_w, in_zp, out_zp,
+    out_mult, out_shift, clamp_min=-128, clamp_max=127,
+    pool=None, pool_kind="max", geom=None,
+):
+    """Fused CONV_2D: pad -> window -> exact f64 GEMM -> bias -> (max
+    pool) -> requantize -> (avg pool), one closure, no intermediate
+    tensors.  ``w_f64`` is the weight tensor reshaped to ``(kh*kw*cin,
+    cout)`` float64; ``bias_f64`` is the int32 bias pre-cast.  ``geom``
+    is the optional batch-specialized window geometry
+    ``(batch, view_shape, view_strides)`` precomputed at plan-bind time.
+    """
+    xp = _pad2d(x, pad_h, pad_w, in_zp)
+    centered = xp.astype(np.int32) - in_zp
+    if kh == 1 and kw == 1 and stride == 1:
+        # Pointwise conv: the window view is the input itself; skip the
+        # as_strided expansion entirely.
+        b, oh, ow, cin = centered.shape
+        lhs = centered.reshape(b * oh * ow, cin).astype(np.float64)
+    else:
+        if geom is not None and x.shape[0] == geom[0]:
+            view = np.lib.stride_tricks.as_strided(
+                centered, shape=geom[1], strides=geom[2], writeable=False
+            )
+        else:
+            view = _windows_2d(centered, kh, kw, stride)
+        b, oh, ow = view.shape[:3]
+        lhs = view.astype(np.float64).reshape(b * oh * ow, -1)
+    acc = _gemm_acc_i64(lhs, w_f64, bias_f64).reshape(b, oh, ow, -1)
+    return _finish_conv2d_fused(acc, pool, pool_kind, out_mult, out_shift,
+                                out_zp, clamp_min, clamp_max)
+
+
+def dwconv2d_i8_fused(
+    x, w64, bias64, stride, pad_h, pad_w, in_zp, out_zp,
+    out_mult, out_shift, clamp_min=-128, clamp_max=127,
+    pool=None, pool_kind="max", geom=None,
+):
+    """Fused DEPTHWISE_CONV_2D: the depthwise contraction has no GEMM
+    form (channels stay elementwise), so accumulation matches
+    ``dwconv2d_i8_prepared``; the fused pool still moves ahead of
+    requantization."""
+    xp = _pad2d(x, pad_h, pad_w, in_zp)
+    centered = xp.astype(np.int32) - in_zp
+    if geom is not None and x.shape[0] == geom[0]:
+        view = np.lib.stride_tricks.as_strided(
+            centered, shape=geom[1], strides=geom[2], writeable=False
+        )
+    else:
+        view = _windows_2d(centered, w64.shape[0], w64.shape[1], stride)
+    if w64.shape[3] == 1:
+        prod = view.astype(np.int64)
+        prod *= w64[:, :, :, 0]
+        acc = prod.sum(axis=(3, 4)) + bias64
+    else:
+        acc = np.einsum(
+            "bxyijc,ijcd->bxycd", view.astype(np.int64), w64,
+            optimize=["einsum_path", (0, 1)],
+        )
+        b, oh, ow, c, d = acc.shape
+        acc = acc.reshape(b, oh, ow, c * d) + bias64
+    return _finish_conv2d_fused(acc, pool, pool_kind, out_mult, out_shift,
+                                out_zp, clamp_min, clamp_max)
+
+
+def conv1d_i8_fused(
+    x, w_f64, k, bias_f64, stride, pad, in_zp, out_zp,
+    out_mult, out_shift, clamp_min=-128, clamp_max=127,
+    pool=None, geom=None,
+):
+    """Fused CONV_1D: exact f64 GEMM + optional pre-requant max pool."""
+    xp = _pad1d(x, pad, in_zp)
+    centered = xp.astype(np.int32) - in_zp
+    if geom is not None and x.shape[0] == geom[0]:
+        view = np.lib.stride_tricks.as_strided(
+            centered, shape=geom[1], strides=geom[2], writeable=False
+        )
+    else:
+        bsz, t, c = centered.shape
+        ot = (t - k) // stride + 1
+        sb, st, sc = centered.strides
+        view = np.lib.stride_tricks.as_strided(
+            centered, shape=(bsz, ot, k, c),
+            strides=(sb, st * stride, st, sc), writeable=False,
+        )
+    bsz, ot = view.shape[:2]
+    lhs = view.astype(np.float64).reshape(bsz * ot, -1)
+    acc = _gemm_acc_i64(lhs, w_f64, bias_f64).reshape(bsz, ot, -1)
+    if pool:
+        acc = maxpool1d_f32(acc, pool)
+    return _requant(acc, out_mult, out_shift, out_zp, clamp_min, clamp_max)
+
+
+def fc_i8_gemm(
+    x, w_f64, bias_f64, in_zp, out_zp, out_mult, out_shift,
+    clamp_min=-128, clamp_max=127,
+):
+    """FULLY_CONNECTED via the exact f64 GEMM."""
+    centered = x.astype(np.float64) - in_zp
+    acc = _gemm_acc_i64(centered, w_f64, bias_f64)
+    return _requant(acc, out_mult, out_shift, out_zp, clamp_min, clamp_max)
+
+
 def maxpool2d_i8(x, pool):
     return maxpool2d_f32(x, pool)  # max is order-preserving; qparams unchanged
 
@@ -321,17 +461,25 @@ def gap1d_i8(x):
 
 def add_i8(
     a, b, zp_a, zp_b, out_zp, left_shift, mult1, shift1, mult2, shift2,
-    out_mult, out_shift, clamp_min=-128, clamp_max=127,
+    out_mult, out_shift, clamp_min=-128, clamp_max=127, out=None,
 ):
     """TFLite-style int8 ADD: both inputs rescaled to a shared high-precision
-    domain, summed, then requantized to the output scale."""
+    domain, summed, then requantized to the output scale.
+
+    ``out`` (the in-place pass) receives the result instead of a fresh
+    int8 allocation — it may alias ``a`` or ``b``, which are fully read
+    into the int64 working domain before any store."""
     wa = (a.astype(np.int64) - zp_a) << left_shift
     wb = (b.astype(np.int64) - zp_b) << left_shift
     sa = multiply_by_quantized_multiplier(wa, mult1, shift1)
     sb = multiply_by_quantized_multiplier(wb, mult2, shift2)
     raw = sa + sb
-    out = multiply_by_quantized_multiplier(raw, out_mult, out_shift) + out_zp
-    return np.clip(out, clamp_min, clamp_max).astype(np.int8)
+    res = multiply_by_quantized_multiplier(raw, out_mult, out_shift) + out_zp
+    np.clip(res, clamp_min, clamp_max, out=res)
+    if out is not None:
+        out[...] = res  # casting int64 -> int8 store, no new allocation
+        return out
+    return res.astype(np.int8)
 
 
 def softmax_i8(x, in_scale, in_zp):

@@ -1,0 +1,53 @@
+"""repro.runtime.passes — the graph-optimization pass pipeline.
+
+Sits between ``repro.graph.Graph`` and the compiled plan inside
+``repro.runtime.executor.compile_plan``: each pass is a verified
+graph→graph rewrite (``verify_graph`` brackets every pass; a failing
+rewrite is reported with a structured diagnostic naming the pass and the
+pipeline falls back to the unoptimized graph).
+
+Production passes, in default order:
+
+- ``simplify`` — dequantize→quantize cancellation, identity/composed
+  reshape and transpose elimination;
+- ``fold_constants`` — weight-only subgraphs evaluated at compile time;
+- ``fuse`` — exact float64-GEMM lowering of int8 contractions and
+  conv+pool collapse (max pools move ahead of requantization);
+- ``inplace`` — elementwise ops write into a dying input's buffer.
+
+Inspect a model's pipeline with ``python -m repro.runtime.passes --dump``.
+"""
+
+from repro.runtime.passes.base import (  # noqa: F401
+    DEFAULT_PASS_NAMES,
+    PASS_REGISTRY,
+    GraphPass,
+    PassConfig,
+    clone_graph,
+    compact_graph,
+    register_pass,
+)
+from repro.runtime.passes.manager import PassOutcome, run_passes  # noqa: F401
+
+# Importing the pass modules registers them.
+from repro.runtime.passes import fold, fusion, inplace, simplify  # noqa: F401,E402
+from repro.runtime.passes.fold import ConstantFoldPass  # noqa: F401
+from repro.runtime.passes.fusion import FusionPass  # noqa: F401
+from repro.runtime.passes.inplace import InplacePass  # noqa: F401
+from repro.runtime.passes.simplify import SimplifyPass  # noqa: F401
+
+__all__ = [
+    "DEFAULT_PASS_NAMES",
+    "PASS_REGISTRY",
+    "GraphPass",
+    "PassConfig",
+    "PassOutcome",
+    "ConstantFoldPass",
+    "FusionPass",
+    "InplacePass",
+    "SimplifyPass",
+    "clone_graph",
+    "compact_graph",
+    "register_pass",
+    "run_passes",
+]

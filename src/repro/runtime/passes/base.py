@@ -1,0 +1,146 @@
+"""Pass-manager core: the pass protocol, registry, and graph utilities.
+
+A :class:`GraphPass` is a named graph→graph rewrite.  Passes mutate a
+*clone* of the source graph in place (the pipeline in
+``repro.runtime.passes.manager`` owns cloning and never touches the
+caller's graph) and return a stats dict for the ``--dump`` CLI and the
+benchmarks.
+
+Every pass runs inside a verification bracket: the pipeline verifies the
+graph before the first pass and re-verifies after each one, so a rewrite
+that breaks an IR invariant is caught at the pass boundary — attributed
+to the offending pass via a structured diagnostic — instead of
+surfacing as a kernel crash three layers down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.graph import Graph
+from repro.graph.ops import GOp, GTensor
+
+#: Pipeline order of the production passes.  Simplification and folding
+#: run first so fusion sees canonical graphs; in-place reuse runs last
+#: because it depends on the final lifetimes.
+DEFAULT_PASS_NAMES = ("simplify", "fold_constants", "fuse", "inplace")
+
+#: name -> GraphPass subclass.  Populated by the ``@register_pass``
+#: decorator when the pass modules import (see ``passes/__init__.py``).
+PASS_REGISTRY: dict[str, type] = {}
+
+
+def register_pass(cls: type) -> type:
+    """Class decorator: publish a :class:`GraphPass` under its ``name``."""
+    if not cls.name or cls.name in PASS_REGISTRY:
+        raise ValueError(f"pass name {cls.name!r} is empty or already registered")
+    PASS_REGISTRY[cls.name] = cls
+    return cls
+
+
+class GraphPass:
+    """One verified rewrite.  Subclasses set ``name`` and implement
+    :meth:`run`; they may freely mutate the graph they receive (it is a
+    pipeline-owned clone) but must leave it verifiable."""
+
+    name: str = ""
+
+    def run(self, graph: Graph) -> dict:
+        """Apply the rewrite in place; return a stats dict (counts of
+        what changed) for reporting."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+@dataclass(frozen=True)
+class PassConfig:
+    """Which passes run, in order.  The tuple doubles as the plan-cache
+    signature: two configs with equal ``names`` share pass outcomes."""
+
+    names: tuple[str, ...] = DEFAULT_PASS_NAMES
+
+    @classmethod
+    def normalize(cls, passes) -> "PassConfig | None":
+        """Coerce the public ``passes=`` knob: ``None`` disables the
+        pipeline, ``"default"`` (or a PassConfig/iterable of names)
+        selects it."""
+        if passes is None:
+            return None
+        if isinstance(passes, PassConfig):
+            return passes
+        if passes == "default":
+            return cls()
+        if isinstance(passes, str):
+            raise ValueError(
+                f"passes must be None, 'default', a PassConfig, or an "
+                f"iterable of pass names; got {passes!r}"
+            )
+        return cls(tuple(str(n) for n in passes))
+
+    @property
+    def signature(self) -> tuple[str, ...]:
+        return self.names
+
+
+# -- graph utilities shared by the pipeline and the passes ------------------
+
+
+def clone_graph(graph: Graph) -> Graph:
+    """Structural copy: fresh tensor/op objects, shared (immutable by
+    convention) weight arrays and quant params."""
+    g = Graph(graph.name)
+    g.tensors = [
+        GTensor(t.name, tuple(t.shape), t.dtype, t.data, t.quant)
+        for t in graph.tensors
+    ]
+    g.ops = [
+        GOp(op.opcode, list(op.inputs), list(op.outputs), dict(op.attrs))
+        for op in graph.ops
+    ]
+    g.input_id = graph.input_id
+    g.output_id = graph.output_id
+    return g
+
+
+def compact_graph(graph: Graph) -> dict:
+    """Drop tensors no op (and neither graph input/output) references —
+    the residue fusion and folding leave behind — remapping ids."""
+    used = {graph.input_id, graph.output_id}
+    for op in graph.ops:
+        used.update(op.inputs)
+        used.update(op.outputs)
+    total = len(graph.tensors)
+    keep = [tid for tid in range(total) if tid in used]
+    if len(keep) == total:
+        return {"tensors_dropped": 0}
+    remap = {old: new for new, old in enumerate(keep)}
+    graph.tensors = [graph.tensors[old] for old in keep]
+    for op in graph.ops:
+        op.inputs = [remap[t] for t in op.inputs]
+        op.outputs = [remap[t] for t in op.outputs]
+    graph.input_id = remap[graph.input_id]
+    graph.output_id = remap[graph.output_id]
+    return {"tensors_dropped": total - len(keep)}
+
+
+def consumers(graph: Graph, tid: int) -> list[int]:
+    """Op indices that read tensor ``tid``."""
+    return [oi for oi, op in enumerate(graph.ops) if tid in op.inputs]
+
+
+def producer(graph: Graph, tid: int) -> int | None:
+    """Op index that writes tensor ``tid`` (None for input/consts)."""
+    for oi, op in enumerate(graph.ops):
+        if tid in op.outputs:
+            return oi
+    return None
+
+
+def rewire_uses(graph: Graph, old: int, new: int) -> None:
+    """Redirect every read of ``old`` (and the graph output) to ``new``."""
+    for op in graph.ops:
+        op.inputs = [new if t == old else t for t in op.inputs]
+    if graph.output_id == old:
+        graph.output_id = new

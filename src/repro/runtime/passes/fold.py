@@ -1,0 +1,61 @@
+"""Constant folding: evaluate weight-only subgraphs at compile time.
+
+Any op whose every input is a constant tensor is executed once, here,
+through the same reference kernels the runtime dispatches to
+(``repro.runtime.executor._kernel_call``), and its output tensor becomes
+a constant.  Folding iterates, so a chain of const-input ops collapses
+front to back; the newly-unreferenced weights are dropped by the
+pipeline's compaction step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.runtime.passes.base import GraphPass, register_pass
+
+_NP_DTYPE = {"float32": np.float32, "int8": np.int8, "int32": np.int32}
+
+
+@register_pass
+class ConstantFoldPass(GraphPass):
+    """Fold ops with all-constant inputs into constant tensors."""
+
+    name = "fold_constants"
+
+    def run(self, graph: Graph) -> dict:
+        # Lazy import: the executor imports this package at module load.
+        from repro.runtime.executor import _kernel_call
+
+        stats = {"ops_folded": 0}
+        changed = True
+        while changed:
+            changed = False
+            for oi, op in enumerate(graph.ops):
+                out_id = op.outputs[0]
+                # The op producing the graph output must survive (the
+                # verifier requires the output to be *produced*).
+                if out_id == graph.output_id:
+                    continue
+                if not all(graph.tensors[t].is_const for t in op.inputs):
+                    continue
+                # Kernels take batched arrays; fold with a batch of one.
+                values = {
+                    tid: graph.tensors[tid].data[None] for tid in op.inputs
+                }
+                result = np.asarray(_kernel_call(graph, op, values))[0]
+                out_t = graph.tensors[out_id]
+                if result.shape != tuple(out_t.shape):
+                    raise ValueError(
+                        f"folding op {oi} ({op.opcode}) produced shape "
+                        f"{result.shape}, declared {tuple(out_t.shape)}"
+                    )
+                out_t.data = np.ascontiguousarray(
+                    result.astype(_NP_DTYPE[out_t.dtype], copy=False)
+                )
+                del graph.ops[oi]
+                stats["ops_folded"] += 1
+                changed = True
+                break
+        return stats

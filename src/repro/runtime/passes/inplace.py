@@ -1,0 +1,68 @@
+"""Arena-aware in-place reuse: elementwise ops write into a dying input.
+
+An ``ADD`` whose operand's lifetime ends at the op itself can write its
+output straight into that operand's buffer instead of allocating a new
+one, shrinking the live-tensor peak.  The pass only annotates
+(``attrs["inplace"] = operand slot``); the plan binder emits the
+``out=``-style kernel call.
+
+Safety conditions (all required):
+
+- the operand is an activation, not a constant and not the graph input
+  (the input buffer may alias caller-owned memory — ``prepare_input``
+  passes pre-quantized int8 batches through without a copy);
+- its lifetime (``graph.lifetimes()``) ends exactly at this op;
+- shapes and dtypes match the output (no broadcasting);
+- no operand of the op is produced by a view-returning opcode
+  (RESHAPE/TRANSPOSE) — writing through a view would clobber the view's
+  source buffer, and overlapping-operand elementwise updates are
+  undefined in numpy.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+from repro.runtime.passes.base import GraphPass, register_pass
+
+#: Opcodes whose kernels may return views of their input's buffer.
+_VIEW_OPS = ("RESHAPE", "TRANSPOSE")
+
+#: Opcodes the binder knows how to run in place.
+_INPLACE_OPS = ("ADD",)
+
+
+@register_pass
+class InplacePass(GraphPass):
+    """Annotate elementwise ops that can reuse a dying input's buffer."""
+
+    name = "inplace"
+
+    def run(self, graph: Graph) -> dict:
+        stats = {"inplace_ops": 0}
+        lifetimes = graph.lifetimes()
+        producers: dict[int, int] = {}
+        for oi, op in enumerate(graph.ops):
+            for t in op.outputs:
+                producers[t] = oi
+        for oi, op in enumerate(graph.ops):
+            if op.opcode not in _INPLACE_OPS or "inplace" in op.attrs:
+                continue
+            out_t = graph.tensors[op.outputs[0]]
+            if any(
+                graph.ops[producers[t]].opcode in _VIEW_OPS
+                for t in op.inputs if t in producers
+            ):
+                continue
+            for slot, tid in enumerate(op.inputs):
+                t = graph.tensors[tid]
+                if t.is_const or tid == graph.input_id:
+                    continue
+                if tuple(t.shape) != tuple(out_t.shape) or t.dtype != out_t.dtype:
+                    continue
+                life = lifetimes.get(tid)
+                if life is None or life[1] != oi:
+                    continue
+                op.attrs["inplace"] = slot
+                stats["inplace_ops"] += 1
+                break
+        return stats

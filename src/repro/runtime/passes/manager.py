@@ -1,0 +1,147 @@
+"""The pass pipeline: run passes under the verify-graph bracket.
+
+:func:`run_passes` clones the source graph, runs each configured pass in
+order, and re-runs ``repro.analysis.verify_graph`` after every pass.  A
+pass that raises, or that leaves the graph unverifiable, terminates the
+pipeline: the outcome carries a structured diagnostic (code ``G051`` /
+``G050``, ``symbol`` = the offending pass name) and falls back to the
+unoptimized source graph, so a compiler bug degrades performance, never
+correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.verify import verify_graph, verify_graph_or_raise
+from repro.graph.graph import Graph
+from repro.runtime.passes.base import (
+    PASS_REGISTRY,
+    PassConfig,
+    clone_graph,
+    compact_graph,
+)
+
+
+@dataclass
+class PassOutcome:
+    """What the pipeline produced for one (graph, config) pair.
+
+    ``graph`` is the optimized clone — or the untouched ``source`` when
+    the pipeline fell back.  ``stats`` maps pass name -> that pass's
+    stats dict (plus a ``"compact"`` entry when dead tensors were
+    dropped).
+    """
+
+    graph: Graph
+    source: Graph
+    config: PassConfig
+    applied: list[str] = field(default_factory=list)
+    stats: dict[str, dict] = field(default_factory=dict)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    fell_back: bool = False
+
+    @property
+    def changed(self) -> bool:
+        return self.graph is not self.source
+
+    def format(self) -> str:
+        lines = [
+            f"pass pipeline over {self.source.name!r}: "
+            + ("FELL BACK to unoptimized graph" if self.fell_back
+               else f"{len(self.applied)} pass(es) applied")
+        ]
+        for name in self.applied:
+            stats = self.stats.get(name, {})
+            detail = ", ".join(f"{k}={v}" for k, v in stats.items()) or "no changes"
+            lines.append(f"  {name}: {detail}")
+        if "compact" in self.stats:
+            lines.append(
+                f"  compact: tensors_dropped={self.stats['compact']['tensors_dropped']}"
+            )
+        for diag in self.diagnostics:
+            lines.append("  " + diag.format())
+        return "\n".join(lines)
+
+
+def _fallback(source, config, applied, stats, diagnostics) -> PassOutcome:
+    return PassOutcome(
+        graph=source, source=source, config=config, applied=applied,
+        stats=stats, diagnostics=diagnostics, fell_back=True,
+    )
+
+
+def run_passes(
+    graph: Graph, config=None, *, registry: dict | None = None
+) -> PassOutcome:
+    """Run the configured passes over a clone of ``graph``.
+
+    The source graph must verify (it is verified here if its memo is
+    cold — the "before" side of the bracket); each pass's result is
+    verified before the next pass runs.  ``registry`` overrides the
+    global pass registry (tests inject deliberately broken passes).
+    """
+    config = PassConfig.normalize(config) or PassConfig()
+    registry = PASS_REGISTRY if registry is None else registry
+    unknown = [n for n in config.names if n not in registry]
+    if unknown:
+        raise ValueError(
+            f"unknown pass(es) {unknown}; registered: {sorted(registry)}"
+        )
+    if not getattr(graph, "_verified_ok", False):
+        verify_graph_or_raise(graph, arena=False)
+
+    work = clone_graph(graph)
+    work._verified_ok = True
+    applied: list[str] = []
+    stats: dict[str, dict] = {}
+    diagnostics: list[Diagnostic] = []
+
+    for name in config.names:
+        try:
+            pass_stats = registry[name]().run(work) or {}
+        except Exception as exc:
+            diagnostics.append(Diagnostic(
+                "G051",
+                f"pass {name!r} raised {type(exc).__name__}: {exc}",
+                symbol=name,
+                hint="plan compilation fell back to the unoptimized graph",
+            ))
+            return _fallback(graph, config, applied, stats, diagnostics)
+        work._verified_ok = False
+        report = verify_graph(work, arena=False)
+        if not report.ok:
+            first = report.errors[0]
+            diagnostics.append(Diagnostic(
+                "G050",
+                f"pass {name!r} left the graph unverifiable: "
+                f"{first.code}: {first.message}",
+                symbol=name, op_index=first.op_index, tensor_id=first.tensor_id,
+                hint="plan compilation fell back to the unoptimized graph",
+            ))
+            return _fallback(graph, config, applied, stats, diagnostics)
+        work._verified_ok = True
+        applied.append(name)
+        stats[name] = pass_stats
+
+    compact_stats = compact_graph(work)
+    if compact_stats["tensors_dropped"]:
+        stats["compact"] = compact_stats
+        work._verified_ok = False
+        report = verify_graph(work, arena=False)
+        if not report.ok:  # a compaction bug is a pipeline bug: fall back
+            first = report.errors[0]
+            diagnostics.append(Diagnostic(
+                "G050",
+                f"tensor compaction left the graph unverifiable: "
+                f"{first.code}: {first.message}",
+                symbol="compact",
+                hint="plan compilation fell back to the unoptimized graph",
+            ))
+            return _fallback(graph, config, applied, stats, diagnostics)
+        work._verified_ok = True
+    return PassOutcome(
+        graph=work, source=graph, config=config, applied=applied,
+        stats=stats, diagnostics=diagnostics,
+    )

@@ -1,0 +1,143 @@
+"""Algebraic graph simplification: dequantize→quantize cancellation and
+reshape/transpose (layout) elimination.
+
+These patterns appear at model-composition seams — a quantized backbone
+feeding a float head that is later re-quantized, or converter-emitted
+layout shuffles — and every one removed is a full tensor materialization
+saved per invoke.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.runtime.passes.base import (
+    GraphPass,
+    consumers,
+    producer,
+    register_pass,
+    rewire_uses,
+)
+
+
+def _same_quant(qa, qb) -> bool:
+    return (
+        qa is not None and qb is not None
+        and qa.zero_point == qb.zero_point
+        and qa.per_channel == qb.per_channel
+        and np.array_equal(qa.scale, qb.scale)
+    )
+
+
+def _drop_op_rewiring(graph: Graph, oi: int, new_src: int) -> bool:
+    """Delete op ``oi``, rewiring reads of its output to ``new_src``.
+
+    Refuses the degenerate case where the rewire would leave the graph
+    output without a producer (output aliased to the graph input or a
+    constant), which the verifier would reject as G005.
+    """
+    out_id = graph.ops[oi].outputs[0]
+    if out_id == graph.output_id and producer(graph, new_src) is None:
+        return False
+    rewire_uses(graph, out_id, new_src)
+    del graph.ops[oi]
+    return True
+
+
+@register_pass
+class SimplifyPass(GraphPass):
+    """dequantize→quantize cancellation + identity/composed reshape and
+    transpose elimination, iterated to a fixpoint."""
+
+    name = "simplify"
+
+    def run(self, graph: Graph) -> dict:
+        stats = {"dq_q_cancelled": 0, "reshapes_removed": 0,
+                 "transposes_removed": 0}
+        changed = True
+        while changed:
+            changed = (
+                self._cancel_dq_q(graph, stats)
+                or self._elide_reshapes(graph, stats)
+                or self._elide_transposes(graph, stats)
+            )
+        return stats
+
+    # -- dequantize -> quantize ---------------------------------------------
+
+    def _cancel_dq_q(self, graph: Graph, stats: dict) -> bool:
+        for qi, q_op in enumerate(graph.ops):
+            if q_op.opcode != "QUANTIZE":
+                continue
+            f_id = q_op.inputs[0]
+            di = producer(graph, f_id)
+            if di is None or graph.ops[di].opcode != "DEQUANTIZE":
+                continue
+            a_id = graph.ops[di].inputs[0]
+            a_t = graph.tensors[a_id]
+            q_t = graph.tensors[q_op.outputs[0]]
+            # Exact cancellation only: the round-trip is the identity iff
+            # both int8 tensors carry identical qparams.
+            if a_t.dtype != "int8" or not _same_quant(a_t.quant, q_t.quant):
+                continue
+            if not _drop_op_rewiring(graph, qi, a_id):
+                continue
+            # The dequantize stays only if something else reads its float.
+            if not consumers(graph, f_id) and f_id != graph.output_id:
+                del graph.ops[producer(graph, f_id)]
+            stats["dq_q_cancelled"] += 1
+            return True
+        return False
+
+    # -- reshape chains / identities ----------------------------------------
+
+    def _elide_reshapes(self, graph: Graph, stats: dict) -> bool:
+        for oi, op in enumerate(graph.ops):
+            if op.opcode != "RESHAPE":
+                continue
+            in_id, out_id = op.inputs[0], op.outputs[0]
+            # Identity reshape: same per-sample shape in and out.
+            if tuple(graph.tensors[in_id].shape) == tuple(graph.tensors[out_id].shape):
+                if _drop_op_rewiring(graph, oi, in_id):
+                    stats["reshapes_removed"] += 1
+                    return True
+                continue
+            # Chain: reshape-of-reshape collapses to one op reading the
+            # original source (element order is preserved through both).
+            pi = producer(graph, in_id)
+            if (pi is not None and graph.ops[pi].opcode == "RESHAPE"
+                    and consumers(graph, in_id) == [oi]
+                    and in_id != graph.output_id):
+                op.inputs[0] = graph.ops[pi].inputs[0]
+                del graph.ops[pi]
+                stats["reshapes_removed"] += 1
+                return True
+        return False
+
+    # -- transpose composition / identities ---------------------------------
+
+    def _elide_transposes(self, graph: Graph, stats: dict) -> bool:
+        for oi, op in enumerate(graph.ops):
+            if op.opcode != "TRANSPOSE":
+                continue
+            in_id = op.inputs[0]
+            perm = tuple(int(d) for d in op.attrs["perm"])
+            if perm == tuple(range(len(perm))):
+                if _drop_op_rewiring(graph, oi, in_id):
+                    stats["transposes_removed"] += 1
+                    return True
+                continue
+            pi = producer(graph, in_id)
+            if (pi is not None and graph.ops[pi].opcode == "TRANSPOSE"
+                    and consumers(graph, in_id) == [oi]
+                    and in_id != graph.output_id):
+                # x.transpose(p1).transpose(p2) == x.transpose(p1∘p2):
+                # output axis k comes from p1[p2[k]] of the source.
+                p1 = tuple(int(d) for d in graph.ops[pi].attrs["perm"])
+                op.attrs["perm"] = [p1[d] for d in perm]
+                op.inputs[0] = graph.ops[pi].inputs[0]
+                del graph.ops[pi]
+                stats["transposes_removed"] += 1
+                return True
+        return False

@@ -78,6 +78,7 @@ class ModelServer:
         cache_size: int = 8,
         max_batch: int = 32,
         name: str = "server",
+        passes: object = "default",
     ):
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
@@ -85,6 +86,9 @@ class ModelServer:
         self.cache_size = cache_size
         self.max_batch = max_batch
         self.name = name
+        # Optimization-pass selection for EON-compiled models ("default"
+        # or None; forwarded to compile_plan via EONCompiler).
+        self.passes = passes
         self.stats = ServingStats()  # guarded-by: _lock
         # Optional monitoring sink (a repro.monitor TelemetryStore).  When
         # None — the default — the serving path pays one attribute test
@@ -135,7 +139,7 @@ class ModelServer:
             # same key, so exactly one model (and batcher) is built.
             self.stats.cache_misses += 1
             model = (
-                EONCompiler().compile(graph)
+                EONCompiler(passes=self.passes).compile(graph)
                 if engine == "eon"
                 else TFLMInterpreter(graph)
             )

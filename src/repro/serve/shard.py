@@ -170,6 +170,7 @@ class ShardedModelServer:
         cache_size: int = 8,
         max_batch: int = 32,
         max_queue: int = 4096,
+        passes: object = "default",
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -182,6 +183,7 @@ class ShardedModelServer:
                     cache_size=cache_size,
                     max_batch=max_batch,
                     name=f"shard-{i}",
+                    passes=passes,
                 ),
                 index=i,
                 max_queue=max_queue,

@@ -1,0 +1,156 @@
+"""The perf regression gate itself: edge cases and the step summary."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+SCRIPT = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "scripts" / "check_bench_regression.py"
+)
+spec = importlib.util.spec_from_file_location("check_bench_regression", SCRIPT)
+gate = importlib.util.module_from_spec(spec)
+sys.modules["check_bench_regression"] = gate
+spec.loader.exec_module(gate)
+
+
+def _run(tmp_path, metrics, baseline, extra_args=()):
+    new = tmp_path / "new.json"
+    base = tmp_path / "baseline.json"
+    new.write_text(json.dumps({"metrics": metrics}))
+    base.write_text(json.dumps(baseline))
+    return gate.main([str(new), str(base), *extra_args])
+
+
+def test_passing_gate(tmp_path, capsys):
+    rc = _run(
+        tmp_path,
+        {"speedup": 2.4},
+        {"gated": {"speedup": 2.5}, "informational": []},
+    )
+    assert rc == 0
+    assert "gate passed" in capsys.readouterr().out
+
+
+def test_missing_gated_metric_fails(tmp_path, capsys):
+    rc = _run(
+        tmp_path,
+        {"other": 1.0},
+        {"gated": {"speedup": 2.5}, "informational": []},
+    )
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "speedup: missing" in out
+
+
+def test_metric_absent_from_baseline_is_not_gated(tmp_path, capsys):
+    # A brand-new metric lands in the results before the baseline is
+    # updated: it must not fail the gate (the gate only enforces what
+    # the baseline declares) and must not be silently treated as gated.
+    rc = _run(
+        tmp_path,
+        {"speedup": 2.5, "brand_new_metric": 0.001},
+        {"gated": {"speedup": 2.5}, "informational": []},
+    )
+    assert rc == 0
+    assert "brand_new_metric" not in capsys.readouterr().out
+
+
+def test_zero_baseline_never_fails_nonnegative_measurements(tmp_path):
+    # floor = 0 * 0.8 = 0: any non-negative measured value passes.  A
+    # zero baseline is a placeholder, not a real floor.
+    rc = _run(
+        tmp_path,
+        {"speedup": 0.0},
+        {"gated": {"speedup": 0.0}, "informational": []},
+    )
+    assert rc == 0
+
+
+def test_negative_baseline_floor_is_above_the_baseline(tmp_path):
+    # A negative "speedup" baseline (a headroom-style metric that went
+    # negative) shrinks toward zero: floor = -1.0 * 0.8 = -0.8, so a
+    # measurement at the old baseline now fails.  This documents the
+    # gate's arithmetic so a baseline author isn't surprised by it.
+    rc = _run(
+        tmp_path,
+        {"headroom": -1.0},
+        {"gated": {"headroom": -1.0}, "informational": []},
+    )
+    assert rc == 1
+    rc = _run(
+        tmp_path,
+        {"headroom": -0.8},
+        {"gated": {"headroom": -1.0}, "informational": []},
+    )
+    assert rc == 0
+
+
+def test_exactly_at_floor_passes(tmp_path):
+    # The floor is inclusive: value >= floor passes.
+    rc = _run(
+        tmp_path,
+        {"speedup": 2.0},
+        {"gated": {"speedup": 2.5}, "informational": []},
+        extra_args=("--max-regression", "0.20"),
+    )
+    assert rc == 0
+    # One ulp below the floor fails.
+    rc = _run(
+        tmp_path,
+        {"speedup": 1.9999},
+        {"gated": {"speedup": 2.5}, "informational": []},
+    )
+    assert rc == 1
+
+
+def test_step_summary_written_when_env_set(tmp_path, monkeypatch):
+    summary = tmp_path / "summary.md"
+    monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+    rc = _run(
+        tmp_path,
+        {"speedup": 2.4, "extra_rps": 100.0},
+        {"gated": {"speedup": 2.5}, "informational": ["extra_rps"]},
+    )
+    assert rc == 0
+    text = summary.read_text()
+    assert "| gated metric | measured | baseline | floor | status |" in text
+    assert "| `speedup` | 2.40 | 2.50 | 2.00 | pass |" in text
+    assert "passed" in text
+    assert "`extra_rps` 100.0" in text
+
+
+def test_step_summary_marks_failures(tmp_path, monkeypatch):
+    summary = tmp_path / "summary.md"
+    monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+    rc = _run(
+        tmp_path,
+        {},
+        {"gated": {"speedup": 2.5}, "informational": []},
+    )
+    assert rc == 1
+    text = summary.read_text()
+    assert "FAILED" in text
+    assert "| `speedup` | missing | 2.50 | 2.00 | **fail** |" in text
+
+
+def test_no_summary_outside_actions(tmp_path, monkeypatch):
+    monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+    rc = _run(
+        tmp_path,
+        {"speedup": 2.5},
+        {"gated": {"speedup": 2.5}, "informational": []},
+    )
+    assert rc == 0  # and nothing crashed with the env var absent
+
+
+def test_unreadable_results_file_is_a_clean_error(tmp_path):
+    base = tmp_path / "baseline.json"
+    base.write_text(json.dumps({"gated": {}, "informational": []}))
+    with pytest.raises(SystemExit):
+        gate.main([str(tmp_path / "missing.json"), str(base)])
