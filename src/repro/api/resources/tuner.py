@@ -49,8 +49,9 @@ def tuner_start(ctx) -> dict:
             constraints=constraints,
             train_epochs=body.get("epochs", 6),
             retries=body.get("retries", 0),
+            placement=body.get("placement", "thread"),
         )
-    except ValueError as exc:  # e.g. max_inflight < 1
+    except ValueError as exc:  # e.g. max_inflight < 1, bad placement
         raise ApiError(400, str(exc))
     except RuntimeError as exc:
         raise ApiError(409, str(exc))
@@ -104,6 +105,9 @@ def register(router) -> None:
             Field("seed", "int", default=0),
             Field("epochs", "int", default=6, doc="training epochs per trial"),
             Field("retries", "int", default=0),
+            Field("placement", "str", default="thread",
+                  doc="where trials run: 'thread' (in-process) or "
+                      "'process' (worker processes)"),
             Field("space", "dict", doc="search space override "
                                        "(dsp_templates + model_templates)"),
             Field("device", "str", doc="constraint: target device key"),

@@ -238,6 +238,35 @@ class EonTuner:
             trial.trained = True
         return trial
 
+    def _trial_pool(self, size: int):
+        """A worker-process pool whose initializer re-sends the tuner's
+        evaluation context (``tuner_init``) once per worker lifetime —
+        including respawns after a mid-trial death."""
+        from dataclasses import asdict
+
+        from repro.core.workers import WorkerPool
+        from repro.core.workers.frames import pack_array
+
+        raw_spec, raw_blob = pack_array(self.raw)
+        labels_spec, labels_blob = pack_array(self.labels)
+        init_params = {
+            "raw": raw_spec,
+            "labels": labels_spec,
+            "constraints": asdict(self.constraints),
+            "precision": self.precision,
+            "engine": self.engine,
+            "train_epochs": self.train_epochs,
+            "batch_size": self.batch_size,
+            "val_fraction": self.val_fraction,
+        }
+
+        def prime(handle):
+            handle.request(
+                "tuner_init", init_params, (raw_blob, labels_blob), timeout=120.0
+            )
+
+        return WorkerPool(size=size, initializer=prime, name="tuner")
+
     # -- search strategies ----------------------------------------------------
 
     def _sample_plan(
@@ -279,6 +308,7 @@ class EonTuner:
         max_inflight: int = 4,
         seed: int = 0,
         retries: int = 0,
+        placement: str = "thread",
     ):
         """Distributed random search: one child job per trial on a
         :class:`repro.core.jobs.JobExecutor`, capped at ``max_inflight``
@@ -291,13 +321,29 @@ class EonTuner:
         leaderboard is order-independent and bit-identical to a serial
         :meth:`run` with the same ``seed``.  Trials are committed to
         ``self.trials`` (in plan order) only when every trial succeeded.
+
+        ``placement="process"`` evaluates trials in worker *processes*
+        (a :class:`repro.core.workers.WorkerPool` of ``max_inflight``
+        workers, primed once per worker lifetime with the dataset via
+        ``tuner_init``).  Results stay bit-identical — trial seeds are
+        fixed at planning time and trial floats round-trip exactly
+        through the JSON frame protocol.  A worker dying mid-trial fails
+        that child job with ``WorkerDied``; the job's ``retries`` budget
+        re-runs it on a freshly-spawned (re-primed) worker.
         """
         from repro.core.jobs import JobExecutor
 
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
+        if placement not in ("thread", "process"):
+            raise ValueError(
+                f"unknown placement {placement!r}; expected 'thread' or 'process'"
+            )
         if executor is None:
             executor = JobExecutor(max_workers=max(2, max_inflight))
+        pool = None
+        if placement == "process":
+            pool = self._trial_pool(max_inflight)
         planned = self._sample_plan(n_trials, seed)
         total = len(planned)
 
@@ -317,6 +363,8 @@ class EonTuner:
 
         def finalize(parent, children):
             executor.clear_group_limit(f"tuner-{parent.job_id}")
+            if pool is not None:
+                pool.close()
             completed = [c for c in children if c.status == "succeeded"]
             if parent.cancel_requested or len(completed) != len(children):
                 # Cancelled or partially-failed search: commit nothing —
@@ -350,9 +398,17 @@ class EonTuner:
                 job.log(
                     f"evaluating {dsp_spec['type']} x "
                     f"{model_spec['architecture']} (seed {trial_seed})"
+                    + (" [process]" if pool is not None else "")
                 )
                 job.check_cancelled()
-                return self._evaluate_trial(dsp_spec, model_spec, seed=trial_seed)
+                if pool is None:
+                    return self._evaluate_trial(dsp_spec, model_spec, seed=trial_seed)
+                result, _ = pool.run(
+                    "run_trial",
+                    {"dsp_spec": dsp_spec, "model_spec": model_spec,
+                     "seed": trial_seed},
+                )
+                return TunerTrial(**result["trial"])
 
             executor.submit(
                 f"tuner-trial-{i}", _trial, retries=retries,

@@ -243,7 +243,10 @@ def _cmd_serve_http(args) -> int:
     from repro.core import Platform
 
     project = load_project(args.dir)
-    platform = Platform(serving_workers=max(1, args.workers))
+    platform = Platform(
+        serving_workers=max(1, args.workers),
+        serving_backend="process" if args.process else "thread",
+    )
     platform.register_user(project.owner)
     platform.projects[project.project_id] = project
     if args.token:
@@ -287,9 +290,11 @@ def _cmd_serve(args) -> int:
     ``benchmarks/bench_serving_throughput.py``); the per-shard stats
     printed at the end make the placement visible.
 
-    With ``--http PORT`` the command instead serves the project over the
-    real HTTP gateway (every ``/v1/`` route, chunked job-log streaming,
-    OpenAPI at ``/v1/openapi.json``).
+    With ``--process`` the shards run as worker *processes* over the
+    frame protocol (``repro.core.workers``), so batched invokes execute
+    on real cores; with ``--http PORT`` the command instead serves the
+    project over the real HTTP gateway (every ``/v1/`` route, chunked
+    job-log streaming, OpenAPI at ``/v1/openapi.json``).
     """
     if args.http is not None:
         return _cmd_serve_http(args)
@@ -304,10 +309,15 @@ def _cmd_serve(args) -> int:
 
     from repro.data.dataset import Dataset
     from repro.data.ingestion import IngestionService
-    from repro.serve import ServingError, ShardedModelServer
+    from repro.serve import (
+        ProcessShardedModelServer,
+        ServingError,
+        ShardedModelServer,
+    )
 
     scratch = IngestionService(Dataset(name="serve-scratch"))
-    with ShardedModelServer.for_project(project, workers=args.workers) as server:
+    server_cls = ProcessShardedModelServer if args.process else ShardedModelServer
+    with server_cls.for_project(project, workers=args.workers) as server:
         for filename in args.files:
             try:
                 payload = pathlib.Path(filename).read_bytes()
@@ -561,6 +571,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "docs/api.md and the repro.client SDK.")
     p.add_argument("--dir", required=True)
     p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--process", action="store_true",
+                   help="run serving shards as worker processes "
+                        "(repro.core.workers) instead of threads")
     p.add_argument("--http", type=int, default=None, metavar="PORT",
                    help="serve the /v1/ HTTP gateway on this port "
                         "(0 = ephemeral) instead of classifying files")

@@ -264,6 +264,7 @@ class Project:
         constraints=None,
         train_epochs: int = 6,
         retries: int = 0,
+        placement: str = "thread",
     ) -> Job:
         """Queue a distributed EON Tuner search: one child job per trial
         on this project's executor, ``max_inflight`` trials in flight.
@@ -278,6 +279,7 @@ class Project:
         job = tuner.run_parallel(
             n_trials=n_trials, executor=self.jobs,
             max_inflight=max_inflight, seed=seed, retries=retries,
+            placement=placement,
         )
         self.tuners[job.job_id] = tuner
         while len(self.tuners) > self.max_retained_tuners:

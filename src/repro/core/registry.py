@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.core.jobs import JobExecutor
 from repro.core.project import Project
-from repro.serve import ModelServer, ShardedModelServer
+from repro.serve import ModelServer, ProcessShardedModelServer, ShardedModelServer
 
 
 class UnknownProjectError(KeyError):
@@ -48,20 +48,38 @@ class Organization:
 class Platform:
     """Top-level registry: the in-process stand-in for the hosted service."""
 
-    def __init__(self, serving_workers: int = 1, passes: object = "default"):
+    def __init__(
+        self,
+        serving_workers: int = 1,
+        passes: object = "default",
+        serving_backend: str = "thread",
+    ):
         self.users: dict[str, User] = {}
         self.organizations: dict[str, Organization] = {}
         self.projects: dict[int, Project] = {}
         # The hosted-inference tier (paper Sec. 4.9): LRU-cached compiled
         # models + micro-batched classify.  ``serving_workers > 1`` turns
         # on the multi-worker sharded tier, partitioning the model cache
-        # across that many shard workers.  ``passes`` selects the plan
-        # compiler's optimization pipeline for served EON models.
-        self.serving = (
-            ShardedModelServer(self, workers=serving_workers, passes=passes)
-            if serving_workers > 1
-            else ModelServer(self, passes=passes)
-        )
+        # across that many shard workers; ``serving_backend="process"``
+        # runs those shards as worker *processes* (repro.core.workers),
+        # so invokes execute on real cores instead of sharing one GIL.
+        # ``passes`` selects the plan compiler's optimization pipeline
+        # for served EON models.
+        if serving_backend not in ("thread", "process"):
+            raise ValueError(
+                f"unknown serving_backend {serving_backend!r}; "
+                f"expected 'thread' or 'process'"
+            )
+        if serving_backend == "process":
+            self.serving = ProcessShardedModelServer(
+                self, workers=max(serving_workers, 1), passes=passes
+            )
+        else:
+            self.serving = (
+                ShardedModelServer(self, workers=serving_workers, passes=passes)
+                if serving_workers > 1
+                else ModelServer(self, passes=passes)
+            )
         # The device fleet + its rollout executor (paper Sec. 8.2): OTA
         # updates run as staged jobs, not inline with the API request.
         from repro.device.fleet import DeviceFleet

@@ -1,0 +1,38 @@
+"""Worker-process entry point: ``python -m repro.core.workers``.
+
+Spawned by :class:`repro.core.workers.client.WorkerHandle` with either an
+inherited socketpair fd (``--fd N``, the default transport) or a TCP
+address to dial (``--connect HOST:PORT``, for workers on other hosts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import sys
+
+from repro.core.workers.worker import worker_main
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.core.workers")
+    transport = parser.add_mutually_exclusive_group(required=True)
+    transport.add_argument(
+        "--fd", type=int, help="inherited socket file descriptor"
+    )
+    transport.add_argument(
+        "--connect", metavar="HOST:PORT", help="TCP address of the parent"
+    )
+    args = parser.parse_args(argv)
+
+    if args.fd is not None:
+        sock = socket.socket(fileno=args.fd)
+    else:
+        host, _, port = args.connect.rpartition(":")
+        sock = socket.create_connection((host, int(port)))
+    worker_main(sock)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ LRU-style, and coalesces classify requests into batched invokes via
 """
 
 from repro.serve.batcher import MicroBatcher, PendingResult
+from repro.serve.process import ProcessShardedModelServer
 from repro.serve.server import (
     ModelNotTrainedError,
     ModelServer,
@@ -21,6 +22,7 @@ __all__ = [
     "MicroBatcher",
     "PendingResult",
     "ModelServer",
+    "ProcessShardedModelServer",
     "ServingError",
     "ModelNotTrainedError",
     "ServingStats",

@@ -19,6 +19,11 @@ import threading
 import numpy as np
 
 
+class ServingError(Exception):
+    """Invalid classify request (bad engine/precision/feature shape) or a
+    broken serving contract (``run_batch`` row-count mismatch)."""
+
+
 class PendingResult:
     """Ticket for one submitted request; resolved by a batch flush."""
 
@@ -49,11 +54,15 @@ class MicroBatcher:
         self._run_batch = run_batch
         self.max_batch = max_batch
         self._lock = threading.Lock()
-        self._pending: list[PendingResult] = []
-        # Counters for the serving stats endpoint / benchmark.
-        self.batches = 0
-        self.batched_requests = 0
-        self.largest_batch = 0
+        self._pending: list[PendingResult] = []  # guarded-by: _lock
+        # Counters for the serving stats endpoint / benchmark.  Only
+        # successful flushes count toward batch sizes; failed batched
+        # invokes tick batch_errors instead, so mean_batch_size stays a
+        # statement about batches that actually produced results.
+        self.batches = 0  # guarded-by: _lock
+        self.batched_requests = 0  # guarded-by: _lock
+        self.largest_batch = 0  # guarded-by: _lock
+        self.batch_errors = 0  # guarded-by: _lock
 
     def submit(self, features: np.ndarray) -> PendingResult:
         """Queue one request; flushes eagerly once ``max_batch`` accumulate."""
@@ -76,18 +85,29 @@ class MicroBatcher:
         try:
             stacked = np.stack([t.features for t in batch])
             results = self._run_batch(stacked)
+            if len(results) != len(batch):
+                # A wrong-sized result set means some callers would get
+                # another request's row (or a silent None): fail the whole
+                # batch loudly instead of zip-truncating.
+                raise ServingError(
+                    f"run_batch returned {len(results)} result row(s) for a "
+                    f"batch of {len(batch)} request(s)"
+                )
             for ticket, row in zip(batch, results):
                 ticket.result = row
         except Exception as exc:  # propagate to every waiter in the batch
             for ticket in batch:
                 ticket.error = exc
+            with self._lock:
+                self.batch_errors += 1
+        else:
+            with self._lock:
+                self.batches += 1
+                self.batched_requests += len(batch)
+                self.largest_batch = max(self.largest_batch, len(batch))
         finally:
             for ticket in batch:
                 ticket.ready.set()
-        with self._lock:
-            self.batches += 1
-            self.batched_requests += len(batch)
-            self.largest_batch = max(self.largest_batch, len(batch))
         return len(batch)
 
     def wait(self, ticket: PendingResult) -> np.ndarray:

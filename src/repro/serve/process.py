@@ -1,0 +1,535 @@
+"""Cross-process sharded serving: shard workers as worker *processes*.
+
+:class:`ProcessShardedModelServer` keeps the topology of
+:class:`repro.serve.shard.ShardedModelServer` — crc32-stable placement
+of ``(project, precision, engine)`` keys across N shards, admission-time
+validation in the caller's thread, queue gulps turned into few big
+batched invokes — but each shard's execution happens in a **worker
+process** (:mod:`repro.core.workers`), so invokes run on real cores
+instead of time-slicing one GIL.
+
+Division of labour per shard:
+
+- the *pump thread* (parent side) drains the shard queue in gulps,
+  groups tickets by admitted model, and drives the worker over the frame
+  protocol: one ``load_model`` per model per worker lifetime (the
+  serialized graph is rehydrated and re-verified in the worker), then
+  one ``classify`` frame per group chunk;
+- the *worker process* compiles plans from the serialized graphs and
+  returns raw probability rows — results are bit-identical to the
+  in-process servers because both sides execute the same compiled plan
+  on the same stacked rows;
+- crash semantics: the handle's heartbeat + receiver detect a dead
+  worker; every in-flight ticket resolves with a clean
+  :class:`ServingError` (callers never hang), the pump respawns the
+  worker, reloads models lazily, and the next request succeeds.
+
+Telemetry stays parent-side (the pump holds rows + probabilities), so
+``Platform(serving_backend="process")`` monitors exactly like the
+threaded tiers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from collections import OrderedDict, deque
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.core.workers.client import WorkerDied, WorkerError, WorkerHandle
+from repro.core.workers.frames import pack_array, unpack_array
+from repro.graph.serialize import graph_to_bytes
+from repro.serve.server import (
+    ENGINES,
+    PRECISIONS,
+    ModelNotTrainedError,
+    ServingError,
+    emit_batch_telemetry,
+)
+from repro.serve.shard import _ShardTicket
+
+
+class _ProcEntry:
+    """Parent-side admission record for one model placed on a worker.
+
+    Holds everything needed to validate requests without a worker round
+    trip (feature shape, labels) and to (re)hydrate the model in the
+    worker (the serialized graph).  ``loaded_session`` tracks which
+    worker incarnation has this model compiled, so a respawn triggers a
+    lazy reload on first use, not an eager re-push of every model.
+    """
+
+    __slots__ = ("key", "graph", "model_id", "graph_blob", "feature_size",
+                 "feature_shape", "labels", "loaded_session")
+
+    def __init__(self, key: tuple, graph, model_id: int, labels: list[str]):
+        self.key = key
+        self.graph = graph
+        self.model_id = model_id
+        self.graph_blob = graph_to_bytes(graph)
+        shape = tuple(graph.tensors[graph.input_id].shape)
+        self.feature_shape = shape
+        self.feature_size = int(np.prod(shape))
+        self.labels = labels
+        self.loaded_session = 0  # 0 == loaded nowhere yet
+
+
+class _ProcessShard:
+    """One shard: a request queue, a pump thread, a worker process."""
+
+    def __init__(self, platform, index: int, max_queue: int, passes: object,
+                 heartbeat_s: float, heartbeat_timeout_s: float,
+                 request_timeout_s: float, name: str):
+        self.platform = platform
+        self.index = index
+        self.max_queue = max_queue
+        self.passes = "default" if passes == "default" else None
+        self.heartbeat_s = heartbeat_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.request_timeout_s = request_timeout_s
+        self.name = name
+        self.telemetry = None  # optional repro.monitor TelemetryStore
+        self._queue: deque[_ShardTicket] = deque()  # guarded-by: _cond
+        self._cond = threading.Condition()
+        self._thread: threading.Thread | None = None
+        self._stop = False  # guarded-by: _cond
+        # Counters (pump-written, snapshot-read — all under _cond).
+        self.requests = 0  # guarded-by: _cond
+        self.batches = 0  # guarded-by: _cond
+        self.batched_requests = 0  # guarded-by: _cond
+        self.largest_batch = 0  # guarded-by: _cond
+        self.batch_errors = 0  # guarded-by: _cond
+        self.drains = 0  # guarded-by: _cond
+        self.grouped_batches = 0  # guarded-by: _cond
+        self.restarts = 0  # guarded-by: _cond
+        self.telemetry_errors = 0  # guarded-by: _cond
+        # Worker interaction (spawn / load / classify) is serialized by
+        # _io_lock; never take _io_lock while holding _cond.
+        self._io_lock = threading.Lock()
+        self._handle: WorkerHandle | None = None  # guarded-by: _io_lock
+        self._session = 0  # guarded-by: _io_lock (worker incarnation)
+
+    # -- queueing (identical contract to the threaded _Shard) --------------
+
+    def enqueue(self, ticket: _ShardTicket) -> None:
+        with self._cond:
+            if self._stop:
+                raise ServingError(f"shard {self.index} is shut down")
+            if len(self._queue) >= self.max_queue:
+                raise ServingError(
+                    f"shard {self.index} queue full ({self.max_queue} requests)"
+                )
+            self._queue.append(ticket)
+            if self._thread is None or not self._thread.is_alive():
+                self._thread = threading.Thread(
+                    target=self._pump, name=f"proc-shard-{self.index}",
+                    daemon=True,
+                )
+                self._thread.start()
+            self._cond.notify()
+
+    def _pump(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue:
+                    if self._stop:
+                        return
+                    self._cond.wait()
+                gulp = list(self._queue)
+                self._queue.clear()
+                self.drains += 1
+            with self._io_lock:
+                self._execute_io_locked(gulp)
+
+    # -- worker lifecycle (call with _io_lock held) ------------------------
+
+    def _ensure_worker_io_locked(self) -> WorkerHandle:
+        if self._handle is None or not self._handle.alive:
+            replacing = self._handle is not None
+            if replacing:
+                self._handle.close()
+            self._handle = WorkerHandle(
+                name=self.name,
+                heartbeat_s=self.heartbeat_s,
+                heartbeat_timeout_s=self.heartbeat_timeout_s,
+            )
+            self._session += 1
+            if replacing:
+                with self._cond:
+                    self.restarts += 1
+        return self._handle
+
+    def _ensure_loaded_io_locked(self, handle: WorkerHandle,
+                                 entry: _ProcEntry) -> None:
+        if entry.loaded_session == self._session:
+            return
+        handle.call(
+            "load_model",
+            {"model_id": entry.model_id, "engine": entry.key[2],
+             "passes": self.passes},
+            (entry.graph_blob,),
+            timeout=self.request_timeout_s,
+        )
+        entry.loaded_session = self._session
+
+    def warm(self, entry: _ProcEntry) -> None:
+        """Synchronously spawn the worker + compile this model in it."""
+        with self._io_lock:
+            handle = self._ensure_worker_io_locked()
+            self._ensure_loaded_io_locked(handle, entry)
+
+    # -- execution ---------------------------------------------------------
+
+    def _execute_io_locked(self, gulp: list[_ShardTicket]) -> None:
+        groups: dict[int, list[_ShardTicket]] = {}
+        for ticket in gulp:
+            groups.setdefault(id(ticket.entry), []).append(ticket)
+        for tickets in groups.values():
+            entry: _ProcEntry = tickets[0].entry
+            start = time.perf_counter()
+            try:
+                handle = self._ensure_worker_io_locked()
+                self._ensure_loaded_io_locked(handle, entry)
+                rows = np.stack([t.features for t in tickets])
+                spec, blob = pack_array(rows)
+                result, out_blobs = handle.request(
+                    "classify", {"model_id": entry.model_id, "rows": spec},
+                    (blob,), timeout=self.request_timeout_s,
+                )
+                probs = unpack_array(result["probs"], out_blobs[0])
+            except WorkerDied as exc:
+                # The worker (or its spawn) is gone: fail this group
+                # cleanly and drop the handle so the next group — or the
+                # next gulp — gets a fresh process.
+                self._fail_group(tickets, ServingError(
+                    f"shard {self.index} worker process died mid-request "
+                    f"({exc}); it will be respawned"
+                ))
+                if self._handle is not None:
+                    self._handle.close()
+                    self._handle = None
+                    with self._cond:
+                        self.restarts += 1
+                continue
+            except (WorkerError, ValueError, OSError) as exc:
+                self._fail_group(tickets, ServingError(
+                    f"shard {self.index} worker rejected the batch: {exc}"
+                ))
+                continue
+            if len(probs) != len(tickets):
+                # Same result-contract guard as the in-process batcher.
+                self._fail_group(tickets, ServingError(
+                    f"shard {self.index} worker returned {len(probs)} "
+                    f"result row(s) for a batch of {len(tickets)} request(s)"
+                ))
+                continue
+            with self._cond:
+                self.grouped_batches += 1
+                self.batches += 1
+                self.batched_requests += len(tickets)
+                self.largest_batch = max(self.largest_batch, len(tickets))
+                self.requests += len(tickets)
+            labels = entry.labels
+            for ticket, prow in zip(tickets, probs):
+                classification = {l: float(p) for l, p in zip(labels, prow)}
+                top = (
+                    max(classification, key=classification.get)
+                    if classification else None
+                )
+                ticket.resolve(result={"classification": classification,
+                                       "top": top})
+            telemetry = self.telemetry
+            if telemetry is not None:
+                elapsed_ms = (time.perf_counter() - start) * 1000.0
+                try:
+                    emit_batch_telemetry(
+                        telemetry, self.platform, entry.key[0], labels,
+                        list(rows), list(probs),
+                        elapsed_ms / max(len(tickets), 1), source=self.name,
+                    )
+                except Exception:  # noqa: BLE001 - monitoring never breaks serving
+                    with self._cond:
+                        self.telemetry_errors += 1
+
+    def _fail_group(self, tickets: list[_ShardTicket], exc: Exception) -> None:
+        for ticket in tickets:
+            ticket.resolve(error=exc)
+        with self._cond:
+            self.batch_errors += 1
+            self.requests += len(tickets)
+
+    # -- observability / lifecycle -----------------------------------------
+
+    def counters(self) -> dict:
+        with self._cond:
+            snap = {
+                "name": self.name,
+                "requests": self.requests,
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "largest_batch": self.largest_batch,
+                "batch_errors": self.batch_errors,
+                "drains": self.drains,
+                "grouped_batches": self.grouped_batches,
+                "restarts": self.restarts,
+                "telemetry_errors": self.telemetry_errors,
+                "queue_depth": len(self._queue),
+                "mean_batch_size": (
+                    self.batched_requests / self.batches if self.batches else 0.0
+                ),
+            }
+        with self._io_lock:
+            snap["worker_pid"] = (
+                self._handle.pid if self._handle is not None else None
+            )
+            snap["worker_alive"] = (
+                self._handle is not None and self._handle.alive
+            )
+        return snap
+
+    def stop(self) -> None:
+        with self._cond:
+            self._stop = True
+            leftovers = list(self._queue)
+            self._queue.clear()
+            self._cond.notify_all()
+        for ticket in leftovers:
+            ticket.resolve(error=ServingError(f"shard {self.index} shut down"))
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        with self._io_lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+class ProcessShardedModelServer:
+    """N-worker-*process* serving behind the ShardedModelServer surface.
+
+    Public surface mirrors :class:`repro.serve.shard.ShardedModelServer`
+    (``submit``/``classify``/``classify_batch``/``get_model``/
+    ``invalidate``/``snapshot``/``close``, crc32 placement), so the
+    platform, gateway routes, and CLI can swap tiers via
+    ``Platform(serving_backend="process")`` without other changes.
+    """
+
+    backend = "process"
+
+    def __init__(
+        self,
+        platform,
+        workers: int = 4,
+        cache_size: int = 8,
+        max_batch: int = 64,
+        max_queue: int = 4096,
+        passes: object = "default",
+        heartbeat_s: float = 5.0,
+        heartbeat_timeout_s: float = 15.0,
+        request_timeout_s: float = 120.0,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.platform = platform
+        self.workers = workers
+        self.cache_size = cache_size
+        self.max_batch = max_batch
+        self.shards = [
+            _ProcessShard(
+                platform, index=i, max_queue=max_queue, passes=passes,
+                heartbeat_s=heartbeat_s,
+                heartbeat_timeout_s=heartbeat_timeout_s,
+                request_timeout_s=request_timeout_s,
+                name=f"proc-shard-{i}",
+            )
+            for i in range(workers)
+        ]
+        # Admission entries: parent-side metadata + serialized graphs,
+        # LRU-bounded per server (the worker side has its own LRU).
+        self._entries: OrderedDict[tuple, _ProcEntry] = OrderedDict()  # guarded-by: _lock
+        self._next_model_id = 1  # guarded-by: _lock
+        self._lock = threading.Lock()
+
+    @classmethod
+    def for_project(cls, project, **kwargs) -> "ProcessShardedModelServer":
+        """A standalone process-sharded server over one project."""
+        registry = SimpleNamespace(projects={project.project_id: project})
+        return cls(registry, **kwargs)
+
+    # -- monitoring sink ---------------------------------------------------
+
+    @property
+    def telemetry(self):
+        """The monitoring sink; assigning propagates to every shard's
+        pump, which emits parent-side (probabilities never leave the
+        parent un-monitored just because the invoke ran elsewhere)."""
+        return self.shards[0].telemetry
+
+    @telemetry.setter
+    def telemetry(self, store) -> None:
+        for shard in self.shards:
+            shard.telemetry = store
+
+    # -- routing -----------------------------------------------------------
+
+    def shard_index(self, project_id: int, precision: str, engine: str) -> int:
+        """Same stable crc32 placement as the threaded sharded tier."""
+        key = f"{project_id}|{precision}|{engine}".encode()
+        return zlib.crc32(key) % self.workers
+
+    def shard_for(self, project_id: int, precision: str, engine: str) -> _ProcessShard:
+        return self.shards[self.shard_index(project_id, precision, engine)]
+
+    # -- admission ---------------------------------------------------------
+
+    def _admit(self, project_id: int, precision: str, engine: str) -> _ProcEntry:
+        """Resolve (or build) the admission entry for a model key.
+
+        Raises ``KeyError`` for unknown projects and ``ServingError`` /
+        ``ModelNotTrainedError`` exactly like ``ModelServer.get_model``.
+        """
+        if precision not in PRECISIONS:
+            raise ServingError(
+                f"unknown precision {precision!r}; expected {PRECISIONS}"
+            )
+        if engine not in ENGINES:
+            raise ServingError(f"unknown engine {engine!r}; expected {ENGINES}")
+        project = self.platform.projects[project_id]
+        graph = project.int8_graph if precision == "int8" else project.float_graph
+        if graph is None:
+            raise ModelNotTrainedError(
+                f"project {project_id} has no trained {precision} model"
+            )
+        labels = [
+            l for l, _ in sorted(project.label_map.items(), key=lambda kv: kv[1])
+        ]
+        key = (project_id, precision, engine)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.graph is graph:
+                self._entries.move_to_end(key)
+                return entry
+            entry = _ProcEntry(key, graph, self._next_model_id, labels)
+            self._next_model_id += 1
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.cache_size * self.workers:
+                self._entries.popitem(last=False)
+            return entry
+
+    def _coerce_features(self, entry: _ProcEntry, features) -> np.ndarray:
+        try:
+            arr = np.asarray(features, dtype=np.float32)
+        except (TypeError, ValueError) as exc:
+            raise ServingError(f"features are not numeric: {exc}")
+        if arr.size != entry.feature_size:
+            raise ServingError(
+                f"expected {entry.feature_size} features "
+                f"(shape {entry.feature_shape}), got {arr.size}"
+            )
+        return arr.reshape(entry.feature_shape)
+
+    # -- serving -----------------------------------------------------------
+
+    def submit(
+        self,
+        project_id: int,
+        features,
+        precision: str = "int8",
+        engine: str = "eon",
+    ) -> _ShardTicket:
+        """Admit one request onto its shard's queue; bad requests raise
+        eagerly in the caller's thread, exactly like the threaded tier."""
+        shard = self.shard_for(project_id, precision, engine)
+        entry = self._admit(project_id, precision, engine)
+        coerced = self._coerce_features(entry, features)
+        ticket = _ShardTicket((project_id, precision, engine), entry, coerced)
+        shard.enqueue(ticket)
+        return ticket
+
+    def classify(
+        self,
+        project_id: int,
+        features,
+        precision: str = "int8",
+        engine: str = "eon",
+    ) -> dict:
+        return self.submit(project_id, features, precision, engine).value()
+
+    def classify_batch(
+        self,
+        project_id: int,
+        feature_rows,
+        precision: str = "int8",
+        engine: str = "eon",
+    ) -> list[dict]:
+        if not isinstance(feature_rows, (list, tuple)) or len(feature_rows) == 0:
+            raise ServingError("batch must be a non-empty list of feature rows")
+        tickets = [
+            self.submit(project_id, row, precision, engine)
+            for row in feature_rows
+        ]
+        return [t.value() for t in tickets]
+
+    # -- cache management --------------------------------------------------
+
+    def get_model(self, project_id: int, precision: str = "int8",
+                  engine: str = "eon") -> _ProcEntry:
+        """Resolve the admission entry **and** warm the model in its
+        owning worker process (spawning it if needed)."""
+        entry = self._admit(project_id, precision, engine)
+        self.shard_for(project_id, precision, engine).warm(entry)
+        return entry
+
+    def invalidate(self, project_id: int | None = None) -> None:
+        """Drop admission entries (all, or one project's); workers evict
+        replaced models from their own LRU lazily."""
+        with self._lock:
+            keys = [
+                k for k in self._entries
+                if project_id is None or k[0] == project_id
+            ]
+            for key in keys:
+                del self._entries[key]
+
+    # -- observability -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Aggregated counters plus the per-shard breakdown (the shape
+        the ``GET /v1/serving/stats`` route serves)."""
+        per_shard = [shard.counters() for shard in self.shards]
+        with self._lock:
+            placed = [self.shard_index(*key) for key in self._entries]
+        for idx, snap in enumerate(per_shard):
+            snap["cache_size"] = placed.count(idx)
+        summed = (
+            "requests", "batches", "batched_requests", "batch_errors",
+            "telemetry_errors", "restarts",
+        )
+        total = {k: sum(s[k] for s in per_shard) for k in summed}
+        total["mean_batch_size"] = (
+            total["batched_requests"] / total["batches"]
+            if total["batches"] else 0.0
+        )
+        with self._lock:
+            total["cache_size"] = len(self._entries)
+        total["workers"] = self.workers
+        total["backend"] = self.backend
+        total["per_shard"] = per_shard
+        return total
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every pump and worker process (queued requests fail
+        cleanly; already-resolved tickets keep their results)."""
+        for shard in self.shards:
+            shard.stop()
+
+    def __enter__(self) -> "ProcessShardedModelServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

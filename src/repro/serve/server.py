@@ -27,17 +27,13 @@ from repro.active.embeddings import feature_sketch
 from repro.monitor.telemetry import TelemetryRecord, model_version_of
 from repro.runtime.eon import EONCompiler
 from repro.runtime.interpreter import TFLMInterpreter
-from repro.serve.batcher import MicroBatcher
+from repro.serve.batcher import MicroBatcher, ServingError
 
 ENGINES = ("eon", "tflm")
 PRECISIONS = ("float32", "int8")
 
 #: Dimensionality of the per-inference feature sketch telemetry carries.
 SKETCH_DIM = 8
-
-
-class ServingError(Exception):
-    """Invalid classify request (bad engine/precision/feature shape)."""
 
 
 class ModelNotTrainedError(ServingError):
@@ -53,6 +49,7 @@ class ServingStats:
     requests: int = 0
     batches: int = 0
     batched_requests: int = 0
+    batch_errors: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
@@ -67,6 +64,48 @@ class _CacheEntry:
     batcher: MicroBatcher
     feature_size: int = 0
     feature_shape: tuple[int, ...] = field(default_factory=tuple)
+
+
+def emit_batch_telemetry(
+    telemetry, platform, project_id: int, labels: list[str],
+    rows, probs_rows, latency_ms: float, source: str,
+) -> None:
+    """Build one compact record per served row — vectorized over the
+    batch (one argmax/partition/matmul) and pushed to the store under a
+    single lock (:meth:`TelemetryStore.extend`).  Shared by the
+    in-process servers and the cross-process serving shards (which hold
+    probability rows in the parent, so emission stays parent-side)."""
+    probs = np.stack(probs_rows)
+    top_idx = probs.argmax(axis=1)
+    conf = probs[np.arange(len(probs)), top_idx]
+    if probs.shape[1] > 1:
+        margin = conf - np.partition(probs, -2, axis=1)[:, -2]
+    else:
+        margin = conf
+    sketches = feature_sketch(np.stack(rows), dim=SKETCH_DIM)
+    version = model_version_of(platform.projects[project_id])
+    # Bulk-convert to Python scalars (one C loop each) and share one
+    # timestamp: per-record float()/time.time() calls add up on a
+    # path that runs once per served batch.
+    ts = time.time()
+    n_labels = len(labels)
+    tops = top_idx.tolist()
+    confs = conf.tolist()
+    margins = margin.tolist()
+    telemetry.extend([
+        TelemetryRecord(
+            project_id,
+            model_version=version,
+            ts=ts,
+            latency_ms=latency_ms,
+            top=labels[tops[i]] if tops[i] < n_labels else None,
+            confidence=confs[i],
+            margin=margins[i],
+            source=source,
+            sketch=sketches[i],
+        )
+        for i in range(len(probs))
+    ])
 
 
 class ModelServer:
@@ -170,6 +209,7 @@ class ModelServer:
         stats survive eviction/invalidation."""
         self.stats.batches += entry.batcher.batches
         self.stats.batched_requests += entry.batcher.batched_requests
+        self.stats.batch_errors += entry.batcher.batch_errors
 
     def invalidate(self, project_id: int | None = None) -> None:
         """Drop cached models (all, or one project's)."""
@@ -261,40 +301,10 @@ class ModelServer:
         self, telemetry, project_id: int, labels: list[str],
         rows, probs_rows, latency_ms: float,
     ) -> None:
-        """Build one compact record per served row — vectorized over the
-        batch (one argmax/partition/matmul) and pushed to the store under
-        a single lock (:meth:`TelemetryStore.extend`)."""
-        probs = np.stack(probs_rows)
-        top_idx = probs.argmax(axis=1)
-        conf = probs[np.arange(len(probs)), top_idx]
-        if probs.shape[1] > 1:
-            margin = conf - np.partition(probs, -2, axis=1)[:, -2]
-        else:
-            margin = conf
-        sketches = feature_sketch(np.stack(rows), dim=SKETCH_DIM)
-        version = model_version_of(self.platform.projects[project_id])
-        # Bulk-convert to Python scalars (one C loop each) and share one
-        # timestamp: per-record float()/time.time() calls add up on a
-        # path that runs once per served batch.
-        ts = time.time()
-        n_labels = len(labels)
-        tops = top_idx.tolist()
-        confs = conf.tolist()
-        margins = margin.tolist()
-        telemetry.extend([
-            TelemetryRecord(
-                project_id,
-                model_version=version,
-                ts=ts,
-                latency_ms=latency_ms,
-                top=labels[tops[i]] if tops[i] < n_labels else None,
-                confidence=confs[i],
-                margin=margins[i],
-                source=self.name,
-                sketch=sketches[i],
-            )
-            for i in range(len(probs))
-        ])
+        emit_batch_telemetry(
+            telemetry, self.platform, project_id, labels, rows, probs_rows,
+            latency_ms, source=self.name,
+        )
 
     # -- observability -----------------------------------------------------
 
@@ -307,11 +317,15 @@ class ModelServer:
             batched = self.stats.batched_requests + sum(
                 e.batcher.batched_requests for e in self._cache.values()
             )
+            batch_errors = self.stats.batch_errors + sum(
+                e.batcher.batch_errors for e in self._cache.values()
+            )
             return {
                 "name": self.name,
                 "requests": self.stats.requests,
                 "batches": batches,
                 "batched_requests": batched,
+                "batch_errors": batch_errors,
                 "mean_batch_size": batched / batches if batches else 0.0,
                 "cache_size": len(self._cache),
                 "cache_hits": self.stats.cache_hits,

@@ -76,9 +76,11 @@ class _Shard:
         self._cond = threading.Condition()
         self._thread: threading.Thread | None = None
         self._stop = False  # guarded-by: _cond
-        # Worker counters (reads are snapshots; writes are worker-only).
-        self.drains = 0
-        self.grouped_batches = 0
+        # Worker counters — written by the worker thread, read by
+        # snapshot(), so both sides go through the condition's lock.
+        self.drains = 0  # guarded-by: _cond
+        self.grouped_batches = 0  # guarded-by: _cond
+        self.batch_errors = 0  # guarded-by: _cond
 
     def enqueue(self, ticket: _ShardTicket) -> None:
         with self._cond:
@@ -107,7 +109,7 @@ class _Shard:
                 # shard worker is to turn a backlog into few big invokes.
                 gulp = list(self._queue)
                 self._queue.clear()
-            self.drains += 1
+                self.drains += 1
             self._execute(gulp)
 
     def _execute(self, gulp: list[_ShardTicket]) -> None:
@@ -129,8 +131,24 @@ class _Shard:
             except Exception as exc:  # noqa: BLE001 - isolate per group
                 for ticket in tickets:
                     ticket.resolve(error=exc)
+                with self._cond:
+                    self.batch_errors += 1
                 continue
-            self.grouped_batches += 1
+            if len(results) != len(tickets):
+                # Defense in depth over the batcher's own row-count guard:
+                # never zip-truncate — a short result set would strand the
+                # tail tickets on result=None.
+                exc = ServingError(
+                    f"shard {self.index} got {len(results)} result(s) for a "
+                    f"group of {len(tickets)} request(s)"
+                )
+                for ticket in tickets:
+                    ticket.resolve(error=exc)
+                with self._cond:
+                    self.batch_errors += 1
+                continue
+            with self._cond:
+                self.grouped_batches += 1
             for ticket, result in zip(tickets, results):
                 ticket.resolve(result=result)
 
@@ -152,6 +170,16 @@ class _Shard:
     def queue_depth(self) -> int:
         with self._cond:
             return len(self._queue)
+
+    def counters(self) -> dict:
+        """A consistent snapshot of the worker counters."""
+        with self._cond:
+            return {
+                "queue_depth": len(self._queue),
+                "drains": self.drains,
+                "grouped_batches": self.grouped_batches,
+                "batch_errors": self.batch_errors,
+            }
 
 
 class ShardedModelServer:
@@ -282,13 +310,16 @@ class ShardedModelServer:
         per_shard = []
         for shard in self.shards:
             snap = shard.server.snapshot()
-            snap["queue_depth"] = shard.queue_depth
-            snap["drains"] = shard.drains
-            snap["grouped_batches"] = shard.grouped_batches
+            worker_counters = shard.counters()
+            # The shard worker's own batch_errors (result-count guard in
+            # _execute) fold into the server's batcher-level counter so
+            # the summed total covers both layers.
+            snap["batch_errors"] += worker_counters.pop("batch_errors")
+            snap.update(worker_counters)
             per_shard.append(snap)
         summed = (
-            "requests", "batches", "batched_requests", "cache_size",
-            "cache_hits", "cache_misses", "cache_evictions",
+            "requests", "batches", "batched_requests", "batch_errors",
+            "cache_size", "cache_hits", "cache_misses", "cache_evictions",
             "telemetry_errors",
         )
         total = {k: sum(s[k] for s in per_shard) for k in summed}

@@ -91,6 +91,65 @@ def test_batcher_threaded_requests_share_batches():
     assert len(calls) <= 16  # at least some coalescing is allowed, none required
 
 
+@pytest.mark.parametrize("bad_rows", [0, 1, 5])
+def test_batcher_rejects_wrong_result_row_count(bad_rows):
+    """A run_batch that returns the wrong number of rows must fail every
+    ticket with a ServingError naming expected vs got — never silently
+    zip-truncate (which would strand tail tickets on result=None)."""
+
+    def run_batch(stacked):
+        return np.zeros((bad_rows, 2))
+
+    batcher = MicroBatcher(run_batch, max_batch=8)
+    tickets = [batcher.submit(np.zeros(2)) for _ in range(3)]
+    for ticket in tickets:
+        with pytest.raises(ServingError, match=rf"returned {bad_rows} .* 3"):
+            batcher.wait(ticket)
+
+
+def test_batcher_failed_flush_does_not_skew_stats():
+    """Failed flushes tick batch_errors and leave the batch-size stats
+    alone, so mean_batch_size describes batches that produced results."""
+    healthy = [False]
+
+    def run_batch(stacked):
+        if not healthy[0]:
+            raise RuntimeError("kernel exploded")
+        return stacked
+
+    batcher = MicroBatcher(run_batch, max_batch=8)
+    tickets = [batcher.submit(np.zeros(2)) for _ in range(5)]
+    with pytest.raises(RuntimeError):
+        batcher.wait(tickets[0])
+    assert batcher.batch_errors == 1
+    assert batcher.batches == 0
+    assert batcher.batched_requests == 0
+    assert batcher.largest_batch == 0
+
+    healthy[0] = True
+    tickets = [batcher.submit(np.zeros(2)) for _ in range(3)]
+    for ticket in tickets:
+        batcher.wait(ticket)
+    assert batcher.batch_errors == 1
+    assert batcher.batches == 1
+    assert batcher.batched_requests == 3
+    assert batcher.largest_batch == 3
+
+
+def test_server_snapshot_counts_batch_errors(served_platform, tiny_classification_problem):
+    """batch_errors surfaces in snapshot() and survives invalidation."""
+    platform, project = served_platform
+    x, _ = tiny_classification_problem
+    server = ModelServer(platform)
+    entry = server.get_model(project.project_id, "int8", "eon")
+    entry.batcher._run_batch = lambda stacked: np.zeros((99, 3))
+    with pytest.raises(ServingError):
+        server.classify(project.project_id, x[0])
+    assert server.snapshot()["batch_errors"] == 1
+    server.invalidate()  # folds the live batcher's counters into totals
+    assert server.snapshot()["batch_errors"] == 1
+
+
 # -- model server -----------------------------------------------------------
 
 

@@ -96,6 +96,32 @@ def test_sharded_error_semantics(sharded_platform):
             server.classify(untrained.project_id, RNG.standard_normal((16, 8)))
 
 
+def test_shard_guards_wrong_result_count(sharded_platform,
+                                         tiny_classification_problem):
+    """A backing server returning the wrong number of rows for a grouped
+    batch fails every ticket with ServingError (no zip truncation) and
+    ticks the shard's batch_errors counter."""
+    platform, projects = sharded_platform
+    x, _ = tiny_classification_problem
+    with ShardedModelServer(platform, workers=1) as server:
+        p = projects[0]
+        server.classify(p.project_id, x[0])  # warm the model
+        shard = server.shard_for(p.project_id, "int8", "eon")
+        original = shard.server.classify_coerced
+        shard.server.classify_coerced = (
+            lambda pid, entry, rows: original(pid, entry, rows)[:0]
+        )
+        tickets = [server.submit(p.project_id, x[i]) for i in range(3)]
+        for ticket in tickets:
+            with pytest.raises(ServingError, match=r"got 0 result\(s\)"):
+                ticket.value()
+        shard.server.classify_coerced = original
+        assert server.classify(p.project_id, x[0])["top"] in ("a", "b", "c")
+        snap = server.snapshot()
+        assert snap["batch_errors"] >= 1
+        assert snap["per_shard"][0]["grouped_batches"] >= 1
+
+
 def test_sharded_stats_aggregation(sharded_platform, tiny_classification_problem):
     platform, projects = sharded_platform
     x, _ = tiny_classification_problem
