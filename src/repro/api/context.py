@@ -24,6 +24,10 @@ class Request:
     params: dict = field(default_factory=dict)
     user: str | None = None
     token: str | None = None
+    # Authorization scope of the resolved credential.  Trusted in-process
+    # callers (user= passed explicitly, legacy shim) are operator; token
+    # callers get the scope the token was issued with.
+    scope: str = "operator"
     legacy: bool = False
     platform: Any = None
     gateway: Any = None

@@ -39,6 +39,7 @@ from repro.api.middleware import (
     MetricsMiddleware,
     RateLimitMiddleware,
     RequestMetrics,
+    ResponseCache,
     status_of,
 )
 from repro.api.router import Router
@@ -69,6 +70,10 @@ class ApiGateway:
         self.platform = platform
         self.router = build_router()
         self.metrics = RequestMetrics()
+        # Serialized-response cache for hot GETs (routes opt in via
+        # cache_ttl_s); consulted by the HTTP front end, which also
+        # answers If-None-Match revalidations with 304s from it.
+        self.response_cache = ResponseCache()
         self.rate_limit = RateLimitMiddleware(
             capacity=rate_limit_capacity,
             refill_per_s=rate_limit_refill_per_s,

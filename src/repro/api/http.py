@@ -82,6 +82,21 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def _send_json_bytes(self, data: bytes, etag: str) -> None:
+        """A pre-serialized 200 envelope (response-cache hit)."""
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.send_header("ETag", etag)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_not_modified(self, etag: str) -> None:
+        self.send_response(304)
+        self.send_header("ETag", etag)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
     def _send_stream(self, lines) -> None:
         self.send_response(200)
         self.send_header("Content-Type", "text/plain; charset=utf-8")
@@ -136,12 +151,52 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
                 else:
                     self._send_stream(stream)
                 return
+            if (resolved is not None and method == "GET"
+                    and resolved[0].cache_ttl_s > 0):
+                self._serve_cached_get(path, body, token, resolved)
+                return
             self._send_json(
                 self.gateway.handle(method, path, body, token=token,
                                     _resolved=resolved)
             )
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-response
+
+    def _serve_cached_get(self, path: str, body: dict, token: str | None,
+                          resolved: tuple) -> None:
+        """GETs on routes with ``cache_ttl_s > 0``: serve the stored
+        serialized envelope within the TTL, answer ``If-None-Match``
+        revalidations with a bodiless 304, and populate the cache on a
+        miss — all without re-serializing a hit."""
+        route = resolved[0]
+        cache = self.gateway.response_cache
+        # Token in the key: a cached payload never crosses identities.
+        # Query params already merged into body, so it covers them too.
+        key = (path, json.dumps(body, sort_keys=True, default=str), token)
+        inm = self.headers.get("If-None-Match")
+        hit = cache.lookup(key)
+        if hit is not None:
+            etag, data = hit
+            if inm == etag:
+                cache.record_not_modified()
+                self._send_not_modified(etag)
+            else:
+                self._send_json_bytes(data, etag)
+            return
+        envelope = self.gateway.handle("GET", path, body, token=token,
+                                       _resolved=resolved)
+        if int(envelope.get("status", 500)) != 200:
+            self._send_json(envelope)  # errors are never cached
+            return
+        data = json.dumps(envelope).encode("utf-8")
+        etag = cache.store(key, route.cache_ttl_s, data)
+        if inm == etag:
+            # The client's copy is already current — it cost a handler
+            # run to learn that, but the transfer is still saved.
+            cache.record_not_modified()
+            self._send_not_modified(etag)
+            return
+        self._send_json_bytes(data, etag)
 
     def do_GET(self):
         self._dispatch("GET")

@@ -10,6 +10,7 @@ byte-identical.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from collections import Counter
@@ -82,13 +83,19 @@ class RateLimitMiddleware:
 
 
 class AuthMiddleware:
-    """API-token authentication against the Platform token registry.
+    """API-token authentication + scope enforcement.
 
     Trusted in-process callers pass ``user=`` explicitly (the legacy shim
     and the in-process SDK path) and skip token checks.  Everything else
     — i.e. every socket request — must present a token for any route not
     marked ``auth="public"``; a presented token must resolve even on
     public routes (a bad credential is never silently ignored).
+
+    Tokens carry a scope (``Platform.issue_token(scope=...)``): ``read``
+    tokens may only call non-mutating routes (GETs, plus POSTs
+    explicitly marked ``mutating=False`` — pure compute like classify);
+    anything else is a 403 naming the missing scope.  Tokens issued
+    before scopes existed resolve as operator.
     """
 
     def __call__(self, ctx, call_next):
@@ -98,6 +105,15 @@ class AuthMiddleware:
                 if username is None:
                     raise AuthError("invalid API token")
                 ctx.user = username
+                scope_of = getattr(ctx.platform, "token_scope", None)
+                ctx.scope = scope_of(ctx.token) if scope_of else "operator"
+                if ctx.scope == "read" and ctx.route.is_mutating():
+                    raise ApiError(
+                        403,
+                        f"token scope 'read' cannot call mutating route "
+                        f"{ctx.route.name} ({ctx.method} {ctx.route.path}); "
+                        f"an 'operator'-scoped token is required",
+                    )
             elif ctx.route.auth != "public":
                 raise AuthError(
                     "authentication required: pass an API token "
@@ -106,6 +122,70 @@ class AuthMiddleware:
             else:
                 ctx.user = "anonymous"
         return call_next(ctx)
+
+
+class ResponseCache:
+    """TTL'd cache of *serialized* GET responses with ETags.
+
+    The HTTP front end consults this for routes declaring
+    ``cache_ttl_s > 0``: within the TTL the stored envelope bytes are
+    served verbatim (no handler invocation, no re-serialization), and a
+    request presenting ``If-None-Match`` with the current ETag gets a
+    bodiless 304.  Keys include the token, so a cached payload can never
+    leak across identities; entries are capacity-bounded with
+    oldest-expiry eviction.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        # key -> (expires_at_monotonic, etag, body_bytes)
+        self._entries: dict[tuple, tuple[float, str, bytes]] = {}
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.not_modified = 0  # guarded-by: _lock
+
+    @staticmethod
+    def etag_of(body: bytes) -> str:
+        return '"' + hashlib.md5(body).hexdigest() + '"'
+
+    def lookup(self, key: tuple) -> tuple[str, bytes] | None:
+        """The live ``(etag, body)`` for ``key``, or None past the TTL."""
+        now = time.monotonic()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry[0] < now:
+                self.misses += 1
+                if entry is not None:
+                    del self._entries[key]
+                return None
+            self.hits += 1
+            return entry[1], entry[2]
+
+    def store(self, key: tuple, ttl_s: float, body: bytes) -> str:
+        etag = self.etag_of(body)
+        now = time.monotonic()
+        with self._lock:
+            if key not in self._entries and len(self._entries) >= self.max_entries:
+                for stale in sorted(self._entries,
+                                    key=lambda k: self._entries[k][0])[
+                                        : max(1, self.max_entries // 4)]:
+                    del self._entries[stale]
+            self._entries[key] = (now + ttl_s, etag, body)
+        return etag
+
+    def record_not_modified(self) -> None:
+        with self._lock:
+            self.not_modified += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "not_modified": self.not_modified,
+            }
 
 
 class RequestMetrics:

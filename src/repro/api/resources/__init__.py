@@ -9,10 +9,19 @@ validation, auth, rate limiting and the response envelope.
 
 from __future__ import annotations
 
-from repro.api.resources import fleet, jobs, meta, monitor, projects, serving, tuner
+from repro.api.resources import (
+    fleet,
+    jobs,
+    meta,
+    monitor,
+    projects,
+    serving,
+    tokens,
+    tuner,
+)
 
 #: Import order fixes route-table order (and the benchmark's scan depth).
-MODULES = (projects, jobs, tuner, fleet, monitor, serving, meta)
+MODULES = (projects, jobs, tuner, fleet, monitor, serving, tokens, meta)
 
 
 def register_all(router) -> None:

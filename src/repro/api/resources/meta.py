@@ -15,6 +15,7 @@ def openapi_doc(ctx) -> dict:
 def gateway_stats(ctx) -> dict:
     stats = ctx.gateway.metrics.snapshot()
     stats["rate_limited"] = ctx.gateway.rate_limit.rejected
+    stats["response_cache"] = ctx.gateway.response_cache.snapshot()
     return stats
 
 
@@ -22,7 +23,7 @@ def register(router) -> None:
     router.add(Route(
         "GET", "/v1/openapi.json", openapi_doc, name="openapi", tag="meta",
         summary="The generated OpenAPI 3 document for this gateway",
-        auth="public", legacy_twin=False,
+        auth="public", legacy_twin=False, cache_ttl_s=30.0,
         request=Schema(),
         response={"description": "OpenAPI 3.0 document"},
     ))
@@ -33,5 +34,5 @@ def register(router) -> None:
         request=Schema(),
         response={"description": "Request metrics",
                   "fields": ("requests", "errors", "by_status", "routes",
-                             "rate_limited")},
+                             "rate_limited", "response_cache")},
     ))

@@ -174,7 +174,7 @@ def register(router) -> None:
     router.add(Route(
         "GET", "/v1/projects", list_projects, name="listProjects",
         tag="projects", summary="Search the public project index",
-        auth="public", paginated=True,
+        auth="public", paginated=True, cache_ttl_s=1.0,
         request=Schema(
             Field("query", "str", default="", doc="substring name filter"),
             Field("tag", "str", doc="exact tag filter"),
@@ -231,6 +231,7 @@ def register(router) -> None:
     router.add(Route(
         "POST", "/v1/projects/{pid:int}/test", test_project, name="testProject",
         tag="evaluate", summary="Evaluate on the holdout split",
+        mutating=False,
         request=Schema(Field("precision", "str", default="float32",
                              enum=("float32", "int8"))),
         response={"description": "Holdout metrics",
@@ -238,7 +239,7 @@ def register(router) -> None:
     ))
     router.add(Route(
         "POST", "/v1/projects/{pid:int}/profile", profile_project,
-        name="profileProject", tag="deploy",
+        name="profileProject", tag="deploy", mutating=False,
         summary="Estimate on-device latency/RAM/flash (synchronous)",
         request=Schema(
             Field("device", "str", default="nano33ble", doc="device key"),

@@ -50,6 +50,7 @@ def register(router) -> None:
     router.add(Route(
         "POST", "/v1/projects/{pid:int}/classify", classify, name="classify",
         tag="serving", summary="Classify via the batched serving layer",
+        mutating=False,
         request=Schema(
             Field("features", "list", doc="one flat feature window"),
             Field("batch", "list", doc="list of feature windows"),
@@ -64,6 +65,7 @@ def register(router) -> None:
     router.add(Route(
         "GET", "/v1/serving/stats", serving_stats, name="servingStats",
         tag="serving", summary="Serving-tier counters", auth="public",
+        cache_ttl_s=0.5,
         response={"description": "Aggregated (and per-shard) serving stats",
                   "fields": ("requests", "batches", "mean_batch_size")},
     ))

@@ -51,6 +51,18 @@ class Route:
     paginated: bool = False
     aliases: tuple[str, ...] = ()  # extra templates, kept out of OpenAPI
     legacy_twin: bool = True  # reachable as /api/... through the shim
+    # Scope enforcement: None means "infer from the verb" (non-GET
+    # mutates); POSTs that are pure compute (classify, test, profile)
+    # override with False so read-scoped tokens may call them.
+    mutating: bool | None = None
+    # >0 opts a GET into the HTTP response cache (ETag + TTL) for that
+    # many seconds.  Only for routes whose payload tolerates staleness.
+    cache_ttl_s: float = 0.0
+
+    def is_mutating(self) -> bool:
+        if self.mutating is not None:
+            return self.mutating
+        return self.method != "GET"
 
     def param_specs(self) -> tuple[tuple[str, str], ...]:
         """Ordered ``(name, converter)`` pairs from the canonical path

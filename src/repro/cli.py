@@ -238,20 +238,35 @@ def _cmd_classify(args) -> int:
 def _cmd_serve_http(args) -> int:
     """Expose the project over the real HTTP gateway: load it into a
     Platform, issue an API token for the owner, and serve every /v1/
-    route over sockets until interrupted."""
+    route over sockets until interrupted.
+
+    With ``--state-dir`` the platform is durable: tokens, project
+    metadata and job lifecycles are journaled through the WAL + snapshot
+    engine, and a restart with the same directory reopens the prior
+    world (the ``--dir`` project is only imported on first boot)."""
     from repro.api import serve_http
     from repro.core import Platform
 
-    project = load_project(args.dir)
     platform = Platform(
         serving_workers=max(1, args.workers),
         serving_backend="process" if args.process else "thread",
+        state_dir=args.state_dir,
+        resume_jobs=args.resume_jobs,
     )
-    platform.register_user(project.owner)
-    platform.projects[project.project_id] = project
+    if args.state_dir and len(platform.projects):
+        # Restarting into recovered state: the --dir tree was already
+        # imported (and has been checkpointed since) on a prior boot.
+        pid = sorted(platform.projects.keys())[0]
+        project = platform.get_project(pid)
+        print(f"recovered {len(platform.projects)} project(s) and "
+              f"{len(platform.api_tokens)} token(s) from {args.state_dir}")
+    else:
+        project = load_project(args.dir)
+        if project.owner not in platform.users:
+            platform.register_user(project.owner)
+        platform.adopt_project(project)
     if args.token:
-        platform.api_tokens[args.token] = project.owner
-        token = args.token
+        token = platform.adopt_token(args.token, project.owner)
     else:
         token = platform.issue_token(project.owner)
 
@@ -275,6 +290,9 @@ def _cmd_serve_http(args) -> int:
     finally:
         server.shutdown()
         server.server_close()
+        # Graceful shutdown: checkpoint loaded projects + compact the
+        # WAL (a hard kill instead relies on replay at next boot).
+        platform.flush()
     return 0
 
 
@@ -581,6 +599,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bind address for --http")
     p.add_argument("--token", default=None,
                    help="use this API token instead of minting one")
+    p.add_argument("--state-dir", default=None, metavar="DIR",
+                   help="durable control-plane state: journal tokens, "
+                        "project metadata and job lifecycles under DIR "
+                        "(WAL + snapshots) and recover them on restart")
+    p.add_argument("--resume-jobs", action="store_true",
+                   help="with --state-dir: resubmit re-runnable jobs "
+                        "(train) that a crash interrupted")
     p.add_argument("--precision", default="int8", choices=("float32", "int8"))
     p.add_argument("--engine", default="eon", choices=("eon", "tflm"))
     p.add_argument("--format", default=None)

@@ -103,6 +103,9 @@ class Job:
         self._finalize: Callable[["Job", list["Job"]], object] | None = None
         self._on_child_done: Callable[["Job", "Job"], None] | None = None
         self._fail_on_child_failure = True
+        # Terminal-state observer (set via submit(on_done=...)); fired
+        # outside the executor lock once, when the job lands.
+        self._on_done: Callable[["Job"], None] | None = None
 
     # -- worker-side hooks --------------------------------------------------
 
@@ -214,12 +217,15 @@ class JobExecutor:
         retries: int = 0,
         parent: "Job | int | None" = None,
         group: str | None = None,
+        on_done: Callable[[Job], None] | None = None,
     ) -> Job:
         """Queue a job; returns immediately with the (queued) Job.
 
         ``parent`` links the job under a coordinator created with
         :meth:`spawn_parent`; ``group`` subjects it to that group's
-        in-flight cap (see :meth:`set_group_limit`).
+        in-flight cap (see :meth:`set_group_limit`); ``on_done`` fires
+        once, outside the executor lock, when the job reaches a terminal
+        state (the durable control plane journals job completion here).
         """
         with self._cond:
             if self._shutdown:
@@ -230,6 +236,7 @@ class JobExecutor:
                 parent_id=parent_job.job_id if parent_job else None,
                 group=group,
             )
+            job._on_done = on_done
             self._next_id += 1
             self.jobs[job.job_id] = job
             if parent_job is not None:
@@ -453,6 +460,8 @@ class JobExecutor:
         job.ended_at = time.time()
         job.log(log)
         job._done.set()
+        if job._on_done is not None:
+            notes.append(("ondone", job.job_id))
         if job.parent_id is not None:
             notes.append(("done", job.job_id))
 
@@ -471,7 +480,14 @@ class JobExecutor:
             job = self.jobs.get(jid)
             if job is None:
                 continue
-            if kind == "done":
+            if kind == "ondone":
+                try:
+                    job._on_done(job)
+                except Exception as exc:  # noqa: BLE001 - observer isolation
+                    job.log(
+                        f"on_done callback error: {type(exc).__name__}: {exc}"
+                    )
+            elif kind == "done":
                 parent = self.jobs.get(job.parent_id)
                 if parent is None:
                     continue
@@ -538,6 +554,40 @@ class JobExecutor:
                 parent, status,
                 f"parent job {status} ({len(kids)} child job(s))", notes,
             )
+
+    # -- recovery -----------------------------------------------------------
+
+    def restore_job(
+        self,
+        job_id: int,
+        name: str,
+        status: str,
+        error: str | None = None,
+        logs: list[str] | None = None,
+    ) -> Job:
+        """Recreate a terminal job from a journaled lifecycle (the durable
+        control plane's restart path).  The restored job is observable
+        (``get``/``wait``/``snapshot``) but never re-executes; ids are
+        reserved so post-restart submissions can't collide with history.
+        Restoring an id this executor already knows is a no-op.
+        """
+        if status not in TERMINAL_STATES:
+            raise ValueError(
+                f"can only restore terminal jobs, not {status!r}"
+            )
+        with self._cond:
+            existing = self.jobs.get(job_id)
+            if existing is not None:
+                return existing
+            job = Job(job_id=job_id, name=name, status=status)
+            job.error = error
+            job.logs = list(logs) if logs else [f"restored: job {status}"]
+            if status == "succeeded":
+                job.progress = 1.0
+            job._done.set()
+            self.jobs[job_id] = job
+            self._next_id = max(self._next_id, job_id + 1)
+        return job
 
     # -- control plane ------------------------------------------------------
 

@@ -26,6 +26,21 @@ from repro.profile import LatencyEstimator, MemoryEstimator, get_device
 from repro.quantize import quantize_graph
 
 _PROJECT_IDS = itertools.count(1)
+_PROJECT_IDS_LOCK = threading.Lock()
+
+
+def _next_project_id() -> int:
+    with _PROJECT_IDS_LOCK:
+        return next(_PROJECT_IDS)
+
+
+def ensure_project_id_floor(floor: int) -> None:
+    """Advance the shared id counter past ``floor`` so projects restored
+    from a durable ``state_dir`` never collide with freshly created ones."""
+    global _PROJECT_IDS
+    with _PROJECT_IDS_LOCK:
+        nxt = next(_PROJECT_IDS)
+        _PROJECT_IDS = itertools.count(max(nxt, floor + 1))
 
 
 @dataclass
@@ -43,7 +58,7 @@ class Project:
     """One Edge Impulse project."""
 
     def __init__(self, name: str, owner: str = "owner", hmac_key: str | None = None):
-        self.project_id = next(_PROJECT_IDS)
+        self.project_id = _next_project_id()
         self.name = name
         self.owner = owner
         self.collaborators: set[str] = {owner}
@@ -82,11 +97,39 @@ class Project:
         # leaderboards()) and the trial a deployed model came from.
         self.saved_leaderboards: dict[int, list[dict]] = {}
         self.applied_trial: dict | None = None
+        # Durable control plane hook (repro.core.storage.durable): set on
+        # projects owned by a Platform(state_dir=...); None everywhere
+        # else, so undurable projects pay nothing.
+        self._durability = None
+
+    # -- durability notifications -------------------------------------------
+
+    def _durable_meta(self) -> None:
+        if self._durability is not None:
+            self._durability.meta_changed(self)
+
+    def _durable_commit(self) -> None:
+        """Checkpoint point: trained state just committed (called inside
+        the job function, so the tree is saved before the job lands)."""
+        if self._durability is not None:
+            self._durability.committed(self)
+
+    def _durable_job(self, job: Job, kind: str, spec: dict | None) -> None:
+        if self._durability is not None:
+            self._durability.job_begun(self, job, kind, spec)
+
+    def _durable_on_done(self):
+        """The ``on_done`` callback journaling job completion (or None)."""
+        if self._durability is None:
+            return None
+        durability = self._durability
+        return lambda job: durability.job_done(self, job)
 
     # -- collaboration ------------------------------------------------------
 
     def add_collaborator(self, username: str) -> None:
         self.collaborators.add(username)
+        self._durable_meta()
 
     def require_member(self, username: str) -> None:
         if username not in self.collaborators:
@@ -96,6 +139,7 @@ class Project:
         self.public = True
         if tags:
             self.tags = list(tags)
+        self._durable_meta()
 
     # -- impulse design -------------------------------------------------------
 
@@ -153,9 +197,20 @@ class Project:
                 self.int8_graph = int8_graph
             self.last_training_metrics = metrics
             self.model_revision += 1
+            # Commit point: the tree checkpoint runs inside the job (and
+            # the mutation lock), so it is durably referenced before the
+            # job's terminal state is journaled.
+            self._durable_commit()
             return metrics
 
-        return self.jobs.submit("train", _run, retries=retries)
+        job = self.jobs.submit(
+            "train", _run, retries=retries, on_done=self._durable_on_done()
+        )
+        self._durable_job(
+            job, kind="train",
+            spec={"seed": seed, "quantize": quantize, "retries": retries},
+        )
+        return job
 
     def train(self, seed: int = 0, quantize: bool = True) -> Job:
         """Train synchronously: queue the job, wait, raise on failure."""
@@ -204,11 +259,19 @@ class Project:
             impulse.dsp_blocks[block_index] = tuned
             # A new feature extractor invalidates trained artifacts.
             self.set_impulse(impulse)
+            self._durable_commit()
             job.log(f"tuned config: {tuned.config()}")
             return {"block_index": block_index, "config": tuned.config(),
                     "windows_used": min(len(windows), max_windows)}
 
-        return self.jobs.submit("dsp-autotune", _run)
+        job = self.jobs.submit(
+            "dsp-autotune", _run, on_done=self._durable_on_done()
+        )
+        self._durable_job(
+            job, kind="dsp-autotune",
+            spec={"block_index": block_index, "max_windows": max_windows},
+        )
+        return job
 
     # -- EON Tuner (distributed trials on the project's executor) -----------
 
@@ -322,6 +385,7 @@ class Project:
             "ram_kb": float(trial.ram_kb),
             "flash_kb": float(trial.flash_kb),
         }
+        self._durable_commit()
 
     def leaderboards(self) -> dict[int, list[dict]]:
         """Tuner leaderboards by parent-job id: rows from live tuners

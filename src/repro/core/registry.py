@@ -53,6 +53,10 @@ class Platform:
         serving_workers: int = 1,
         passes: object = "default",
         serving_backend: str = "thread",
+        state_dir: str | None = None,
+        resume_jobs: bool = False,
+        wal_compact_every: int = 512,
+        wal_fsync: bool = False,
     ):
         self.users: dict[str, User] = {}
         self.organizations: dict[str, Organization] = {}
@@ -99,7 +103,43 @@ class Platform:
         # ``serve --http`` banner); socket callers present them as
         # ``Authorization: Bearer <token>``.
         self.api_tokens: dict[str, str] = {}
+        # Per-token scope ("read" | "operator"): tokens written straight
+        # into api_tokens (the CLI's --token path, old tests) have no
+        # entry here and default to operator via token_scope().
+        self.api_token_scopes: dict[str, str] = {}
         self._gateway = None
+        # Durable control plane (repro.core.storage): with a state_dir,
+        # every control-plane mutation is journaled through a WAL +
+        # snapshot engine and this platform reopens into its prior
+        # world — tokens resolve, projects reload lazily, interrupted
+        # jobs land terminal (or resume, with resume_jobs=True).
+        self._durable = None
+        if state_dir is not None:
+            from repro.core.storage.durable import DurableRegistry
+
+            self._durable = DurableRegistry(
+                self, state_dir, compact_every=wal_compact_every,
+                fsync=wal_fsync, resume_jobs=resume_jobs,
+            )
+            self._durable.recover()
+
+    # -- durability ---------------------------------------------------------
+
+    def _journal(self, op: dict) -> None:
+        if self._durable is not None:
+            self._durable.record(op)
+
+    def checkpoint(self, project_id: int) -> None:
+        """Force a heavy-tree checkpoint of one project (uploads between
+        train commits are otherwise only as durable as the last commit
+        point)."""
+        if self._durable is not None:
+            self._durable.checkpoint(self.get_project(project_id))
+
+    def flush(self) -> None:
+        """Graceful-shutdown hook: checkpoint loaded projects + compact."""
+        if self._durable is not None:
+            self._durable.flush()
 
     # -- identities -------------------------------------------------------
 
@@ -108,6 +148,7 @@ class Platform:
             raise ValueError(f"user {username!r} already exists")
         user = User(username=username)
         self.users[username] = user
+        self._journal({"op": "user_add", "username": username})
         return user
 
     def create_organization(self, name: str, owner: str) -> Organization:
@@ -116,11 +157,13 @@ class Platform:
         org = Organization(name=name, members={owner})
         self.organizations[name] = org
         self.users[owner].organizations.add(name)
+        self._journal({"op": "org_add", "name": name, "owner": owner})
         return org
 
     def join_organization(self, org_name: str, username: str) -> None:
         self.organizations[org_name].members.add(username)
         self.users[username].organizations.add(org_name)
+        self._journal({"op": "org_join", "org": org_name, "username": username})
 
     # -- projects ----------------------------------------------------------
 
@@ -130,14 +173,45 @@ class Platform:
     ) -> Project:
         if owner not in self.users:
             raise KeyError(f"unknown user {owner!r}")
+        if organization is not None and organization not in self.organizations:
+            raise KeyError(f"unknown organization {organization!r}")
         project = Project(name=name, owner=owner, hmac_key=hmac_key)
         self.projects[project.project_id] = project
+        self._journal({
+            "op": "project_create", "pid": project.project_id,
+            "name": name, "owner": owner, "hmac_key": hmac_key,
+        })
+        if self._durable is not None:
+            self._durable.bind_project(project)
         if organization is not None:
             org = self.organizations[organization]
             org.project_ids.append(project.project_id)
+            self._journal({
+                "op": "org_project", "org": organization,
+                "pid": project.project_id,
+            })
             # Every org member becomes a collaborator.
             for member in org.members:
                 project.add_collaborator(member)
+        return project
+
+    def adopt_project(self, project: Project) -> Project:
+        """Register an externally-constructed project (the CLI's
+        ``load_project`` import path) with full journaling: on a durable
+        platform the project is checkpointed immediately, so it survives
+        a restart without ever passing through a train commit."""
+        if project.owner not in self.users:
+            raise KeyError(f"unknown user {project.owner!r}")
+        self.projects[project.project_id] = project
+        self._journal({
+            "op": "project_create", "pid": project.project_id,
+            "name": project.name, "owner": project.owner,
+            "hmac_key": project.ingestion.hmac_key,
+        })
+        if self._durable is not None:
+            self._durable.bind_project(project)
+            project._durable_meta()
+            self._durable.checkpoint(project)
         return project
 
     def get_project(self, project_id: int, username: str | None = None) -> Project:
@@ -151,19 +225,56 @@ class Platform:
 
     # -- API tokens ---------------------------------------------------------
 
-    def issue_token(self, username: str) -> str:
+    #: Valid token scopes: ``read`` may only call non-mutating routes;
+    #: ``operator`` (the default, and what legacy scope-less tokens get)
+    #: may call everything its user may touch.
+    TOKEN_SCOPES = ("read", "operator")
+
+    def issue_token(self, username: str, scope: str = "operator") -> str:
         """Mint an API token for a registered user."""
         if username not in self.users:
             raise KeyError(f"unknown user {username!r}")
+        if scope not in self.TOKEN_SCOPES:
+            raise ValueError(
+                f"unknown scope {scope!r}; expected one of {self.TOKEN_SCOPES}"
+            )
         token = "ei_" + secrets.token_hex(16)
         self.api_tokens[token] = username
+        self.api_token_scopes[token] = scope
+        self._journal({
+            "op": "token_add", "token": token, "user": username, "scope": scope,
+        })
+        return token
+
+    def adopt_token(self, token: str, username: str,
+                    scope: str = "operator") -> str:
+        """Register a caller-supplied token string (the CLI's ``--token``
+        path) with the same scoping + journaling as :meth:`issue_token`."""
+        if scope not in self.TOKEN_SCOPES:
+            raise ValueError(
+                f"unknown scope {scope!r}; expected one of {self.TOKEN_SCOPES}"
+            )
+        self.api_tokens[token] = username
+        self.api_token_scopes[token] = scope
+        self._journal({
+            "op": "token_add", "token": token, "user": username, "scope": scope,
+        })
         return token
 
     def resolve_token(self, token: str) -> str | None:
         return self.api_tokens.get(token)
 
+    def token_scope(self, token: str) -> str:
+        """The scope a token was issued with; tokens installed directly
+        into ``api_tokens`` (legacy path) are operator."""
+        return self.api_token_scopes.get(token, "operator")
+
     def revoke_token(self, token: str) -> bool:
-        return self.api_tokens.pop(token, None) is not None
+        self.api_token_scopes.pop(token, None)
+        revoked = self.api_tokens.pop(token, None) is not None
+        if revoked:
+            self._journal({"op": "token_del", "token": token})
+        return revoked
 
     @property
     def gateway(self):
@@ -196,6 +307,16 @@ class Platform:
     def clone_project(self, project_id: int, username: str) -> Project:
         clone = self.projects[project_id].clone(new_owner=username)
         self.projects[clone.project_id] = clone
+        self._journal({
+            "op": "project_create", "pid": clone.project_id,
+            "name": clone.name, "owner": clone.owner,
+            "hmac_key": clone.ingestion.hmac_key,
+        })
+        if self._durable is not None:
+            self._durable.bind_project(clone)
+            # A clone is born with a full dataset copy: checkpoint now so
+            # it survives a restart before its first train commit.
+            self._durable.checkpoint(clone)
         return clone
 
     def stats(self) -> dict:

@@ -1,0 +1,42 @@
+"""Project persistence + the durable control plane.
+
+Two tiers, one package:
+
+- :mod:`repro.core.storage.tree` — save/load a project as a directory
+  tree (the original offline persistence; heavy blobs live here);
+- :mod:`repro.core.storage.engine` + :mod:`repro.core.storage.durable`
+  — the WAL + snapshot storage engine and the :class:`DurableRegistry`
+  that journals control-plane mutations through it, giving
+  ``Platform(state_dir=...)`` crash recovery.
+
+``save_project`` / ``load_project`` keep their historical import path.
+"""
+
+from repro.core.storage.durable import (
+    DurableRegistry,
+    LazyProjectMap,
+    apply_op,
+    initial_state,
+    reduce_ops,
+)
+from repro.core.storage.engine import (
+    MAX_RECORD_BYTES,
+    StorageEngine,
+    WriteAheadLog,
+    scan_records,
+)
+from repro.core.storage.tree import load_project, save_project
+
+__all__ = [
+    "DurableRegistry",
+    "LazyProjectMap",
+    "MAX_RECORD_BYTES",
+    "StorageEngine",
+    "WriteAheadLog",
+    "apply_op",
+    "initial_state",
+    "load_project",
+    "reduce_ops",
+    "save_project",
+    "scan_records",
+]

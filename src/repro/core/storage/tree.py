@@ -5,6 +5,16 @@ equivalent is a directory containing the project manifest, the impulse
 spec, the dataset (one ``.npz`` of arrays + a JSON metadata sidecar) and
 the trained graphs — everything needed to resume work or hand a project to
 a collaborator.
+
+Re-saving over an existing tree must leave the directory reflecting the
+*current* project state: artifacts a prior save wrote but the project no
+longer carries (a cleared impulse, deleted models, dropped tuner
+history) are removed, never silently resurrected by the next
+:func:`load_project`.
+
+This module is also the heavy-blob tier of the durable control plane
+(:mod:`repro.core.storage.engine`): the write-ahead log journals cheap
+metadata mutations and references project trees saved here by revision.
 """
 
 from __future__ import annotations
@@ -55,10 +65,13 @@ def save_project(project: Project, path: str | pathlib.Path) -> None:
     elif tuners_json.exists():
         tuners_json.unlink()
 
+    impulse_json = root / "impulse.json"
     if project.impulse is not None:
-        (root / "impulse.json").write_text(
-            json.dumps(project.impulse.to_dict(), indent=2)
-        )
+        impulse_json.write_text(json.dumps(project.impulse.to_dict(), indent=2))
+    elif impulse_json.exists():
+        # A prior save configured an impulse this project no longer has;
+        # leaving the file behind would resurrect it on the next load.
+        impulse_json.unlink()
 
     arrays: dict[str, np.ndarray] = {}
     metadata = []
@@ -84,6 +97,11 @@ def save_project(project: Project, path: str | pathlib.Path) -> None:
             target.write_bytes(graph_to_bytes(graph))
         elif target.exists():
             target.unlink()
+    # Stray model files (an interrupted save, a renamed precision, a
+    # hand-copied artifact) must not survive a re-save either.
+    for stray in (root / "models").glob("*.eir"):
+        if stray.name not in ("float.eir", "int8.eir"):
+            stray.unlink()
 
 
 def load_project(path: str | pathlib.Path) -> Project:

@@ -82,6 +82,11 @@ class MonitorService:
         self._monitors: dict[int, ProjectMonitor] = {}
         self._lock = threading.Lock()
         self._next_alert_id = 1
+        # Durability hook (repro.core.storage.durable): called with
+        # (project_id, records) whenever a reference window is pinned, so
+        # monitor baselines survive a restart.  None on in-memory
+        # platforms.
+        self.on_reference = None
 
     # -- monitor registry ---------------------------------------------------
 
@@ -126,6 +131,8 @@ class MonitorService:
             pm.reference = list(records)
             if pm.status == "baselining":
                 pm.status = "ok"
+            if self.on_reference is not None:
+                self.on_reference(project_id, pm.reference)
             return len(pm.reference)
 
     def watch_fleet(self, project_id: int,
@@ -184,6 +191,8 @@ class MonitorService:
             # explicit reference was pinned.
             if not pm.reference and len(records) >= policy.reference_size:
                 pm.reference = records[: policy.reference_size]
+                if self.on_reference is not None:
+                    self.on_reference(project_id, pm.reference)
                 if job is not None:
                     job.log(
                         f"project {project_id}: captured reference window "

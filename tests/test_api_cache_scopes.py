@@ -1,0 +1,212 @@
+"""Token scopes and the ETag response cache, over real sockets."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import serve_http
+from repro.api.middleware import ResponseCache
+from repro.core import Platform
+
+
+@pytest.fixture()
+def server():
+    platform = Platform()
+    platform.register_user("alice")
+    srv = serve_http(platform.gateway, port=0, background=True)
+    yield platform, srv
+    srv.shutdown()
+    srv.server_close()
+
+
+def _call(url, method, path, body=None, token=None, headers=None):
+    req = urllib.request.Request(
+        url + path, method=method,
+        data=None if body is None else json.dumps(body).encode(),
+    )
+    req.add_header("Content-Type", "application/json")
+    if token:
+        req.add_header("Authorization", "Bearer " + token)
+    for k, v in (headers or {}).items():
+        req.add_header(k, v)
+    try:
+        with urllib.request.urlopen(req) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+class TestTokenScopes:
+    def test_read_token_can_get_but_not_mutate(self, server):
+        platform, srv = server
+        token = platform.issue_token("alice", scope="read")
+        status, _, _ = _call(srv.url, "GET", "/v1/projects", token=token)
+        assert status == 200
+        status, _, body = _call(srv.url, "POST", "/v1/projects",
+                                {"name": "x"}, token=token)
+        assert status == 403
+        error = json.loads(body)["error"]
+        assert "scope 'read'" in error and "createProject" in error
+
+    def test_operator_token_mutates(self, server):
+        platform, srv = server
+        token = platform.issue_token("alice")
+        status, _, _ = _call(srv.url, "POST", "/v1/projects",
+                             {"name": "x"}, token=token)
+        assert status == 200
+
+    def test_legacy_scopeless_token_is_operator(self, server):
+        platform, srv = server
+        # The CLI --token path writes straight into api_tokens.
+        platform.api_tokens["ei_raw"] = "alice"
+        status, _, _ = _call(srv.url, "POST", "/v1/projects",
+                             {"name": "x"}, token="ei_raw")
+        assert status == 200
+
+    def test_pure_compute_posts_allowed_for_read(self, server):
+        """testProject/profileProject/classify POST but mutate nothing;
+        a read token reaches them (here: 404 from the handler on a
+        missing project, not a 403 from the scope gate)."""
+        platform, srv = server
+        token = platform.issue_token("alice", scope="read")
+        for path in ("/v1/projects/999/test", "/v1/projects/999/profile",
+                     "/v1/projects/999/classify"):
+            status, _, _ = _call(srv.url, "POST", path, {}, token=token)
+            assert status == 404, path
+
+    def test_issue_and_revoke_over_http(self, server):
+        platform, srv = server
+        op = platform.issue_token("alice")
+        status, _, body = _call(srv.url, "POST", "/v1/tokens",
+                                {"scope": "read"}, token=op)
+        assert status == 200
+        minted = json.loads(body)["data"]["token"]
+        assert platform.token_scope(minted) == "read"
+        # Revoking someone else's token is a uniform 403.
+        other = platform.issue_token("alice")
+        platform.register_user("mallory")
+        mallory = platform.issue_token("mallory")
+        status, _, _ = _call(srv.url, "DELETE", "/v1/tokens",
+                             {"token": other}, token=mallory)
+        assert status == 403
+        status, _, body = _call(srv.url, "DELETE", "/v1/tokens",
+                                {"token": minted}, token=op)
+        assert status == 200 and json.loads(body)["data"]["revoked"]
+        assert platform.resolve_token(minted) is None
+
+    def test_bad_scope_rejected(self, server):
+        platform, srv = server
+        op = platform.issue_token("alice")
+        status, _, _ = _call(srv.url, "POST", "/v1/tokens",
+                             {"scope": "root"}, token=op)
+        assert status == 400
+        with pytest.raises(ValueError, match="unknown scope"):
+            platform.issue_token("alice", scope="admin")
+
+
+class TestResponseCacheUnit:
+    def test_ttl_and_counters(self):
+        cache = ResponseCache()
+        key = ("/v1/projects", "{}", None)
+        assert cache.lookup(key) is None
+        etag = cache.store(key, ttl_s=60.0, body=b"hello")
+        assert cache.lookup(key) == (etag, b"hello")
+        snap = cache.snapshot()
+        assert snap == {"entries": 1, "hits": 1, "misses": 1,
+                        "not_modified": 0}
+
+    def test_expiry(self):
+        cache = ResponseCache()
+        key = ("/p", "{}", None)
+        cache.store(key, ttl_s=-1.0, body=b"stale")
+        assert cache.lookup(key) is None
+        assert cache.snapshot()["entries"] == 0
+
+    def test_capacity_evicts_oldest_expiry(self):
+        cache = ResponseCache(max_entries=4)
+        for i in range(4):
+            cache.store(("k", i), ttl_s=float(i + 1), body=b"x")
+        cache.store(("k", 99), ttl_s=60.0, body=b"x")
+        assert cache.snapshot()["entries"] <= 4
+        assert cache.lookup(("k", 99)) is not None  # newest survived
+
+    def test_etag_is_content_addressed(self):
+        assert ResponseCache.etag_of(b"a") == ResponseCache.etag_of(b"a")
+        assert ResponseCache.etag_of(b"a") != ResponseCache.etag_of(b"b")
+
+
+class TestHttpEtagCache:
+    def test_etag_roundtrip_and_304(self, server):
+        platform, srv = server
+        token = platform.issue_token("alice")
+        status, headers, body = _call(srv.url, "GET", "/v1/projects",
+                                      token=token)
+        assert status == 200
+        etag = headers["ETag"]
+        assert etag.startswith('"')
+        # Revalidation with the fresh ETag: bodiless 304.
+        status, headers2, body2 = _call(
+            srv.url, "GET", "/v1/projects", token=token,
+            headers={"If-None-Match": etag},
+        )
+        assert status == 304 and body2 == b""
+        assert headers2["ETag"] == etag
+        # Without If-None-Match the cached bytes come back verbatim.
+        status, _, body3 = _call(srv.url, "GET", "/v1/projects", token=token)
+        assert status == 200 and body3 == body
+        snap = platform.gateway.response_cache.snapshot()
+        assert snap["hits"] >= 2 and snap["not_modified"] >= 1
+
+    def test_cache_hit_skips_handler(self, server):
+        platform, srv = server
+        token = platform.issue_token("alice")
+        _call(srv.url, "GET", "/v1/serving/stats", token=token)
+        before = platform.gateway.metrics.snapshot()["routes"].get(
+            "servingStats", {}).get("requests", 0)
+        _call(srv.url, "GET", "/v1/serving/stats", token=token)
+        after = platform.gateway.metrics.snapshot()["routes"].get(
+            "servingStats", {}).get("requests", 0)
+        assert after == before  # the second GET never reached dispatch
+
+    def test_cache_keys_include_query_params(self, server):
+        platform, srv = server
+        token = platform.issue_token("alice")
+        _, h1, _ = _call(srv.url, "GET", "/v1/projects?query=a", token=token)
+        _, h2, _ = _call(srv.url, "GET", "/v1/projects?query=b", token=token)
+        # Distinct cache entries (both misses -> two stores).
+        assert platform.gateway.response_cache.snapshot()["entries"] >= 2
+
+    def test_stale_entry_refreshes_after_ttl(self, server):
+        """A mutation becomes visible once the (short) TTL lapses —
+        /v1/serving/stats uses 0.5s."""
+        import time
+
+        platform, srv = server
+        token = platform.issue_token("alice")
+        _, h1, b1 = _call(srv.url, "GET", "/v1/projects", token=token)
+        platform.create_project("now-public", owner="alice").make_public()
+        time.sleep(1.1)  # listProjects TTL is 1.0s
+        _, h2, b2 = _call(srv.url, "GET", "/v1/projects", token=token)
+        assert b"now-public" in b2
+        assert h1["ETag"] != h2["ETag"]
+
+    def test_errors_are_not_cached(self, server):
+        platform, srv = server
+        status, headers, _ = _call(srv.url, "GET", "/v1/projects",
+                                   token="ei_bogus")
+        assert status == 401
+        assert "ETag" not in headers
+        assert platform.gateway.response_cache.snapshot()["entries"] == 0
+
+    def test_gateway_stats_exposes_cache_counters(self, server):
+        platform, srv = server
+        status, _, body = _call(srv.url, "GET", "/v1/gateway/stats")
+        assert status == 200
+        stats = json.loads(body)["data"]
+        assert set(stats["response_cache"]) == {
+            "entries", "hits", "misses", "not_modified",
+        }

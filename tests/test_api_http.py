@@ -5,6 +5,7 @@ from __future__ import annotations
 import base64
 import io
 import json
+import time
 import urllib.request
 
 import numpy as np
@@ -167,17 +168,34 @@ def test_rate_limit_over_http(server):
     try:
         client = Client(limited_srv.url,
                         token=platform.issue_token("alice"), retries=0)
+        pid = client.create_project("limited")["project_id"]
         statuses = []
         for _ in range(8):
             try:
-                client.list_projects()
+                # getProject is uncached, so every request reaches the
+                # middleware chain (listProjects would be served from
+                # the response cache past the first call).
+                client.get_project(pid)
                 statuses.append(200)
             except ClientError as exc:
                 statuses.append(exc.status)
                 if exc.status == 429:
                     assert exc.retry_after_s > 0
-        assert statuses.count(200) == 4
-        assert statuses.count(429) == 4
+        assert statuses.count(200) == 3  # createProject spent 1 of 4
+        assert statuses.count(429) == 5
+
+        # Cached GETs, by contrast, are served straight from the
+        # response cache once populated — the rate limiter only charges
+        # the misses.  With the bucket exhausted the *first* call 429s
+        # (a miss); refill one token, populate the cache, and repeats
+        # fly free.
+        with pytest.raises(ClientError) as cerr:
+            client.list_projects()
+        assert cerr.value.status == 429
+        platform.projects[pid].make_public()  # so the index lists it
+        gw.rate_limit.bucket._buckets["alice"] = (1.0, time.monotonic())
+        for _ in range(3):
+            assert client.list_projects()["total"] == 1
     finally:
         limited_srv.shutdown()
         limited_srv.server_close()

@@ -130,7 +130,8 @@ def test_every_v1_twin_has_its_legacy_path():
 def test_v1_only_routes_are_the_expected_set():
     router = build_router()
     v1_only = {r.name for r in router.routes if not r.legacy_twin}
-    assert v1_only == {"jobLogs", "openapi", "gatewayStats"}
+    assert v1_only == {"jobLogs", "openapi", "gatewayStats",
+                       "issueToken", "revokeToken"}
 
 
 def test_legacy_and_v1_payloads_are_identical():

@@ -1,0 +1,212 @@
+"""Hard-kill crash recovery, end to end: SIGKILL a real worker process
+mid-flight, restart on the same state_dir, and get the same world back."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro.api.http import serve_http
+from repro.core.jobs import TERMINAL_STATES
+from repro.core.registry import Platform
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+CHILD_SCRIPT = r"""
+import json, sys, time, urllib.request
+
+from repro.api.http import serve_http
+from repro.core import ClassificationBlock, Impulse, Platform, TimeSeriesInput
+from repro.data.synthetic import vibration_dataset
+from repro.dsp import SpectralAnalysisBlock
+from repro.nn import TrainingConfig
+
+state_dir, mode = sys.argv[1], sys.argv[2]
+platform = Platform(state_dir=state_dir)
+platform.register_user("alice")
+boot = platform.issue_token("alice")
+project = platform.create_project("crashproof", owner="alice")
+for s in vibration_dataset(samples_per_class=14, seed=0):
+    project.dataset.add(s, category=s.category)
+project.set_impulse(Impulse(
+    TimeSeriesInput(window_size_ms=2000, window_increase_ms=2000,
+                    frequency_hz=100, axes=3),
+    [SpectralAnalysisBlock(sample_rate=100, fft_length=64)],
+    ClassificationBlock(
+        architecture="mlp", arch_kwargs=dict(hidden=(16,)),
+        training=TrainingConfig(epochs=25, batch_size=16,
+                                learning_rate=3e-3, seed=0),
+    ),
+))
+
+if mode == "midtrain":
+    job = project.train_async(seed=0)
+    print(json.dumps({"pid": project.project_id, "jid": job.job_id}),
+          flush=True)
+    time.sleep(120)  # the parent SIGKILLs us mid-train
+
+elif mode == "journal-storm":
+    for i in range(100000):
+        platform.register_user(f"user{i}")
+        if i % 50 == 0:
+            print(json.dumps({"users": i + 2}), flush=True)
+
+else:  # trained
+    project.train(seed=0)
+    project.make_public(tags=["crash"])
+    server = serve_http(platform.gateway, background=True)
+    # The acceptance flow mints its token over HTTP, not in-process.
+    req = urllib.request.Request(
+        server.url + "/v1/tokens", method="POST",
+        data=json.dumps({"scope": "read"}).encode(),
+    )
+    req.add_header("Content-Type", "application/json")
+    req.add_header("Authorization", "Bearer " + boot)
+    with urllib.request.urlopen(req) as resp:
+        token = json.loads(resp.read())["data"]["token"]
+    # Let the worker-thread job_end journal land before declaring ready
+    # (at-least-once: racing it is legal, but this test wants the
+    # clean-completion shape).
+    time.sleep(0.5)
+    print(json.dumps({"pid": project.project_id, "token": token,
+                      "revision": project.model_revision}), flush=True)
+    time.sleep(120)
+"""
+
+
+def _spawn(state_dir, mode):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-c", CHILD_SCRIPT, str(state_dir), mode],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True,
+    )
+
+
+def _ready_line(proc, timeout=300):
+    line = proc.stdout.readline()
+    if not line:
+        raise AssertionError(
+            f"child died before ready: {proc.stderr.read()[-2000:]}"
+        )
+    return json.loads(line)
+
+
+def _sigkill(proc):
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait(timeout=30)
+    proc.stdout.close()
+    proc.stderr.close()
+
+
+def test_kill_after_train_restarts_into_same_world(tmp_path):
+    """The acceptance e2e: create -> upload -> train -> issue token over
+    HTTP, hard-kill, restart the same state_dir — the same token lists
+    the same project at the same model revision, and a torn final WAL
+    record replays cleanly."""
+    state_dir = tmp_path / "state"
+    proc = _spawn(state_dir, "trained")
+    try:
+        ready = _ready_line(proc)
+    finally:
+        _sigkill(proc)
+
+    # Simulate the torn final record a kill mid-append leaves behind.
+    with open(state_dir / "wal.log", "ab") as fh:
+        fh.write(b"\x13\x37\x00\x00\x09\x00\x00\x00torn")
+
+    platform = Platform(state_dir=state_dir)
+    # The token minted over HTTP in the dead process still resolves.
+    assert platform.resolve_token(ready["token"]) == "alice"
+    assert platform.token_scope(ready["token"]) == "read"
+    project = platform.get_project(ready["pid"])
+    assert project.model_revision == ready["revision"] == 1
+    assert project.int8_graph is not None
+    assert project.public and "crash" in project.tags
+    # The trained job's lifecycle survived as history.
+    assert any(j.status == "succeeded" and "train" in j.name
+               for j in project.jobs.list_jobs())
+
+    # And over a fresh HTTP socket, the same read token lists it.
+    server = serve_http(platform.gateway, background=True)
+    try:
+        req = urllib.request.Request(server.url + "/v1/projects")
+        req.add_header("Authorization", "Bearer " + ready["token"])
+        with urllib.request.urlopen(req) as resp:
+            listed = json.loads(resp.read())["data"]["projects"]
+    finally:
+        server.shutdown()
+        server.server_close()
+    assert [p["name"] for p in listed] == ["crashproof"]
+
+
+def test_kill_midtrain_recovers_to_terminal_job(tmp_path):
+    state_dir = tmp_path / "state"
+    proc = _spawn(state_dir, "midtrain")
+    try:
+        ready = _ready_line(proc)
+    finally:
+        _sigkill(proc)
+
+    platform = Platform(state_dir=state_dir)
+    project = platform.get_project(ready["pid"])
+    job = project.jobs.get(ready["jid"])
+    # Never a zombie: the interrupted job must land terminal.  If the
+    # kill raced the worker's job_end append, at-least-once semantics
+    # allow a succeeded record; otherwise it is the interrupted shape.
+    assert job.status in TERMINAL_STATES
+    if job.status == "failed":
+        assert job.error == "interrupted by restart"
+    # The dataset upload was never checkpointed (no commit point ran),
+    # but the project itself — and the platform — are intact.
+    assert project.name == "crashproof"
+    assert len(platform.users) == 1
+
+
+def test_kill_midtrain_resume_retrains(tmp_path):
+    state_dir = tmp_path / "state"
+    proc = _spawn(state_dir, "midtrain")
+    try:
+        ready = _ready_line(proc)
+    finally:
+        _sigkill(proc)
+
+    platform = Platform(state_dir=state_dir, resume_jobs=True)
+    project = platform.get_project(ready["pid"])
+    # The interrupted train's dataset/impulse were never checkpointed
+    # (the kill landed before any commit point), so the resume attempt
+    # degrades: the spec cannot rerun against an impulse-less recovered
+    # project and the interrupted-failed record stands.  What matters is
+    # that recovery neither crashes nor leaves a zombie job.
+    assert project.jobs.get(ready["jid"]).status in TERMINAL_STATES
+    for jid in platform._durable.resumed_jobs:
+        assert project.jobs.get(jid).wait(timeout=300).status in TERMINAL_STATES
+
+
+@pytest.mark.parametrize("kill_after_s", [0.5, 1.5])
+def test_kill_mid_append_storm_loses_at_most_the_tail(tmp_path, kill_after_s):
+    """SIGKILL while the WAL is being appended to as fast as possible:
+    recovery must see a clean prefix — at least every mutation the child
+    reported as durable before the kill."""
+    state_dir = tmp_path / "state"
+    proc = _spawn(state_dir, "journal-storm")
+    last = _ready_line(proc)  # first progress line: child is live
+    deadline = time.monotonic() + kill_after_s
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        last = json.loads(line)
+    _sigkill(proc)
+
+    platform = Platform(state_dir=state_dir)
+    # "alice" plus every userN the child reported before the kill.
+    assert len(platform.users) >= last["users"]
+    assert "alice" in platform.users

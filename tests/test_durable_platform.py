@@ -1,0 +1,310 @@
+"""DurableRegistry: journal + recover the whole platform across restarts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClassificationBlock, Impulse, Platform, TimeSeriesInput
+from repro.core.storage.durable import (
+    LazyProjectMap,
+    apply_op,
+    initial_state,
+    reduce_ops,
+)
+from repro.data.synthetic import vibration_dataset
+from repro.dsp import SpectralAnalysisBlock
+from repro.monitor.telemetry import TelemetryRecord
+from repro.nn import TrainingConfig
+
+
+def _impulse():
+    return Impulse(
+        TimeSeriesInput(window_size_ms=2000, window_increase_ms=2000,
+                        frequency_hz=100, axes=3),
+        [SpectralAnalysisBlock(sample_rate=100, fft_length=64)],
+        ClassificationBlock(
+            architecture="mlp", arch_kwargs=dict(hidden=(16,)),
+            training=TrainingConfig(epochs=25, batch_size=16,
+                                    learning_rate=3e-3, seed=0),
+        ),
+    )
+
+
+def _populate(project):
+    for s in vibration_dataset(samples_per_class=14, seed=0):
+        project.dataset.add(s, category=s.category)
+    project.set_impulse(_impulse())
+
+
+class TestApplyOp:
+    def test_unknown_op_is_noop(self):
+        state = initial_state()
+        assert apply_op(state, {"op": "from_the_future", "x": 1}) == initial_state()
+
+    def test_job_end_before_begin_merges(self):
+        """The cross-thread append race: the worker's job_end can hit the
+        log before the submitter's job_begin.  The reducer must merge,
+        and the terminal status must win."""
+        ops = [
+            {"op": "job_end", "pid": 1, "jid": 5, "name": "train",
+             "status": "succeeded", "error": None},
+            {"op": "job_begin", "pid": 1, "jid": 5, "name": "train",
+             "kind": "train", "spec": {"seed": 0}},
+        ]
+        entry = reduce_ops(ops)["jobs"]["1"]["5"]
+        assert entry["status"] == "succeeded"
+        assert entry["kind"] == "train"
+
+    def test_meta_for_unknown_project_tolerated(self):
+        state = reduce_ops([{
+            "op": "project_meta", "pid": 42, "name": "x",
+            "collaborators": [], "public": True, "tags": [],
+        }])
+        assert state["projects"] == {}
+
+    def test_every_prefix_reduces(self):
+        ops = [
+            {"op": "user_add", "username": "u"},
+            {"op": "org_add", "name": "o", "owner": "u"},
+            {"op": "project_create", "pid": 1, "name": "p", "owner": "u"},
+            {"op": "org_project", "org": "o", "pid": 1},
+            {"op": "token_add", "token": "t", "user": "u", "scope": "read"},
+            {"op": "job_begin", "pid": 1, "jid": 1, "name": "train",
+             "kind": "train", "spec": None},
+            {"op": "job_end", "pid": 1, "jid": 1, "name": "train",
+             "status": "succeeded", "error": None},
+            {"op": "token_del", "token": "t"},
+        ]
+        for cut in range(len(ops) + 1):
+            reduce_ops(ops[:cut])  # must never raise
+
+
+class TestLazyProjectMap:
+    def test_pending_counts_without_loading(self):
+        loaded = []
+
+        def loader(pid):
+            loaded.append(pid)
+            return f"project-{pid}"
+
+        lazy = LazyProjectMap(loader)
+        lazy.add_pending(1)
+        lazy.add_pending(2)
+        assert len(lazy) == 2
+        assert 1 in lazy and 2 in lazy and 3 not in lazy
+        assert sorted(lazy) == [1, 2]
+        assert loaded == []  # membership/len never materialize
+        assert lazy[2] == "project-2"
+        assert loaded == [2]
+        assert len(list(lazy.values())) == 2  # values() loads the rest
+        assert sorted(loaded) == [1, 2]
+
+
+class TestDurableRegistry:
+    def test_identity_roundtrip(self, tmp_path):
+        d = tmp_path / "state"
+        p1 = Platform(state_dir=d)
+        p1.register_user("alice")
+        p1.register_user("bob")
+        p1.create_organization("acme", owner="alice")
+        p1.join_organization("acme", "bob")
+        read_tok = p1.issue_token("alice", scope="read")
+        op_tok = p1.issue_token("bob")
+        dead_tok = p1.issue_token("bob")
+        p1.revoke_token(dead_tok)
+
+        p2 = Platform(state_dir=d)
+        assert set(p2.users) == {"alice", "bob"}
+        assert p2.organizations["acme"].members == {"alice", "bob"}
+        assert "acme" in p2.users["bob"].organizations
+        assert p2.resolve_token(read_tok) == "alice"
+        assert p2.token_scope(read_tok) == "read"
+        assert p2.token_scope(op_tok) == "operator"
+        assert p2.resolve_token(dead_tok) is None
+
+    def test_project_metadata_journal_overlays_tree(self, tmp_path):
+        """make_public / add_collaborator journal instantly; trees only
+        at commit points.  After a restart the journal must win over the
+        stale checkpointed manifest."""
+        d = tmp_path / "state"
+        p1 = Platform(state_dir=d)
+        p1.register_user("alice")
+        project = p1.create_project("proj", owner="alice")
+        p1.checkpoint(project.project_id)  # tree says private, no collabs
+        project.make_public(tags=["demo"])
+        project.add_collaborator("alice")
+
+        p2 = Platform(state_dir=d)
+        restored = p2.get_project(project.project_id)
+        assert restored.public
+        assert restored.tags == ["demo"]
+
+    def test_projects_recover_lazily(self, tmp_path):
+        d = tmp_path / "state"
+        p1 = Platform(state_dir=d)
+        p1.register_user("alice")
+        pid_a = p1.create_project("a", owner="alice").project_id
+        pid_b = p1.create_project("b", owner="alice").project_id
+        p1.flush()
+
+        p2 = Platform(state_dir=d)
+        assert isinstance(p2.projects, LazyProjectMap)
+        assert set(p2.projects.pending_ids) == {pid_a, pid_b}
+        assert len(p2.projects) == 2
+        p2.get_project(pid_a)
+        assert p2.projects.pending_ids == [pid_b]  # b still untouched
+
+    def test_project_ids_do_not_collide_after_restart(self, tmp_path):
+        d = tmp_path / "state"
+        p1 = Platform(state_dir=d)
+        p1.register_user("alice")
+        pid = p1.create_project("a", owner="alice").project_id
+
+        p2 = Platform(state_dir=d)
+        fresh = p2.create_project("b", owner="alice")
+        assert fresh.project_id > pid
+
+    def test_unknown_org_rejected_before_creating(self, tmp_path):
+        p1 = Platform(state_dir=tmp_path / "state")
+        p1.register_user("alice")
+        with pytest.raises(KeyError, match="unknown organization"):
+            p1.create_project("p", owner="alice", organization="ghost")
+        assert len(p1.projects) == 0
+
+    def test_compaction_threshold_preserves_state(self, tmp_path):
+        d = tmp_path / "state"
+        p1 = Platform(state_dir=d, wal_compact_every=8)
+        for i in range(30):
+            p1.register_user(f"user{i}")
+        stats = p1._durable.stats()
+        assert stats["compactions"] >= 1
+        assert (d / "snapshot.json").exists()
+
+        p2 = Platform(state_dir=d)
+        assert len(p2.users) == 30
+
+    def test_orphan_trees_swept_on_recovery(self, tmp_path):
+        d = tmp_path / "state"
+        p1 = Platform(state_dir=d)
+        p1.register_user("alice")
+        project = p1.create_project("proj", owner="alice")
+        p1.checkpoint(project.project_id)
+        # A checkpoint that died before its journal entry.
+        orphan = d / "projects" / "p999@0.77"
+        orphan.mkdir()
+        (orphan / "junk.bin").write_bytes(b"x")
+
+        p2 = Platform(state_dir=d)
+        assert not orphan.exists()
+        assert len(p2.projects) == 1  # the real checkpoint survived
+        assert p2.get_project(project.project_id).name == "proj"
+
+    def test_monitor_reference_spills_and_restores(self, tmp_path):
+        d = tmp_path / "state"
+        p1 = Platform(state_dir=d)
+        p1.register_user("alice")
+        pid = p1.create_project("proj", owner="alice").project_id
+        records = [
+            TelemetryRecord(project_id=pid, latency_ms=float(i),
+                            top="ok", confidence=0.9)
+            for i in range(5)
+        ]
+        assert p1.monitor.set_reference(pid, records) == 5
+
+        p2 = Platform(state_dir=d)
+        pm = p2.monitor.monitor(pid)
+        assert len(pm.reference) == 5
+        assert pm.status == "ok"
+        assert [r.latency_ms for r in pm.reference] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+class TestJobRecovery:
+    def test_interrupted_job_lands_terminal_failed(self, tmp_path):
+        d = tmp_path / "state"
+        p1 = Platform(state_dir=d)
+        p1.register_user("alice")
+        project = p1.create_project("proj", owner="alice")
+        pid = project.project_id
+        # A job_begin whose job_end never reached the log — exactly what
+        # a hard kill mid-job leaves behind.
+        p1._durable.record({
+            "op": "job_begin", "pid": pid, "jid": 7,
+            "name": "train seed=0", "kind": "train", "spec": None,
+        })
+
+        p2 = Platform(state_dir=d)
+        job = p2.get_project(pid).jobs.get(7)
+        assert job.status == "failed"
+        assert job.error == "interrupted by restart"
+
+    def test_completed_job_history_restores(self, tmp_path):
+        d = tmp_path / "state"
+        p1 = Platform(state_dir=d)
+        p1.register_user("alice")
+        project = p1.create_project("proj", owner="alice")
+        pid = project.project_id
+        p1._durable.record({
+            "op": "job_begin", "pid": pid, "jid": 3,
+            "name": "train seed=0", "kind": "train", "spec": None,
+        })
+        p1._durable.record({
+            "op": "job_end", "pid": pid, "jid": 3,
+            "name": "train seed=0", "status": "succeeded", "error": None,
+        })
+
+        p2 = Platform(state_dir=d)
+        restored = p2.get_project(pid)
+        job = restored.jobs.get(3)
+        assert job.status == "succeeded" and job.error is None
+        # New submissions never collide with restored job ids.
+        assert restored.jobs.submit("noop", lambda job: None).job_id > 3
+
+    def test_resume_resubmits_interrupted_train(self, tmp_path):
+        d = tmp_path / "state"
+        p1 = Platform(state_dir=d)
+        p1.register_user("alice")
+        project = p1.create_project("proj", owner="alice")
+        pid = project.project_id
+        _populate(project)
+        p1.checkpoint(pid)  # dataset + impulse durable, untrained
+        p1._durable.record({
+            "op": "job_begin", "pid": pid, "jid": 9, "name": "train seed=0",
+            "kind": "train",
+            "spec": {"seed": 0, "quantize": True, "retries": 0},
+        })
+
+        p2 = Platform(state_dir=d, resume_jobs=True)
+        assert p2._durable.resumed_jobs  # the spec was resubmitted
+        restored = p2.get_project(pid)
+        resumed = restored.jobs.get(p2._durable.resumed_jobs[0])
+        resumed.wait(timeout=120)
+        assert resumed.status == "succeeded"
+        assert restored.model_revision == 1
+        assert restored.int8_graph is not None
+        # Without the flag the same state recovers to a terminal failure.
+        p3 = Platform(state_dir=d)
+
+
+class TestTrainedRoundtrip:
+    def test_train_restart_preserves_model(self, tmp_path):
+        d = tmp_path / "state"
+        p1 = Platform(state_dir=d)
+        p1.register_user("alice")
+        project = p1.create_project("proj", owner="alice")
+        pid = project.project_id
+        _populate(project)
+        job = project.train(seed=0)
+        assert job.status == "succeeded"
+        baseline = project.test(precision="int8").accuracy
+        p1.flush()  # graceful shutdown
+
+        p2 = Platform(state_dir=d)
+        restored = p2.get_project(pid)
+        assert restored.model_revision == 1
+        assert restored.label_map == project.label_map
+        assert len(restored.dataset) == len(project.dataset)
+        assert restored.test(precision="int8").accuracy == pytest.approx(baseline)
+        # The restarted platform keeps training: revision continues.
+        job2 = restored.train(seed=1)
+        assert job2.status == "succeeded"
+        assert restored.model_revision == 2

@@ -259,3 +259,29 @@ def test_cli_full_workflow(tmp_path, capsys):
 def test_cli_rejects_unknown_command():
     with pytest.raises(SystemExit):
         cli_main(["frobnicate"])
+
+
+def test_resave_removes_stale_files(tmp_path):
+    """Re-saving a project over a previous save must not leave stale
+    files behind: a dropped impulse, a cleared model, or a stray .eir
+    would otherwise resurrect on the next load."""
+    project = _trained_project()
+    target = tmp_path / "proj"
+    save_project(project, target)
+    assert (target / "impulse.json").exists()
+    assert (target / "models" / "int8.eir").exists()
+    # Something else littered the models dir between saves.
+    (target / "models" / "old-revision.eir").write_bytes(b"stale")
+
+    project.impulse = None
+    project.float_graph = None
+    project.int8_graph = None
+    save_project(project, target)
+
+    assert not (target / "impulse.json").exists()
+    assert not (target / "models" / "float.eir").exists()
+    assert not (target / "models" / "int8.eir").exists()
+    assert not (target / "models" / "old-revision.eir").exists()
+    restored = load_project(target)
+    assert restored.impulse is None
+    assert restored.float_graph is None and restored.int8_graph is None

@@ -1,0 +1,245 @@
+"""The WAL + snapshot engine: record layout, torn tails, compaction."""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.storage.engine import (
+    COMPACT_MARKER_OP,
+    MAX_RECORD_BYTES,
+    StorageEngine,
+    WalCorruption,
+    WriteAheadLog,
+    append_record,
+    scan_records,
+)
+
+
+def _encode(payload: dict) -> bytes:
+    body = json.dumps(payload, separators=(",", ":")).encode()
+    return struct.pack("<II", zlib.crc32(body) & 0xFFFFFFFF, len(body)) + body
+
+
+def _valid_log(n: int) -> bytes:
+    return b"".join(_encode({"op": "x", "i": i}) for i in range(n))
+
+
+class TestScanRecords:
+    def test_roundtrip(self):
+        data = _valid_log(5)
+        records, good = scan_records(data)
+        assert [r["i"] for r in records] == list(range(5))
+        assert good == len(data)
+
+    def test_empty(self):
+        assert scan_records(b"") == ([], 0)
+
+    def test_partial_header(self):
+        records, good = scan_records(b"\x01\x02\x03")
+        assert records == [] and good == 0
+
+    def test_torn_payload(self):
+        data = _valid_log(3)
+        records, good = scan_records(data[:-4])
+        assert len(records) == 2
+        assert good == len(_valid_log(2))
+
+    def test_corrupt_crc_stops_scan(self):
+        data = bytearray(_valid_log(3))
+        # Flip a payload byte of the middle record.
+        mid = len(_valid_log(1)) + struct.calcsize("<II") + 2
+        data[mid] ^= 0xFF
+        records, good = scan_records(bytes(data))
+        assert len(records) == 1
+        assert good == len(_valid_log(1))
+
+    def test_insane_length_field_rejected_before_allocation(self):
+        header = struct.pack("<II", 0, MAX_RECORD_BYTES + 1)
+        records, good = scan_records(_valid_log(2) + header + b"x" * 64)
+        assert len(records) == 2
+        assert good == len(_valid_log(2))
+
+    def test_non_dict_payload_stops_scan(self):
+        body = b"[1,2,3]"
+        rec = struct.pack("<II", zlib.crc32(body) & 0xFFFFFFFF, len(body)) + body
+        records, good = scan_records(rec)
+        assert records == [] and good == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=8), st.data())
+    def test_any_prefix_replays_without_error(self, n, data):
+        """The satellite property: every byte-prefix of a valid WAL scans
+        cleanly to a record-prefix — a torn tail can never cost more than
+        the torn record, and never raises."""
+        log = _valid_log(n)
+        cut = data.draw(st.integers(min_value=0, max_value=len(log)))
+        records, good = scan_records(log[:cut])
+        assert good <= cut
+        # Whatever survived is an exact prefix of the original sequence.
+        assert [r["i"] for r in records] == list(range(len(records)))
+        # Scanning the good prefix again is a fixed point.
+        again, good2 = scan_records(log[:good])
+        assert good2 == good and len(again) == len(records)
+
+
+class TestWriteAheadLog:
+    def test_append_replay_roundtrip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        for i in range(4):
+            wal.append({"op": "x", "i": i})
+        wal.close()
+        assert [r["i"] for r in WriteAheadLog(tmp_path / "wal.log").replay()] \
+            == [0, 1, 2, 3]
+
+    def test_replay_truncates_torn_tail_in_place(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        for i in range(3):
+            wal.append({"op": "x", "i": i})
+        wal.close()
+        with open(path, "ab") as fh:
+            fh.write(b"\xde\xad\xbe\xef\x01")  # garbage tail
+        wal2 = WriteAheadLog(path)
+        assert len(wal2.replay()) == 3
+        # The file itself was repaired: a fresh append lands on a clean
+        # boundary and everything replays.
+        wal2.append({"op": "x", "i": 3})
+        wal2.close()
+        assert len(WriteAheadLog(path).replay()) == 4
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert WriteAheadLog(tmp_path / "nope.log").replay() == []
+
+    def test_oversized_record_refused(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        with pytest.raises(ValueError, match="refusing to append"):
+            wal.append({"blob": "x" * (MAX_RECORD_BYTES + 1)})
+        wal.close()
+
+    def test_reset_empties_segment(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append({"op": "x"})
+        wal.reset()
+        assert wal.size_bytes() == 0
+        wal.append({"op": "y"})
+        wal.close()
+        records = WriteAheadLog(tmp_path / "wal.log").replay()
+        assert [r["op"] for r in records] == ["y"]
+
+
+class TestStorageEngine:
+    def test_open_empty_dir(self, tmp_path):
+        engine = StorageEngine(tmp_path)
+        assert engine.open() == (None, [])
+        engine.close()
+
+    def test_append_then_reopen(self, tmp_path):
+        engine = StorageEngine(tmp_path)
+        engine.open()
+        for i in range(3):
+            engine.append({"op": "x", "i": i})
+        engine.close()
+        state, tail = StorageEngine(tmp_path).open()
+        assert state is None
+        assert [r["i"] for r in tail] == [0, 1, 2]
+
+    def test_compact_folds_state_and_empties_wal(self, tmp_path):
+        engine = StorageEngine(tmp_path, compact_every=2)
+        engine.open()
+        engine.append({"op": "x", "i": 0})
+        engine.append({"op": "x", "i": 1})
+        assert engine.should_compact()
+        engine.compact({"folded": True})
+        assert not engine.should_compact()
+        engine.append({"op": "x", "i": 2})
+        engine.close()
+        state, tail = StorageEngine(tmp_path).open()
+        assert state == {"folded": True}
+        assert [r["i"] for r in tail] == [2]
+
+    def test_crash_between_publish_and_reset_is_safe(self, tmp_path):
+        """The injected mid-compaction crash: snapshot published, WAL
+        still holding pre-snapshot records.  Replay must skip them by
+        seq and land on the exact same state."""
+        engine = StorageEngine(tmp_path)
+        engine.open()
+        for i in range(4):
+            engine.append({"op": "x", "i": i})
+        engine._crash_after_snapshot = True
+        with pytest.raises(RuntimeError, match="crash injected"):
+            engine.compact({"upto": 4})
+        engine.close()
+        # The stale records are physically still in the log...
+        raw_records, _ = scan_records((tmp_path / "wal.log").read_bytes())
+        assert len(raw_records) == 4
+        # ...but recovery deduplicates them against the snapshot seq.
+        state, tail = StorageEngine(tmp_path).open()
+        assert state == {"upto": 4}
+        assert tail == []
+
+    def test_duplicate_compaction_markers_are_harmless(self, tmp_path):
+        engine = StorageEngine(tmp_path)
+        engine.open()
+        engine.append({"op": "x", "i": 0})
+        engine.compact({"n": 1})
+        # Force extra markers straight into the log (what repeated
+        # crash/retry cycles could leave behind).
+        engine.append({"op": COMPACT_MARKER_OP, "snapshot_seq": 0})
+        engine.append({"op": COMPACT_MARKER_OP, "snapshot_seq": 0})
+        engine.append({"op": "x", "i": 1})
+        engine.close()
+        state, tail = StorageEngine(tmp_path).open()
+        assert state == {"n": 1}
+        assert [r["i"] for r in tail] == [1]
+
+    def test_unreadable_snapshot_refuses_loudly(self, tmp_path):
+        engine = StorageEngine(tmp_path)
+        engine.open()
+        engine.compact({"n": 1})
+        engine.close()
+        (tmp_path / "snapshot.json").write_text("{not json")
+        with pytest.raises(WalCorruption, match="unreadable snapshot"):
+            StorageEngine(tmp_path).open()
+
+    def test_torn_wal_tail_after_kill(self, tmp_path):
+        """A hard kill mid-append leaves a torn final record; the engine
+        recovers every complete record and drops only the torn one."""
+        engine = StorageEngine(tmp_path)
+        engine.open()
+        for i in range(3):
+            engine.append({"op": "x", "i": i})
+        engine.close()
+        path = tmp_path / "wal.log"
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])  # tear the final record
+        state, tail = StorageEngine(tmp_path).open()
+        assert state is None
+        assert [r["i"] for r in tail] == [0, 1]
+
+    def test_seq_survives_reopen(self, tmp_path):
+        engine = StorageEngine(tmp_path)
+        engine.open()
+        s1 = engine.append({"op": "x"})
+        engine.close()
+        engine2 = StorageEngine(tmp_path)
+        engine2.open()
+        s2 = engine2.append({"op": "y"})
+        assert s2 > s1
+        engine2.close()
+
+    def test_append_record_writes_through_fd(self, tmp_path):
+        path = tmp_path / "raw.log"
+        fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            append_record(fd, {"op": "x"})
+        finally:
+            os.close(fd)
+        records, good = scan_records(path.read_bytes())
+        assert records == [{"op": "x"}] and good == path.stat().st_size
