@@ -39,6 +39,8 @@ CODES: dict[str, tuple[str, str]] = {
     "G022": ("error", "non-positive quantization scale"),
     "G023": ("error", "qparams not propagated through same-scale op"),
     "G024": ("error", "per-channel scale length mismatch"),
+    "G025": ("error", "int4 weight values outside the [-8, 7] packed range"),
+    "G026": ("error", "int4 dtype on a non-weight tensor"),
     # -- graph verifier: liveness --
     "G030": ("warning", "dead op (output unreachable from graph output)"),
     "G031": ("warning", "activation tensor never read or written"),

@@ -124,8 +124,10 @@ def _pool_extent(size: int, pool: int, axis: str) -> int:
 def _weighted_dtypes(x: GTensor, w: GTensor, b: GTensor) -> str:
     """Weight/bias dtype rules for conv/dense, returning the out dtype."""
     if x.dtype == "int8":
-        if w.dtype != "int8":
-            raise InferenceError(f"int8 op expects int8 weights, got {w.dtype}")
+        if w.dtype not in ("int8", "int4"):
+            raise InferenceError(
+                f"int8 op expects int8/int4 weights, got {w.dtype}"
+            )
         if b.dtype != "int32":
             raise InferenceError(f"int8 op expects int32 bias, got {b.dtype}")
         return "int8"

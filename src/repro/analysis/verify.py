@@ -40,7 +40,11 @@ from repro.graph.graph import Graph
 
 #: int8 representable bounds — zero points outside this range cannot be
 #: encoded in the tensor's own dtype.
-_DTYPE_BOUNDS = {"int8": (-128, 127), "int32": (-(2**31), 2**31 - 1)}
+_DTYPE_BOUNDS = {
+    "int8": (-128, 127),
+    "int4": (-8, 7),
+    "int32": (-(2**31), 2**31 - 1),
+}
 
 
 class GraphVerificationError(ValueError):
@@ -170,12 +174,32 @@ def check_quantization(graph: Graph) -> Report:
     """Quant-parameter invariants the int8 kernels rely on."""
     report = Report(subject=graph.name)
     for tid, t in enumerate(graph.tensors):
-        if t.dtype == "int8" and t.quant is None:
+        if t.dtype in ("int8", "int4") and t.quant is None:
             report.add(
-                "G020", f"int8 tensor {tid} ({t.name!r}) has no quant params",
+                "G020", f"{t.dtype} tensor {tid} ({t.name!r}) has no quant params",
                 tensor_id=tid,
-                hint="int8 kernels need scale/zero_point to interpret values",
+                hint="quantized kernels need scale/zero_point to interpret values",
             )
+        if t.dtype == "int4":
+            # int4 is a weights-only storage format: data lives unpacked
+            # as int8 values in [-8, 7] (two nibbles per byte on flash).
+            if not t.is_const:
+                report.add(
+                    "G026",
+                    f"int4 tensor {tid} ({t.name!r}) is not a constant "
+                    f"(int4 is a packed weight format, not an activation dtype)",
+                    tensor_id=tid,
+                    hint="activations stay int8; only conv/dense weights pack to int4",
+                )
+            elif t.data.size and (int(t.data.min()) < -8 or int(t.data.max()) > 7):
+                report.add(
+                    "G025",
+                    f"int4 tensor {tid} ({t.name!r}) holds values in "
+                    f"[{int(t.data.min())}, {int(t.data.max())}], outside the "
+                    f"packable [-8, 7] range",
+                    tensor_id=tid,
+                    hint="re-quantize with scale = max_abs / 7 before packing",
+                )
         if t.quant is None:
             continue
         scale = np.atleast_1d(t.quant.scale)

@@ -1,0 +1,112 @@
+"""Joint compression searches (repro.compress): mixed-precision
+quantization + structured pruning, Pareto-scored by the EON tuner."""
+
+from __future__ import annotations
+
+from repro.api.errors import ApiError
+from repro.api.resources.jobs import JOB_VIEW_FIELDS, job_view
+from repro.api.router import Route
+from repro.api.schemas import Field, Schema
+
+
+def compress_start(ctx) -> dict:
+    """Queue a compression search over the project's current impulse.
+
+    Optional ``precisions`` / ``sparsities`` axis overrides and the
+    same constraint keys the tuner takes (``device``, ``max_ram_kb``,
+    ``max_flash_kb``, ``max_latency_ms``).
+    """
+    p = ctx.platform.get_project(ctx.params["pid"])
+    p.require_member(ctx.user)
+    body = ctx.body
+    constraints = None
+    if any(k in body for k in ("device", "max_ram_kb", "max_flash_kb",
+                               "max_latency_ms")):
+        from repro.automl import TunerConstraints
+
+        constraints = TunerConstraints(
+            device_key=body.get("device", "nano33ble"),
+            max_ram_kb=body.get("max_ram_kb"),
+            max_flash_kb=body.get("max_flash_kb"),
+            max_latency_ms=body.get("max_latency_ms"),
+        )
+    kwargs = {}
+    if "precisions" in body:
+        kwargs["precisions"] = tuple(body["precisions"])
+    if "sparsities" in body:
+        kwargs["sparsities"] = tuple(float(s) for s in body["sparsities"])
+    try:
+        job = p.compress_async(
+            n_trials=body.get("n_trials", 6),
+            max_inflight=body.get("max_inflight", 4),
+            seed=body.get("seed", 0),
+            constraints=constraints,
+            train_epochs=body.get("epochs", 6),
+            retries=body.get("retries", 0),
+            placement=body.get("placement", "thread"),
+            **kwargs,
+        )
+    except ValueError as exc:  # bad axis values, max_inflight < 1, ...
+        raise ApiError(400, str(exc))
+    except RuntimeError as exc:  # no impulse / no data / expert block
+        raise ApiError(409, str(exc))
+    return {"job_id": job.job_id, "job_status": job.status,
+            "trials_total": len(job.children)}
+
+
+def compress_status(ctx) -> dict:
+    """Compression job view with the (partial) Pareto front: completed
+    trials are ranked live while the search is still running."""
+    p = ctx.platform.get_project(ctx.params["pid"], username=ctx.user)
+    jid = ctx.params["jid"]
+    job = p.jobs.get(jid)
+    search = p.compressions.get(jid)
+    if search is None:
+        raise ApiError(404, f"job {jid} is not a compression job")
+    payload = job_view(job, ctx.body)
+    children = p.jobs.children(job.job_id)
+    completed = [c for c in children if c.status == "succeeded"]
+    payload["trials_total"] = len(children)
+    payload["trials_completed"] = len(completed)
+    payload["front"] = search.front()
+    payload["best"] = search.best()
+    return payload
+
+
+def register(router) -> None:
+    router.add(Route(
+        "POST", "/v1/projects/{pid:int}/compress", compress_start,
+        name="compressStart", tag="compress",
+        summary="Queue a joint precision/sparsity compression search",
+        request=Schema(
+            Field("n_trials", "int", default=6, doc="sampled trials to run "
+                  "(the uniform-int8 baseline counts as one of them)"),
+            Field("max_inflight", "int", default=4,
+                  doc="concurrent trial jobs"),
+            Field("seed", "int", default=0),
+            Field("epochs", "int", default=6, doc="training epochs per trial"),
+            Field("retries", "int", default=0),
+            Field("placement", "str", default="thread",
+                  doc="where trials run: 'thread' (in-process) or "
+                      "'process' (worker processes)"),
+            Field("precisions", "list",
+                  doc="weight-precision axis values (int8/int4/f32)"),
+            Field("sparsities", "list",
+                  doc="channel-sparsity axis values in [0, 1)"),
+            Field("device", "str", doc="constraint: target device key"),
+            Field("max_ram_kb", "float", doc="constraint: RAM budget"),
+            Field("max_flash_kb", "float", doc="constraint: flash budget"),
+            Field("max_latency_ms", "float", doc="constraint: latency budget"),
+        ),
+        response={"description": "The queued compression job",
+                  "fields": ("job_id", "job_status", "trials_total")},
+    ))
+    router.add(Route(
+        "GET", "/v1/projects/{pid:int}/compress/{jid:int}", compress_status,
+        name="compressStatus", tag="compress",
+        summary="Compression job view with the live Pareto front",
+        request=Schema(*JOB_VIEW_FIELDS),
+        response={"description": "Job snapshot plus Pareto front",
+                  "fields": ("job_id", "job_status", "trials_total",
+                             "trials_completed", "front", "best")},
+    ))

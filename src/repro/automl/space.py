@@ -57,6 +57,55 @@ class SearchSpace:
         return [(d, m) for d in self.all_dsp() for m in self.all_models()]
 
 
+@dataclass
+class CompressionSpace:
+    """Per-layer compression axes over one fixed (dsp, model) pair.
+
+    Each weighted layer gets an independent precision axis and each
+    prunable layer an independent sparsity axis; ``sample`` draws every
+    axis separately, so the space's size is the *product* of the axes
+    but a draw costs one rng call per axis — no grid materialization.
+    Draws are flat ``compress.*`` keys merged into the model spec, the
+    format :func:`repro.compress.apply_compression` consumes.
+    """
+
+    dsp_spec: dict
+    model_spec: dict
+    precision_layers: list[int] = field(default_factory=list)
+    sparsity_layers: list[int] = field(default_factory=list)
+    precisions: tuple = ("int8", "int4", "f32")
+    sparsities: tuple = (0.0, 0.25, 0.5)
+
+    def size(self) -> int:
+        return (len(self.precisions) ** len(self.precision_layers)
+                * len(self.sparsities) ** len(self.sparsity_layers))
+
+    def baseline(self) -> tuple[dict, dict]:
+        """The uniform-int8, unpruned reference configuration.
+
+        Every precision key is ``"int8"`` and every sparsity 0, which
+        routes through the exact legacy quantization path — the Pareto
+        front's reduction figures are measured against this point.
+        """
+        model = dict(self.model_spec)
+        for layer in self.precision_layers:
+            model[f"compress.precision.{layer}"] = "int8"
+        for layer in self.sparsity_layers:
+            model[f"compress.sparsity.{layer}"] = 0.0
+        return dict(self.dsp_spec), model
+
+    def sample(self, rng: np.random.Generator | int | None = None) -> tuple[dict, dict]:
+        rng = ensure_rng(rng)
+        model = dict(self.model_spec)
+        for layer in self.precision_layers:
+            pick = int(rng.integers(len(self.precisions)))
+            model[f"compress.precision.{layer}"] = str(self.precisions[pick])
+        for layer in self.sparsity_layers:
+            pick = int(rng.integers(len(self.sparsities)))
+            model[f"compress.sparsity.{layer}"] = float(self.sparsities[pick])
+        return dict(self.dsp_spec), model
+
+
 def kws_search_space(sample_rate: int = 16000) -> SearchSpace:
     """The keyword-spotting space of Table 3: MFE/MFCC front-ends crossed
     with conv1d stacks and a MobileNetV2 option."""

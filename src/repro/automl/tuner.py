@@ -35,14 +35,26 @@ class TunerConstraints:
 
     def resolved(self) -> "TunerConstraints":
         device = get_device(self.device_key)
+        if device.firmware_ram_bytes >= device.ram_bytes:
+            raise ValueError(
+                f"firmware RAM overhead ({device.firmware_ram_bytes} B) meets "
+                f"or exceeds device RAM ({device.ram_bytes} B) on "
+                f"{device.key!r}: no budget remains for a model"
+            )
+        if device.firmware_flash_bytes >= device.flash_bytes:
+            raise ValueError(
+                f"firmware flash overhead ({device.firmware_flash_bytes} B) "
+                f"meets or exceeds device flash ({device.flash_bytes} B) on "
+                f"{device.key!r}: no budget remains for a model"
+            )
         return TunerConstraints(
             device_key=self.device_key,
             max_ram_kb=self.max_ram_kb
             if self.max_ram_kb is not None
-            else (device.ram_bytes - 40_000) / 1024.0,
+            else (device.ram_bytes - device.firmware_ram_bytes) / 1024.0,
             max_flash_kb=self.max_flash_kb
             if self.max_flash_kb is not None
-            else (device.flash_bytes - 180_000) / 1024.0,
+            else (device.flash_bytes - device.firmware_flash_bytes) / 1024.0,
             max_latency_ms=self.max_latency_ms,
         )
 
@@ -143,11 +155,22 @@ class EonTuner:
             input_shape = input_shape + (1,)
         return factory(input_shape, n_classes, seed=seed, **spec), input_shape
 
-    def _price(self, block: DSPBlock, model, feature_shape) -> dict:
+    def _price(
+        self, block: DSPBlock, model, feature_shape, compress_spec=None
+    ) -> dict:
         """Resource heuristic: latency + memory from the profiler, before
-        (and independent of) training."""
+        (and independent of) training.  A compression spec prices the
+        pruned/mixed-precision graph instead — channel counts and
+        precision assignments (what RAM/flash/latency depend on) are
+        already fixed before training."""
         graph = sequential_to_graph(model)
-        if self.precision == "int8":
+        if compress_spec:
+            from repro.compress import apply_compression  # lazy: avoids cycle
+
+            rng = ensure_rng(0)
+            calib = rng.standard_normal((8,) + tuple(feature_shape)).astype(np.float32)
+            graph = apply_compression(graph, compress_spec, calib)
+        elif self.precision == "int8":
             rng = ensure_rng(0)
             calib = rng.standard_normal((8,) + tuple(feature_shape)).astype(np.float32)
             graph = quantize_graph(graph, calib)
@@ -204,8 +227,17 @@ class EonTuner:
         order by the parent job's finalizer)."""
         block, features = self._features(dsp_spec)
         n_classes = int(self.labels.max()) + 1
+        # ``compress.*`` keys ride inside the model spec (so trial plans,
+        # dedupe keys and worker frames need no protocol changes) but are
+        # not architecture kwargs — split them out before building.
+        compress_spec = {
+            k: v for k, v in model_spec.items() if k.startswith("compress.")
+        }
+        base_spec = {
+            k: v for k, v in model_spec.items() if not k.startswith("compress.")
+        }
         model, in_shape = self._build_model(
-            model_spec, tuple(features.shape[1:]), n_classes, seed
+            base_spec, tuple(features.shape[1:]), n_classes, seed
         )
         feats = features.reshape((len(features),) + in_shape)
 
@@ -214,8 +246,10 @@ class EonTuner:
             model_spec=dict(model_spec),
             dsp_name=repr(block) if hasattr(block, "__repr__") else block.describe(),
             model_name=describe(model),
-            **self._price(block, model, in_shape),
+            **self._price(block, model, in_shape, compress_spec),
         )
+        if compress_spec:
+            trial.extra["compress"] = dict(compress_spec)
         trial.meets_constraints = self._check(trial)
         if trial.meets_constraints or not skip_if_infeasible:
             rng = ensure_rng(seed)
@@ -233,7 +267,23 @@ class EonTuner:
                 feats[train_idx], self.labels[train_idx], cfg,
                 x_val=feats[val_idx], y_val=self.labels[val_idx],
             )
-            preds = model.predict_classes(feats[val_idx])
+            if compress_spec:
+                # Held-out accuracy of the *compressed* model: prune by
+                # trained-weight magnitude, quantize per the precision
+                # map with training windows as calibration, then run the
+                # compressed graph on the validation split.
+                from repro.compress import apply_compression  # lazy
+
+                from repro.runtime.executor import dequantize_output, run_graph
+
+                calib = feats[train_idx][:64] if len(train_idx) else feats[val_idx]
+                graph = apply_compression(
+                    sequential_to_graph(model), compress_spec, calib
+                )
+                probs = dequantize_output(graph, run_graph(graph, feats[val_idx]))
+                preds = probs.argmax(axis=-1)
+            else:
+                preds = model.predict_classes(feats[val_idx])
             trial.accuracy = float((preds == self.labels[val_idx]).mean())
             trial.trained = True
         return trial
@@ -475,7 +525,10 @@ class EonTuner:
             {"type": trial.dsp_spec["type"],
              "config": {k: v for k, v in trial.dsp_spec.items() if k != "type"}}
         )
-        model_spec = dict(trial.model_spec)
+        model_spec = {
+            k: v for k, v in trial.model_spec.items()
+            if not k.startswith("compress.")
+        }
         arch = model_spec.pop("architecture")
         learn = ClassificationBlock(architecture=arch, arch_kwargs=model_spec)
         project.set_impulse(

@@ -126,6 +126,47 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_compress(args) -> int:
+    """Run a joint compression search (per-layer precision + sparsity)
+    over the project's current impulse and print the Pareto front."""
+    from repro.automl import TunerConstraints
+
+    project = load_project(args.dir)
+    constraints = TunerConstraints(device_key=args.device)
+    job = project.compress_async(
+        n_trials=args.trials,
+        max_inflight=max(1, args.parallel),
+        seed=args.seed,
+        constraints=constraints,
+        train_epochs=args.epochs,
+        placement=args.placement,
+    )
+    print(f"compress job {job.job_id}: {args.trials} trials, "
+          f"{max(1, args.parallel)} in flight (target {args.device})")
+    _stream_job_logs(job)
+    if job.status != "succeeded":
+        print(f"compress job {job.status}: {job.error}")
+        return 1
+    search = project.compressions[job.job_id]
+    header = (f"{'Acc.':>5} {'RAM kB':>8} {'Flash kB':>9} {'Total ms':>9} "
+              f"{'Reduction':>10}  Spec")
+    print(header)
+    print("-" * len(header))
+    for row in search.front():
+        spec = "int8 baseline" if row["baseline"] else ", ".join(
+            f"{k.split('.', 1)[1]}={v}" for k, v in sorted(row["spec"].items())
+        )
+        print(f"{row['accuracy'] * 100:>4.0f}% {row['nn_ram_kb']:>8.1f} "
+              f"{row['flash_kb']:>9.1f} {row['total_ms']:>9.1f} "
+              f"{row.get('ram_flash_reduction', 0) * 100:>9.1f}%  {spec}")
+    best = search.best()
+    if best is not None:
+        print(f"best within 2pp of baseline: "
+              f"{best['ram_flash_reduction'] * 100:.1f}% smaller at "
+              f"{best['accuracy'] * 100:.0f}% accuracy")
+    return 0
+
+
 def _cmd_fleet_rollout(args) -> int:
     """Simulate a staged OTA rollout: build firmware from the project,
     register a virtual fleet, and push canary-first as a job."""
@@ -530,6 +571,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--apply", action="store_true",
                    help="apply the best configuration to the project impulse")
     p.set_defaults(fn=_cmd_tune)
+
+    p = sub.add_parser("compress",
+                       help="joint precision/sparsity compression search")
+    p.add_argument("--dir", required=True)
+    p.add_argument("--trials", type=int, default=6)
+    p.add_argument("--parallel", type=int, default=4,
+                   help="max trials in flight (1 = serial order, same result)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--device", default="nano33ble")
+    p.add_argument("--epochs", type=int, default=6)
+    p.add_argument("--placement", choices=("thread", "process"),
+                   default="thread", help="run trials in threads or "
+                   "worker processes")
+    p.set_defaults(fn=_cmd_compress)
 
     p = sub.add_parser("fleet-rollout",
                        help="staged OTA rollout job over a virtual fleet")

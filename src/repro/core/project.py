@@ -92,6 +92,10 @@ class Project:
         # windows + per-DSP feature caches, which is multi-MB).
         self.tuners: dict[int, object] = {}
         self.max_retained_tuners = 8
+        # Parent-job id -> the CompressionSearch behind it (Pareto fronts
+        # render live from these); bounded like ``tuners`` and for the
+        # same reason.
+        self.compressions: dict[int, object] = {}
         # Tuner provenance that survives persistence: leaderboards loaded
         # from disk (job id -> rows; live tuners take precedence — see
         # leaderboards()) and the trial a deployed model came from.
@@ -275,6 +279,21 @@ class Project:
 
     # -- EON Tuner (distributed trials on the project's executor) -----------
 
+    def _search_windows(self, max_windows: int) -> tuple[np.ndarray, np.ndarray]:
+        """Raw (pre-DSP) training windows + integer labels for a search."""
+        names = sorted({s.label for s in self.dataset.samples(category="train")})
+        label_map = {l: i for i, l in enumerate(names)}
+        windows, ys = [], []
+        for sample in self.dataset.samples(category="train"):
+            for w in self.impulse.input_block.windows(sample.data):
+                windows.append(w)
+                ys.append(label_map[sample.label])
+            if len(windows) >= max_windows:
+                break
+        if not windows:
+            raise RuntimeError("no training data to tune on")
+        return np.stack(windows[:max_windows]), np.array(ys[:max_windows])
+
     def build_tuner(
         self,
         space=None,
@@ -294,23 +313,13 @@ class Project:
             raise RuntimeError("set an impulse before tuning")
         if not isinstance(self.impulse.input_block, TimeSeriesInput):
             raise RuntimeError("the EON Tuner needs a time-series input block")
-        names = sorted({s.label for s in self.dataset.samples(category="train")})
-        label_map = {l: i for i, l in enumerate(names)}
-        windows, ys = [], []
-        for sample in self.dataset.samples(category="train"):
-            for w in self.impulse.input_block.windows(sample.data):
-                windows.append(w)
-                ys.append(label_map[sample.label])
-            if len(windows) >= max_windows:
-                break
-        if not windows:
-            raise RuntimeError("no training data to tune on")
+        raw, ys = self._search_windows(max_windows)
         space = space or kws_search_space(
             sample_rate=int(self.impulse.input_block.frequency_hz)
         )
         return EonTuner(
-            np.stack(windows[:max_windows]),
-            np.array(ys[:max_windows]),
+            raw,
+            ys,
             space,
             constraints=constraints or TunerConstraints(),
             precision=precision,
@@ -395,6 +404,73 @@ class Project:
             if getattr(tuner, "trials", None):
                 merged[job_id] = tuner.leaderboard()
         return merged
+
+    # -- compression search (repro.compress) --------------------------------
+
+    def compress_async(
+        self,
+        n_trials: int = 6,
+        max_inflight: int = 4,
+        seed: int = 0,
+        constraints=None,
+        precisions: tuple = ("int8", "int4", "f32"),
+        sparsities: tuple = (0.0, 0.25, 0.5),
+        train_epochs: int = 6,
+        engine: str = "tflm",
+        max_windows: int = 256,
+        retries: int = 0,
+        placement: str = "thread",
+    ) -> Job:
+        """Queue a joint compression search over the *current* impulse
+        configuration: per-layer weight precisions (int8/int4/f32) and
+        channel sparsities, Pareto-scored on accuracy vs RAM/flash/
+        latency against a uniform-int8 baseline.  The baseline trial is
+        evaluated synchronously before the job is queued (so serial and
+        parallel sweeps share it bit-identically); sampled trials run as
+        child jobs like :meth:`tune_async`.  The search behind the
+        returned parent job is kept in ``self.compressions[job.job_id]``
+        for Pareto-front rendering; nothing is committed to the project.
+        """
+        from repro.automl import TunerConstraints
+        from repro.compress import CompressionSearch
+        from repro.core.impulse import TimeSeriesInput
+
+        if self.impulse is None:
+            raise RuntimeError("set an impulse before compressing")
+        if not isinstance(self.impulse.input_block, TimeSeriesInput):
+            raise RuntimeError(
+                "the compression search needs a time-series input block"
+            )
+        if not self.impulse.dsp_blocks:
+            raise RuntimeError("the impulse has no DSP block")
+        learn = self.impulse.learn_block
+        if getattr(learn, "expert_factory", None) is not None or not hasattr(
+            learn, "architecture"
+        ):
+            raise RuntimeError(
+                "compression search needs a zoo-architecture "
+                "classification block"
+            )
+        dsp_block = self.impulse.dsp_blocks[0]
+        dsp_spec = {"type": dsp_block.block_type, **dsp_block.config()}
+        model_spec = {"architecture": learn.architecture,
+                      **getattr(learn, "arch_kwargs", {})}
+        raw, ys = self._search_windows(max_windows)
+        search = CompressionSearch(
+            raw, ys, dsp_spec, model_spec,
+            constraints=constraints or TunerConstraints(),
+            precisions=precisions, sparsities=sparsities,
+            engine=engine, train_epochs=train_epochs,
+        )
+        job = search.run_parallel(
+            n_trials=n_trials, executor=self.jobs,
+            max_inflight=max_inflight, seed=seed, retries=retries,
+            placement=placement,
+        )
+        self.compressions[job.job_id] = search
+        while len(self.compressions) > self.max_retained_tuners:
+            self.compressions.pop(next(iter(self.compressions)))
+        return job
 
     def profile_async(
         self, device_key: str, precision: str = "int8", engine: str = "eon"

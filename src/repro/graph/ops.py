@@ -63,13 +63,50 @@ class QuantParams:
         return ((q.astype(np.float64) - self.zero_point) * scale).astype(np.float32)
 
 
+def pack_int4(values: np.ndarray) -> np.ndarray:
+    """Pack int4 values (int8 storage, range [-8, 7]) two-per-byte.
+
+    Little-nibble-first: element 2i lands in the low nibble, 2i+1 in the
+    high nibble.  An odd element count pads the final high nibble with
+    zero.  Returns a flat ``uint8`` array of ``ceil(n / 2)`` bytes.
+    """
+    flat = np.asarray(values, dtype=np.int8).reshape(-1)
+    if flat.size and (flat.min() < -8 or flat.max() > 7):
+        raise ValueError("int4 pack: values outside [-8, 7]")
+    if flat.size % 2:
+        flat = np.concatenate([flat, np.zeros(1, dtype=np.int8)])
+    nibbles = flat.astype(np.uint8) & 0x0F
+    return (nibbles[0::2] | (nibbles[1::2] << 4)).astype(np.uint8)
+
+
+def unpack_int4(packed: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`pack_int4`: bytes -> sign-extended int8 array."""
+    packed = np.asarray(packed, dtype=np.uint8).reshape(-1)
+    lo = packed & 0x0F
+    hi = packed >> 4
+    nibbles = np.empty(packed.size * 2, dtype=np.uint8)
+    nibbles[0::2] = lo
+    nibbles[1::2] = hi
+    # Sign-extend the 4-bit two's-complement values.
+    out = nibbles.astype(np.int8)
+    out[out >= 8] -= 16
+    n = int(np.prod(shape))
+    return out[:n].reshape(shape)
+
+
 @dataclass
 class GTensor:
-    """A tensor in the graph: constant (weights) or activation."""
+    """A tensor in the graph: constant (weights) or activation.
+
+    ``int4`` tensors (weights only) hold their ``data`` *unpacked* — an
+    int8-valued array in [-8, 7] with the logical shape — so kernels run
+    the existing exact int8 paths unchanged; the two-nibbles-per-byte
+    packing applies only to ``size_bytes`` and serialization.
+    """
 
     name: str
     shape: tuple[int, ...]
-    dtype: str = "float32"  # float32 | int8 | int32
+    dtype: str = "float32"  # float32 | int8 | int4 (weights) | int32
     data: np.ndarray | None = None  # set for constants
     quant: QuantParams | None = None
 
@@ -79,8 +116,11 @@ class GTensor:
 
     @property
     def size_bytes(self) -> int:
+        n = int(np.prod(self.shape))
+        if self.dtype == "int4":
+            return (n + 1) // 2  # two nibbles per byte, odd tail padded
         itemsize = {"float32": 4, "int8": 1, "int32": 4}[self.dtype]
-        return int(np.prod(self.shape)) * itemsize
+        return n * itemsize
 
 
 @dataclass

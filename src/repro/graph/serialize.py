@@ -19,7 +19,7 @@ import struct
 import numpy as np
 
 from repro.graph.graph import Graph
-from repro.graph.ops import GOp, GTensor, QuantParams
+from repro.graph.ops import GOp, GTensor, QuantParams, pack_int4, unpack_int4
 
 _MAGIC = b"EIR1"
 _VERSION = 3
@@ -52,7 +52,12 @@ def graph_to_bytes(graph: Graph) -> bytes:
                 "pc": bool(t.quant.per_channel),
             }
         if t.is_const:
-            push(t.data, _DTYPES[t.dtype])
+            if t.dtype == "int4":
+                # int4 weights serialize packed (two nibbles per byte) —
+                # this is where the flash saving becomes real bytes.
+                blobs.append(pack_int4(t.data).tobytes())
+            else:
+                push(t.data, _DTYPES[t.dtype])
         tensor_specs.append(spec)
 
     op_specs = []
@@ -115,7 +120,11 @@ def graph_from_bytes(data: bytes) -> Graph:
         data_arr = None
         if spec["const"]:
             count = int(np.prod(shape)) if shape else 1
-            data_arr = pull(count, _DTYPES[spec["dtype"]]).reshape(shape)
+            if spec["dtype"] == "int4":
+                packed = pull((count + 1) // 2, "<u1")
+                data_arr = unpack_int4(packed, shape)
+            else:
+                data_arr = pull(count, _DTYPES[spec["dtype"]]).reshape(shape)
         graph.add_tensor(
             GTensor(spec["name"], shape, spec["dtype"], data=data_arr, quant=quant)
         )

@@ -22,6 +22,7 @@ from repro.monitor.detectors import (
     LatencySLODetector,
     ks_statistic,
     psi,
+    psi_contributions,
 )
 from repro.monitor.policy import Alert, MonitorPolicy
 from repro.monitor.service import MonitorService, ProjectMonitor, model_version_of
@@ -44,4 +45,5 @@ __all__ = [
     "ks_statistic",
     "model_version_of",
     "psi",
+    "psi_contributions",
 ]

@@ -42,6 +42,21 @@ def ks_statistic(a, b) -> float:
     return float(np.abs(cdf_a - cdf_b).max())
 
 
+def psi_contributions(expected: dict, actual: dict, eps: float = 1e-4) -> dict:
+    """Per-category PSI terms ``(a - e) * log(a / e)``; the PSI is their
+    sum.  Every term is >= 0, so the largest ones name the categories
+    driving a shift."""
+    keys = sorted(set(expected) | set(actual))
+    if not keys:
+        return {}
+    e = np.array([max(float(expected.get(k, 0.0)), 0.0) for k in keys]) + eps
+    a = np.array([max(float(actual.get(k, 0.0)), 0.0) for k in keys]) + eps
+    e /= e.sum()
+    a /= a.sum()
+    terms = (a - e) * np.log(a / e)
+    return {k: float(t) for k, t in zip(keys, terms)}
+
+
 def psi(expected: dict, actual: dict, eps: float = 1e-4) -> float:
     """Population Stability Index between two categorical distributions.
 
@@ -49,14 +64,7 @@ def psi(expected: dict, actual: dict, eps: float = 1e-4) -> float:
     normalized over the union of categories with ``eps`` smoothing, so a
     category present on one side only contributes a large-but-finite term.
     """
-    keys = sorted(set(expected) | set(actual))
-    if not keys:
-        return 0.0
-    e = np.array([max(float(expected.get(k, 0.0)), 0.0) for k in keys]) + eps
-    a = np.array([max(float(actual.get(k, 0.0)), 0.0) for k in keys]) + eps
-    e /= e.sum()
-    a /= a.sum()
-    return float(((a - e) * np.log(a / e)).sum())
+    return float(sum(psi_contributions(expected, actual, eps).values()))
 
 
 @dataclass
@@ -90,16 +98,34 @@ class ConfidenceShiftDetector:
     def __init__(self, threshold: float = 0.25):
         self.threshold = threshold
 
+    @staticmethod
+    def _by_label(records) -> dict:
+        groups: dict[str, list[float]] = {}
+        for r in records:
+            if r.top is not None:
+                groups.setdefault(r.top, []).append(r.confidence)
+        return groups
+
     def evaluate(self, reference, recent) -> DetectorResult:
         ref = [r.confidence for r in reference]
         cur = [r.confidence for r in recent]
         score = ks_statistic(ref, cur)
+        # Per-label attribution: the KS of each predicted class's own
+        # confidence distribution, so an alert names *which* class got
+        # less certain (labels present on only one side are skipped —
+        # that shift is the label-mix detector's finding).
+        ref_by, cur_by = self._by_label(reference), self._by_label(recent)
+        per_label = {
+            label: round(ks_statistic(ref_by[label], cur_by[label]), 4)
+            for label in sorted(set(ref_by) & set(cur_by))
+        }
         return DetectorResult(
             self.name, score, self.threshold, score > self.threshold,
             kind=self.kind,
             detail={
                 "reference_mean": float(np.mean(ref)) if ref else None,
                 "recent_mean": float(np.mean(cur)) if cur else None,
+                "per_label_ks": per_label,
             },
         )
 
@@ -123,11 +149,18 @@ class LabelMixShiftDetector:
 
     def evaluate(self, reference, recent) -> DetectorResult:
         ref_mix, cur_mix = self._mix(reference), self._mix(recent)
-        score = psi(ref_mix, cur_mix)
+        contributions = psi_contributions(ref_mix, cur_mix)
+        score = float(sum(contributions.values()))
         return DetectorResult(
             self.name, score, self.threshold, score > self.threshold,
             kind=self.kind,
-            detail={"reference_mix": ref_mix, "recent_mix": cur_mix},
+            detail={
+                "reference_mix": ref_mix,
+                "recent_mix": cur_mix,
+                "per_label_psi": {
+                    k: round(v, 4) for k, v in contributions.items()
+                },
+            },
         )
 
 

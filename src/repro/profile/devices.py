@@ -46,6 +46,11 @@ class DeviceProfile:
     dsp_block_overhead_cycles: float
     has_fpu: bool = True
     has_nn_extension: bool = False  # CMSIS-NN-class int8 kernels
+    # Firmware footprint reserved before any model fits: RTOS + drivers +
+    # the Edge Impulse SDK glue.  The tuner's RAM/flash budgets and
+    # MemoryEstimator.fits() subtract these.
+    firmware_ram_bytes: int = 40_000
+    firmware_flash_bytes: int = 180_000
 
     def ms(self, cycles: float) -> float:
         return cycles / self.clock_hz * 1e3

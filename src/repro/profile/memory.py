@@ -22,12 +22,13 @@ from repro.profile.devices import DeviceProfile
 from repro.runtime.arena import plan_arena
 
 #: approximate compiled kernel code sizes (bytes) per opcode and precision;
-#: int8 kernels (CMSIS-NN-class) are larger than the reference float ones.
+#: int8 kernels (CMSIS-NN-class) are larger than the reference float ones,
+#: and int4 weighted kernels add an unpack-to-int8 preamble on top.
 KERNEL_CODE_BYTES = {
-    "CONV_2D": {"float32": 5200, "int8": 7800},
-    "DEPTHWISE_CONV_2D": {"float32": 4800, "int8": 7200},
-    "CONV_1D": {"float32": 3600, "int8": 5200},
-    "FULLY_CONNECTED": {"float32": 1800, "int8": 2600},
+    "CONV_2D": {"float32": 5200, "int8": 7800, "int4": 8400},
+    "DEPTHWISE_CONV_2D": {"float32": 4800, "int8": 7200, "int4": 7800},
+    "CONV_1D": {"float32": 3600, "int8": 5200, "int4": 5700},
+    "FULLY_CONNECTED": {"float32": 1800, "int8": 2600, "int4": 3000},
     "MAX_POOL_2D": {"float32": 1200, "int8": 1400},
     "MAX_POOL_1D": {"float32": 900, "int8": 1100},
     "AVG_POOL_2D": {"float32": 1400, "int8": 1800},
@@ -36,7 +37,31 @@ KERNEL_CODE_BYTES = {
     "RESHAPE": {"float32": 300, "int8": 300},
     "ADD": {"float32": 900, "int8": 1600},
     "SOFTMAX": {"float32": 1100, "int8": 2200},
+    "QUANTIZE": {"float32": 450, "int8": 450},
+    "DEQUANTIZE": {"float32": 450, "int8": 450},
+    "TRANSPOSE": {"float32": 500, "int8": 500},
 }
+
+_WEIGHTED_OPS = ("CONV_2D", "DEPTHWISE_CONV_2D", "CONV_1D", "FULLY_CONNECTED")
+
+
+def kernel_variants(graph: Graph) -> set[tuple[str, str]]:
+    """The distinct (opcode, precision) kernel bodies a graph links in.
+
+    Precision follows each op's *output* dtype (int32 counts as int8);
+    weighted ops with int4 weights are their own variant.  On uniform
+    graphs this degenerates to one precision per opcode — the same set
+    the pre-mixed-precision estimator priced.
+    """
+    variants: set[tuple[str, str]] = set()
+    for op in graph.ops:
+        out_dtype = graph.tensors[op.outputs[0]].dtype
+        prec = "int8" if out_dtype in ("int8", "int32") else "float32"
+        if (prec == "int8" and op.opcode in _WEIGHTED_OPS
+                and graph.tensors[op.inputs[1]].dtype == "int4"):
+            prec = "int4"
+        variants.add((op.opcode, prec))
+    return variants
 
 #: TFLM-only flash components (interpreter core, op resolver, flatbuffer
 #: schema parsing) — the code EON codegen eliminates.
@@ -95,22 +120,21 @@ class MemoryEstimator:
         raw_input_shape: tuple[int, ...] | None = None,
     ) -> MemoryBreakdown:
         arena = plan_arena(graph, strategy=self.arena_strategy).total_bytes
-        dtype = graph.dtype
         n_tensors = len(graph.tensors)
         n_ops = len(graph.ops)
 
+        kernel_code = sum(
+            KERNEL_CODE_BYTES[opcode][prec] for opcode, prec in kernel_variants(graph)
+        )
         if self.engine == "tflm":
             runtime_ram = int(
                 1536 + 64 * n_tensors + 32 * n_ops + TFLM_ARENA_SLACK * arena
             )
-            code = TFLM_INTERPRETER_CODE + TFLM_RESOLVER_CODE + TFLM_FLATBUFFER_PARSER
-            for opcode in graph.op_counts():
-                code += KERNEL_CODE_BYTES[opcode][dtype if dtype != "int32" else "int8"]
+            code = (TFLM_INTERPRETER_CODE + TFLM_RESOLVER_CODE
+                    + TFLM_FLATBUFFER_PARSER + kernel_code)
         else:
             runtime_ram = int(256 + EON_ARENA_SLACK * arena)
-            code = EON_GLUE_PER_OP * n_ops
-            for opcode in graph.op_counts():
-                code += KERNEL_CODE_BYTES[opcode][dtype if dtype != "int32" else "int8"]
+            code = EON_GLUE_PER_OP * n_ops + kernel_code
 
         dsp_ram = (
             dsp_block.buffer_bytes(raw_input_shape)
@@ -131,14 +155,20 @@ class MemoryEstimator:
         device: DeviceProfile,
         dsp_block: DSPBlock | None = None,
         raw_input_shape: tuple[int, ...] | None = None,
-        firmware_flash_bytes: int = 180_000,
-        firmware_ram_bytes: int = 40_000,
+        firmware_flash_bytes: int | None = None,
+        firmware_ram_bytes: int | None = None,
     ) -> bool:
         """Whether the deployment fits the device alongside base firmware.
 
+        Firmware overheads default to the device profile's own
+        ``firmware_flash_bytes`` / ``firmware_ram_bytes`` fields.
         Reproduces Table 2's '-' cells (model did not fit due to flash or
         RAM constraints).
         """
+        if firmware_flash_bytes is None:
+            firmware_flash_bytes = device.firmware_flash_bytes
+        if firmware_ram_bytes is None:
+            firmware_ram_bytes = device.firmware_ram_bytes
         est = self.estimate(graph, dsp_block, raw_input_shape)
         return (
             est.flash_bytes + firmware_flash_bytes <= device.flash_bytes

@@ -1,4 +1,14 @@
-"""Post-training quantization: float32 Graph -> int8 Graph."""
+"""Post-training quantization: float32 Graph -> int8 (or mixed) Graph.
+
+The default path quantizes every layer to int8.  A ``precision_map``
+({weighted-layer index -> "int8" | "int4" | "f32"}) switches to the
+mixed-precision builder: int4 layers pack weights two-per-byte with
+per-channel scales (activations stay int8 and run the exact int8
+kernels), f32 layers keep float weights, and QUANTIZE / DEQUANTIZE
+boundary ops are inserted automatically wherever adjacent layers
+disagree on domain.  An empty or all-int8 map takes the legacy path and
+produces bit-identical output.
+"""
 
 from __future__ import annotations
 
@@ -30,20 +40,55 @@ def _weight_qparams(weights: np.ndarray, per_channel: bool) -> QuantParams:
     return QuantParams(scale=np.array([max_abs / 127.0]), zero_point=0)
 
 
+#: Weighted-layer precisions a precision map may assign.
+PRECISIONS = ("int8", "int4", "f32")
+
+#: Weighted opcodes, in the order their indices count for precision maps.
+_WEIGHTED = ("CONV_2D", "DEPTHWISE_CONV_2D", "CONV_1D", "FULLY_CONNECTED")
+
+
+def _int4_quantize(weights: np.ndarray, scale: np.ndarray) -> np.ndarray:
+    """Round to the int4 grid; storage stays int8-valued in [-8, 7]."""
+    return np.clip(np.round(weights / scale), -8, 7).astype(np.int8)
+
+
 def quantize_graph(
     graph: Graph,
     calibration_data: np.ndarray,
     stats: ActivationStats | None = None,
     per_channel: bool = True,
+    precision_map: dict[int, str] | None = None,
 ) -> Graph:
     """Quantize a float graph to int8 using calibration data.
 
     Per-op requantization multipliers are precomputed here (as Q31
     mantissa/exponent pairs) and stored in op attrs, exactly as a converter
     bakes them into the flatbuffer — the runtime does integer math only.
+
+    ``precision_map`` maps weighted-layer indices (0-based, in execution
+    order over conv/dense ops) to ``"int8"``, ``"int4"`` or ``"f32"``;
+    unlisted layers default to int8.  ``None`` — or a map that only says
+    int8 — takes the uniform-int8 path unchanged.
     """
     if stats is None:
         stats = calibrate_activations(graph, calibration_data)
+
+    if precision_map:
+        resolved = {int(k): str(v) for k, v in precision_map.items()}
+        bad = sorted(set(resolved.values()) - set(PRECISIONS))
+        if bad:
+            raise ValueError(
+                f"unknown precision(s) {bad}; expected one of {PRECISIONS}"
+            )
+        n_weighted = sum(op.opcode in _WEIGHTED for op in graph.ops)
+        out_of_range = sorted(k for k in resolved if not 0 <= k < n_weighted)
+        if out_of_range:
+            raise ValueError(
+                f"precision map indexes layers {out_of_range}, but the graph "
+                f"has {n_weighted} weighted layer(s)"
+            )
+        if any(v != "int8" for v in resolved.values()):
+            return _quantize_mixed(graph, stats, per_channel, resolved)
 
     q = Graph(name=f"{graph.name}_int8")
     act_q: dict[int, QuantParams] = {}
@@ -157,6 +202,230 @@ def quantize_graph(
             attrs.update(_fused_clamp(attrs.get("activation", "none"), act_q[out_id]))
 
         q.add_op(GOp(op.opcode, list(op.inputs), list(op.outputs), attrs))
+
+    q.input_id = graph.input_id
+    q.output_id = graph.output_id
+    q.validate()
+    return q
+
+
+def _quantize_mixed(
+    graph: Graph,
+    stats: ActivationStats,
+    per_channel: bool,
+    pmap: dict[int, str],
+) -> Graph:
+    """Mixed-precision builder: per-layer int8/int4/f32 with automatic
+    QUANTIZE/DEQUANTIZE boundaries where adjacent layers disagree.
+
+    Every op runs in one of two domains — quantized (int8 activations;
+    weights int8 or int4) or float.  Weighted ops pick their domain from
+    ``pmap``; everything else inherits its activation input's domain
+    (ops ahead of the first weighted layer inherit from their consumer).
+    Redundant boundary pairs are left for the pass pipeline's
+    dequant→quant cancellation to clean up.
+    """
+    n_ops = len(graph.ops)
+
+    # -- per-op domain assignment ("q" | "f") ------------------------------
+    dom_op: list[str | None] = [None] * n_ops
+    dom_t: dict[int, str] = {}
+    deferred: list[int] = []
+    wi = 0
+    for oi, op in enumerate(graph.ops):
+        if op.opcode in _WEIGHTED:
+            d = "f" if pmap.get(wi, "int8") == "f32" else "q"
+            wi += 1
+        else:
+            x = next(t for t in op.inputs if not graph.tensors[t].is_const)
+            d = dom_t.get(x)
+            if d is None:
+                deferred.append(oi)
+        dom_op[oi] = d
+        if d is not None:
+            for t in op.outputs:
+                dom_t[t] = d
+    if deferred:
+        consumers: dict[int, list[int]] = {}
+        for oi, op in enumerate(graph.ops):
+            for t in op.inputs:
+                consumers.setdefault(t, []).append(oi)
+        for oi in reversed(deferred):
+            op = graph.ops[oi]
+            d = next(
+                (dom_op[c] for c in consumers.get(op.outputs[0], ())
+                 if dom_op[c] is not None),
+                "f",
+            )
+            dom_op[oi] = d
+            for t in op.outputs:
+                dom_t[t] = d
+    dom_t.setdefault(
+        graph.input_id,
+        next((dom_op[oi] for oi, op in enumerate(graph.ops)
+              if graph.input_id in op.inputs), "f"),
+    )
+
+    # -- activation qparams (every activation, both domains: a float-domain
+    # tensor still needs qparams if a boundary later quantizes it) --------
+    act_q: dict[int, QuantParams] = {}
+    for tid, t in enumerate(graph.tensors):
+        if t.is_const:
+            continue
+        if any(op.opcode == "SOFTMAX" and tid in op.outputs for op in graph.ops):
+            act_q[tid] = QuantParams(
+                scale=np.array([SOFTMAX_SCALE]), zero_point=SOFTMAX_ZP
+            )
+        else:
+            lo, hi = stats.range_for(tid)
+            act_q[tid] = _activation_qparams(lo, hi)
+    same_scale = (
+        "MAX_POOL_2D", "MAX_POOL_1D", "AVG_POOL_2D",
+        "GLOBAL_AVG_POOL_2D", "GLOBAL_AVG_POOL_1D", "RESHAPE", "TRANSPOSE",
+    )
+    for oi, op in enumerate(graph.ops):
+        if op.opcode in same_scale and dom_op[oi] == "q":
+            act_q[op.outputs[0]] = act_q[op.inputs[0]]
+
+    # -- clone tensors in their home domain --------------------------------
+    q = Graph(name=f"{graph.name}_mixed")
+    q_id: dict[int, int] = {}
+    f_id: dict[int, int] = {}
+    for tid, t in enumerate(graph.tensors):
+        if t.is_const:
+            q.add_tensor(GTensor(t.name, t.shape, t.dtype, data=t.data, quant=None))
+        elif dom_t.get(tid, "f") == "q":
+            q.add_tensor(GTensor(t.name, t.shape, "int8", quant=act_q[tid]))
+            q_id[tid] = tid
+        else:
+            q.add_tensor(GTensor(t.name, t.shape, "float32"))
+            f_id[tid] = tid
+
+    # -- memoized domain boundaries ----------------------------------------
+    def to_q(tid: int) -> int:
+        if tid not in q_id:
+            t = graph.tensors[tid]
+            new = q.add_tensor(
+                GTensor(f"{t.name}::q", t.shape, "int8", quant=act_q[tid])
+            )
+            q.add_op(GOp("QUANTIZE", [f_id[tid]], [new], {}))
+            q_id[tid] = new
+        return q_id[tid]
+
+    def to_f(tid: int) -> int:
+        if tid not in f_id:
+            t = graph.tensors[tid]
+            new = q.add_tensor(GTensor(f"{t.name}::f", t.shape, "float32"))
+            q.add_op(GOp("DEQUANTIZE", [q_id[tid]], [new], {}))
+            f_id[tid] = new
+        return f_id[tid]
+
+    # -- clone ops, quantizing weights per the map -------------------------
+    wi = 0
+    for oi, op in enumerate(graph.ops):
+        attrs = dict(op.attrs)
+        d = dom_op[oi]
+        if op.opcode in _WEIGHTED:
+            prec = pmap.get(wi, "int8")
+            wi += 1
+            in_id, w_id, b_id = op.inputs
+            if d == "f":
+                q.add_op(GOp(op.opcode, [to_f(in_id), w_id, b_id],
+                             list(op.outputs), attrs))
+                continue
+            x = to_q(in_id)
+            w_tensor = graph.tensors[w_id]
+            b_tensor = graph.tensors[b_id]
+            if prec == "int4":
+                # Per-channel over the output-channel axis: (C, DM) pair
+                # for depthwise, last axis for conv/dense.
+                axes = (0, 1) if op.opcode == "DEPTHWISE_CONV_2D" else tuple(
+                    range(w_tensor.data.ndim - 1)
+                )
+                max_abs = np.maximum(np.abs(w_tensor.data).max(axis=axes), 1e-9)
+                per_scale = max_abs / 7.0
+                w_data = _int4_quantize(w_tensor.data, per_scale)
+                wq = QuantParams(
+                    scale=np.asarray(per_scale).reshape(-1),
+                    zero_point=0, per_channel=True,
+                )
+                q.tensors[w_id] = GTensor(
+                    w_tensor.name, w_tensor.shape, "int4", data=w_data, quant=wq
+                )
+            else:
+                use_pc = per_channel and op.opcode != "FULLY_CONNECTED"
+                if use_pc and op.opcode == "DEPTHWISE_CONV_2D":
+                    max_abs = np.maximum(
+                        np.abs(w_tensor.data).max(axis=(0, 1)), 1e-9
+                    )
+                    per_ch_scale = max_abs / 127.0
+                    w_int8 = np.clip(
+                        np.round(w_tensor.data / per_ch_scale), -128, 127
+                    ).astype(np.int8)
+                    wq = QuantParams(
+                        scale=per_ch_scale.reshape(-1), zero_point=0,
+                        per_channel=True,
+                    )
+                else:
+                    wq = _weight_qparams(w_tensor.data, per_channel=use_pc)
+                    w_int8 = wq.quantize(w_tensor.data, axis=-1)
+                q.tensors[w_id] = GTensor(
+                    w_tensor.name, w_tensor.shape, "int8", data=w_int8, quant=wq
+                )
+            in_scale = float(act_q[in_id].scale[0])
+            bias_scale = in_scale * wq.scale
+            b_int32 = np.round(b_tensor.data / bias_scale).astype(np.int64)
+            b_int32 = np.clip(b_int32, -(2**31), 2**31 - 1).astype(np.int32)
+            q.tensors[b_id] = GTensor(
+                b_tensor.name, b_tensor.shape, "int32", data=b_int32,
+                quant=QuantParams(
+                    scale=bias_scale, zero_point=0,
+                    per_channel=wq.per_channel,
+                ),
+            )
+            out_id = op.outputs[0]
+            out_scale = float(act_q[out_id].scale[0])
+            mults = [quantize_multiplier(float(s) / out_scale) for s in bias_scale]
+            attrs["out_mult"] = [m for m, _ in mults]
+            attrs["out_shift"] = [s for _, s in mults]
+            attrs.update(_fused_clamp(attrs.get("activation", "none"), act_q[out_id]))
+            q.add_op(GOp(op.opcode, [x, w_id, b_id], list(op.outputs), attrs))
+
+        elif op.opcode == "ADD" and d == "q":
+            a_id, b_id = op.inputs
+            out_id = op.outputs[0]
+            if graph.tensors[b_id].is_const:
+                bt = graph.tensors[b_id]
+                qp = act_q[a_id]
+                q.tensors[b_id] = GTensor(
+                    bt.name, bt.shape, "int8", data=qp.quantize(bt.data), quant=qp
+                )
+                b_scale = float(qp.scale[0])
+                b_src = b_id
+            else:
+                b_scale = float(act_q[b_id].scale[0])
+                b_src = to_q(b_id)
+            a_src = to_q(a_id)
+            a_scale = float(act_q[a_id].scale[0])
+            out_scale = float(act_q[out_id].scale[0])
+            twice_max = 2.0 * max(a_scale, b_scale)
+            left_shift = 20
+            attrs["left_shift"] = left_shift
+            attrs["mult1"], attrs["shift1"] = quantize_multiplier(a_scale / twice_max)
+            attrs["mult2"], attrs["shift2"] = quantize_multiplier(b_scale / twice_max)
+            attrs["out_mult"], attrs["out_shift"] = quantize_multiplier(
+                twice_max / ((1 << left_shift) * out_scale)
+            )
+            attrs.update(_fused_clamp(attrs.get("activation", "none"), act_q[out_id]))
+            q.add_op(GOp("ADD", [a_src, b_src], [out_id], attrs))
+
+        else:
+            into = to_q if d == "q" else to_f
+            new_inputs = [
+                tid if graph.tensors[tid].is_const else into(tid)
+                for tid in op.inputs
+            ]
+            q.add_op(GOp(op.opcode, new_inputs, list(op.outputs), attrs))
 
     q.input_id = graph.input_id
     q.output_id = graph.output_id

@@ -140,3 +140,43 @@ def test_constraints_resolution_defaults():
     resolved = TunerConstraints(device_key="rp2040").resolved()
     assert resolved.max_ram_kb == pytest.approx((270_336 - 40_000) / 1024)
     assert resolved.max_flash_kb > 10_000  # 16 MB part
+
+
+def test_constraints_budgets_follow_device_firmware_fields(monkeypatch):
+    """Regression: firmware overheads were hard-coded (40 kB / 180 kB);
+    they now live on the DeviceProfile, so a profile with a different
+    firmware footprint resolves to matching budgets."""
+    import dataclasses
+
+    from repro.profile.devices import DEVICES, get_device
+
+    lean = dataclasses.replace(
+        get_device("nano33ble"), key="lean",
+        firmware_ram_bytes=10_000, firmware_flash_bytes=50_000,
+    )
+    monkeypatch.setitem(DEVICES, "lean", lean)
+    resolved = TunerConstraints(device_key="lean").resolved()
+    assert resolved.max_ram_kb == pytest.approx((262_144 - 10_000) / 1024)
+    assert resolved.max_flash_kb == pytest.approx((1_048_576 - 50_000) / 1024)
+
+
+def test_constraints_firmware_exceeding_device_is_a_clear_error(monkeypatch):
+    """A profile whose firmware reservation leaves no room for a model
+    must fail loudly at resolution, not produce a negative budget."""
+    import dataclasses
+
+    from repro.profile.devices import DEVICES, get_device
+
+    cramped = dataclasses.replace(
+        get_device("nano33ble"), key="cramped", ram_bytes=32_000,
+    )
+    monkeypatch.setitem(DEVICES, "cramped", cramped)
+    with pytest.raises(ValueError, match="firmware RAM.*no budget"):
+        TunerConstraints(device_key="cramped").resolved()
+
+    tight_flash = dataclasses.replace(
+        get_device("nano33ble"), key="tight_flash", flash_bytes=100_000,
+    )
+    monkeypatch.setitem(DEVICES, "tight_flash", tight_flash)
+    with pytest.raises(ValueError, match="firmware flash.*no budget"):
+        TunerConstraints(device_key="tight_flash").resolved()

@@ -142,6 +142,45 @@ def test_label_mix_detector():
     assert detector.evaluate(ref, skewed).triggered
 
 
+def test_confidence_shift_per_label_attribution():
+    """The detail names which predicted class's confidence moved: 'a'
+    collapses, 'b' stays — per-label KS must separate them."""
+    rng = np.random.default_rng(1)
+    ref = (
+        [TelemetryRecord(1, top="a", confidence=c)
+         for c in rng.uniform(0.85, 0.99, 100)]
+        + [TelemetryRecord(1, top="b", confidence=c)
+           for c in rng.uniform(0.85, 0.99, 100)]
+    )
+    recent = (
+        [TelemetryRecord(1, top="a", confidence=c)
+         for c in rng.uniform(0.3, 0.5, 100)]      # class a got uncertain
+        + [TelemetryRecord(1, top="b", confidence=c)
+           for c in rng.uniform(0.85, 0.99, 100)]  # class b unchanged
+    )
+    result = ConfidenceShiftDetector(threshold=0.25).evaluate(ref, recent)
+    per_label = result.detail["per_label_ks"]
+    assert set(per_label) == {"a", "b"}
+    assert per_label["a"] > 0.9 and per_label["b"] < 0.25
+    # Labels present on only one side are skipped, not crashed on.
+    result = ConfidenceShiftDetector().evaluate(
+        _records(10, top="a"), _records(10, top="c")
+    )
+    assert result.detail["per_label_ks"] == {}
+
+
+def test_label_mix_per_label_psi_sums_to_score():
+    ref = _records(50, top="a") + _records(50, top="b")
+    skewed = _records(10, top="a") + _records(90, top="b")
+    result = LabelMixShiftDetector(threshold=0.25).evaluate(ref, skewed)
+    contributions = result.detail["per_label_psi"]
+    assert set(contributions) == {"a", "b"}
+    assert all(v >= 0 for v in contributions.values())
+    assert sum(contributions.values()) == pytest.approx(result.score, abs=1e-3)
+    # The vanished class contributes the bigger term.
+    assert contributions["a"] > contributions["b"]
+
+
 def test_feature_drift_detector():
     rng = np.random.default_rng(0)
     ref = [TelemetryRecord(1, sketch=rng.normal(0, 1, 8)) for _ in range(100)]

@@ -110,6 +110,10 @@ def test_closed_loop_drift_to_canary_rollout():
     assert "started_loop_job" in r, f"no loop started: {r['detectors']}"
     triggered = [d["detector"] for d in r["detectors"] if d["triggered"]]
     assert triggered, "expected at least one drift detector to trigger"
+    # Per-label attribution rides along in the monitor payload.
+    by_name = {d["detector"]: d for d in r["detectors"]}
+    assert "per_label_ks" in by_name["confidence_shift"]["detail"]
+    assert "per_label_psi" in by_name["label_mix_shift"]["detail"]
 
     alerts = api.handle("GET", f"/api/projects/{pid}/monitor/alerts",
                         {}, user="ops")["alerts"]
